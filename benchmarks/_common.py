@@ -1,0 +1,19 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence
+
+
+def run_once(benchmark, func: Callable[[], object]):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def print_experiment(experiment_id: str, claim: str, table: str) -> None:
+    """Standard header + table output recorded in EXPERIMENTS.md."""
+    banner = f"[{experiment_id}] {claim}"
+    print()
+    print(banner)
+    print("-" * len(banner))
+    print(table)

@@ -1,0 +1,101 @@
+"""Experiment E10 — end-to-end heavy hitters and the privacy audit.
+
+Part (a): phi-heavy-hitter precision / recall / F1 of the PMG pipeline against
+the Chan et al. and corrected Böhler-Kerschbaum baselines and against the
+non-streaming stability histogram, on Zipf workloads of varying skew.
+
+Part (b): Monte-Carlo privacy audit on the "decrement-all" worst-case
+neighbouring pair — Algorithm 2 stays within its (epsilon, delta) budget while
+the as-published Böhler-Kerschbaum mechanism (sensitivity-1 noise) is caught
+exceeding it, which is the paper's critique made empirical.
+"""
+
+import pytest
+
+from repro.analysis import audit_mechanism, format_table, heavy_hitter_scores
+from repro.baselines import BohlerKerschbaumMG, ChanPrivateMisraGries, StabilityHistogram
+from repro.core import PrivateMisraGries, true_heavy_hitters
+from repro.core.heavy_hitters import heavy_hitters_from_histogram
+from repro.streams import zipf_stream
+
+from _common import print_experiment, run_once
+
+N = 80_000
+UNIVERSE = 5_000
+K = 256
+EPSILON, DELTA = 1.0, 1e-6
+PHI = 0.005
+
+
+def _heavy_hitter_rows() -> list:
+    rows = []
+    for exponent in (1.05, 1.2, 1.5):
+        stream = zipf_stream(N, UNIVERSE, exponent=exponent, rng=40)
+        truth = true_heavy_hitters(stream, PHI)
+
+        def evaluate(name, histogram, slack):
+            predicted = heavy_hitters_from_histogram(histogram, PHI, stream_length=N, slack=slack)
+            scores = heavy_hitter_scores(predicted, truth)
+            rows.append({
+                "zipf exponent": exponent,
+                "true HH": len(truth),
+                "mechanism": name,
+                "precision": scores["precision"],
+                "recall": scores["recall"],
+                "f1": scores["f1"],
+            })
+
+        pmg = PrivateMisraGries(epsilon=EPSILON, delta=DELTA)
+        evaluate("PMG", pmg.run(stream, K, rng=41), pmg.error_bound_vs_truth(K, N))
+        chan = ChanPrivateMisraGries(epsilon=EPSILON, k=K, delta=DELTA)
+        evaluate("Chan", chan.run(stream, rng=42),
+                 N / (K + 1) + 2 * chan.noise_scale + chan.threshold)
+        bk = BohlerKerschbaumMG(epsilon=EPSILON, delta=DELTA, k=K)
+        evaluate("BK corrected", bk.run(stream, rng=43),
+                 N / (K + 1) + 2 * bk.noise_scale + bk.threshold)
+        gold = StabilityHistogram(epsilon=EPSILON, delta=DELTA)
+        evaluate("exact+Laplace (non-streaming)", gold.run(stream, rng=44),
+                 2.0 / EPSILON + gold.threshold)
+    return rows
+
+
+def _audit_rows() -> list:
+    k = 8
+    base = [f"e{i}" for i in range(k)] * 30
+    stream, neighbour = base + ["trigger"], base
+    rows = []
+    pmg = PrivateMisraGries(epsilon=1.0, delta=1e-3)
+    result = audit_mechanism(lambda data, rng: pmg.run(data, k=k, rng=rng),
+                             stream, neighbour, claimed_epsilon=1.0, claimed_delta=1e-3,
+                             trials=2_000, rng=45)
+    rows.append({"mechanism": "PMG (Algorithm 2)", **result.as_dict()})
+    bk = BohlerKerschbaumMG(epsilon=1.0, delta=1e-3, k=k, as_published=True)
+    result = audit_mechanism(lambda data, rng: bk.run(data, rng=rng),
+                             stream, neighbour, claimed_epsilon=1.0, claimed_delta=1e-3,
+                             trials=2_000, rng=46)
+    rows.append({"mechanism": "BK as published", **result.as_dict()})
+    return rows
+
+
+@pytest.mark.experiment("E10")
+def test_e10_heavy_hitter_quality(benchmark):
+    rows = run_once(benchmark, _heavy_hitter_rows)
+    for exponent in (1.2, 1.5):
+        subset = {row["mechanism"]: row for row in rows if row["zipf exponent"] == exponent}
+        assert subset["PMG"]["f1"] >= subset["Chan"]["f1"]
+        assert subset["PMG"]["f1"] >= subset["BK corrected"]["f1"]
+        assert subset["PMG"]["recall"] >= 0.9
+    print_experiment("E10a", "Heavy-hitter quality across workload skew",
+                     format_table(rows))
+
+
+@pytest.mark.experiment("E10")
+def test_e10_privacy_audit(benchmark):
+    rows = run_once(benchmark, _audit_rows)
+    audit = {row["mechanism"]: row for row in rows}
+    assert not audit["PMG (Algorithm 2)"]["violated"]
+    assert audit["BK as published"]["violated"]
+    print_experiment("E10b", "Monte-Carlo privacy audit on the decrement-all worst case",
+                     format_table(rows, columns=["mechanism", "claimed_epsilon", "claimed_delta",
+                                                 "estimated_epsilon_lower_bound", "violated",
+                                                 "worst_event", "trials"]))

@@ -1,0 +1,77 @@
+"""Experiment E11 — runtime and memory characteristics.
+
+The paper's claim is not about wall-clock speed, but a practical release of
+the system should document it: MG updates are O(1) amortized, the private
+release is O(k) on top, and memory is 2k words regardless of the universe.
+These benchmarks use pytest-benchmark's timing (multiple rounds) for the
+update/release costs and print a summary table of throughput and memory.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines import StabilityHistogram
+from repro.core import PrivateMisraGries
+from repro.sketches import ExactCounter, MisraGriesSketch
+from repro.streams import zipf_stream
+
+from _common import print_experiment
+
+N = 100_000
+UNIVERSE = 50_000
+STREAM = zipf_stream(N, UNIVERSE, exponent=1.2, rng=50)
+
+
+@pytest.mark.experiment("E11")
+@pytest.mark.parametrize("k", [64, 256, 1024])
+def test_e11_mg_update_throughput(benchmark, k):
+    def build():
+        return MisraGriesSketch.from_stream(k, STREAM)
+
+    sketch = benchmark(build)
+    assert sketch.stream_length == N
+    assert len(sketch.raw_counters()) == k
+
+
+@pytest.mark.experiment("E11")
+@pytest.mark.parametrize("k", [64, 256, 1024])
+def test_e11_pmg_release_cost(benchmark, k):
+    sketch = MisraGriesSketch.from_stream(k, STREAM)
+    mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+
+    histogram = benchmark(lambda: mechanism.release(sketch, rng=0))
+    assert len(histogram) <= k
+
+
+@pytest.mark.experiment("E11")
+def test_e11_exact_histogram_baseline_cost(benchmark):
+    def build():
+        counter = ExactCounter.from_stream(STREAM)
+        return StabilityHistogram(epsilon=1.0, delta=1e-6).release(counter, rng=0)
+
+    histogram = benchmark(build)
+    assert len(histogram) > 0
+
+
+@pytest.mark.experiment("E11")
+def test_e11_memory_summary(benchmark):
+    def summarize():
+        rows = []
+        distinct = ExactCounter.from_stream(STREAM).distinct()
+        for k in (64, 256, 1024):
+            sketch = MisraGriesSketch.from_stream(k, STREAM)
+            rows.append({
+                "k": k,
+                "stream length": N,
+                "distinct elements": distinct,
+                "sketch memory (words)": sketch.memory_words(),
+                "exact histogram memory (words)": 2 * distinct,
+            })
+        return rows
+
+    rows = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    for row in rows:
+        assert row["sketch memory (words)"] == 2 * row["k"]
+        assert row["sketch memory (words)"] < row["exact histogram memory (words)"]
+    print_experiment("E11", "Memory use: 2k words vs one counter per distinct element",
+                     format_table(rows))

@@ -1,0 +1,70 @@
+"""Experiment E12 — continual observation with PMG as the subroutine.
+
+The paper positions Algorithm 2 as a drop-in subroutine for the continual
+monitoring setting of Chan et al.  This experiment quantifies the two
+composition strategies implemented in :mod:`repro.core.continual`:
+
+* ``blocks`` — full budget per release, but a prefix query sums one release
+  per block, so the error of a running total grows linearly with the number
+  of blocks;
+* ``binary_tree`` — the budget is split over ``O(log T)`` levels, but a prefix
+  query sums only ``O(log T)`` releases, so the error grows logarithmically.
+
+The table reports, per number of blocks, the number of releases a query sums
+and the error of the running estimate of the stream's heaviest element and of
+a mid-ranked element.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import ContinualHeavyHitters
+from repro.sketches import ExactCounter
+from repro.streams import zipf_stream
+
+from _common import print_experiment, run_once
+
+K = 64
+EPSILON, DELTA = 1.0, 1e-6
+N = 32_000
+UNIVERSE = 500
+BLOCK_COUNTS = [4, 16, 64]
+
+
+def _run() -> list:
+    stream = zipf_stream(N, UNIVERSE, exponent=1.3, rng=60)
+    truth = ExactCounter.from_stream(stream)
+    heavy_element, heavy_count = truth.top(1)[0]
+    mid_element, mid_count = truth.top(12)[-1]
+    rows = []
+    for blocks in BLOCK_COUNTS:
+        block_size = N // blocks
+        for strategy in ("blocks", "binary_tree"):
+            monitor = ContinualHeavyHitters(k=K, epsilon=EPSILON, delta=DELTA,
+                                            block_size=block_size, strategy=strategy,
+                                            max_blocks=blocks, rng=61 + blocks)
+            monitor.process_stream(stream)
+            rows.append({
+                "blocks": blocks,
+                "strategy": strategy,
+                "releases per query": monitor.releases_per_query(),
+                "per-release epsilon": monitor.per_release_budget()["epsilon"],
+                "heavy elem err": abs(monitor.estimate(heavy_element) - heavy_count),
+                "mid elem err": abs(monitor.estimate(mid_element) - mid_count),
+            })
+    return rows
+
+
+@pytest.mark.experiment("E12")
+def test_e12_continual_observation(benchmark):
+    rows = run_once(benchmark, _run)
+    by_key = {(row["blocks"], row["strategy"]): row for row in rows}
+    # Query complexity: linear for blocks, logarithmic for the tree.
+    assert by_key[(64, "blocks")]["releases per query"] == 64
+    assert by_key[(64, "binary_tree")]["releases per query"] <= 7
+    # With many blocks the tree's mid-element estimate is no worse than the
+    # block strategy's (which loses the element to per-block thresholds).
+    assert (by_key[(64, "binary_tree")]["mid elem err"]
+            <= by_key[(64, "blocks")]["mid elem err"] + 1e-9)
+    print_experiment("E12", "Continual observation: blocks vs binary tree composition",
+                     format_table(rows))

@@ -1,0 +1,142 @@
+"""Experiment E13 — the frequency-oracle route and an ablation of Algorithm 2.
+
+Part (a): the Section 4 discussion made measurable.  Heavy hitters recovered
+through a private frequency oracle — either by iterating the whole universe
+(CountMin oracle) or by descending a prefix tree — are compared with the
+direct private Misra-Gries release on error, released-set quality and the
+number of oracle probes.  The oracle routes must split their budget across
+hash rows / tree levels, which costs accuracy exactly as the paper argues.
+
+Part (b): ablation of the two-layer noise in Algorithm 2.  Dropping the shared
+Laplace draw (keeping only per-counter noise and the same threshold) leaves a
+mechanism that a Monte-Carlo audit catches violating its claimed epsilon on
+the decrement-all worst case, while the full mechanism passes.  This isolates
+*why* the second noise layer is there: it hides the "all counters shift by
+one" direction that per-counter noise alone cannot.
+"""
+
+import pytest
+
+from repro.analysis import audit_mechanism, format_table, heavy_hitter_scores
+from repro.baselines import PrefixTreeHeavyHitters, PrivateFrequencyOracle
+from repro.core import PrivateMisraGries, true_heavy_hitters
+from repro.core.heavy_hitters import heavy_hitters_from_histogram
+from repro.core.results import PrivateHistogram, ReleaseMetadata
+from repro.dp.distributions import sample_laplace
+from repro.dp.rng import ensure_rng
+from repro.dp.thresholds import pmg_threshold
+from repro.sketches import MisraGriesSketch
+from repro.streams import zipf_stream
+
+from _common import print_experiment, run_once
+
+N = 40_000
+UNIVERSE = 4_096
+K = 256
+EPSILON, DELTA = 1.0, 1e-6
+PHI = 0.01
+
+
+def _oracle_rows() -> list:
+    stream = zipf_stream(N, UNIVERSE, exponent=1.3, rng=70)
+    truth = true_heavy_hitters(stream, PHI)
+    rows = []
+
+    pmg = PrivateMisraGries(epsilon=EPSILON, delta=DELTA)
+    histogram = pmg.run(stream, K, rng=71)
+    predicted = heavy_hitters_from_histogram(histogram, PHI, stream_length=N,
+                                             slack=pmg.error_bound_vs_truth(K, N))
+    scores = heavy_hitter_scores(predicted, truth)
+    rows.append({"mechanism": "PMG (direct)", "probes": K,
+                 "per-count noise scale": pmg.noise_scale,
+                 "precision": scores["precision"], "recall": scores["recall"],
+                 "f1": scores["f1"]})
+
+    oracle = PrivateFrequencyOracle(epsilon=EPSILON, delta=DELTA, width=1_024, depth=4)
+    histogram = oracle.heavy_hitters(stream, universe=range(UNIVERSE), phi=PHI, rng=72)
+    scores = heavy_hitter_scores(histogram.keys(), truth)
+    rows.append({"mechanism": "CountMin oracle + universe scan", "probes": UNIVERSE,
+                 "per-count noise scale": oracle.noise_scale,
+                 "precision": scores["precision"], "recall": scores["recall"],
+                 "f1": scores["f1"]})
+
+    tree = PrefixTreeHeavyHitters(epsilon=EPSILON, delta=DELTA, universe_size=UNIVERSE,
+                                  width=1_024, depth=4)
+    histogram = tree.heavy_hitters(stream, phi=PHI, rng=73)
+    visited = int(histogram.metadata.notes.split("nodes visited=")[1])
+    scores = heavy_hitter_scores(histogram.keys(), truth)
+    rows.append({"mechanism": "prefix-tree oracle", "probes": visited,
+                 "per-count noise scale": tree.per_level_noise_scale,
+                 "precision": scores["precision"], "recall": scores["recall"],
+                 "f1": scores["f1"]})
+    return rows
+
+
+def _per_counter_only_release(stream, k, epsilon, delta, rng):
+    """Ablated Algorithm 2: per-counter Laplace noise only, no shared draw.
+
+    Implemented locally so the unsafe variant is not part of the library API.
+    """
+    generator = ensure_rng(rng)
+    sketch = MisraGriesSketch.from_stream(k, stream)
+    threshold = pmg_threshold(epsilon, delta)
+    counts = {}
+    for key, value in sketch.raw_counters().items():
+        noisy = value + float(sample_laplace(1.0 / epsilon, rng=generator))
+        if noisy >= threshold and not key.__class__.__name__ == "DummyKey":
+            counts[key] = noisy
+    metadata = ReleaseMetadata(mechanism="PMG-ablated", epsilon=epsilon, delta=delta,
+                               noise_scale=1.0 / epsilon, threshold=threshold,
+                               sketch_size=k, stream_length=sketch.stream_length,
+                               notes="per-counter noise only (no shared layer)")
+    return PrivateHistogram(counts=counts, metadata=metadata)
+
+
+def _ablation_rows() -> list:
+    k = 8
+    base = [f"e{i}" for i in range(k)] * 30
+    stream, neighbour = base + ["trigger"], base
+    rows = []
+    pmg = PrivateMisraGries(epsilon=1.0, delta=1e-3)
+    result = audit_mechanism(lambda data, rng: pmg.run(data, k=k, rng=rng),
+                             stream, neighbour, claimed_epsilon=1.0, claimed_delta=1e-3,
+                             trials=2_000, rng=74)
+    rows.append({"variant": "full PMG (two noise layers)", **result.as_dict()})
+    result = audit_mechanism(
+        lambda data, rng: _per_counter_only_release(data, k, 1.0, 1e-3, rng),
+        stream, neighbour, claimed_epsilon=1.0, claimed_delta=1e-3,
+        trials=2_000, rng=75)
+    rows.append({"variant": "ablated (per-counter noise only)", **result.as_dict()})
+    return rows
+
+
+@pytest.mark.experiment("E13")
+def test_e13_oracle_routes(benchmark):
+    rows = run_once(benchmark, _oracle_rows)
+    by_name = {row["mechanism"]: row for row in rows}
+    direct = by_name["PMG (direct)"]
+    universe_scan = by_name["CountMin oracle + universe scan"]
+    prefix = by_name["prefix-tree oracle"]
+    # The direct route finds everything with the smallest per-count noise and
+    # touches only its k counters; the oracle routes pay a noise scale growing
+    # with the hash depth (and, for the prefix tree, with log d) and need many
+    # more probes — the universe scan touches every one of the d elements.
+    assert direct["recall"] >= 0.9
+    assert direct["per-count noise scale"] < universe_scan["per-count noise scale"]
+    assert universe_scan["per-count noise scale"] < prefix["per-count noise scale"]
+    assert prefix["probes"] < universe_scan["probes"]
+    assert direct["probes"] == K
+    print_experiment("E13a", "Heavy hitters: direct PMG vs frequency-oracle routes",
+                     format_table(rows))
+
+
+@pytest.mark.experiment("E13")
+def test_e13_noise_structure_ablation(benchmark):
+    rows = run_once(benchmark, _ablation_rows)
+    by_variant = {row["variant"]: row for row in rows}
+    assert not by_variant["full PMG (two noise layers)"]["violated"]
+    assert by_variant["ablated (per-counter noise only)"]["violated"]
+    print_experiment("E13b", "Ablation: removing the shared noise layer breaks privacy",
+                     format_table(rows, columns=["variant", "claimed_epsilon",
+                                                 "estimated_epsilon_lower_bound",
+                                                 "violated", "worst_event", "trials"]))

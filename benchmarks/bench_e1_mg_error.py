@@ -1,0 +1,60 @@
+"""Experiment E1 — Fact 7: Misra-Gries error is at most n/(k+1) and this is tight.
+
+Reproduces the claim behind Fact 7: on any stream the MG sketch of size k
+underestimates every frequency by at most n/(k+1), and there are streams
+(k+1 equally-frequent distinct elements) on which no k-counter summary can do
+better.  The table reports, for Zipf and worst-case streams, the measured
+maximum error next to the n/(k+1) bound.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.metrics import max_error
+from repro.sketches import ExactCounter, MisraGriesSketch
+from repro.streams import tight_error_stream, zipf_stream
+
+from _common import print_experiment, run_once
+
+N = 100_000
+UNIVERSE = 10_000
+K_VALUES = [8, 32, 128, 256]
+
+
+def _run() -> list:
+    rows = []
+    zipf = zipf_stream(N, UNIVERSE, exponent=1.1, rng=1)
+    zipf_truth = ExactCounter.from_stream(zipf).counters()
+    for k in K_VALUES:
+        sketch = MisraGriesSketch.from_stream(k, zipf)
+        rows.append({
+            "workload": "zipf(1.1)",
+            "n": len(zipf),
+            "k": k,
+            "measured max error": max_error(sketch, zipf_truth),
+            "bound n/(k+1)": len(zipf) / (k + 1),
+        })
+    for k in K_VALUES:
+        worst = tight_error_stream(k, N)
+        worst_truth = ExactCounter.from_stream(worst).counters()
+        sketch = MisraGriesSketch.from_stream(k, worst)
+        rows.append({
+            "workload": "worst-case (k+1 distinct)",
+            "n": len(worst),
+            "k": k,
+            "measured max error": max_error(sketch, worst_truth),
+            "bound n/(k+1)": len(worst) / (k + 1),
+        })
+    return rows
+
+
+@pytest.mark.experiment("E1")
+def test_e1_mg_error_bound(benchmark):
+    rows = run_once(benchmark, _run)
+    for row in rows:
+        assert row["measured max error"] <= row["bound n/(k+1)"] + 1e-9
+        if row["workload"].startswith("worst"):
+            # Tightness: the worst-case stream achieves the bound exactly.
+            assert row["measured max error"] == pytest.approx(row["bound n/(k+1)"])
+    print_experiment("E1", "MG sketch error vs the n/(k+1) bound (Fact 7)",
+                     format_table(rows))

@@ -1,0 +1,81 @@
+"""Experiment E2 — Theorem 14 / Lemma 13: PMG noise error is independent of k.
+
+Sweeps the sketch size k and the privacy parameters and reports
+
+* the maximum released-vs-sketch deviation (the "noise error" of Lemma 13),
+* the maximum released-vs-truth error and the Theorem 14 bound,
+* the measured per-element mean squared error and the Theorem 14 MSE bound.
+
+The headline shape: the noise error stays flat as k grows (it only moves with
+epsilon and delta), while for the Chan et al. baseline (E3) it grows linearly.
+"""
+
+import pytest
+
+from repro.analysis import format_table, summarize_errors
+from repro.analysis.bounds import pmg_error_bound, pmg_mse_bound, pmg_noise_error_bound
+from repro.core import PrivateMisraGries
+from repro.dp.rng import spawn_rngs
+from repro.sketches import ExactCounter, MisraGriesSketch
+from repro.streams import zipf_stream
+
+from _common import print_experiment, run_once
+
+N = 60_000
+UNIVERSE = 5_000
+REPETITIONS = 5
+K_VALUES = [16, 64, 256, 512]
+PRIVACY = [(0.5, 1e-6), (1.0, 1e-6), (2.0, 1e-8)]
+
+
+def _noise_error(histogram, sketch_counters) -> float:
+    worst = 0.0
+    for key, value in sketch_counters.items():
+        worst = max(worst, abs(histogram.estimate(key) - value))
+    return worst
+
+
+def _run() -> list:
+    stream = zipf_stream(N, UNIVERSE, exponent=1.2, rng=2)
+    truth = ExactCounter.from_stream(stream).counters()
+    rows = []
+    for epsilon, delta in PRIVACY:
+        for k in K_VALUES:
+            sketch = MisraGriesSketch.from_stream(k, stream)
+            counters = sketch.counters()
+            mechanism = PrivateMisraGries(epsilon=epsilon, delta=delta)
+            noise_errors, total_errors, mses = [], [], []
+            for rng in spawn_rngs(1234 + k, REPETITIONS):
+                histogram = mechanism.release(sketch, rng=rng)
+                summary = summarize_errors(histogram, truth)
+                noise_errors.append(_noise_error(histogram, counters))
+                total_errors.append(summary.max_error)
+                mses.append(summary.mean_squared_error)
+            rows.append({
+                "epsilon": epsilon,
+                "delta": delta,
+                "k": k,
+                "noise err (measured)": max(noise_errors),
+                "noise err (Lemma 13)": pmg_noise_error_bound(k, epsilon, delta, beta=0.05),
+                "total err (measured)": max(total_errors),
+                "total err (Thm 14)": pmg_error_bound(N, k, epsilon, delta, beta=0.05),
+                "mse (measured)": sum(mses) / len(mses),
+                "mse bound (Thm 14)": pmg_mse_bound(N, k, epsilon, delta),
+            })
+    return rows
+
+
+@pytest.mark.experiment("E2")
+def test_e2_pmg_error(benchmark):
+    rows = run_once(benchmark, _run)
+    for row in rows:
+        assert row["total err (measured)"] <= row["total err (Thm 14)"]
+        assert row["mse (measured)"] <= row["mse bound (Thm 14)"]
+    # Noise error does not scale with k: largest-k noise error stays within a
+    # small factor of smallest-k noise error for the same privacy parameters.
+    for epsilon, delta in PRIVACY:
+        subset = [row for row in rows if row["epsilon"] == epsilon and row["delta"] == delta]
+        smallest, largest = subset[0], subset[-1]
+        assert largest["noise err (measured)"] <= 3.0 * smallest["noise err (Lemma 13)"]
+    print_experiment("E2", "PMG error vs k, epsilon, delta (Lemma 13 / Theorem 14)",
+                     format_table(rows))

@@ -1,0 +1,109 @@
+"""Experiment E5 — Section 6: sensitivity reduction and pure epsilon-DP release.
+
+Two tables:
+
+1. the l1-sensitivity of the Algorithm 3 post-processed sketch measured over
+   deletion neighbours (Lemma 16 bound: < 2, versus k for the raw sketch), and
+   the post-processed sketch's error (Lemma 15 bound: n/(k+1));
+2. the maximum error of the pure epsilon-DP release built on it versus the
+   Chan et al. pure-DP release (noise k/eps), across universe sizes.
+"""
+
+import pytest
+
+from repro.analysis import format_table, summarize_errors
+from repro.analysis.bounds import chan_error_bound, pure_dp_error_bound
+from repro.baselines import ChanPrivateMisraGries
+from repro.core import PureDPMisraGries, reduce_sensitivity
+from repro.dp.sensitivity import l1_distance, neighbouring_streams_by_deletion
+from repro.sketches import ExactCounter, MisraGriesSketch
+from repro.streams import mg_worst_case_stream, zipf_stream
+
+from _common import print_experiment, run_once
+
+EPSILON = 1.0
+K = 64
+
+
+def _sensitivity_rows() -> list:
+    rows = []
+    for label, stream in [
+        ("zipf(1.2), n=2000", zipf_stream(2_000, 100, exponent=1.2, rng=4)),
+        ("worst-case, n~2000", mg_worst_case_stream(K, repetitions=2_000 // (K + 1))),
+    ]:
+        raw_base = MisraGriesSketch.from_stream(K, stream).counters()
+        reduced_base = reduce_sensitivity(MisraGriesSketch.from_stream(K, stream))
+        raw_worst, reduced_worst = 0.0, 0.0
+        for pair in neighbouring_streams_by_deletion(stream, max_pairs=80, rng=0):
+            neighbour_sketch = MisraGriesSketch.from_stream(K, list(pair.neighbour))
+            raw_worst = max(raw_worst, l1_distance(raw_base, neighbour_sketch.counters()))
+            reduced_worst = max(reduced_worst,
+                                l1_distance(reduced_base, reduce_sensitivity(neighbour_sketch)))
+        truth = ExactCounter.from_stream(stream).counters()
+        reduced_error = summarize_errors(reduced_base, truth).max_error
+        rows.append({
+            "workload": label,
+            "k": K,
+            "raw sketch l1 (observed)": raw_worst,
+            "reduced l1 (observed)": reduced_worst,
+            "reduced l1 bound (Lemma 16)": 2.0,
+            "reduced max error": reduced_error,
+            "error bound n/(k+1)": len(stream) / (K + 1),
+        })
+    return rows
+
+
+def _release_rows() -> list:
+    # A larger sketch (k = 256) makes the asymptotic difference visible in the
+    # maximum error: the sketch term n/(k+1) is small, so the noise term
+    # (2 log d / eps for us, k log d / eps for Chan et al.) dominates.
+    rows = []
+    n = 20_000
+    k = 256
+    for universe in (1_000, 5_000, 20_000):
+        stream = zipf_stream(n, universe, exponent=1.3, rng=5)
+        truth = ExactCounter.from_stream(stream).counters()
+        ours = PureDPMisraGries(epsilon=EPSILON, universe_size=universe)
+        chan = ChanPrivateMisraGries(epsilon=EPSILON, k=k, universe_size=universe)
+        ours_summary = summarize_errors(ours.run(stream, k, rng=6), truth,
+                                        universe=range(universe))
+        chan_summary = summarize_errors(chan.run(stream, rng=7), truth,
+                                        universe=range(universe))
+        rows.append({
+            "universe d": universe,
+            "k": k,
+            "epsilon": EPSILON,
+            "ours (Sec 6) max err": ours_summary.max_error,
+            "ours bound": pure_dp_error_bound(n, k, EPSILON, universe, beta=0.05),
+            "Chan max err": chan_summary.max_error,
+            "Chan bound": chan_error_bound(n, k, EPSILON, universe, beta=0.05),
+            "ours mean abs err": ours_summary.mean_absolute_error,
+            "Chan mean abs err": chan_summary.mean_absolute_error,
+        })
+    return rows
+
+
+@pytest.mark.experiment("E5")
+def test_e5_sensitivity_reduction(benchmark):
+    rows = run_once(benchmark, _sensitivity_rows)
+    for row in rows:
+        assert row["reduced l1 (observed)"] < 2.0
+        assert row["reduced max error"] <= row["error bound n/(k+1)"] + 1e-9
+    # The raw sketch really does move by much more than 2 on worst-case input.
+    assert any(row["raw sketch l1 (observed)"] > 10.0 for row in rows)
+    print_experiment("E5a", "Algorithm 3: observed sensitivity and error",
+                     format_table(rows))
+
+
+@pytest.mark.experiment("E5")
+def test_e5_pure_dp_release(benchmark):
+    rows = run_once(benchmark, _release_rows)
+    for row in rows:
+        assert row["ours (Sec 6) max err"] <= row["ours bound"]
+        # With the noise term dominating, the k/eps-noise baseline loses on
+        # maximum error and, having perturbed every universe element by
+        # Laplace(k/eps), loses the mean absolute error by a wide margin.
+        assert row["ours (Sec 6) max err"] < row["Chan max err"]
+        assert row["ours mean abs err"] * 10 < row["Chan mean abs err"]
+    print_experiment("E5b", "Pure eps-DP release: Section 6 vs Chan et al. across universe sizes",
+                     format_table(rows))

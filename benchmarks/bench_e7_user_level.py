@@ -1,0 +1,86 @@
+"""Experiment E7 — Lemmas 25, 26, 27: user-level sensitivity of MG vs PAMG.
+
+Three observations on the same user-level workloads:
+
+* Lemma 25: on the adversarial instance, a single Misra-Gries counter differs
+  by exactly m between neighbouring streams (so MG noise must scale with m);
+* Lemma 27: the PAMG sketch's counters differ by at most 1 on the same
+  instance and on random user streams;
+* Lemma 26: PAMG's estimation error stays within N/(k+1).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import PrivacyAwareMisraGries
+from repro.sketches import ExactCounter, MisraGriesSketch
+from repro.streams import distinct_user_stream, lemma25_streams
+from repro.streams.user_streams import flatten_user_stream, user_stream_total_length
+
+from _common import print_experiment, run_once
+
+K = 16
+M_VALUES = [1, 2, 4, 8, 16]
+
+
+def _gap_rows() -> list:
+    rows = []
+    for m in M_VALUES:
+        stream, neighbour = lemma25_streams(K, m, tail_length=20)
+        mg = MisraGriesSketch.from_stream(K, flatten_user_stream(stream))
+        mg_neighbour = MisraGriesSketch.from_stream(K, flatten_user_stream(neighbour))
+        mg_gap = max(abs(mg.estimate(key) - mg_neighbour.estimate(key))
+                     for key in set(mg.counters()) | set(mg_neighbour.counters()))
+        pamg = PrivacyAwareMisraGries.from_stream(K, stream).counters()
+        pamg_neighbour = PrivacyAwareMisraGries.from_stream(K, neighbour).counters()
+        pamg_gap = max(abs(pamg.get(key, 0.0) - pamg_neighbour.get(key, 0.0))
+                       for key in set(pamg) | set(pamg_neighbour))
+        rows.append({
+            "m": m,
+            "k": K,
+            "MG single-counter gap": mg_gap,
+            "MG gap predicted (Lemma 25)": float(m),
+            "PAMG max counter gap": pamg_gap,
+            "PAMG bound (Lemma 27)": 1.0,
+        })
+    return rows
+
+
+def _error_rows() -> list:
+    rows = []
+    for m in (2, 4, 8):
+        stream = distinct_user_stream(3_000, 400, max_contribution=m, exponent=1.3,
+                                      rng=20 + m)
+        truth = ExactCounter().update_sets(stream)
+        total = user_stream_total_length(stream)
+        for k in (16, 64):
+            sketch = PrivacyAwareMisraGries.from_stream(k, stream)
+            worst = max(abs(sketch.estimate(element) - truth.estimate(element))
+                        for element in range(400))
+            rows.append({
+                "m": m,
+                "k": k,
+                "N (total elements)": total,
+                "PAMG max error": worst,
+                "bound N/(k+1)": total / (k + 1),
+            })
+    return rows
+
+
+@pytest.mark.experiment("E7")
+def test_e7_lemma25_gap(benchmark):
+    rows = run_once(benchmark, _gap_rows)
+    for row in rows:
+        assert row["MG single-counter gap"] == pytest.approx(row["MG gap predicted (Lemma 25)"])
+        assert row["PAMG max counter gap"] <= 1.0 + 1e-9
+    print_experiment("E7a", "Counter gap between neighbouring sketches: MG scales with m, PAMG does not",
+                     format_table(rows))
+
+
+@pytest.mark.experiment("E7")
+def test_e7_pamg_error(benchmark):
+    rows = run_once(benchmark, _error_rows)
+    for row in rows:
+        assert row["PAMG max error"] <= row["bound N/(k+1)"] + 1e-9
+    print_experiment("E7b", "PAMG estimation error vs the N/(k+1) bound (Lemma 26)",
+                     format_table(rows))

@@ -1,0 +1,56 @@
+"""Experiment E9 — GSHM calibration: exact Theorem 23 predicate vs loose Lemma 24.
+
+For a grid of (epsilon, delta, l) the table reports the Gaussian noise sigma
+and threshold produced by the loose closed form of Lemma 24 and by tightening
+sigma against the exact Theorem 23 predicate, plus the resulting high
+probability error bound (1 + 2 tau).  The exact calibration is what a
+deployment should use; the loose one is what the asymptotic statements are
+easiest to read from.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import calibrate_gshm, gshm_delta
+
+from _common import print_experiment, run_once
+
+GRID = [
+    (0.1, 1e-6, 16), (0.1, 1e-6, 256),
+    (0.5, 1e-6, 16), (0.5, 1e-6, 256),
+    (1.0, 1e-6, 64), (1.0, 1e-8, 64),
+    (0.5, 1e-8, 1024),
+]
+
+
+def _run() -> list:
+    rows = []
+    for epsilon, delta, l in GRID:
+        sigma_loose, tau_loose = calibrate_gshm(epsilon, delta, l, method="loose")
+        sigma_exact, tau_exact = calibrate_gshm(epsilon, delta, l, method="exact")
+        rows.append({
+            "epsilon": epsilon,
+            "delta": delta,
+            "l": l,
+            "sigma (loose)": sigma_loose,
+            "sigma (exact)": sigma_exact,
+            "sigma ratio": sigma_loose / sigma_exact,
+            "error bound (loose)": 1.0 + 2.0 * tau_loose,
+            "error bound (exact)": 1.0 + 2.0 * tau_exact,
+            "delta check (exact)": gshm_delta(sigma_exact, tau_exact, epsilon, l),
+        })
+    return rows
+
+
+@pytest.mark.experiment("E9")
+def test_e9_gshm_calibration(benchmark):
+    rows = run_once(benchmark, _run)
+    for row in rows:
+        # Both calibrations are valid; the exact one is never worse and
+        # typically saves a constant factor in noise.
+        assert row["delta check (exact)"] <= row["delta"] * (1 + 1e-3)
+        assert row["sigma (exact)"] <= row["sigma (loose)"] * (1 + 1e-9)
+        assert row["error bound (exact)"] <= row["error bound (loose)"] * (1 + 1e-9)
+    assert any(row["sigma ratio"] > 1.2 for row in rows)
+    print_experiment("E9", "GSHM calibration: exact Theorem 23 vs loose Lemma 24",
+                     format_table(rows))

@@ -1,0 +1,19 @@
+"""Shared configuration for the benchmark harness.
+
+Every experiment benchmark runs its measurement exactly once per pytest
+invocation (``rounds=1``) — the quantity of interest is the *accuracy table*
+it prints, not sub-millisecond timing — except for the E11 performance
+benchmarks, which use pytest-benchmark's normal repeated timing.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the printed tables; EXPERIMENTS.md records the reference output.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "experiment(id): paper-reproduction experiment id")

@@ -1,0 +1,74 @@
+"""Continual monitoring scenario: publish updated heavy hitters over time.
+
+A monitoring dashboard wants fresh heavy-hitter counts after every block of
+traffic while a single (epsilon, delta) budget covers the whole timeline.
+This example runs the two composition strategies from the library — one
+release per block (linear noise growth in time) and the binary-tree schedule
+(logarithmic) — over the same stream and prints how the running estimate of a
+few tracked elements evolves.
+
+Run with ``python examples/continual_monitoring.py`` (``--quick`` for CI).
+"""
+
+import argparse
+
+from repro import ContinualHeavyHitters
+from repro.analysis import format_table
+from repro.sketches import ExactCounter
+from repro.streams import zipf_stream
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    parser.add_argument("--delta", type=float, default=1e-6)
+    parser.add_argument("--k", type=int, default=64)
+    parser.add_argument("--blocks", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    n = 16_000 if args.quick else 320_000
+    universe = 1_000
+    stream = zipf_stream(n, universe, exponent=1.3, rng=args.seed)
+    block_size = n // args.blocks
+    truth = ExactCounter.from_stream(stream)
+    tracked = [element for element, _ in truth.top(3)] + [truth.top(15)[-1][0]]
+
+    monitors = {
+        "blocks": ContinualHeavyHitters(k=args.k, epsilon=args.epsilon, delta=args.delta,
+                                        block_size=block_size, strategy="blocks",
+                                        max_blocks=args.blocks, rng=args.seed + 1),
+        "binary_tree": ContinualHeavyHitters(k=args.k, epsilon=args.epsilon, delta=args.delta,
+                                             block_size=block_size, strategy="binary_tree",
+                                             max_blocks=args.blocks, rng=args.seed + 2),
+    }
+    checkpoints = {args.blocks // 4, args.blocks // 2, args.blocks}
+    rows = []
+    for name, monitor in monitors.items():
+        seen = ExactCounter()
+        for index, element in enumerate(stream):
+            monitor.process(element)
+            seen.update(element)
+            block = (index + 1) // block_size
+            if (index + 1) % block_size == 0 and block in checkpoints:
+                for element_id in tracked:
+                    rows.append({
+                        "strategy": name,
+                        "after block": block,
+                        "element": element_id,
+                        "true count so far": seen.estimate(element_id),
+                        "continual estimate": monitor.estimate(element_id),
+                        "releases summed": monitor.releases_per_query(),
+                    })
+
+    print(format_table(rows, title=(f"Continual monitoring of {n} elements in {args.blocks} "
+                                    f"blocks (k={args.k}, eps={args.epsilon})")))
+    print()
+    print("Both strategies spend the same total budget.  The per-block strategy sums one")
+    print("noisy release per block, so small elements drift as time passes; the binary")
+    print("tree sums only O(log T) releases, keeping the running estimates tighter.")
+
+
+if __name__ == "__main__":
+    main()

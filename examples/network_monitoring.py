@@ -1,0 +1,83 @@
+"""Network monitoring scenario: private heavy hitters over a flow stream.
+
+The paper's motivating application is monitoring high-volume streams (network
+traffic, financial transactions, ...) where computing the exact histogram is
+infeasible but the operator still wants the heavy hitters — without exposing
+any single connection.  This example:
+
+1. generates the synthetic ``network_flows`` dataset (Zipf-distributed
+   destination identifiers over a 50k-address universe);
+2. extracts phi-heavy hitters with the private Misra-Gries pipeline;
+3. compares precision/recall against the ground truth and against the
+   Chan et al. and (corrected) Böhler-Kerschbaum baselines.
+
+Run with ``python examples/network_monitoring.py`` (``--quick`` for CI).
+"""
+
+import argparse
+
+from repro import PrivateMisraGries, true_heavy_hitters
+from repro.analysis import format_table, heavy_hitter_scores
+from repro.baselines import BohlerKerschbaumMG, ChanPrivateMisraGries
+from repro.core.heavy_hitters import heavy_hitters_from_histogram
+from repro.streams import load_dataset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    parser.add_argument("--delta", type=float, default=1e-6)
+    parser.add_argument("--k", type=int, default=256)
+    parser.add_argument("--phi", type=float, default=0.005,
+                        help="heavy-hitter threshold as a fraction of the stream")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    n = 50_000 if args.quick else 1_000_000
+    dataset = load_dataset("network_flows", n=n, rng=args.seed)
+    stream = dataset.stream
+    truth = true_heavy_hitters(stream, args.phi)
+    print(f"Dataset '{dataset.name}': {dataset.length} flows, "
+          f"{len(truth)} true {args.phi:.3%}-heavy hitters")
+
+    rows = []
+
+    def evaluate(name, histogram, slack):
+        predicted = heavy_hitters_from_histogram(histogram, args.phi,
+                                                 stream_length=len(stream), slack=slack)
+        scores = heavy_hitter_scores(predicted, truth)
+        rows.append({
+            "mechanism": name,
+            "released": len(histogram),
+            "reported HH": len(predicted),
+            "precision": scores["precision"],
+            "recall": scores["recall"],
+            "f1": scores["f1"],
+        })
+
+    pmg = PrivateMisraGries(epsilon=args.epsilon, delta=args.delta)
+    pmg_histogram = pmg.run(stream, k=args.k, rng=args.seed + 1)
+    evaluate("PMG (this paper)", pmg_histogram,
+             slack=pmg.error_bound_vs_truth(args.k, len(stream)))
+
+    chan = ChanPrivateMisraGries(epsilon=args.epsilon, k=args.k, delta=args.delta)
+    chan_histogram = chan.run(stream, rng=args.seed + 2)
+    evaluate("Chan et al. (noise k/eps)", chan_histogram,
+             slack=len(stream) / (args.k + 1) + 2 * chan.noise_scale + chan.threshold)
+
+    bk = BohlerKerschbaumMG(epsilon=args.epsilon, delta=args.delta, k=args.k)
+    bk_histogram = bk.run(stream, rng=args.seed + 3)
+    evaluate("Boehler-Kerschbaum (corrected)", bk_histogram,
+             slack=len(stream) / (args.k + 1) + 2 * bk.noise_scale + bk.threshold)
+
+    print()
+    print(format_table(rows, title=f"phi = {args.phi}, k = {args.k}, "
+                                   f"epsilon = {args.epsilon}, delta = {args.delta}"))
+    print()
+    print("PMG reports heavy hitters with noise independent of the sketch size;")
+    print("the baselines' k/eps noise floods the threshold and costs recall/precision.")
+
+
+if __name__ == "__main__":
+    main()

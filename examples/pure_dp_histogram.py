@@ -1,0 +1,80 @@
+"""Pure epsilon-DP histograms (Section 6) and the effect of sensitivity reduction.
+
+Some deployments cannot tolerate a delta.  This example shows how the
+Algorithm 3 post-processing (subtract the decrement offset, drop non-positive
+counters) cuts the sketch's l1-sensitivity from k to below 2, and what that
+means for the noise needed under pure epsilon-DP compared with the Chan et al.
+approach that scales noise with k.
+
+Run with ``python examples/pure_dp_histogram.py`` (``--quick`` for CI).
+"""
+
+import argparse
+
+from repro import MisraGriesSketch, PureDPMisraGries, reduce_sensitivity
+from repro.analysis import format_table, summarize_errors
+from repro.baselines import ChanPrivateMisraGries
+from repro.dp.sensitivity import l1_distance, neighbouring_streams_by_deletion
+from repro.sketches import ExactCounter
+from repro.streams import zipf_stream
+
+
+def empirical_reduced_sensitivity(stream, k, samples=40):
+    """Largest observed l1 change of the post-processed sketch over deletions."""
+    base = reduce_sensitivity(MisraGriesSketch.from_stream(k, stream))
+    worst = 0.0
+    for pair in neighbouring_streams_by_deletion(stream, max_pairs=samples, rng=0):
+        other = reduce_sensitivity(MisraGriesSketch.from_stream(k, list(pair.neighbour)))
+        worst = max(worst, l1_distance(base, other))
+    return worst
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    parser.add_argument("--k", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    n = 20_000 if args.quick else 200_000
+    universe = 1_000 if args.quick else 5_000
+    stream = zipf_stream(n, universe, exponent=1.3, rng=args.seed)
+    truth = ExactCounter.from_stream(stream).counters()
+
+    sensitivity_sample_stream = stream[:2_000]
+    observed = empirical_reduced_sensitivity(sensitivity_sample_stream, args.k)
+    print(f"Observed l1-sensitivity of the post-processed sketch over "
+          f"{min(len(sensitivity_sample_stream), 40)} deletion neighbours: {observed:.3f} "
+          "(Lemma 16 bound: < 2; raw MG sketch: up to k)")
+    print()
+
+    ours = PureDPMisraGries(epsilon=args.epsilon, universe_size=universe)
+    ours_histogram = ours.run(stream, k=args.k, rng=args.seed + 1)
+
+    chan = ChanPrivateMisraGries(epsilon=args.epsilon, k=args.k, universe_size=universe)
+    chan_histogram = chan.run(stream, rng=args.seed + 2)
+
+    rows = []
+    for name, histogram, scale in [
+        ("Sensitivity-reduced MG (Section 6)", ours_histogram, ours.noise_scale),
+        ("Chan et al. (noise k/eps)", chan_histogram, chan.noise_scale),
+    ]:
+        summary = summarize_errors(histogram, truth, universe=range(universe))
+        rows.append({
+            "mechanism": name,
+            "noise scale": scale,
+            "max error": summary.max_error,
+            "mean abs error": summary.mean_absolute_error,
+            "released": len(histogram),
+        })
+
+    print(format_table(rows, title=f"Pure {args.epsilon}-DP release, n={n}, "
+                                   f"k={args.k}, universe={universe}"))
+    print()
+    print("Both releases add Laplace noise to every universe element and keep the")
+    print("top-k, but the post-processed sketch only needs scale 2/eps instead of k/eps.")
+
+
+if __name__ == "__main__":
+    main()

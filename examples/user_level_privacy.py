@@ -1,0 +1,77 @@
+"""User-level privacy scenario: each user contributes a set of items (Section 8).
+
+A shopping service wants the most popular items while protecting each user's
+*entire* basket (up to m distinct items).  Two routes are compared:
+
+* flatten the baskets and run Algorithm 2 with group-privacy scaled parameters
+  (noise grows linearly with m);
+* the paper's Privacy-Aware Misra-Gries sketch released through the Gaussian
+  Sparse Histogram Mechanism (noise independent of m, Theorem 30).
+
+Run with ``python examples/user_level_privacy.py`` (``--quick`` for CI).
+"""
+
+import argparse
+
+from repro import UserLevelRelease
+from repro.analysis import format_table
+from repro.sketches import ExactCounter
+from repro.streams import distinct_user_stream
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    parser.add_argument("--delta", type=float, default=1e-6)
+    parser.add_argument("--k", type=int, default=128)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    num_users = 5_000 if args.quick else 100_000
+    universe = 5_000
+    contribution_bounds = [2, 8] if args.quick else [2, 8, 32]
+
+    rows = []
+    for m in contribution_bounds:
+        stream = distinct_user_stream(num_users, universe, max_contribution=m,
+                                      exponent=1.3, rng=args.seed + m)
+        truth = ExactCounter().update_sets(stream).counters()
+        top_elements = sorted(truth, key=truth.get, reverse=True)[:20]
+        config = UserLevelRelease(epsilon=args.epsilon, delta=args.delta,
+                                  k=args.k, max_contribution=m)
+        noise = config.noise_summary()
+
+        pamg_histogram = config.release_pamg(stream, rng=args.seed + 100 + m)
+        flattened_histogram = config.release_flattened(stream, rng=args.seed + 200 + m)
+
+        def top_error(histogram):
+            return sum(abs(histogram.estimate(x) - truth[x]) for x in top_elements) / len(top_elements)
+
+        rows.append({
+            "m": m,
+            "route": "PAMG + GSHM (Thm 30)",
+            "noise scale": noise["pamg_sigma"],
+            "threshold": noise["pamg_threshold"],
+            "mean error (top-20)": top_error(pamg_histogram),
+            "released": len(pamg_histogram),
+        })
+        rows.append({
+            "m": m,
+            "route": "flattened PMG (Lemma 20)",
+            "noise scale": noise["flattened_laplace_scale"],
+            "threshold": noise["flattened_threshold"],
+            "mean error (top-20)": top_error(flattened_histogram),
+            "released": len(flattened_histogram),
+        })
+
+    print(format_table(rows, title=f"User-level release, {num_users} users, "
+                                   f"k={args.k}, eps={args.epsilon}, delta={args.delta}"))
+    print()
+    print("The flattened route's noise and threshold grow linearly with the per-user")
+    print("contribution m; the PAMG route's Gaussian noise depends only on k, so it")
+    print("wins once m is large relative to sqrt(k).")
+
+
+if __name__ == "__main__":
+    main()

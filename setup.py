@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can be installed in editable mode on machines without network access
+(no ``wheel`` package available for PEP 660 editable builds):
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""Differentially private approximate histograms and heavy hitters via Misra-Gries.
+
+This library reproduces "Better Differentially Private Approximate Histograms
+and Heavy Hitters using the Misra-Gries Sketch" (Lebeda and Tětek, PODS 2023).
+
+The most common entry points are re-exported here:
+
+* :class:`~repro.sketches.misra_gries.MisraGriesSketch` — the non-private
+  streaming sketch (Algorithm 1).
+* :class:`~repro.core.private_misra_gries.PrivateMisraGries` — the paper's
+  main (epsilon, delta)-DP release mechanism (Algorithm 2).
+* :class:`~repro.core.pure_dp.PureDPMisraGries` — the Section 6 epsilon-DP
+  release.
+* :class:`~repro.core.pamg.PrivacyAwareMisraGries` and
+  :class:`~repro.core.user_level.UserLevelRelease` — the Section 8 user-level
+  setting.
+* :func:`~repro.core.heavy_hitters.private_heavy_hitters` — the end-to-end
+  heavy-hitter convenience function.
+
+See ``examples/`` for runnable walkthroughs and ``DESIGN.md`` for the full
+system inventory.
+"""
+
+from .core.continual import ContinualHeavyHitters
+from .core.gshm import GaussianSparseHistogram
+from .core.heavy_hitters import private_heavy_hitters, true_heavy_hitters
+from .core.merging import MergeStrategy, PrivateMergedRelease, merge_sketches
+from .core.pamg import PrivacyAwareMisraGries
+from .core.private_misra_gries import PrivateMisraGries
+from .core.pure_dp import PureDPMisraGries
+from .core.results import PrivateHistogram, ReleaseMetadata
+from .core.sensitivity_reduction import SensitivityReducedMG, reduce_sensitivity
+from .core.user_level import (
+    UserLevelRelease,
+    release_user_level_flattened,
+    release_user_level_pamg,
+)
+from .exceptions import (
+    CalibrationError,
+    ParameterError,
+    PrivacyParameterError,
+    ReproError,
+    SketchStateError,
+    StreamFormatError,
+)
+from .sketches.exact import ExactCounter
+from .sketches.misra_gries import MisraGriesSketch
+from .sketches.misra_gries_standard import StandardMisraGriesSketch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CalibrationError",
+    "ContinualHeavyHitters",
+    "ExactCounter",
+    "GaussianSparseHistogram",
+    "MergeStrategy",
+    "MisraGriesSketch",
+    "ParameterError",
+    "PrivacyAwareMisraGries",
+    "PrivacyParameterError",
+    "PrivateHistogram",
+    "PrivateMergedRelease",
+    "PrivateMisraGries",
+    "PureDPMisraGries",
+    "ReleaseMetadata",
+    "ReproError",
+    "SensitivityReducedMG",
+    "SketchStateError",
+    "StandardMisraGriesSketch",
+    "StreamFormatError",
+    "UserLevelRelease",
+    "__version__",
+    "merge_sketches",
+    "private_heavy_hitters",
+    "reduce_sensitivity",
+    "release_user_level_flattened",
+    "release_user_level_pamg",
+    "true_heavy_hitters",
+]

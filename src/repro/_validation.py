@@ -1,0 +1,82 @@
+"""Shared argument-validation helpers.
+
+These helpers keep validation logic consistent across the library and raise
+exceptions from :mod:`repro.exceptions` with informative messages.  They are
+internal (underscore module) and not part of the public API.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from .exceptions import ParameterError, PrivacyParameterError
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return ``value`` as an int, raising ``ParameterError`` unless it is a
+    positive integer."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise ParameterError(f"{name} must be a positive integer, got {value!r}")
+    if value <= 0:
+        raise ParameterError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value: Any, name: str) -> int:
+    """Return ``value`` as an int, raising ``ParameterError`` unless it is a
+    non-negative integer."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise ParameterError(f"{name} must be a non-negative integer, got {value!r}")
+    if value < 0:
+        raise ParameterError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def check_positive_float(value: Any, name: str) -> float:
+    """Return ``value`` as a float, raising ``ParameterError`` unless it is a
+    finite positive number."""
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be a number, got {value!r}") from exc
+    if not math.isfinite(result) or result <= 0:
+        raise ParameterError(f"{name} must be a finite positive number, got {value!r}")
+    return result
+
+
+def check_epsilon(epsilon: Any) -> float:
+    """Validate a differential-privacy epsilon (finite, strictly positive)."""
+    try:
+        eps = float(epsilon)
+    except (TypeError, ValueError) as exc:
+        raise PrivacyParameterError(f"epsilon must be a number, got {epsilon!r}") from exc
+    if not math.isfinite(eps) or eps <= 0:
+        raise PrivacyParameterError(f"epsilon must be finite and positive, got {epsilon!r}")
+    return eps
+
+
+def check_delta(delta: Any, allow_zero: bool = False) -> float:
+    """Validate a differential-privacy delta (in (0, 1), or [0, 1) if allowed)."""
+    try:
+        d = float(delta)
+    except (TypeError, ValueError) as exc:
+        raise PrivacyParameterError(f"delta must be a number, got {delta!r}") from exc
+    if not math.isfinite(d):
+        raise PrivacyParameterError(f"delta must be finite, got {delta!r}")
+    lower_ok = d >= 0 if allow_zero else d > 0
+    if not lower_ok or d >= 1:
+        bound = "[0, 1)" if allow_zero else "(0, 1)"
+        raise PrivacyParameterError(f"delta must be in {bound}, got {delta!r}")
+    return d
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate a probability in the open interval (0, 1)."""
+    try:
+        p = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be a number, got {value!r}") from exc
+    if not (0 < p < 1):
+        raise ParameterError(f"{name} must be in (0, 1), got {value!r}")
+    return p

@@ -1,0 +1,43 @@
+"""Analysis layer: error metrics, theoretical bounds, experiment running and reporting."""
+
+from .audit import PrivacyAuditResult, audit_mechanism
+from .bounds import (
+    chan_error_bound,
+    mg_error_bound,
+    pamg_release_error_bound,
+    pmg_error_bound,
+    pmg_mse_bound,
+    pure_dp_error_bound,
+)
+from .metrics import (
+    ErrorSummary,
+    heavy_hitter_scores,
+    max_error,
+    mean_absolute_error,
+    mean_squared_error,
+    summarize_errors,
+)
+from .reporting import format_series, format_table
+from .runner import ExperimentResult, ExperimentRunner, SweepSpec
+
+__all__ = [
+    "ErrorSummary",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "PrivacyAuditResult",
+    "SweepSpec",
+    "audit_mechanism",
+    "chan_error_bound",
+    "format_series",
+    "format_table",
+    "heavy_hitter_scores",
+    "max_error",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "mg_error_bound",
+    "pamg_release_error_bound",
+    "pmg_error_bound",
+    "pmg_mse_bound",
+    "pure_dp_error_bound",
+    "summarize_errors",
+]

@@ -1,0 +1,107 @@
+"""Theoretical error bounds from the paper, as executable formulas.
+
+The benchmarks report these side by side with the measured errors so that
+EXPERIMENTS.md can show "paper (bound) vs measured" for every experiment.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import check_delta, check_epsilon, check_positive_int, check_probability
+from ..dp.thresholds import pmg_threshold
+
+
+def mg_error_bound(stream_length: int, k: int) -> float:
+    """Fact 7: the MG sketch underestimates by at most ``n / (k + 1)``."""
+    size = check_positive_int(k, "k")
+    return stream_length / (size + 1)
+
+
+def pmg_error_bound(stream_length: int, k: int, epsilon: float, delta: float,
+                    beta: float = 0.05) -> float:
+    """Theorem 14: high-probability max error of Algorithm 2 against the truth.
+
+    ``n/(k+1) + 2 ln((k+1)/beta)/eps + 1 + 2 ln(3/delta)/eps`` with probability
+    at least ``1 - beta``.
+    """
+    size = check_positive_int(k, "k")
+    eps = check_epsilon(epsilon)
+    check_delta(delta)
+    b = check_probability(beta, "beta")
+    laplace_term = 2.0 * math.log((size + 1) / b) / eps
+    return stream_length / (size + 1) + laplace_term + pmg_threshold(eps, delta)
+
+
+def pmg_noise_error_bound(k: int, epsilon: float, delta: float, beta: float = 0.05) -> float:
+    """Lemma 13: high-probability max error of Algorithm 2 against the MG sketch."""
+    size = check_positive_int(k, "k")
+    eps = check_epsilon(epsilon)
+    check_delta(delta)
+    b = check_probability(beta, "beta")
+    laplace_term = 2.0 * math.log((size + 1) / b) / eps
+    return laplace_term + pmg_threshold(eps, delta)
+
+
+def pmg_mse_bound(stream_length: int, k: int, epsilon: float, delta: float) -> float:
+    """Theorem 14: per-element mean-squared-error bound of Algorithm 2."""
+    size = check_positive_int(k, "k")
+    eps = check_epsilon(epsilon)
+    d = check_delta(delta)
+    term = 1.0 + (2.0 + 2.0 * math.log(3.0 / d)) / eps + stream_length / (size + 1)
+    return 3.0 * term * term
+
+
+def chan_error_bound(stream_length: int, k: int, epsilon: float, universe_size: int,
+                     beta: float = 0.05) -> float:
+    """Chan et al.: max error ``n/(k+1) + 2 (k/eps) ln(d/beta)`` (pure DP variant)."""
+    size = check_positive_int(k, "k")
+    eps = check_epsilon(epsilon)
+    d = check_positive_int(universe_size, "universe_size")
+    b = check_probability(beta, "beta")
+    return stream_length / (size + 1) + 2.0 * (size / eps) * math.log(d / b)
+
+
+def chan_thresholded_error_bound(stream_length: int, k: int, epsilon: float, delta: float,
+                                 beta: float = 0.05) -> float:
+    """Chan et al. with the (eps, delta) thresholding improvement: ``O(k log(k/delta)/eps)``."""
+    size = check_positive_int(k, "k")
+    eps = check_epsilon(epsilon)
+    d = check_delta(delta)
+    b = check_probability(beta, "beta")
+    noise = (size / eps) * math.log(size / (d * b) + 1.0)
+    threshold = size + size * math.log(size / d) / eps
+    return stream_length / (size + 1) + noise + threshold
+
+
+def pure_dp_error_bound(stream_length: int, k: int, epsilon: float, universe_size: int,
+                        beta: float = 0.05) -> float:
+    """Section 6: ``n/(k+1) + 2 (2/eps) ln(d/beta)`` for the sensitivity-reduced release."""
+    size = check_positive_int(k, "k")
+    eps = check_epsilon(epsilon)
+    d = check_positive_int(universe_size, "universe_size")
+    b = check_probability(beta, "beta")
+    return stream_length / (size + 1) + 2.0 * (2.0 / eps) * math.log(d / b)
+
+
+def pamg_release_error_bound(total_elements: int, k: int, sigma: float, tau: float) -> float:
+    """Theorem 30: ``M/(k+1) + 2 tau + 1`` (downward side) for the PAMG + GSHM release."""
+    size = check_positive_int(k, "k")
+    return total_elements / (size + 1) + 2.0 * tau + 1.0
+
+
+def balcer_vadhan_lower_bound(universe_size: int, k: int, epsilon: float, delta: float,
+                              stream_length: int) -> float:
+    """The Balcer-Vadhan style lower bound quoted in Section 4.
+
+    Any (eps, delta)-DP mechanism releasing at most ``k`` counters has, for
+    some input, expected error
+    ``Omega(min(log(d/k)/eps, log(1/delta)/eps, n))``.  The constant is taken
+    as 1 (the bound is asymptotic); benchmarks report it only to show which
+    regime the measured error sits in.
+    """
+    size = check_positive_int(k, "k")
+    eps = check_epsilon(epsilon)
+    d = check_delta(delta)
+    du = check_positive_int(universe_size, "universe_size")
+    return min(math.log(max(du / size, 2.0)) / eps, math.log(1.0 / d) / eps, float(stream_length))

@@ -1,0 +1,92 @@
+"""A small experiment runner for parameter sweeps with repetitions.
+
+The benchmarks all have the same shape: sweep one or two parameters, run a
+handful of repetitions with independent seeds, aggregate an error metric.
+``ExperimentRunner`` centralizes seed management and result collection so the
+benchmark modules stay declarative.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..dp.rng import RandomState, ensure_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named grid of parameter values to sweep over."""
+
+    parameters: Dict[str, Sequence[Any]]
+
+    def combinations(self) -> List[Dict[str, Any]]:
+        """All parameter combinations in the grid, as dicts."""
+        names = list(self.parameters.keys())
+        values = [self.parameters[name] for name in names]
+        return [dict(zip(names, combo)) for combo in itertools.product(*values)]
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated result of one parameter combination."""
+
+    parameters: Dict[str, Any]
+    metrics: Dict[str, float]
+    repetitions: int
+    seconds: float
+
+    def row(self) -> Dict[str, Any]:
+        """Flat dict mixing parameters and metrics (for table rendering)."""
+        merged: Dict[str, Any] = dict(self.parameters)
+        merged.update(self.metrics)
+        merged["repetitions"] = self.repetitions
+        merged["seconds"] = round(self.seconds, 4)
+        return merged
+
+
+class ExperimentRunner:
+    """Run a trial function over a parameter sweep with independent seeds.
+
+    The trial function receives the parameter combination (as keyword
+    arguments) plus an ``rng`` keyword and returns a mapping of metric name to
+    value.  Metrics are averaged over repetitions; ``*_max`` metrics are
+    maximized instead, so worst-case quantities survive aggregation.
+    """
+
+    def __init__(self, repetitions: int = 5, rng: RandomState = 0) -> None:
+        self._repetitions = check_positive_int(repetitions, "repetitions")
+        self._rng = ensure_rng(rng)
+
+    def run(self, trial: Callable[..., Mapping[str, float]],
+            sweep: SweepSpec) -> List[ExperimentResult]:
+        """Run ``trial`` for every parameter combination in ``sweep``."""
+        results: List[ExperimentResult] = []
+        for combo in sweep.combinations():
+            results.append(self.run_single(trial, combo))
+        return results
+
+    def run_single(self, trial: Callable[..., Mapping[str, float]],
+                   parameters: Dict[str, Any]) -> ExperimentResult:
+        """Run one parameter combination with independent per-repetition seeds."""
+        rngs = spawn_rngs(self._rng, self._repetitions)
+        start = time.perf_counter()
+        collected: Dict[str, List[float]] = {}
+        for generator in rngs:
+            metrics = trial(rng=generator, **parameters)
+            for name, value in metrics.items():
+                collected.setdefault(name, []).append(float(value))
+        elapsed = time.perf_counter() - start
+        aggregated: Dict[str, float] = {}
+        for name, values in collected.items():
+            if name.endswith("_max"):
+                aggregated[name] = float(np.max(values))
+            else:
+                aggregated[name] = float(np.mean(values))
+        return ExperimentResult(parameters=dict(parameters), metrics=aggregated,
+                                repetitions=self._repetitions, seconds=elapsed)

@@ -1,0 +1,30 @@
+"""Baseline mechanisms the paper compares against.
+
+* :mod:`repro.baselines.chan` — the Chan, Li, Shi and Xu [PETS 2012] private
+  Misra-Gries release with noise scale ``k/epsilon``.
+* :mod:`repro.baselines.bohler_kerschbaum` — the Böhler-Kerschbaum [CCS 2021]
+  mechanism, both as published (noise scale ``1/epsilon``, which the paper
+  shows uses the wrong sensitivity) and in a corrected form.
+* :mod:`repro.baselines.exact_histogram` — the non-streaming stability
+  histogram (exact counts + Laplace noise + threshold), the gold standard the
+  paper matches up to constants.
+* :mod:`repro.baselines.oracle_heavy_hitters` — heavy hitters recovered from a
+  private CountMin / CountSketch frequency oracle by iterating over the
+  universe.
+"""
+
+from .bohler_kerschbaum import BohlerKerschbaumMG
+from .chan import ChanPrivateMisraGries
+from .exact_histogram import StabilityHistogram
+from .local_dp import LocalDPFrequencyEstimator
+from .oracle_heavy_hitters import PrivateFrequencyOracle
+from .prefix_tree import PrefixTreeHeavyHitters
+
+__all__ = [
+    "BohlerKerschbaumMG",
+    "ChanPrivateMisraGries",
+    "LocalDPFrequencyEstimator",
+    "PrefixTreeHeavyHitters",
+    "PrivateFrequencyOracle",
+    "StabilityHistogram",
+]

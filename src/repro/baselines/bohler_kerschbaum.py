@@ -1,0 +1,129 @@
+"""The Böhler-Kerschbaum [CCS 2021] Misra-Gries baseline.
+
+One of the heavy-hitter protocols of Böhler and Kerschbaum adds Laplace noise
+with scale ``1/epsilon`` to the counters of a Misra-Gries sketch and removes
+noisy counts below a threshold — i.e. it treats the sketch as if its
+sensitivity were 1, the sensitivity of the *exact* histogram.  As the paper
+explains (and as Chan et al. showed), the MG sketch actually has sensitivity
+``k``, so the published mechanism does **not** satisfy its claimed
+(epsilon, delta)-DP guarantee.
+
+Both forms are implemented here:
+
+* ``as_published=True`` — noise scale ``1/epsilon``; useful only to
+  demonstrate the privacy violation empirically (experiment E10's audit) and
+  to show what error the paper's abstract result would have had, had the
+  analysis been correct;
+* ``as_published=False`` (the corrected variant) — noise scale ``k/epsilon``
+  and threshold ``O(k log(k/delta)/epsilon)``, which is what a fixed version
+  must pay and what the comparison experiments use as "BK (corrected)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Union
+
+import numpy as np
+
+from .._validation import check_delta, check_epsilon, check_positive_int
+from ..dp.distributions import sample_laplace
+from ..dp.rng import RandomState, ensure_rng
+from ..dp.thresholds import stability_histogram_threshold
+from ..sketches.misra_gries import DummyKey, MisraGriesSketch
+from ..core.results import PrivateHistogram, ReleaseMetadata
+
+
+@dataclass(frozen=True)
+class BohlerKerschbaumMG:
+    """Böhler-Kerschbaum style noisy Misra-Gries release.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        The *claimed* privacy parameters.
+    k:
+        Sketch size.
+    as_published:
+        ``True`` reproduces the published mechanism (sensitivity-1 noise,
+        which does not actually satisfy the claimed guarantee); ``False``
+        scales noise and threshold to the correct sensitivity ``k``.
+    """
+
+    epsilon: float
+    delta: float
+    k: int
+    as_published: bool = False
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.epsilon)
+        check_delta(self.delta)
+        check_positive_int(self.k, "k")
+
+    @property
+    def sensitivity(self) -> float:
+        """The sensitivity the noise is scaled to (1 as published, k corrected)."""
+        return 1.0 if self.as_published else float(self.k)
+
+    @property
+    def noise_scale(self) -> float:
+        """Laplace scale ``sensitivity / epsilon``."""
+        return self.sensitivity / self.epsilon
+
+    @property
+    def threshold(self) -> float:
+        """Release threshold.
+
+        As published: ``1 + ln(1/delta)/epsilon`` (sensitivity-1 stability
+        threshold).  Corrected: the same formula with sensitivity ``k`` and
+        per-key failure probability ``delta/k``.
+        """
+        if self.as_published:
+            return stability_histogram_threshold(self.epsilon, self.delta, sensitivity=1.0)
+        return stability_histogram_threshold(self.epsilon, self.delta / self.k,
+                                             sensitivity=float(self.k))
+
+    def release(self, sketch: Union[MisraGriesSketch, Mapping[Hashable, float]],
+                rng: RandomState = None,
+                stream_length: Optional[int] = None) -> PrivateHistogram:
+        """Add per-counter Laplace noise and drop values below the threshold."""
+        if isinstance(sketch, MisraGriesSketch):
+            counters = sketch.counters()
+            length = sketch.stream_length
+        else:
+            counters = {key: float(value) for key, value in sketch.items()
+                        if not isinstance(key, DummyKey)}
+            length = stream_length if stream_length is not None else 0
+        generator = ensure_rng(rng)
+        released: Dict[Hashable, float] = {}
+        for key, value in counters.items():
+            noisy = value + float(sample_laplace(self.noise_scale, rng=generator))
+            if noisy >= self.threshold:
+                released[key] = noisy
+        label = "BK-AsPublished" if self.as_published else "BK-Corrected"
+        notes = ("noise scale 1/epsilon: does NOT satisfy the claimed guarantee "
+                 "(uses the exact-histogram sensitivity instead of the sketch's)"
+                 if self.as_published else
+                 "noise scale k/epsilon: corrected sensitivity, error O(k log(k/delta)/eps)")
+        metadata = ReleaseMetadata(
+            mechanism=label,
+            epsilon=self.epsilon,
+            delta=self.delta,
+            noise_scale=self.noise_scale,
+            threshold=self.threshold,
+            sketch_size=self.k,
+            stream_length=length,
+            notes=notes,
+        )
+        return PrivateHistogram(counts=released, metadata=metadata)
+
+    def run(self, stream: Iterable[Hashable], rng: RandomState = None) -> PrivateHistogram:
+        """End-to-end: build the MG sketch, then release it."""
+        sketch = MisraGriesSketch.from_stream(self.k, stream)
+        return self.release(sketch, rng=rng)
+
+    def expected_max_error(self) -> float:
+        """Asymptotic maximum error: ``log(1/delta)/eps`` published, ``k log(k/delta)/eps`` corrected."""
+        if self.as_published:
+            return np.log(1.0 / self.delta) / self.epsilon
+        return self.k * np.log(self.k / self.delta) / self.epsilon

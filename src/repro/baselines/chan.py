@@ -1,0 +1,161 @@
+"""The Chan, Li, Shi and Xu [PETS 2012] private Misra-Gries baseline.
+
+Chan et al. privatize the MG sketch through its global l1-sensitivity, which
+is ``k``: they add Laplace noise with scale ``k/epsilon`` to the count of
+*every* element of the universe (elements outside the sketch count as zero)
+and keep the ``k`` largest noisy counts.  The expected maximum error is
+``O(k log(d)/epsilon)`` under pure epsilon-DP.
+
+The paper also notes the standard (epsilon, delta) improvement: add the noise
+only to the stored counters and drop noisy counts below a threshold, giving
+error ``O(k log(k/delta)/epsilon)``.  Both variants are implemented so the
+comparison experiments can sweep them against Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Union
+
+import numpy as np
+
+from .._validation import check_delta, check_epsilon, check_positive_int
+from ..dp.distributions import sample_laplace
+from ..dp.rng import RandomState, ensure_rng
+from ..dp.thresholds import stability_histogram_threshold
+from ..exceptions import ParameterError
+from ..sketches.misra_gries import DummyKey, MisraGriesSketch
+from ..core.results import PrivateHistogram, ReleaseMetadata
+
+
+@dataclass(frozen=True)
+class ChanPrivateMisraGries:
+    """Private MG release with noise scaled to the sketch's global sensitivity ``k``.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget.
+    k:
+        Sketch size; the Laplace noise scale is ``k/epsilon``.
+    delta:
+        ``None`` (default) selects the pure-DP variant which requires
+        ``universe_size`` at release time; a value in (0, 1) selects the
+        thresholded (epsilon, delta) variant that only touches stored keys.
+    universe_size:
+        Size ``d`` of the integer universe ``[0, d)`` for the pure-DP variant.
+    """
+
+    epsilon: float
+    k: int
+    delta: Optional[float] = None
+    universe_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.epsilon)
+        check_positive_int(self.k, "k")
+        if self.delta is not None:
+            check_delta(self.delta)
+        if self.universe_size is not None:
+            check_positive_int(self.universe_size, "universe_size")
+        if self.delta is None and self.universe_size is None:
+            raise ParameterError(
+                "pure-DP Chan release needs universe_size; give delta for the thresholded variant")
+
+    @property
+    def noise_scale(self) -> float:
+        """Laplace scale ``k/epsilon`` (the sketch's l1-sensitivity over epsilon)."""
+        return self.k / self.epsilon
+
+    @property
+    def threshold(self) -> float:
+        """Threshold of the (epsilon, delta) variant, ``k + k ln(k/delta)/epsilon``.
+
+        The sensitivity is ``k`` and up to ``k`` stored keys can change, so a
+        union bound over ``k`` keys requires the per-key failure probability
+        ``delta/k``.
+        """
+        if self.delta is None:
+            return 0.0
+        return stability_histogram_threshold(self.epsilon, self.delta / self.k,
+                                             sensitivity=float(self.k))
+
+    def release(self, sketch: Union[MisraGriesSketch, Mapping[Hashable, float]],
+                rng: RandomState = None,
+                stream_length: Optional[int] = None) -> PrivateHistogram:
+        """Release a Misra-Gries sketch with the Chan et al. mechanism."""
+        counters, length = self._extract(sketch, stream_length)
+        generator = ensure_rng(rng)
+        if self.delta is None:
+            return self._release_pure(counters, generator, length)
+        return self._release_thresholded(counters, generator, length)
+
+    def run(self, stream: Iterable[Hashable], rng: RandomState = None) -> PrivateHistogram:
+        """End-to-end: build the MG sketch, then release it."""
+        sketch = MisraGriesSketch.from_stream(self.k, stream)
+        return self.release(sketch, rng=rng)
+
+    def expected_max_error(self) -> float:
+        """The asymptotic maximum-error scale of the mechanism.
+
+        ``k ln(d) / epsilon`` for the pure variant, ``k ln(k/delta) / epsilon``
+        for the thresholded variant — both growing linearly with ``k``, which
+        is the behaviour Algorithm 2 removes.
+        """
+        if self.delta is None:
+            return self.k * np.log(max(self.universe_size, 2)) / self.epsilon
+        return self.k * np.log(self.k / self.delta) / self.epsilon
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _extract(self, sketch, stream_length):
+        if isinstance(sketch, MisraGriesSketch):
+            return sketch.counters(), sketch.stream_length
+        counters = {key: float(value) for key, value in sketch.items()
+                    if not isinstance(key, DummyKey)}
+        return counters, (stream_length if stream_length is not None else 0)
+
+    def _release_pure(self, counters, generator, length) -> PrivateHistogram:
+        dense = np.zeros(self.universe_size, dtype=float)
+        for key, value in counters.items():
+            if not isinstance(key, (int, np.integer)) or not (0 <= int(key) < self.universe_size):
+                raise ParameterError(
+                    f"pure-DP release requires integer keys in [0, {self.universe_size}), got {key!r}")
+            dense[int(key)] = value
+        noise = np.asarray(sample_laplace(self.noise_scale, size=self.universe_size,
+                                          rng=generator), dtype=float)
+        noisy = dense + noise
+        order = np.argsort(-noisy)[:self.k]
+        released = {int(index): float(noisy[index]) for index in order}
+        metadata = ReleaseMetadata(
+            mechanism="Chan-PureDP",
+            epsilon=self.epsilon,
+            delta=0.0,
+            noise_scale=self.noise_scale,
+            threshold=0.0,
+            sketch_size=self.k,
+            stream_length=length,
+            notes=f"universe_size={self.universe_size}, top-k of noisy universe",
+        )
+        return PrivateHistogram(counts=released, metadata=metadata)
+
+    def _release_thresholded(self, counters, generator, length) -> PrivateHistogram:
+        released: Dict[Hashable, float] = {}
+        threshold = self.threshold
+        for key, value in counters.items():
+            noisy = value + float(sample_laplace(self.noise_scale, rng=generator))
+            if noisy >= threshold:
+                released[key] = noisy
+        metadata = ReleaseMetadata(
+            mechanism="Chan-Thresholded",
+            epsilon=self.epsilon,
+            delta=self.delta,
+            noise_scale=self.noise_scale,
+            threshold=threshold,
+            sketch_size=self.k,
+            stream_length=length,
+            notes="noise scale k/epsilon on stored keys, threshold hides key changes",
+        )
+        return PrivateHistogram(counts=released, metadata=metadata)

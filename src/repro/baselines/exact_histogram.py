@@ -1,0 +1,141 @@
+"""The non-streaming stability histogram (Korolova et al. style).
+
+This is the "best private solution that starts with an exact histogram" the
+paper measures itself against: compute exact frequencies (unbounded memory),
+add Laplace(1/epsilon) noise to every non-zero count and drop noisy counts
+below ``1 + ln(1/delta)/epsilon``.  The maximum error is
+``O(log(1/delta)/epsilon)`` — the benchmark Algorithm 2 matches (up to
+constants) while using only ``2k`` words of memory.
+
+A pure-DP variant over an explicit integer universe is also provided for the
+Section 6 comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Union
+
+import numpy as np
+
+from .._validation import check_delta, check_epsilon, check_positive_int
+from ..dp.distributions import sample_laplace
+from ..dp.rng import RandomState, ensure_rng
+from ..dp.thresholds import stability_histogram_threshold
+from ..exceptions import ParameterError
+from ..sketches.exact import ExactCounter
+from ..core.results import PrivateHistogram, ReleaseMetadata
+
+
+@dataclass(frozen=True)
+class StabilityHistogram:
+    """Exact histogram + Laplace noise + stability threshold.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        Privacy parameters.  ``delta=None`` selects the pure-DP variant which
+        adds noise to every element of an explicit universe (requires
+        ``universe_size``) instead of thresholding.
+    universe_size:
+        Universe size for the pure-DP variant.
+    sensitivity:
+        How much a single user can change one count; 1 in the element-level
+        setting, ``m`` when users contribute up to ``m`` copies.
+    """
+
+    epsilon: float
+    delta: Optional[float] = None
+    universe_size: Optional[int] = None
+    sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.epsilon)
+        if self.delta is not None:
+            check_delta(self.delta)
+        if self.universe_size is not None:
+            check_positive_int(self.universe_size, "universe_size")
+        if self.delta is None and self.universe_size is None:
+            raise ParameterError("either delta (thresholded) or universe_size (pure DP) is required")
+        if self.sensitivity <= 0:
+            raise ParameterError(f"sensitivity must be positive, got {self.sensitivity}")
+
+    @property
+    def noise_scale(self) -> float:
+        """Laplace scale ``sensitivity / epsilon``."""
+        return self.sensitivity / self.epsilon
+
+    @property
+    def threshold(self) -> float:
+        """Stability threshold (0 for the pure-DP universe variant)."""
+        if self.delta is None:
+            return 0.0
+        return stability_histogram_threshold(self.epsilon, self.delta,
+                                             sensitivity=self.sensitivity)
+
+    def release(self, counts: Union[ExactCounter, Mapping[Hashable, float]],
+                rng: RandomState = None,
+                stream_length: Optional[int] = None) -> PrivateHistogram:
+        """Release exact counts privately."""
+        if isinstance(counts, ExactCounter):
+            counters = counts.counters()
+            length = counts.stream_length
+        else:
+            counters = {key: float(value) for key, value in counts.items()}
+            length = stream_length if stream_length is not None else int(sum(counters.values()))
+        generator = ensure_rng(rng)
+        if self.delta is None:
+            return self._release_pure(counters, generator, length)
+        released: Dict[Hashable, float] = {}
+        threshold = self.threshold
+        for key, value in counters.items():
+            if value == 0:
+                continue
+            noisy = value + float(sample_laplace(self.noise_scale, rng=generator))
+            if noisy >= threshold:
+                released[key] = noisy
+        metadata = ReleaseMetadata(
+            mechanism="StabilityHistogram",
+            epsilon=self.epsilon,
+            delta=self.delta,
+            noise_scale=self.noise_scale,
+            threshold=threshold,
+            sketch_size=0,
+            stream_length=length,
+            notes="non-streaming: exact counts + Laplace + threshold",
+        )
+        return PrivateHistogram(counts=released, metadata=metadata)
+
+    def run(self, stream: Iterable[Hashable], rng: RandomState = None) -> PrivateHistogram:
+        """End-to-end: count exactly, then release."""
+        counter = ExactCounter.from_stream(stream)
+        return self.release(counter, rng=rng)
+
+    def expected_max_error(self) -> float:
+        """Asymptotic maximum error of the release."""
+        if self.delta is None:
+            return self.noise_scale * np.log(max(self.universe_size, 2))
+        return self.noise_scale * np.log(1.0 / self.delta) + self.threshold
+
+    def _release_pure(self, counters, generator, length) -> PrivateHistogram:
+        dense = np.zeros(self.universe_size, dtype=float)
+        for key, value in counters.items():
+            if not isinstance(key, (int, np.integer)) or not (0 <= int(key) < self.universe_size):
+                raise ParameterError(
+                    f"pure-DP release requires integer keys in [0, {self.universe_size}), got {key!r}")
+            dense[int(key)] = value
+        noise = np.asarray(sample_laplace(self.noise_scale, size=self.universe_size,
+                                          rng=generator), dtype=float)
+        noisy = dense + noise
+        released = {int(index): float(noisy[index]) for index in range(self.universe_size)}
+        metadata = ReleaseMetadata(
+            mechanism="LaplaceHistogram-PureDP",
+            epsilon=self.epsilon,
+            delta=0.0,
+            noise_scale=self.noise_scale,
+            threshold=0.0,
+            sketch_size=0,
+            stream_length=length,
+            notes=f"noise added to all {self.universe_size} universe elements",
+        )
+        return PrivateHistogram(counts=released, metadata=metadata)

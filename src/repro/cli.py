@@ -1,0 +1,217 @@
+"""Command-line interface for the library.
+
+The CLI covers the operational loop a deployment needs without writing Python:
+generate or ingest a stream, build a sketch, release it under differential
+privacy, merge sketches from several machines, and query heavy hitters.
+
+Examples
+--------
+Generate a synthetic workload, sketch it, and release it::
+
+    repro generate --dataset network_flows -n 100000 --out flows.txt
+    repro sketch --stream flows.txt -k 256 --out flows.sketch.json
+    repro release --sketch flows.sketch.json --epsilon 1.0 --delta 1e-6 \
+        --out flows.hist.json
+    repro heavy-hitters --histogram flows.hist.json --phi 0.01
+
+Merge sketches produced on several servers::
+
+    repro merge --epsilon 1.0 --delta 1e-6 -k 256 \
+        --out merged.hist.json server1.sketch.json server2.sketch.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.metrics import summarize_errors
+from .analysis.reporting import format_table
+from .core.merging import MergeStrategy, PrivateMergedRelease
+from .core.private_misra_gries import PrivateMisraGries
+from .core.pure_dp import PureDPMisraGries
+from .exceptions import ReproError
+from .sketches.exact import ExactCounter
+from .sketches.misra_gries import MisraGriesSketch
+from .sketches.serialization import (
+    histogram_from_dict,
+    histogram_to_dict,
+    load_histogram,
+    load_sketch,
+    save_histogram,
+    save_sketch,
+)
+from .streams.datasets import list_datasets, load_dataset
+from .streams.generators import uniform_stream, zipf_stream
+from .streams.io import read_stream, write_stream
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description="Differentially private Misra-Gries toolkit")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic stream")
+    generate.add_argument("--dataset", choices=list_datasets() + ["zipf", "uniform"],
+                          default="zipf")
+    generate.add_argument("-n", type=int, default=100_000, help="stream length")
+    generate.add_argument("--universe", type=int, default=10_000)
+    generate.add_argument("--exponent", type=float, default=1.2, help="Zipf exponent")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output stream file")
+
+    sketch = subparsers.add_parser("sketch", help="build a Misra-Gries sketch from a stream file")
+    sketch.add_argument("--stream", required=True)
+    sketch.add_argument("-k", type=int, required=True, help="sketch size")
+    sketch.add_argument("--out", required=True, help="output sketch JSON file")
+
+    release = subparsers.add_parser("release", help="release a sketch under differential privacy")
+    release.add_argument("--sketch", required=True, help="sketch JSON file")
+    release.add_argument("--epsilon", type=float, required=True)
+    release.add_argument("--delta", type=float, default=None,
+                         help="omit for the pure-DP release (requires --universe)")
+    release.add_argument("--universe", type=int, default=None,
+                         help="universe size for the pure-DP release")
+    release.add_argument("--noise", choices=["laplace", "geometric"], default="laplace")
+    release.add_argument("--seed", type=int, default=None)
+    release.add_argument("--out", default=None, help="output histogram JSON (stdout if omitted)")
+
+    merge = subparsers.add_parser("merge", help="privately release merged sketches")
+    merge.add_argument("sketches", nargs="+", help="sketch JSON files")
+    merge.add_argument("--epsilon", type=float, required=True)
+    merge.add_argument("--delta", type=float, required=True)
+    merge.add_argument("-k", type=int, required=True)
+    merge.add_argument("--strategy", choices=[s.value for s in MergeStrategy],
+                       default=MergeStrategy.TRUSTED_MERGED.value)
+    merge.add_argument("--seed", type=int, default=None)
+    merge.add_argument("--out", default=None, help="output histogram JSON (stdout if omitted)")
+
+    heavy = subparsers.add_parser("heavy-hitters", help="query heavy hitters from a histogram")
+    heavy.add_argument("--histogram", required=True, help="released histogram JSON file")
+    heavy.add_argument("--phi", type=float, required=True,
+                       help="heavy-hitter fraction of the stream length")
+    heavy.add_argument("--top", type=int, default=None, help="print only the top N")
+
+    evaluate = subparsers.add_parser("evaluate",
+                                     help="compare a released histogram with the exact counts")
+    evaluate.add_argument("--histogram", required=True)
+    evaluate.add_argument("--stream", required=True)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "zipf":
+        stream = zipf_stream(args.n, args.universe, exponent=args.exponent, rng=args.seed)
+    elif args.dataset == "uniform":
+        stream = uniform_stream(args.n, args.universe, rng=args.seed)
+    else:
+        dataset = load_dataset(args.dataset, n=args.n, rng=args.seed)
+        if dataset.user_level:
+            write_stream(args.out, dataset.stream, user_level=True)
+            print(f"wrote {dataset.length} user records to {args.out}")
+            return 0
+        stream = dataset.stream
+    count = write_stream(args.out, stream)
+    print(f"wrote {count} elements to {args.out}")
+    return 0
+
+
+def _cmd_sketch(args: argparse.Namespace) -> int:
+    stream = read_stream(args.stream)
+    sketch = MisraGriesSketch.from_stream(args.k, stream)
+    save_sketch(sketch, args.out)
+    print(f"sketched {sketch.stream_length} elements into k={args.k} counters -> {args.out}")
+    return 0
+
+
+def _emit_histogram(histogram, out: Optional[str]) -> None:
+    if out:
+        save_histogram(histogram, out)
+        print(f"released {len(histogram)} elements -> {out}")
+    else:
+        json.dump(histogram_to_dict(histogram), sys.stdout, indent=2, sort_keys=True)
+        print()
+
+
+def _cmd_release(args: argparse.Namespace) -> int:
+    sketch = load_sketch(args.sketch)
+    if args.delta is None:
+        if args.universe is None:
+            print("error: the pure-DP release requires --universe", file=sys.stderr)
+            return 2
+        mechanism = PureDPMisraGries(epsilon=args.epsilon, universe_size=args.universe)
+        histogram = mechanism.release(sketch, rng=args.seed)
+    else:
+        mechanism = PrivateMisraGries(epsilon=args.epsilon, delta=args.delta, noise=args.noise)
+        histogram = mechanism.release(sketch, rng=args.seed)
+    _emit_histogram(histogram, args.out)
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    sketches = [load_sketch(path) for path in args.sketches]
+    release = PrivateMergedRelease(epsilon=args.epsilon, delta=args.delta, k=args.k,
+                                   strategy=MergeStrategy(args.strategy))
+    histogram = release.release(sketches, rng=args.seed)
+    _emit_histogram(histogram, args.out)
+    return 0
+
+
+def _cmd_heavy_hitters(args: argparse.Namespace) -> int:
+    histogram = load_histogram(args.histogram)
+    length = histogram.metadata.stream_length
+    cutoff = args.phi * length
+    heavy = histogram.heavy_hitters(cutoff)
+    ranked = sorted(heavy.items(), key=lambda kv: -kv[1])
+    if args.top is not None:
+        ranked = ranked[:args.top]
+    rows = [{"element": key, "noisy count": value} for key, value in ranked]
+    print(format_table(rows, title=f"{args.phi:.4g}-heavy hitters (cutoff {cutoff:.1f})"))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    histogram = load_histogram(args.histogram)
+    stream = read_stream(args.stream)
+    truth = ExactCounter.from_stream(stream).counters()
+    summary = summarize_errors(histogram, truth)
+    rows = [summary.as_dict()]
+    print(format_table(rows, title=f"error of {args.histogram} against {args.stream}"))
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "sketch": _cmd_sketch,
+    "release": _cmd_release,
+    "merge": _cmd_merge,
+    "heavy-hitters": _cmd_heavy_hitters,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _HANDLERS[args.command]
+    try:
+        return handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

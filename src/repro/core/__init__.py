@@ -1,0 +1,62 @@
+"""The paper's contributions: private releases of Misra-Gries style sketches.
+
+* :class:`PrivateMisraGries` — Algorithm 2, the main contribution: an
+  (epsilon, delta)-DP release of a Misra-Gries sketch whose noise does not
+  grow with the sketch size.
+* :func:`reduce_sensitivity` / :class:`SensitivityReducedMG` — Algorithm 3,
+  the post-processing that drops the l1-sensitivity from k to below 2.
+* :class:`PureDPMisraGries` — the Section 6 epsilon-DP release built on top of
+  the sensitivity reduction.
+* :class:`PrivateMergedRelease` and helpers — Section 7, private merging with
+  trusted or untrusted aggregators.
+* :class:`PrivacyAwareMisraGries` — Algorithm 4, the user-level sketch whose
+  l2-sensitivity is sqrt(k) independent of the contribution bound m.
+* :class:`GaussianSparseHistogram` — the GSHM of Theorem 23 / Lemma 24 used to
+  release PAMG and merged sketches.
+* :mod:`repro.core.user_level` — the Theorem 30 pipeline and the Lemma 20
+  group-privacy alternative.
+* :mod:`repro.core.heavy_hitters` — heavy-hitter queries over any release.
+"""
+
+from .continual import ContinualHeavyHitters
+from .gshm import GaussianSparseHistogram, calibrate_gshm, gshm_delta
+from .heavy_hitters import (
+    heavy_hitters_from_histogram,
+    private_heavy_hitters,
+    true_heavy_hitters,
+)
+from .merging import MergeStrategy, PrivateMergedRelease, merge_sketches
+from .pamg import PrivacyAwareMisraGries
+from .private_misra_gries import PrivateMisraGries
+from .pure_dp import ApproximateDPReducedRelease, PureDPMisraGries
+from .results import PrivateHistogram, ReleaseMetadata
+from .sensitivity_reduction import SensitivityReducedMG, reduce_sensitivity
+from .user_level import (
+    UserLevelRelease,
+    release_user_level_flattened,
+    release_user_level_pamg,
+)
+
+__all__ = [
+    "ApproximateDPReducedRelease",
+    "ContinualHeavyHitters",
+    "GaussianSparseHistogram",
+    "MergeStrategy",
+    "PrivacyAwareMisraGries",
+    "PrivateHistogram",
+    "PrivateMergedRelease",
+    "PrivateMisraGries",
+    "PureDPMisraGries",
+    "ReleaseMetadata",
+    "SensitivityReducedMG",
+    "UserLevelRelease",
+    "calibrate_gshm",
+    "gshm_delta",
+    "heavy_hitters_from_histogram",
+    "merge_sketches",
+    "private_heavy_hitters",
+    "reduce_sensitivity",
+    "release_user_level_flattened",
+    "release_user_level_pamg",
+    "true_heavy_hitters",
+]

@@ -1,0 +1,201 @@
+"""Section 7: privately releasing merged Misra-Gries sketches.
+
+The library supports the three aggregation regimes the paper discusses.
+
+Trusted aggregator, unbounded memory (``MergeStrategy.TRUSTED_SUM``)
+    Apply the Algorithm 3 post-processing to every sketch, sum the resulting
+    counters and release the sum.  The l1-sensitivity of the aggregate stays
+    below 2, so Laplace(2/epsilon) noise plus a threshold (or noise over the
+    whole universe for pure DP) suffices and the error does not grow with the
+    number of merges.  The aggregator may hold more than ``k`` counters.
+
+Trusted aggregator, bounded memory (``MergeStrategy.TRUSTED_MERGED``)
+    Merge with the Agarwal et al. algorithm (at most ``2k`` counters at any
+    time).  Corollary 18 shows neighbouring merged sketches differ by 1 in at
+    most ``k`` counters, so the release can use either Laplace noise with
+    scale ``k/epsilon`` plus a threshold, or — exploiting the l2-sensitivity
+    of sqrt(k) — the Gaussian Sparse Histogram Mechanism with ``l = k``
+    (the default here).
+
+Untrusted aggregator (``MergeStrategy.UNTRUSTED``)
+    Each stream's sketch is released with Algorithm 2 *before* merging, and
+    the noisy sketches are merged non-privately.  The noise (and in particular
+    the thresholding error) grows linearly with the number of sketches, which
+    is the behaviour experiment E6 demonstrates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from .._validation import check_delta, check_epsilon, check_positive_int
+from ..dp.distributions import sample_laplace
+from ..dp.rng import RandomState, ensure_rng
+from ..dp.thresholds import stability_histogram_threshold
+from ..exceptions import ParameterError
+from ..sketches.base import FrequencySketch
+from ..sketches.merge import merge_many, merge_misra_gries, sum_counters
+from ..sketches.misra_gries import MisraGriesSketch
+from .gshm import GaussianSparseHistogram
+from .private_misra_gries import PrivateMisraGries
+from .results import PrivateHistogram, ReleaseMetadata
+from .sensitivity_reduction import reduce_sensitivity
+
+SketchLike = Union[MisraGriesSketch, Mapping[Hashable, float], FrequencySketch]
+
+
+def merge_sketches(sketches: Sequence[SketchLike], k: int) -> Dict[Hashable, float]:
+    """Merge several Misra-Gries summaries into one of size at most ``k``.
+
+    Thin re-export of :func:`repro.sketches.merge.merge_many` so users of the
+    core package do not need to import the sketches subpackage directly.
+    """
+    return merge_many(list(sketches), k)
+
+
+class MergeStrategy(str, enum.Enum):
+    """How a collection of per-stream sketches is aggregated and privatized."""
+
+    TRUSTED_SUM = "trusted_sum"
+    TRUSTED_MERGED = "trusted_merged"
+    UNTRUSTED = "untrusted"
+
+
+@dataclass(frozen=True)
+class PrivateMergedRelease:
+    """Private release of Misra-Gries sketches aggregated over several streams.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        Privacy budget of the overall release.  Streams are assumed disjoint
+        (each user appears in exactly one stream), so parallel composition
+        applies and the per-sketch budget equals the overall budget.
+    k:
+        Sketch size used by every input sketch.
+    strategy:
+        One of :class:`MergeStrategy`; see the module docstring.
+    """
+
+    epsilon: float
+    delta: float
+    k: int
+    strategy: MergeStrategy = MergeStrategy.TRUSTED_MERGED
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.epsilon)
+        check_delta(self.delta)
+        check_positive_int(self.k, "k")
+        if not isinstance(self.strategy, MergeStrategy):
+            object.__setattr__(self, "strategy", MergeStrategy(self.strategy))
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+
+    def release(self, sketches: Sequence[SketchLike], rng: RandomState = None,
+                total_stream_length: Optional[int] = None) -> PrivateHistogram:
+        """Aggregate the given per-stream sketches and release privately."""
+        if not sketches:
+            raise ParameterError("at least one sketch is required")
+        generator = ensure_rng(rng)
+        length = total_stream_length if total_stream_length is not None else self._total_length(sketches)
+        if self.strategy is MergeStrategy.TRUSTED_SUM:
+            return self._release_trusted_sum(sketches, generator, length)
+        if self.strategy is MergeStrategy.TRUSTED_MERGED:
+            return self._release_trusted_merged(sketches, generator, length)
+        return self._release_untrusted(sketches, generator, length)
+
+    # -- trusted aggregator, post-process then sum --------------------------------
+
+    def _release_trusted_sum(self, sketches, generator, length) -> PrivateHistogram:
+        reduced = [self._reduce(sketch) for sketch in sketches]
+        aggregate = sum_counters(reduced)
+        scale = 2.0 / self.epsilon
+        threshold = stability_histogram_threshold(self.epsilon, self.delta, sensitivity=2.0)
+        released: Dict[Hashable, float] = {}
+        for key, value in aggregate.items():
+            noisy = value + float(sample_laplace(scale, rng=generator))
+            if noisy >= threshold:
+                released[key] = noisy
+        metadata = ReleaseMetadata(
+            mechanism="MergedMG-TrustedSum",
+            epsilon=self.epsilon,
+            delta=self.delta,
+            noise_scale=scale,
+            threshold=threshold,
+            sketch_size=self.k,
+            stream_length=length,
+            notes=f"streams={len(sketches)}, unbounded aggregator memory",
+        )
+        return PrivateHistogram(counts=released, metadata=metadata)
+
+    # -- trusted aggregator, Agarwal merge then GSHM -------------------------------
+
+    def _release_trusted_merged(self, sketches, generator, length) -> PrivateHistogram:
+        merged = merge_many([self._counters(sketch) for sketch in sketches], self.k)
+        mechanism = GaussianSparseHistogram(epsilon=self.epsilon, delta=self.delta, l=self.k)
+        histogram = mechanism.release(merged, rng=generator, stream_length=length,
+                                      sketch_size=self.k)
+        metadata = ReleaseMetadata(
+            mechanism="MergedMG-TrustedMerged",
+            epsilon=self.epsilon,
+            delta=self.delta,
+            noise_scale=histogram.metadata.noise_scale,
+            threshold=histogram.metadata.threshold,
+            sketch_size=self.k,
+            stream_length=length,
+            notes=f"streams={len(sketches)}, GSHM with l=k={self.k}",
+        )
+        return PrivateHistogram(counts=histogram.counts, metadata=metadata)
+
+    # -- untrusted aggregator -------------------------------------------------------
+
+    def _release_untrusted(self, sketches, generator, length) -> PrivateHistogram:
+        mechanism = PrivateMisraGries(epsilon=self.epsilon, delta=self.delta)
+        noisy_summaries: List[Dict[Hashable, float]] = []
+        for sketch in sketches:
+            if isinstance(sketch, MisraGriesSketch):
+                histogram = mechanism.release(sketch, rng=generator)
+            else:
+                histogram = mechanism.release(dict(self._counters(sketch)), rng=generator, k=self.k)
+            noisy_summaries.append(histogram.as_dict())
+        merged = merge_many(noisy_summaries, self.k)
+        threshold = mechanism.threshold(self.k)
+        metadata = ReleaseMetadata(
+            mechanism="MergedMG-Untrusted",
+            epsilon=self.epsilon,
+            delta=self.delta,
+            noise_scale=1.0 / self.epsilon,
+            threshold=threshold,
+            sketch_size=self.k,
+            stream_length=length,
+            notes=(f"streams={len(sketches)}; each sketch privatized with Algorithm 2 "
+                   "before merging, error grows with the number of streams"),
+        )
+        return PrivateHistogram(counts=merged, metadata=metadata)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _counters(self, sketch: SketchLike) -> Dict[Hashable, float]:
+        if isinstance(sketch, FrequencySketch):
+            return sketch.counters()
+        return {key: float(value) for key, value in sketch.items()}
+
+    def _reduce(self, sketch: SketchLike) -> Dict[Hashable, float]:
+        if isinstance(sketch, MisraGriesSketch):
+            return reduce_sensitivity(sketch)
+        return reduce_sensitivity(self._counters(sketch), self.k)
+
+    def _total_length(self, sketches: Sequence[SketchLike]) -> int:
+        total = 0
+        for sketch in sketches:
+            if isinstance(sketch, FrequencySketch):
+                total += sketch.stream_length
+        return total

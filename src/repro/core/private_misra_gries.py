@@ -1,0 +1,230 @@
+"""Algorithm 2: the private Misra-Gries release (the paper's main contribution).
+
+The mechanism releases a Misra-Gries sketch under (epsilon, delta)-DP by
+
+1. adding an independent ``Laplace(1/epsilon)`` sample to every stored counter,
+2. adding one further ``Laplace(1/epsilon)`` sample — *the same draw* — to all
+   counters, and
+3. discarding noisy counters below the threshold ``1 + 2 ln(3/delta)/epsilon``.
+
+Correctness of the privacy claim rests on Lemma 8: for neighbouring streams
+the paper-variant MG sketches either differ by +1 in a single counter or by
+-1 in every counter, and disagree on at most two stored keys whose counters
+are at most 1.  The per-counter noise hides the single-counter case, the
+shared noise hides the all-counters case, and the thresholding hides the
+differing keys with probability at least ``1 - delta``.
+
+The maximum additional error over the non-private sketch is
+``O(log(1/delta)/epsilon)`` with high probability — independent of the sketch
+size ``k`` (Theorem 14), which is the improvement over Chan et al. whose noise
+scale is ``k/epsilon``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Optional, Union
+
+import numpy as np
+
+from .._validation import check_delta, check_epsilon, check_positive_int
+from ..dp.distributions import sample_laplace, sample_two_sided_geometric
+from ..dp.rng import RandomState, ensure_rng
+from ..dp.thresholds import (
+    geometric_pmg_threshold,
+    pmg_threshold,
+    pmg_threshold_standard_sketch,
+)
+from ..exceptions import ParameterError, SketchStateError
+from ..sketches.misra_gries import DummyKey, MisraGriesSketch
+from ..sketches.misra_gries_standard import StandardMisraGriesSketch
+from .results import PrivateHistogram, ReleaseMetadata
+
+_VALID_NOISE = ("laplace", "geometric")
+
+
+@dataclass(frozen=True)
+class PrivateMisraGries:
+    """Private Misra-Gries mechanism (Algorithm 2, "PMG").
+
+    Parameters
+    ----------
+    epsilon, delta:
+        The differential-privacy parameters.  The guarantee is
+        (epsilon, delta)-DP under add/remove neighbouring streams.
+    noise:
+        ``"laplace"`` (the paper's default) or ``"geometric"`` for the
+        discrete two-sided geometric noise of Section 5.2 (with the larger
+        threshold required there).
+    standard_sketch:
+        Set to ``True`` when releasing a :class:`StandardMisraGriesSketch`
+        (or a plain counter dict produced by one).  Standard sketches evict
+        zero counters eagerly, so neighbouring sketches can disagree on up to
+        ``k`` keys; Section 5.1 handles this by raising the threshold to
+        ``1 + 2 ln((k+1)/(2 delta))/epsilon``.
+
+    Examples
+    --------
+    >>> from repro.sketches import MisraGriesSketch
+    >>> sketch = MisraGriesSketch.from_stream(8, [1, 2, 1, 1, 3, 1])
+    >>> mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+    >>> hist = mechanism.release(sketch, rng=0)
+    >>> hist.metadata.mechanism
+    'PMG'
+    """
+
+    epsilon: float
+    delta: float
+    noise: str = "laplace"
+    standard_sketch: bool = False
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.epsilon)
+        check_delta(self.delta)
+        if self.noise not in _VALID_NOISE:
+            raise ParameterError(f"noise must be one of {_VALID_NOISE}, got {self.noise!r}")
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+
+    @property
+    def noise_scale(self) -> float:
+        """Scale of each of the two noise layers, ``1/epsilon``."""
+        return 1.0 / self.epsilon
+
+    def threshold(self, k: int) -> float:
+        """The release threshold for a sketch with ``k`` counters."""
+        size = check_positive_int(k, "k")
+        if self.noise == "geometric":
+            return geometric_pmg_threshold(self.epsilon, self.delta)
+        if self.standard_sketch:
+            return pmg_threshold_standard_sketch(self.epsilon, self.delta, size)
+        return pmg_threshold(self.epsilon, self.delta)
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+
+    def release(self, sketch: Union[MisraGriesSketch, StandardMisraGriesSketch, Dict[Hashable, float]],
+                rng: RandomState = None,
+                stream_length: Optional[int] = None,
+                k: Optional[int] = None) -> PrivateHistogram:
+        """Release a Misra-Gries sketch as a private histogram.
+
+        Parameters
+        ----------
+        sketch:
+            A paper-variant :class:`MisraGriesSketch`, a
+            :class:`StandardMisraGriesSketch` (set ``standard_sketch=True`` on
+            the mechanism) or a plain ``{key: count}`` dict of MG counters.
+        rng:
+            Seed or generator for the noise.
+        stream_length, k:
+            Only needed when ``sketch`` is a plain dict (they are read off the
+            sketch object otherwise).
+        """
+        counters, size, length = self._extract_counters(sketch, k, stream_length)
+        generator = ensure_rng(rng)
+        threshold = self.threshold(size)
+        keys = list(counters.keys())
+        values = np.array([counters[key] for key in keys], dtype=float)
+        per_counter, shared = self._sample_noise(len(keys), generator)
+        noisy = values + per_counter + shared
+        released: Dict[Hashable, float] = {}
+        for key, value in zip(keys, noisy):
+            if value >= threshold and not isinstance(key, DummyKey):
+                released[key] = float(value)
+        metadata = ReleaseMetadata(
+            mechanism="PMG",
+            epsilon=self.epsilon,
+            delta=self.delta,
+            noise_scale=self.noise_scale,
+            threshold=threshold,
+            sketch_size=size,
+            stream_length=length,
+            notes=f"noise={self.noise}, standard_sketch={self.standard_sketch}",
+        )
+        return PrivateHistogram(counts=released, metadata=metadata)
+
+    def run(self, stream: Iterable[Hashable], k: int,
+            rng: RandomState = None) -> PrivateHistogram:
+        """Convenience end-to-end run: build the sketch, then release it.
+
+        Uses the paper-variant sketch unless ``standard_sketch=True`` was
+        requested, in which case the textbook sketch is used together with
+        the Section 5.1 threshold.
+        """
+        size = check_positive_int(k, "k")
+        if self.standard_sketch:
+            sketch: Union[MisraGriesSketch, StandardMisraGriesSketch] = (
+                StandardMisraGriesSketch.from_stream(size, stream))
+        else:
+            sketch = MisraGriesSketch.from_stream(size, stream)
+        return self.release(sketch, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Error bounds (Lemma 13 / Theorem 14)
+    # ------------------------------------------------------------------
+
+    def error_bound_vs_sketch(self, k: int, beta: float = 0.05) -> float:
+        """High-probability bound on ``|released - sketch|`` (Lemma 13).
+
+        With probability at least ``1 - beta`` every released counter is
+        within ``2 ln((k+1)/beta)/epsilon`` above and
+        ``2 ln((k+1)/beta)/epsilon + threshold`` below the value stored in the
+        non-private sketch.  The returned value is the larger (downward) side.
+        """
+        size = check_positive_int(k, "k")
+        if not (0 < beta < 1):
+            raise ParameterError(f"beta must be in (0,1), got {beta}")
+        spread = 2.0 * np.log((size + 1) / beta) / self.epsilon
+        return float(spread + self.threshold(size))
+
+    def error_bound_vs_truth(self, k: int, stream_length: int, beta: float = 0.05) -> float:
+        """High-probability bound on ``|released - true frequency|`` (Theorem 14)."""
+        size = check_positive_int(k, "k")
+        length = check_positive_int(stream_length, "stream_length") if stream_length else 0
+        return float(self.error_bound_vs_sketch(size, beta) + length / (size + 1))
+
+    def mean_squared_error_bound(self, k: int, stream_length: int) -> float:
+        """The Theorem 14 bound on the per-element mean squared error."""
+        size = check_positive_int(k, "k")
+        term = 1.0 + (2.0 + 2.0 * np.log(3.0 / self.delta)) / self.epsilon + stream_length / (size + 1)
+        return float(3.0 * term * term)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _extract_counters(self, sketch, k: Optional[int], stream_length: Optional[int]):
+        if isinstance(sketch, MisraGriesSketch):
+            if self.standard_sketch:
+                raise SketchStateError(
+                    "standard_sketch=True but a paper-variant MisraGriesSketch was given; "
+                    "use standard_sketch=False for the lower threshold")
+            return sketch.raw_counters(), sketch.size, sketch.stream_length
+        if isinstance(sketch, StandardMisraGriesSketch):
+            if not self.standard_sketch:
+                raise SketchStateError(
+                    "releasing a StandardMisraGriesSketch requires standard_sketch=True "
+                    "(its key set needs the larger Section 5.1 threshold)")
+            return sketch.counters(), sketch.size, sketch.stream_length
+        if isinstance(sketch, dict):
+            if k is None:
+                raise ParameterError("k must be provided when releasing a plain counter dict")
+            size = check_positive_int(k, "k")
+            length = stream_length if stream_length is not None else 0
+            return dict(sketch), size, length
+        raise ParameterError(f"unsupported sketch type: {type(sketch)!r}")
+
+    def _sample_noise(self, count: int, generator: np.random.Generator):
+        if self.noise == "laplace":
+            per_counter = np.asarray(
+                sample_laplace(self.noise_scale, size=count, rng=generator), dtype=float)
+            shared = float(sample_laplace(self.noise_scale, rng=generator))
+            return per_counter, shared
+        per_counter = np.asarray(
+            sample_two_sided_geometric(self.noise_scale, size=count, rng=generator), dtype=float)
+        shared = float(sample_two_sided_geometric(self.noise_scale, rng=generator))
+        return per_counter, shared

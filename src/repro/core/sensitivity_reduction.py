@@ -1,0 +1,119 @@
+"""Algorithm 3: the sensitivity-reducing post-processing of a Misra-Gries sketch.
+
+The raw MG sketch has l1-sensitivity ``k`` because neighbouring streams can
+shift *all* counters by 1 (the decrement-all case).  Algorithm 3 subtracts the
+offset ``gamma = (sum of counters) / (k + 1)`` from every counter and drops
+non-positive results.  Because ``sum of counters = n - alpha (k + 1)`` where
+``alpha`` is the number of decrement rounds, the offset exactly cancels the
+"all counters shifted" direction:
+
+* the worst-case error stays ``n / (k + 1)`` (Lemma 15), and
+* the l1-sensitivity drops below 2 (Lemma 16),
+
+which is what the pure-DP release of Section 6 and the trusted-aggregator
+merging of Section 7 build on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Union
+
+from .._validation import check_positive_int
+from ..exceptions import ParameterError
+from ..sketches.base import FrequencySketch
+from ..sketches.misra_gries import DummyKey, MisraGriesSketch
+
+
+def reduce_sensitivity(counters: Union[Mapping[Hashable, float], MisraGriesSketch],
+                       k: int = None) -> Dict[Hashable, float]:
+    """Apply the Algorithm 3 post-processing to MG counters.
+
+    Parameters
+    ----------
+    counters:
+        Either a :class:`MisraGriesSketch` or a plain ``{key: count}`` mapping
+        holding the output of a Misra-Gries computation (dummy keys, if any,
+        are ignored — their counters are zero and cannot survive the offset).
+    k:
+        Sketch size.  Required when ``counters`` is a mapping; read off the
+        sketch otherwise.
+
+    Returns
+    -------
+    dict
+        The post-processed counters ``{x: c_x - gamma}`` restricted to keys
+        with ``c_x > gamma``.  Estimates of missing keys are implicitly 0.
+    """
+    if isinstance(counters, MisraGriesSketch):
+        size = counters.size
+        raw = counters.counters()
+    elif isinstance(counters, Mapping):
+        if k is None:
+            raise ParameterError("k must be provided when post-processing a plain mapping")
+        size = check_positive_int(k, "k")
+        raw = {key: float(value) for key, value in counters.items()
+               if not isinstance(key, DummyKey)}
+    else:
+        raise ParameterError(f"unsupported input type: {type(counters)!r}")
+    total = sum(raw.values())
+    gamma = total / (size + 1)
+    return {key: value - gamma for key, value in raw.items() if value > gamma}
+
+
+class SensitivityReducedMG(FrequencySketch):
+    """A Misra-Gries sketch released through the Algorithm 3 post-processing.
+
+    The class wraps a paper-variant :class:`MisraGriesSketch`, forwards
+    updates to it, and exposes estimates computed from the post-processed
+    counters.  The post-processing is recomputed lazily when queried, so the
+    wrapper can keep ingesting stream elements at MG speed.
+    """
+
+    def __init__(self, k: int) -> None:
+        self._sketch = MisraGriesSketch(k)
+
+    @property
+    def size(self) -> int:
+        """The number of counters ``k``."""
+        return self._sketch.size
+
+    @property
+    def stream_length(self) -> int:
+        return self._sketch.stream_length
+
+    @property
+    def inner(self) -> MisraGriesSketch:
+        """The wrapped (un-post-processed) Misra-Gries sketch."""
+        return self._sketch
+
+    def update(self, element: Hashable) -> None:
+        """Process one element of the stream."""
+        self._sketch.update(element)
+
+    def estimate(self, element: Hashable) -> float:
+        """Post-processed frequency estimate of ``element``."""
+        return float(self.counters().get(element, 0.0))
+
+    def counters(self) -> Dict[Hashable, float]:
+        """The Algorithm 3 post-processed counters."""
+        return reduce_sensitivity(self._sketch)
+
+    def offset(self) -> float:
+        """The offset ``gamma = (sum of counters)/(k+1)`` currently subtracted."""
+        raw = self._sketch.counters()
+        return sum(raw.values()) / (self._sketch.size + 1)
+
+    @classmethod
+    def from_stream(cls, k: int, stream: Iterable[Hashable]) -> "SensitivityReducedMG":
+        """Build the post-processed sketch from an iterable of elements."""
+        instance = cls(k)
+        instance.update_all(stream)
+        return instance
+
+    def error_bound(self) -> float:
+        """Worst-case underestimation, still ``n / (k + 1)`` (Lemma 15)."""
+        return self._sketch.error_bound()
+
+    def __repr__(self) -> str:
+        return (f"SensitivityReducedMG(k={self.size}, stored={len(self.counters())}, "
+                f"n={self.stream_length})")

@@ -1,0 +1,86 @@
+"""Differential-privacy primitives used throughout the library.
+
+This subpackage is the substrate below the paper's contribution: random noise
+distributions, standard mechanisms (Laplace, Gaussian, two-sided geometric),
+the threshold formulas used by the paper, privacy accounting (composition and
+group privacy) and sensitivity tooling for neighbouring streams.
+"""
+
+from .accounting import (
+    PrivacyParams,
+    compose_adaptive,
+    compose_basic,
+    group_privacy,
+    user_level_parameters,
+)
+from .distributions import (
+    gaussian_quantile,
+    gaussian_survival,
+    laplace_cdf,
+    laplace_quantile,
+    laplace_survival,
+    sample_gaussian,
+    sample_laplace,
+    sample_two_sided_geometric,
+)
+from .mechanisms import (
+    GaussianMechanism,
+    GeometricMechanism,
+    LaplaceMechanism,
+    NoiseMechanism,
+)
+from .rng import RandomState, ensure_rng
+from .sensitivity import (
+    NeighbouringPair,
+    counter_difference,
+    empirical_sensitivity,
+    l1_distance,
+    l2_distance,
+    linf_distance,
+    neighbouring_streams_by_deletion,
+    sketch_distance,
+)
+from .thresholds import (
+    geometric_pmg_threshold,
+    gshm_loose_parameters,
+    gshm_threshold,
+    pmg_threshold,
+    pmg_threshold_standard_sketch,
+    pure_dp_noise_scale,
+)
+
+__all__ = [
+    "GaussianMechanism",
+    "GeometricMechanism",
+    "LaplaceMechanism",
+    "NeighbouringPair",
+    "NoiseMechanism",
+    "PrivacyParams",
+    "RandomState",
+    "compose_adaptive",
+    "compose_basic",
+    "counter_difference",
+    "empirical_sensitivity",
+    "ensure_rng",
+    "gaussian_quantile",
+    "gaussian_survival",
+    "geometric_pmg_threshold",
+    "group_privacy",
+    "gshm_loose_parameters",
+    "gshm_threshold",
+    "l1_distance",
+    "l2_distance",
+    "laplace_cdf",
+    "laplace_quantile",
+    "laplace_survival",
+    "linf_distance",
+    "neighbouring_streams_by_deletion",
+    "pmg_threshold",
+    "pmg_threshold_standard_sketch",
+    "pure_dp_noise_scale",
+    "sample_gaussian",
+    "sample_laplace",
+    "sample_two_sided_geometric",
+    "sketch_distance",
+    "user_level_parameters",
+]

@@ -1,0 +1,207 @@
+"""Noise distributions used by the private mechanisms.
+
+The paper's main mechanism uses real-valued Laplace noise; Section 5.2 notes
+the same construction works with the (two-sided) geometric distribution for
+finite computers, and Section 8 uses Gaussian noise through the Gaussian
+Sparse Histogram Mechanism.  This module provides samplers together with the
+cdf / survival / quantile functions needed for threshold calibration, without
+depending on scipy at runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .._validation import check_positive_float, check_probability
+from ..exceptions import ParameterError
+from .rng import RandomState, ensure_rng
+
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+# ---------------------------------------------------------------------------
+# Laplace distribution
+# ---------------------------------------------------------------------------
+
+def sample_laplace(scale: float, size: Optional[int] = None, rng: RandomState = None):
+    """Draw samples from a zero-centred Laplace distribution.
+
+    Parameters
+    ----------
+    scale:
+        The scale parameter ``b`` (for the Laplace mechanism this is
+        ``sensitivity / epsilon``).
+    size:
+        Number of samples; ``None`` returns a scalar float.
+    rng:
+        Seed or generator for reproducibility.
+    """
+    b = check_positive_float(scale, "scale")
+    generator = ensure_rng(rng)
+    samples = generator.laplace(loc=0.0, scale=b, size=size)
+    if size is None:
+        return float(samples)
+    return samples
+
+
+def laplace_cdf(x: ArrayLike, scale: float):
+    """Cumulative distribution function of Laplace(0, scale)."""
+    b = check_positive_float(scale, "scale")
+    arr = np.asarray(x, dtype=float)
+    # exp(-|x|/b) never overflows, unlike evaluating both where-branches.
+    tail = 0.5 * np.exp(-np.abs(arr) / b)
+    result = np.where(arr < 0, tail, 1.0 - tail)
+    if np.isscalar(x) or arr.ndim == 0:
+        return float(result)
+    return result
+
+
+def laplace_survival(x: ArrayLike, scale: float):
+    """Survival function ``P[Laplace(scale) >= x]``."""
+    b = check_positive_float(scale, "scale")
+    arr = np.asarray(x, dtype=float)
+    tail = 0.5 * np.exp(-np.abs(arr) / b)
+    result = np.where(arr < 0, 1.0 - tail, tail)
+    if np.isscalar(x) or arr.ndim == 0:
+        return float(result)
+    return result
+
+
+def laplace_quantile(p: float, scale: float) -> float:
+    """Quantile (inverse cdf) of Laplace(0, scale)."""
+    prob = check_probability(p, "p")
+    b = check_positive_float(scale, "scale")
+    if prob < 0.5:
+        return b * math.log(2.0 * prob)
+    return -b * math.log(2.0 * (1.0 - prob))
+
+
+# ---------------------------------------------------------------------------
+# Gaussian distribution
+# ---------------------------------------------------------------------------
+
+def sample_gaussian(sigma: float, size: Optional[int] = None, rng: RandomState = None):
+    """Draw samples from a zero-centred normal distribution with std ``sigma``."""
+    std = check_positive_float(sigma, "sigma")
+    generator = ensure_rng(rng)
+    samples = generator.normal(loc=0.0, scale=std, size=size)
+    if size is None:
+        return float(samples)
+    return samples
+
+
+def gaussian_cdf(x: ArrayLike, sigma: float = 1.0):
+    """Cumulative distribution function of N(0, sigma^2)."""
+    std = check_positive_float(sigma, "sigma")
+    arr = np.asarray(x, dtype=float)
+    result = 0.5 * (1.0 + _erf_vec(arr / (std * _SQRT2)))
+    if np.isscalar(x) or arr.ndim == 0:
+        return float(result)
+    return result
+
+
+def gaussian_survival(x: ArrayLike, sigma: float = 1.0):
+    """Survival function ``P[N(0, sigma^2) >= x]``."""
+    std = check_positive_float(sigma, "sigma")
+    arr = np.asarray(x, dtype=float)
+    result = 0.5 * _erfc_vec(arr / (std * _SQRT2))
+    if np.isscalar(x) or arr.ndim == 0:
+        return float(result)
+    return result
+
+
+def gaussian_quantile(p: float, sigma: float = 1.0) -> float:
+    """Quantile (inverse cdf) of N(0, sigma^2).
+
+    Uses the Acklam rational approximation refined with one Halley step; the
+    absolute error is far below anything that matters for noise calibration.
+    """
+    prob = check_probability(p, "p")
+    std = check_positive_float(sigma, "sigma")
+    return std * _standard_normal_quantile(prob)
+
+
+def _erf_vec(x: np.ndarray) -> np.ndarray:
+    return np.vectorize(math.erf, otypes=[float])(x)
+
+
+def _erfc_vec(x: np.ndarray) -> np.ndarray:
+    return np.vectorize(math.erfc, otypes=[float])(x)
+
+
+def _standard_normal_quantile(p: float) -> float:
+    """Inverse cdf of the standard normal distribution."""
+    # Acklam's algorithm.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    elif p <= 1.0 - p_low:
+        q = p - 0.5
+        r = q * q
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    else:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    # One Halley refinement step using the exact cdf.
+    e = 0.5 * math.erfc(-x / _SQRT2) - p
+    u = e * math.sqrt(2.0 * math.pi) * math.exp(x * x / 2.0)
+    x = x - u / (1.0 + x * u / 2.0)
+    return x
+
+
+# ---------------------------------------------------------------------------
+# Two-sided geometric distribution (discrete Laplace)
+# ---------------------------------------------------------------------------
+
+def sample_two_sided_geometric(scale: float, size: Optional[int] = None,
+                               rng: RandomState = None):
+    """Draw samples from the two-sided geometric ("discrete Laplace") law.
+
+    The distribution has ``P[X = x] ∝ exp(-|x| / scale)`` over the integers.
+    It is the integer-valued analogue of Laplace noise used by the Geometric
+    mechanism of Ghosh, Roughgarden and Sundararajan, which Section 5.2 of the
+    paper recommends for finite-precision deployments.
+    """
+    b = check_positive_float(scale, "scale")
+    generator = ensure_rng(rng)
+    # A two-sided geometric variable is the difference of two iid geometric
+    # variables with success probability p = 1 - exp(-1/b).
+    p = 1.0 - math.exp(-1.0 / b)
+    n = 1 if size is None else int(size)
+    if n < 0:
+        raise ParameterError(f"size must be non-negative, got {size}")
+    forward = generator.geometric(p, size=n) - 1
+    backward = generator.geometric(p, size=n) - 1
+    samples = (forward - backward).astype(np.int64)
+    if size is None:
+        return int(samples[0])
+    return samples
+
+
+def two_sided_geometric_survival(x: int, scale: float) -> float:
+    """Survival function ``P[X >= x]`` of the two-sided geometric law."""
+    b = check_positive_float(scale, "scale")
+    alpha = math.exp(-1.0 / b)
+    k = int(math.ceil(x))
+    if k <= 0:
+        # By symmetry P[X >= k] = 1 - P[X >= -k + 1].
+        return 1.0 - two_sided_geometric_survival(-k + 1, scale)
+    # For k >= 1: P[X >= k] = alpha^k / (1 + alpha).
+    return alpha ** k / (1.0 + alpha)

@@ -1,0 +1,119 @@
+"""Threshold formulas used by the paper's mechanisms.
+
+Thresholding (dropping noisy counts below a cut-off) is what lets the
+mechanisms add noise only to the keys actually stored in the sketch while
+hiding, with probability 1 - delta, the small set of keys on which sketches
+for neighbouring streams disagree.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import check_delta, check_epsilon, check_positive_int
+from ..exceptions import CalibrationError
+from .distributions import gaussian_quantile
+
+
+def pmg_threshold(epsilon: float, delta: float) -> float:
+    """Threshold of Algorithm 2 (Private Misra-Gries): ``1 + 2 ln(3/delta)/epsilon``.
+
+    Counters whose noisy value falls below this threshold are dropped.  The
+    constant 3 comes from the union bound over the at most 6 noise samples
+    that can push a differing key above the threshold (Lemma 11).
+    """
+    eps = check_epsilon(epsilon)
+    d = check_delta(delta)
+    return 1.0 + 2.0 * math.log(3.0 / d) / eps
+
+
+def pmg_threshold_standard_sketch(epsilon: float, delta: float, k: int) -> float:
+    """Threshold for releasing a *standard* MG sketch (Section 5.1).
+
+    Standard implementations evict keys as soon as their counter reaches zero,
+    so neighbouring sketches can disagree on up to ``k`` keys each holding a
+    count of 1.  Increasing the threshold to ``1 + 2 ln((k+1)/(2 delta)) /
+    epsilon`` bounds the probability of outputting any of them by delta.
+    """
+    eps = check_epsilon(epsilon)
+    d = check_delta(delta)
+    size = check_positive_int(k, "k")
+    return 1.0 + 2.0 * math.log((size + 1.0) / (2.0 * d)) / eps
+
+
+def geometric_pmg_threshold(epsilon: float, delta: float) -> float:
+    """Threshold for Algorithm 2 with two-sided geometric noise (Section 5.2).
+
+    The paper states the proof of Lemma 11 goes through for the Geometric
+    mechanism of Ghosh et al. when the threshold is raised to
+    ``1 + 2 * ceil(ln(6 e^eps / ((e^eps + 1) delta)) / eps)``.
+    """
+    eps = check_epsilon(epsilon)
+    d = check_delta(delta)
+    inner = math.log(6.0 * math.exp(eps) / ((math.exp(eps) + 1.0) * d)) / eps
+    return 1.0 + 2.0 * math.ceil(inner)
+
+
+def pure_dp_noise_scale(epsilon: float, sensitivity: float = 2.0) -> float:
+    """Laplace scale for the pure-DP release of Section 6.
+
+    After the sensitivity-reduction post-processing (Algorithm 3) the sketch
+    has l1-sensitivity < 2, so Laplace(2/epsilon) noise added to every
+    universe element gives epsilon-DP.
+    """
+    eps = check_epsilon(epsilon)
+    if sensitivity <= 0:
+        raise CalibrationError(f"sensitivity must be positive, got {sensitivity}")
+    return sensitivity / eps
+
+
+def stability_histogram_threshold(epsilon: float, delta: float,
+                                  sensitivity: float = 1.0) -> float:
+    """Threshold of the Korolova et al. style stability histogram.
+
+    Adding Laplace(sensitivity/epsilon) noise to the non-zero counts of an
+    exact histogram and removing counts below
+    ``sensitivity + sensitivity * ln(1/delta) / epsilon`` yields
+    (epsilon, delta)-DP when a user changes a single count by at most
+    ``sensitivity``.
+    """
+    eps = check_epsilon(epsilon)
+    d = check_delta(delta)
+    if sensitivity <= 0:
+        raise CalibrationError(f"sensitivity must be positive, got {sensitivity}")
+    return sensitivity + sensitivity * math.log(1.0 / d) / eps
+
+
+def gshm_threshold(sigma: float, delta: float, l: int) -> float:
+    """The loose GSHM threshold ``tau = sqrt(2 ln(2 l / delta)) * sigma`` (Lemma 24)."""
+    d = check_delta(delta)
+    count = check_positive_int(l, "l")
+    if sigma <= 0:
+        raise CalibrationError(f"sigma must be positive, got {sigma}")
+    return math.sqrt(2.0 * math.log(2.0 * count / d)) * sigma
+
+
+def gshm_loose_parameters(epsilon: float, delta: float, l: int) -> tuple[float, float]:
+    """Loose (sigma, tau) for the Gaussian Sparse Histogram Mechanism (Lemma 24).
+
+    ``sigma = sqrt(l * 2 ln(2.5/delta)) / epsilon`` and
+    ``tau = sqrt(2 ln(2 l / delta)) * sigma``.  Valid for ``epsilon < 1``; the
+    exact calibration of Theorem 23 (see :mod:`repro.core.gshm`) is tighter
+    and should be preferred in deployments.
+    """
+    eps = check_epsilon(epsilon)
+    d = check_delta(delta)
+    count = check_positive_int(l, "l")
+    sigma = math.sqrt(count * 2.0 * math.log(2.5 / d)) / eps
+    tau = gshm_threshold(sigma, d, count)
+    return sigma, tau
+
+
+def gaussian_tail_bound(sigma: float, count: int, beta: float) -> float:
+    """Value exceeded by the max of ``count`` N(0, sigma^2) samples w.p. <= beta."""
+    if count <= 0:
+        return 0.0
+    if sigma <= 0:
+        raise CalibrationError(f"sigma must be positive, got {sigma}")
+    b = check_delta(beta, allow_zero=False)
+    return sigma * abs(gaussian_quantile(1.0 - b / (2.0 * count)))

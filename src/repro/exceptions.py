@@ -1,0 +1,42 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError` so that callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError`` from
+the standard library, ``KeyError`` on internal dicts, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An argument has an invalid value (wrong range, wrong sign, ...)."""
+
+
+class PrivacyParameterError(ParameterError):
+    """A privacy parameter (epsilon, delta, sensitivity) is invalid."""
+
+
+class SketchStateError(ReproError, RuntimeError):
+    """A sketch is used in a way incompatible with its current state.
+
+    Examples include merging sketches of different sizes or releasing a
+    private histogram twice from a single-use mechanism.
+    """
+
+
+class StreamFormatError(ReproError, ValueError):
+    """A stream does not conform to the expected format.
+
+    Raised e.g. when a user-level stream contains a set larger than the
+    declared maximum contribution ``m``, or when elements fall outside the
+    declared universe.
+    """
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """Noise calibration failed (e.g. no feasible sigma for the GSHM)."""

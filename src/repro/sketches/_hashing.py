@@ -1,0 +1,32 @@
+"""Deterministic seeded hashing for the hash-based sketches.
+
+Python's builtin ``hash`` is randomized per process for strings, which would
+make CountMin / CountSketch results impossible to reproduce across runs.  We
+instead derive hashes from blake2b over the ``repr`` of the element, keyed by
+the sketch's seed and the row index.  This is not a cryptographic commitment
+to independence, but it behaves like a fresh random hash function per row,
+which is all the estimators need in simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Hashable
+
+
+def stable_hash(element: Hashable, seed: int, row: int) -> int:
+    """A 64-bit hash of ``element`` determined by ``seed`` and ``row``."""
+    payload = repr(element).encode("utf-8", errors="backslashreplace")
+    key = (seed & 0xFFFFFFFF).to_bytes(4, "little") + (row & 0xFFFFFFFF).to_bytes(4, "little")
+    digest = hashlib.blake2b(payload, key=key, digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def bucket_hash(element: Hashable, seed: int, row: int, width: int) -> int:
+    """Hash ``element`` into ``[0, width)`` for row ``row``."""
+    return stable_hash(element, seed, row) % width
+
+
+def sign_hash(element: Hashable, seed: int, row: int) -> int:
+    """A +/-1 hash of ``element`` for row ``row`` (used by CountSketch)."""
+    return 1 if stable_hash(element, seed ^ 0x5A5A5A5A, row) & 1 else -1

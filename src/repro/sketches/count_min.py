@@ -1,0 +1,106 @@
+"""The CountMin sketch of Cormode and Muthukrishnan.
+
+CountMin is a hash-based frequency oracle: it answers point queries for any
+element of the universe (with one-sided overestimation error) but does not by
+itself return the set of heavy hitters.  The paper discusses this family of
+approaches in Section 4: recovering heavy hitters from a private frequency
+oracle either requires iterating over the universe or the more involved
+construction of Bassily et al., and both lose against the Misra-Gries route.
+It is used here as the substrate for the frequency-oracle baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, Optional
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ParameterError
+from ._hashing import bucket_hash
+from .base import FrequencySketch
+
+
+class CountMinSketch(FrequencySketch):
+    """CountMin sketch with ``depth`` rows of ``width`` counters.
+
+    ``estimate(x)`` is an overestimate of ``f(x)``: with probability at least
+    ``1 - exp(-depth)`` the additive error is at most ``e * n / width``.
+    """
+
+    def __init__(self, width: int, depth: int, seed: int = 0) -> None:
+        self._width = check_positive_int(width, "width")
+        self._depth = check_positive_int(depth, "depth")
+        if seed < 0:
+            raise ParameterError(f"seed must be non-negative, got {seed}")
+        self._seed = int(seed)
+        self._table = np.zeros((self._depth, self._width), dtype=np.float64)
+        self._stream_length = 0
+        self._keys_seen: set = set()
+
+    @classmethod
+    def from_error_bounds(cls, epsilon_rel: float, failure_prob: float,
+                          seed: int = 0) -> "CountMinSketch":
+        """Size the sketch to guarantee error ``epsilon_rel * n`` w.p. ``1 - failure_prob``."""
+        if not (0 < epsilon_rel < 1):
+            raise ParameterError(f"epsilon_rel must be in (0,1), got {epsilon_rel}")
+        if not (0 < failure_prob < 1):
+            raise ParameterError(f"failure_prob must be in (0,1), got {failure_prob}")
+        width = int(math.ceil(math.e / epsilon_rel))
+        depth = int(math.ceil(math.log(1.0 / failure_prob)))
+        return cls(width=width, depth=max(depth, 1), seed=seed)
+
+    @property
+    def width(self) -> int:
+        """Number of counters per row."""
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        """Number of hash rows."""
+        return self._depth
+
+    @property
+    def stream_length(self) -> int:
+        return self._stream_length
+
+    def update(self, element: Hashable, weight: float = 1.0) -> None:
+        """Add ``weight`` occurrences of ``element`` to the sketch."""
+        self._stream_length += 1
+        self._keys_seen.add(element)
+        for row in range(self._depth):
+            column = bucket_hash(element, self._seed, row, self._width)
+            self._table[row, column] += weight
+
+    def estimate(self, element: Hashable) -> float:
+        """Point query: the minimum of the element's row counters."""
+        values = [self._table[row, bucket_hash(element, self._seed, row, self._width)]
+                  for row in range(self._depth)]
+        return float(min(values))
+
+    def counters(self) -> Dict[Hashable, float]:
+        """Estimates for every element observed during updates.
+
+        CountMin does not store keys, so this convenience view tracks the set
+        of observed elements on the side.  Memory use is therefore *not*
+        sublinear when this view is used; the private baselines only use point
+        queries over a known universe.
+        """
+        return {key: self.estimate(key) for key in self._keys_seen}
+
+    def table(self) -> np.ndarray:
+        """A copy of the underlying counter table (depth x width)."""
+        return self._table.copy()
+
+    @classmethod
+    def from_stream(cls, width: int, depth: int, stream: Iterable[Hashable],
+                    seed: int = 0) -> "CountMinSketch":
+        """Build a sketch from an iterable of elements."""
+        sketch = cls(width=width, depth=depth, seed=seed)
+        sketch.update_all(stream)
+        return sketch
+
+    def __repr__(self) -> str:
+        return (f"CountMinSketch(width={self._width}, depth={self._depth}, "
+                f"n={self._stream_length})")

@@ -1,0 +1,87 @@
+"""The CountSketch of Charikar, Chen and Farach-Colton.
+
+CountSketch is the signed-bucket cousin of CountMin: estimates are unbiased
+with two-sided error proportional to the l2 norm of the frequency vector.
+Private variants of CountSketch (Pagh & Thorup 2022) are part of the related
+work the paper positions itself against; here it backs the frequency-oracle
+baseline in :mod:`repro.baselines.oracle_heavy_hitters`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ParameterError
+from ._hashing import bucket_hash, sign_hash
+from .base import FrequencySketch
+
+
+class CountSketch(FrequencySketch):
+    """CountSketch with ``depth`` rows of ``width`` signed counters.
+
+    ``estimate(x)`` is the median over rows of the signed bucket values; it is
+    an unbiased estimator of ``f(x)``.
+    """
+
+    def __init__(self, width: int, depth: int, seed: int = 0) -> None:
+        self._width = check_positive_int(width, "width")
+        self._depth = check_positive_int(depth, "depth")
+        if seed < 0:
+            raise ParameterError(f"seed must be non-negative, got {seed}")
+        self._seed = int(seed)
+        self._table = np.zeros((self._depth, self._width), dtype=np.float64)
+        self._stream_length = 0
+        self._keys_seen: set = set()
+
+    @property
+    def width(self) -> int:
+        """Number of counters per row."""
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        """Number of hash rows."""
+        return self._depth
+
+    @property
+    def stream_length(self) -> int:
+        return self._stream_length
+
+    def update(self, element: Hashable, weight: float = 1.0) -> None:
+        """Add ``weight`` occurrences of ``element`` to the sketch."""
+        self._stream_length += 1
+        self._keys_seen.add(element)
+        for row in range(self._depth):
+            column = bucket_hash(element, self._seed, row, self._width)
+            sign = sign_hash(element, self._seed, row)
+            self._table[row, column] += sign * weight
+
+    def estimate(self, element: Hashable) -> float:
+        """Point query: median of the signed bucket values across rows."""
+        values = [sign_hash(element, self._seed, row) *
+                  self._table[row, bucket_hash(element, self._seed, row, self._width)]
+                  for row in range(self._depth)]
+        return float(np.median(values))
+
+    def counters(self) -> Dict[Hashable, float]:
+        """Estimates for every element observed during updates (see CountMin note)."""
+        return {key: self.estimate(key) for key in self._keys_seen}
+
+    def table(self) -> np.ndarray:
+        """A copy of the underlying counter table (depth x width)."""
+        return self._table.copy()
+
+    @classmethod
+    def from_stream(cls, width: int, depth: int, stream: Iterable[Hashable],
+                    seed: int = 0) -> "CountSketch":
+        """Build a sketch from an iterable of elements."""
+        sketch = cls(width=width, depth=depth, seed=seed)
+        sketch.update_all(stream)
+        return sketch
+
+    def __repr__(self) -> str:
+        return (f"CountSketch(width={self._width}, depth={self._depth}, "
+                f"n={self._stream_length})")

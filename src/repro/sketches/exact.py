@@ -1,0 +1,63 @@
+"""Exact frequency counting (the non-streaming reference point).
+
+The exact counter stores one counter per distinct element.  It is the
+substrate for the non-streaming private baselines (exact histogram + Laplace
+noise + thresholding) and for ground-truth frequencies in every experiment.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from .base import FrequencySketch
+
+
+class ExactCounter(FrequencySketch):
+    """Exact frequency counter (unbounded memory)."""
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+        self._stream_length = 0
+
+    @property
+    def stream_length(self) -> int:
+        return self._stream_length
+
+    def update(self, element: Hashable) -> None:
+        """Count one occurrence of ``element``."""
+        self._counts[element] += 1
+        self._stream_length += 1
+
+    def update_sets(self, stream_of_sets: Iterable[Iterable[Hashable]]) -> "ExactCounter":
+        """Count user-level streams where each item is a set of elements."""
+        for user_set in stream_of_sets:
+            for element in user_set:
+                self.update(element)
+        return self
+
+    def estimate(self, element: Hashable) -> float:
+        """The exact frequency of ``element``."""
+        return float(self._counts.get(element, 0))
+
+    def counters(self) -> Dict[Hashable, float]:
+        """All exact counts."""
+        return {key: float(value) for key, value in self._counts.items()}
+
+    def top(self, count: int) -> List[Tuple[Hashable, float]]:
+        """The ``count`` most frequent elements, sorted descending."""
+        return [(key, float(value)) for key, value in self._counts.most_common(count)]
+
+    def distinct(self) -> int:
+        """Number of distinct elements observed."""
+        return len(self._counts)
+
+    @classmethod
+    def from_stream(cls, stream: Iterable[Hashable]) -> "ExactCounter":
+        """Count an entire element stream."""
+        counter = cls()
+        counter.update_all(stream)
+        return counter
+
+    def __repr__(self) -> str:
+        return f"ExactCounter(distinct={len(self._counts)}, n={self._stream_length})"

@@ -1,0 +1,193 @@
+"""The paper's variant of the Misra-Gries sketch (Algorithm 1).
+
+The variant differs from textbook Misra-Gries in two ways that matter only
+for the *privacy* analysis, not for the estimates it produces:
+
+* the sketch always stores exactly ``k`` key/counter pairs, starting from
+  ``k`` dummy keys (outside the universe) with counters at zero;
+* keys whose counter reaches zero are *not* evicted immediately; a zero-count
+  key is only replaced when a new element arrives and the sketch has to make
+  room, and then the *smallest* zero-count key is replaced (any stream
+  independent tie-breaking rule works; smallest-key matches the paper).
+
+Lemma 8 of the paper shows that with these rules the sketches of neighbouring
+streams share at least ``k - 2`` keys and their counters differ either by +1
+in one position or by -1 everywhere, which is what Algorithm 2 exploits.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from .._validation import check_positive_int
+from ..exceptions import SketchStateError
+from .base import FrequencySketch
+
+
+@functools.total_ordering
+class DummyKey:
+    """Placeholder key used to pad the sketch to exactly ``k`` counters.
+
+    Dummy keys play the role of the elements ``d+1, ..., d+k`` in the paper:
+    they are outside the universe and compare *greater* than every real
+    element, so real zero-count keys are always evicted before dummies and
+    dummies are evicted in index order.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"DummyKey({self.index})"
+
+    def __hash__(self) -> int:
+        return hash(("__repro_dummy__", self.index))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DummyKey) and other.index == self.index
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, DummyKey):
+            return self.index < other.index
+        # A dummy key is greater than any real element.
+        return False
+
+    def __gt__(self, other) -> bool:
+        if isinstance(other, DummyKey):
+            return self.index > other.index
+        return True
+
+
+def _eviction_order(key: Hashable) -> Tuple[int, str]:
+    """Sort key implementing "smallest key first, dummies last".
+
+    Real elements are compared through their ``repr`` so that mixed-type
+    universes do not raise; for the homogeneous integer/string universes used
+    in the paper and the experiments this coincides with the natural order.
+    """
+    if isinstance(key, DummyKey):
+        return (1, f"{key.index:020d}")
+    if isinstance(key, (int, float)) and not isinstance(key, bool):
+        return (0, f"{float(key):040.10f}")
+    return (0, repr(key))
+
+
+class MisraGriesSketch(FrequencySketch):
+    """Misra-Gries sketch of size ``k`` (paper variant, Algorithm 1).
+
+    Parameters
+    ----------
+    k:
+        Number of counters.  The sketch guarantees
+        ``estimate(x) in [f(x) - n/(k+1), f(x)]`` for every element ``x``
+        where ``n`` is the stream length (Fact 7).
+
+    Examples
+    --------
+    >>> sketch = MisraGriesSketch(2)
+    >>> sketch.update_all(["a", "b", "a", "c", "a"])  # doctest: +ELLIPSIS
+    <repro.sketches.misra_gries.MisraGriesSketch object at ...>
+    >>> sketch.estimate("a") >= sketch.stream_length / 3 - 1
+    True
+    """
+
+    def __init__(self, k: int) -> None:
+        self._k = check_positive_int(k, "k")
+        self._counters: Dict[Hashable, float] = {DummyKey(i): 0.0 for i in range(1, self._k + 1)}
+        self._zero_keys: Set[Hashable] = set(self._counters.keys())
+        self._stream_length = 0
+        self._decrement_rounds = 0
+
+    # ------------------------------------------------------------------
+    # FrequencySketch interface
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """The number of counters ``k``."""
+        return self._k
+
+    @property
+    def stream_length(self) -> int:
+        return self._stream_length
+
+    @property
+    def decrement_rounds(self) -> int:
+        """Number of times the decrement-all branch (Branch 2) has executed."""
+        return self._decrement_rounds
+
+    def update(self, element: Hashable) -> None:
+        """Process a single stream element (Branches 1-3 of Algorithm 1)."""
+        if isinstance(element, DummyKey):
+            raise SketchStateError("dummy keys cannot appear in the input stream")
+        self._stream_length += 1
+        if element in self._counters:
+            # Branch 1: increment the stored counter.
+            if self._counters[element] == 0.0:
+                self._zero_keys.discard(element)
+            self._counters[element] += 1.0
+            return
+        if not self._zero_keys:
+            # Branch 2: all counters are at least 1, decrement everything.
+            self._decrement_rounds += 1
+            for key in self._counters:
+                self._counters[key] -= 1.0
+                if self._counters[key] == 0.0:
+                    self._zero_keys.add(key)
+            return
+        # Branch 3: replace the smallest zero-count key with the new element.
+        victim = min(self._zero_keys, key=_eviction_order)
+        self._zero_keys.discard(victim)
+        del self._counters[victim]
+        self._counters[element] = 1.0
+
+    def estimate(self, element: Hashable) -> float:
+        """Estimated frequency of ``element`` (0 for unstored elements)."""
+        if isinstance(element, DummyKey):
+            return 0.0
+        return float(self._counters.get(element, 0.0))
+
+    def counters(self) -> Dict[Hashable, float]:
+        """Stored real keys and their counters (dummy keys removed)."""
+        return {key: float(value) for key, value in self._counters.items()
+                if not isinstance(key, DummyKey)}
+
+    def raw_counters(self) -> Dict[Hashable, float]:
+        """All ``k`` stored key/counter pairs, including dummy keys.
+
+        This is the view Algorithm 2 operates on: noise is added to every
+        stored counter and dummy keys are discarded afterwards as
+        post-processing.
+        """
+        return dict(self._counters)
+
+    def stored_keys(self) -> Set[Hashable]:
+        """The key set ``T`` of Algorithm 1 (includes dummy keys)."""
+        return set(self._counters.keys())
+
+    # ------------------------------------------------------------------
+    # Convenience constructors / helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_stream(cls, k: int, stream: Iterable[Hashable]) -> "MisraGriesSketch":
+        """Build a sketch of size ``k`` from an iterable of elements."""
+        sketch = cls(k)
+        sketch.update_all(stream)
+        return sketch
+
+    def error_bound(self) -> float:
+        """The worst-case underestimation ``n / (k + 1)`` from Fact 7."""
+        return self._stream_length / (self._k + 1)
+
+    def memory_words(self) -> int:
+        """Memory use measured in words, ``2k`` (one key and one counter each)."""
+        return 2 * self._k
+
+    def __repr__(self) -> str:
+        stored = len(self.counters())
+        return (f"MisraGriesSketch(k={self._k}, stored={stored}, "
+                f"n={self._stream_length})")

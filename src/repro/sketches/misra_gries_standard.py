@@ -1,0 +1,96 @@
+"""The standard (textbook) Misra-Gries sketch.
+
+The standard version evicts a key as soon as its counter reaches zero during
+the decrement step and only admits a new element when fewer than ``k`` keys
+are stored.  Its frequency estimates are *identical* to the paper variant in
+:mod:`repro.sketches.misra_gries` (the paper relies on this to inherit Fact 7)
+but its stored key set can differ on up to ``k`` keys between neighbouring
+streams, which is why Section 5.1 of the paper uses a larger threshold when
+privatizing it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Set
+
+from .._validation import check_positive_int
+from .base import FrequencySketch
+
+
+class StandardMisraGriesSketch(FrequencySketch):
+    """Textbook Misra-Gries sketch of size ``k``.
+
+    Examples
+    --------
+    >>> sketch = StandardMisraGriesSketch(2)
+    >>> sketch.update_all(["a", "b", "a", "c", "a"])  # doctest: +ELLIPSIS
+    <repro.sketches.misra_gries_standard.StandardMisraGriesSketch object at ...>
+    >>> sorted(sketch.counters())
+    ['a']
+    """
+
+    def __init__(self, k: int) -> None:
+        self._k = check_positive_int(k, "k")
+        self._counters: Dict[Hashable, float] = {}
+        self._stream_length = 0
+        self._decrement_rounds = 0
+
+    @property
+    def size(self) -> int:
+        """The number of counters ``k``."""
+        return self._k
+
+    @property
+    def stream_length(self) -> int:
+        return self._stream_length
+
+    @property
+    def decrement_rounds(self) -> int:
+        """Number of times the decrement-all branch has executed."""
+        return self._decrement_rounds
+
+    def update(self, element: Hashable) -> None:
+        """Process a single element of the stream."""
+        self._stream_length += 1
+        if element in self._counters:
+            self._counters[element] += 1.0
+            return
+        if len(self._counters) < self._k:
+            self._counters[element] = 1.0
+            return
+        # Decrement every counter and evict the ones that reach zero.
+        self._decrement_rounds += 1
+        exhausted = []
+        for key in self._counters:
+            self._counters[key] -= 1.0
+            if self._counters[key] <= 0.0:
+                exhausted.append(key)
+        for key in exhausted:
+            del self._counters[key]
+
+    def estimate(self, element: Hashable) -> float:
+        """Estimated frequency of ``element`` (0 for unstored elements)."""
+        return float(self._counters.get(element, 0.0))
+
+    def counters(self) -> Dict[Hashable, float]:
+        """Stored key/counter pairs (all counters are strictly positive)."""
+        return dict(self._counters)
+
+    def stored_keys(self) -> Set[Hashable]:
+        """The currently stored key set."""
+        return set(self._counters.keys())
+
+    @classmethod
+    def from_stream(cls, k: int, stream: Iterable[Hashable]) -> "StandardMisraGriesSketch":
+        """Build a sketch of size ``k`` from an iterable of elements."""
+        sketch = cls(k)
+        sketch.update_all(stream)
+        return sketch
+
+    def error_bound(self) -> float:
+        """The worst-case underestimation ``n / (k + 1)`` from Fact 7."""
+        return self._stream_length / (self._k + 1)
+
+    def __repr__(self) -> str:
+        return (f"StandardMisraGriesSketch(k={self._k}, stored={len(self._counters)}, "
+                f"n={self._stream_length})")

@@ -1,0 +1,150 @@
+"""Serialization of sketches and private histograms.
+
+Distributed deployments (Section 7) ship sketches from edge servers to an
+aggregator; this module provides a stable JSON representation for the
+counter-based sketches and for released histograms so they can cross process
+or machine boundaries without pickling arbitrary objects.
+
+Only JSON-representable keys (ints and strings) are supported; integer keys
+are round-tripped back to ``int``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Hashable, Union
+
+from ..exceptions import ParameterError, SketchStateError
+from .misra_gries import DummyKey, MisraGriesSketch
+from .misra_gries_standard import StandardMisraGriesSketch
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_key(key: Hashable) -> str:
+    if isinstance(key, DummyKey):
+        return f"__dummy__:{key.index}"
+    if isinstance(key, bool) or not isinstance(key, (int, str)):
+        raise ParameterError(f"only int and str keys can be serialized, got {key!r}")
+    if isinstance(key, int):
+        return f"i:{key}"
+    return f"s:{key}"
+
+
+def _decode_key(token: str) -> Hashable:
+    if token.startswith("__dummy__:"):
+        return DummyKey(int(token.split(":", 1)[1]))
+    kind, _, payload = token.partition(":")
+    if kind == "i":
+        return int(payload)
+    if kind == "s":
+        return payload
+    raise SketchStateError(f"unrecognized serialized key {token!r}")
+
+
+def sketch_to_dict(sketch: Union[MisraGriesSketch, StandardMisraGriesSketch]) -> Dict:
+    """A JSON-serializable dict representation of a Misra-Gries sketch."""
+    if isinstance(sketch, MisraGriesSketch):
+        kind = "misra_gries_paper"
+        counters = sketch.raw_counters()
+        extra = {"decrement_rounds": sketch.decrement_rounds}
+    elif isinstance(sketch, StandardMisraGriesSketch):
+        kind = "misra_gries_standard"
+        counters = sketch.counters()
+        extra = {"decrement_rounds": sketch.decrement_rounds}
+    else:
+        raise ParameterError(f"unsupported sketch type: {type(sketch)!r}")
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": kind,
+        "k": sketch.size,
+        "stream_length": sketch.stream_length,
+        "counters": {_encode_key(key): value for key, value in counters.items()},
+        **extra,
+    }
+
+
+def sketch_from_dict(payload: Dict) -> Union[MisraGriesSketch, StandardMisraGriesSketch]:
+    """Reconstruct a sketch from :func:`sketch_to_dict` output.
+
+    The reconstructed object reproduces the stored counters, stream length and
+    decrement count; it continues to accept updates.
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise SketchStateError(f"unsupported sketch format version {version!r}")
+    kind = payload.get("kind")
+    k = int(payload["k"])
+    counters = {_decode_key(token): float(value)
+                for token, value in payload["counters"].items()}
+    if kind == "misra_gries_paper":
+        sketch = MisraGriesSketch(k)
+        if len(counters) != k:
+            raise SketchStateError(
+                f"paper-variant sketch must store exactly k={k} counters, got {len(counters)}")
+        sketch._counters = dict(counters)
+        sketch._zero_keys = {key for key, value in counters.items() if value == 0.0}
+        sketch._stream_length = int(payload["stream_length"])
+        sketch._decrement_rounds = int(payload.get("decrement_rounds", 0))
+        return sketch
+    if kind == "misra_gries_standard":
+        sketch = StandardMisraGriesSketch(k)
+        if len(counters) > k:
+            raise SketchStateError("standard sketch stores at most k counters")
+        sketch._counters = dict(counters)
+        sketch._stream_length = int(payload["stream_length"])
+        sketch._decrement_rounds = int(payload.get("decrement_rounds", 0))
+        return sketch
+    raise SketchStateError(f"unrecognized sketch kind {kind!r}")
+
+
+def save_sketch(sketch, path: PathLike) -> None:
+    """Write a sketch to ``path`` as JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(sketch_to_dict(sketch), handle, indent=2, sort_keys=True)
+
+
+def load_sketch(path: PathLike):
+    """Read a sketch previously written by :func:`save_sketch`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return sketch_from_dict(json.load(handle))
+
+
+def histogram_to_dict(histogram) -> Dict:
+    """A JSON-serializable representation of a released PrivateHistogram."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": "private_histogram",
+        "counts": {_encode_key(key): value for key, value in histogram.items()},
+        "metadata": histogram.metadata.as_dict(),
+    }
+
+
+def histogram_from_dict(payload: Dict):
+    """Reconstruct a :class:`~repro.core.results.PrivateHistogram`."""
+    from ..core.results import PrivateHistogram, ReleaseMetadata
+
+    if payload.get("kind") != "private_histogram":
+        raise SketchStateError("payload does not describe a private histogram")
+    metadata = ReleaseMetadata(**payload["metadata"])
+    counts = {_decode_key(token): float(value) for token, value in payload["counts"].items()}
+    return PrivateHistogram(counts=counts, metadata=metadata)
+
+
+def save_histogram(histogram, path: PathLike) -> None:
+    """Write a released histogram to ``path`` as JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(histogram_to_dict(histogram), handle, indent=2, sort_keys=True)
+
+
+def load_histogram(path: PathLike):
+    """Read a histogram previously written by :func:`save_histogram`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return histogram_from_dict(json.load(handle))

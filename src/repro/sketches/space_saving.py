@@ -1,0 +1,75 @@
+"""The SpaceSaving sketch of Metwally, Agrawal and El Abbadi.
+
+SpaceSaving is the other classic counter-based heavy-hitter sketch.  It is
+included as a non-private point of comparison: it *overestimates* frequencies
+by at most ``n / k`` whereas Misra-Gries underestimates by at most
+``n / (k + 1)``.  The private mechanisms in this library are specific to
+Misra-Gries (their privacy proof uses Lemma 8), so SpaceSaving only appears in
+the accuracy experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable
+
+from .._validation import check_positive_int
+from .base import FrequencySketch
+
+
+class SpaceSavingSketch(FrequencySketch):
+    """SpaceSaving sketch with ``k`` counters.
+
+    When a new element arrives and the sketch is full, the element with the
+    smallest counter is replaced and its counter incremented, so estimates
+    satisfy ``f(x) <= estimate(x) <= f(x) + n/k``.
+    """
+
+    def __init__(self, k: int) -> None:
+        self._k = check_positive_int(k, "k")
+        self._counters: Dict[Hashable, float] = {}
+        self._stream_length = 0
+
+    @property
+    def size(self) -> int:
+        """The number of counters ``k``."""
+        return self._k
+
+    @property
+    def stream_length(self) -> int:
+        return self._stream_length
+
+    def update(self, element: Hashable) -> None:
+        """Process a single element of the stream."""
+        self._stream_length += 1
+        if element in self._counters:
+            self._counters[element] += 1.0
+            return
+        if len(self._counters) < self._k:
+            self._counters[element] = 1.0
+            return
+        victim = min(self._counters, key=lambda key: (self._counters[key], repr(key)))
+        minimum = self._counters.pop(victim)
+        self._counters[element] = minimum + 1.0
+
+    def estimate(self, element: Hashable) -> float:
+        """Estimated frequency (an overestimate for stored elements)."""
+        return float(self._counters.get(element, 0.0))
+
+    def counters(self) -> Dict[Hashable, float]:
+        """Stored key/counter pairs."""
+        return dict(self._counters)
+
+    @classmethod
+    def from_stream(cls, k: int, stream: Iterable[Hashable]) -> "SpaceSavingSketch":
+        """Build a sketch of size ``k`` from an iterable of elements."""
+        sketch = cls(k)
+        sketch.update_all(stream)
+        return sketch
+
+    def error_bound(self) -> float:
+        """The worst-case overestimation ``n / k``."""
+        return self._stream_length / self._k
+
+    def __repr__(self) -> str:
+        return (f"SpaceSavingSketch(k={self._k}, stored={len(self._counters)}, "
+                f"n={self._stream_length})")

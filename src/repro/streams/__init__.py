@@ -1,0 +1,52 @@
+"""Workload generation: synthetic streams for experiments and tests.
+
+The paper evaluates no real-world dataset (it is a theory paper), so all
+workloads here are synthetic, matching the standard heavy-hitter evaluation
+setup: Zipf-distributed streams with varying skew, uniform streams,
+adversarial / worst-case constructions from the paper's lower-bound arguments,
+and user-level set-valued streams for Section 8.
+"""
+
+from .adversarial import (
+    alternating_stream,
+    lemma25_streams,
+    mg_worst_case_stream,
+    tight_error_stream,
+)
+from .datasets import SyntheticDataset, load_dataset, list_datasets
+from .generators import (
+    constant_stream,
+    shuffled_exact_frequencies,
+    uniform_stream,
+    zipf_stream,
+)
+from .io import read_stream, write_stream
+from .user_streams import (
+    duplicate_user_stream,
+    flatten_user_stream,
+    distinct_user_stream,
+    user_stream_total_length,
+)
+from .splitting import split_round_robin, split_contiguous
+
+__all__ = [
+    "SyntheticDataset",
+    "alternating_stream",
+    "constant_stream",
+    "distinct_user_stream",
+    "duplicate_user_stream",
+    "flatten_user_stream",
+    "lemma25_streams",
+    "list_datasets",
+    "load_dataset",
+    "mg_worst_case_stream",
+    "read_stream",
+    "shuffled_exact_frequencies",
+    "split_contiguous",
+    "split_round_robin",
+    "tight_error_stream",
+    "uniform_stream",
+    "user_stream_total_length",
+    "write_stream",
+    "zipf_stream",
+]

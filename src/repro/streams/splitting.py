@@ -1,0 +1,39 @@
+"""Splitting a stream across several servers for the merging experiments.
+
+Section 7 of the paper considers a dataset distributed over many servers,
+each holding one or more streams.  These helpers split a single synthetic
+stream into ``parts`` sub-streams either contiguously (server i sees a
+contiguous time window) or round-robin (elements are spread evenly).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+from .._validation import check_positive_int
+
+T = TypeVar("T")
+
+
+def split_contiguous(stream: Sequence[T], parts: int) -> List[List[T]]:
+    """Split ``stream`` into ``parts`` contiguous chunks of near-equal length."""
+    count = check_positive_int(parts, "parts")
+    items = list(stream)
+    n = len(items)
+    chunks: List[List[T]] = []
+    base, remainder = divmod(n, count)
+    start = 0
+    for index in range(count):
+        length = base + (1 if index < remainder else 0)
+        chunks.append(items[start:start + length])
+        start += length
+    return chunks
+
+
+def split_round_robin(stream: Sequence[T], parts: int) -> List[List[T]]:
+    """Split ``stream`` into ``parts`` chunks by dealing elements round-robin."""
+    count = check_positive_int(parts, "parts")
+    chunks: List[List[T]] = [[] for _ in range(count)]
+    for index, item in enumerate(stream):
+        chunks[index % count].append(item)
+    return chunks

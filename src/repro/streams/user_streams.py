@@ -1,0 +1,104 @@
+"""User-level (set-valued) stream generation for Section 8.
+
+In the user-level setting each stream item is a *set* of up to ``m`` distinct
+elements contributed by a single user; neighbouring streams differ by one
+whole user.  These generators produce such streams plus the flattening helper
+used when feeding them to an element-level sketch (Lemma 20 route).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence
+
+import numpy as np
+
+from .._validation import check_non_negative_int, check_positive_float, check_positive_int
+from ..exceptions import StreamFormatError
+from ..dp.rng import RandomState, ensure_rng
+
+UserSet = FrozenSet[int]
+
+
+def distinct_user_stream(num_users: int, universe_size: int, max_contribution: int,
+                         exponent: float = 1.1, rng: RandomState = None) -> List[UserSet]:
+    """Users each contributing a set of up to ``max_contribution`` distinct elements.
+
+    Each user's set size is drawn uniformly from ``[1, max_contribution]`` and
+    its elements are sampled without replacement from a Zipf-shaped popularity
+    distribution, so popular elements appear in many users' sets.
+    """
+    n = check_non_negative_int(num_users, "num_users")
+    d = check_positive_int(universe_size, "universe_size")
+    m = check_positive_int(max_contribution, "max_contribution")
+    s = check_positive_float(exponent, "exponent")
+    if m > d:
+        raise StreamFormatError("max_contribution cannot exceed the universe size")
+    generator = ensure_rng(rng)
+    weights = 1.0 / np.power(np.arange(1, d + 1, dtype=float), s)
+    probabilities = weights / weights.sum()
+    stream: List[UserSet] = []
+    for _ in range(n):
+        size = int(generator.integers(1, m + 1))
+        elements = generator.choice(d, size=size, replace=False, p=probabilities)
+        stream.append(frozenset(int(x) for x in elements))
+    return stream
+
+
+def duplicate_user_stream(num_users: int, universe_size: int, max_contribution: int,
+                          exponent: float = 1.1, rng: RandomState = None) -> List[tuple]:
+    """Users contributing up to ``max_contribution`` *possibly repeated* elements.
+
+    Returned items are tuples rather than frozensets because duplicates are
+    allowed.  This is the harder setting of Corollary 21 / Lemma 22 where the
+    noise must scale linearly with ``m``.
+    """
+    n = check_non_negative_int(num_users, "num_users")
+    d = check_positive_int(universe_size, "universe_size")
+    m = check_positive_int(max_contribution, "max_contribution")
+    s = check_positive_float(exponent, "exponent")
+    generator = ensure_rng(rng)
+    weights = 1.0 / np.power(np.arange(1, d + 1, dtype=float), s)
+    probabilities = weights / weights.sum()
+    stream: List[tuple] = []
+    for _ in range(n):
+        size = int(generator.integers(1, m + 1))
+        elements = generator.choice(d, size=size, replace=True, p=probabilities)
+        stream.append(tuple(int(x) for x in elements))
+    return stream
+
+
+def flatten_user_stream(stream: Iterable[Iterable[int]], sort_within_user: bool = True) -> List[int]:
+    """Flatten a user-level stream into an element stream.
+
+    The paper's flattening processes each user's elements "in some fixed
+    order (e.g. ascending order)"; ``sort_within_user=True`` reproduces that.
+    """
+    flattened: List[int] = []
+    for user_set in stream:
+        elements = list(user_set)
+        if sort_within_user:
+            elements = sorted(elements, key=repr)
+        flattened.extend(elements)
+    return flattened
+
+
+def user_stream_total_length(stream: Iterable[Iterable[int]]) -> int:
+    """Total number of elements ``N`` across all users."""
+    return sum(len(list(user_set)) for user_set in stream)
+
+
+def validate_user_stream(stream: Sequence[Iterable[int]], max_contribution: int,
+                         require_distinct: bool = True) -> None:
+    """Raise :class:`StreamFormatError` if any user violates the contribution bound.
+
+    ``require_distinct`` also rejects users whose contribution contains
+    duplicates, matching the setting of Algorithm 4 / Theorem 30.
+    """
+    m = check_positive_int(max_contribution, "max_contribution")
+    for index, user in enumerate(stream):
+        items = list(user)
+        if len(items) > m:
+            raise StreamFormatError(
+                f"user {index} contributes {len(items)} elements, more than m={m}")
+        if require_distinct and len(set(items)) != len(items):
+            raise StreamFormatError(f"user {index} contributes duplicate elements")

@@ -1,0 +1,46 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.sketches import ExactCounter, MisraGriesSketch
+from repro.streams import zipf_stream
+
+# Derandomize hypothesis so the suite is deterministic run to run; the
+# property tests already use generous example counts.
+settings.register_profile("repro", derandomize=True,
+                          suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng():
+    """A reproducible numpy Generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_stream():
+    """A short deterministic stream with a clear heavy hitter."""
+    return [1, 2, 1, 3, 1, 4, 1, 5, 1, 2, 1, 2]
+
+
+@pytest.fixture
+def zipf_20k():
+    """A moderately sized Zipf stream shared across tests (seeded)."""
+    return zipf_stream(20_000, 2_000, exponent=1.2, rng=7)
+
+
+@pytest.fixture
+def zipf_20k_truth(zipf_20k):
+    """Exact frequencies of :func:`zipf_20k`."""
+    return ExactCounter.from_stream(zipf_20k).counters()
+
+
+@pytest.fixture
+def mg_sketch_64(zipf_20k):
+    """A size-64 paper-variant MG sketch of the shared Zipf stream."""
+    return MisraGriesSketch.from_stream(64, zipf_20k)

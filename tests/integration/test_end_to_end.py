@@ -1,0 +1,103 @@
+"""Integration tests: full pipelines from workload generation to heavy hitters."""
+
+import pytest
+
+from repro import (
+    MisraGriesSketch,
+    PrivateMisraGries,
+    PureDPMisraGries,
+    private_heavy_hitters,
+    true_heavy_hitters,
+)
+from repro.analysis import heavy_hitter_scores, summarize_errors
+from repro.analysis.bounds import pmg_error_bound, pure_dp_error_bound
+from repro.baselines import BohlerKerschbaumMG, ChanPrivateMisraGries, StabilityHistogram
+from repro.sketches import ExactCounter
+from repro.streams import load_dataset, zipf_stream
+
+
+class TestPmgPipeline:
+    def test_error_within_paper_bound_across_parameters(self):
+        stream = zipf_stream(30_000, 2_000, exponent=1.2, rng=0)
+        truth = ExactCounter.from_stream(stream).counters()
+        for k in (32, 128):
+            for epsilon in (0.5, 1.0):
+                mechanism = PrivateMisraGries(epsilon=epsilon, delta=1e-6)
+                histogram = mechanism.run(stream, k=k, rng=k + int(epsilon * 10))
+                bound = pmg_error_bound(len(stream), k, epsilon, 1e-6, beta=0.01)
+                assert histogram.max_error_against(truth) <= bound
+
+    def test_pmg_beats_chan_and_corrected_bk_on_max_error(self):
+        stream = zipf_stream(50_000, 1_000, exponent=1.3, rng=1)
+        truth = ExactCounter.from_stream(stream).counters()
+        k, epsilon, delta = 128, 1.0, 1e-6
+
+        def average_max_error(run):
+            return sum(run(seed).max_error_against(truth) for seed in range(3)) / 3
+
+        pmg_error = average_max_error(
+            lambda seed: PrivateMisraGries(epsilon=epsilon, delta=delta).run(stream, k, rng=seed))
+        chan_error = average_max_error(
+            lambda seed: ChanPrivateMisraGries(epsilon=epsilon, k=k, delta=delta).run(stream, rng=seed))
+        bk_error = average_max_error(
+            lambda seed: BohlerKerschbaumMG(epsilon=epsilon, delta=delta, k=k).run(stream, rng=seed))
+        assert pmg_error < chan_error
+        assert pmg_error < bk_error
+
+    def test_pmg_error_close_to_non_streaming_gold_standard(self):
+        # Theorem 14's point: the noise error matches the non-streaming
+        # stability histogram up to constants; with a large enough sketch the
+        # total error is within a small factor.
+        stream = zipf_stream(50_000, 500, exponent=1.5, rng=2)
+        truth = ExactCounter.from_stream(stream).counters()
+        k, epsilon, delta = 256, 1.0, 1e-6
+        pmg = PrivateMisraGries(epsilon=epsilon, delta=delta).run(stream, k, rng=3)
+        gold = StabilityHistogram(epsilon=epsilon, delta=delta).run(stream, rng=3)
+        pmg_summary = summarize_errors(pmg, truth)
+        gold_summary = summarize_errors(gold, truth)
+        assert pmg_summary.max_error <= gold_summary.max_error + len(stream) / (k + 1) + 60
+
+
+class TestPureDpPipeline:
+    def test_error_within_bound(self):
+        universe = 2_000
+        stream = zipf_stream(30_000, universe, exponent=1.3, rng=4)
+        truth = ExactCounter.from_stream(stream).counters()
+        k, epsilon = 64, 1.0
+        mechanism = PureDPMisraGries(epsilon=epsilon, universe_size=universe)
+        histogram = mechanism.run(stream, k=k, rng=5)
+        bound = pure_dp_error_bound(len(stream), k, epsilon, universe, beta=0.01)
+        # Restrict to the universe (the release never outputs anything else).
+        assert histogram.max_error_against(truth, universe=range(universe)) <= bound
+
+
+class TestHeavyHitterPipeline:
+    def test_scores_on_named_dataset(self):
+        dataset = load_dataset("planted_heavy_hitters", n=60_000, rng=0)
+        phi = 0.01
+        truth = true_heavy_hitters(dataset.stream, phi)
+        predicted = private_heavy_hitters(dataset.stream, k=128, epsilon=1.0, delta=1e-6,
+                                          phi=phi, rng=1)
+        scores = heavy_hitter_scores(predicted, truth)
+        assert scores["recall"] >= 0.9
+        assert scores["precision"] >= 0.5
+
+    def test_zipf_dataset_f1(self):
+        stream = zipf_stream(80_000, 5_000, exponent=1.5, rng=6)
+        phi = 0.01
+        truth = true_heavy_hitters(stream, phi)
+        predicted = private_heavy_hitters(stream, k=512, epsilon=1.0, delta=1e-6, phi=phi, rng=7)
+        scores = heavy_hitter_scores(predicted, truth)
+        assert scores["recall"] == 1.0
+        assert scores["f1"] >= 0.7
+
+
+class TestMemoryClaim:
+    def test_sketch_stores_2k_words(self):
+        stream = zipf_stream(100_000, 50_000, exponent=1.1, rng=8)
+        k = 64
+        sketch = MisraGriesSketch.from_stream(k, stream)
+        # 2k words: k keys + k counters, regardless of the stream's 50k
+        # distinct elements.
+        assert sketch.memory_words() == 2 * k
+        assert len(sketch.raw_counters()) == k

@@ -1,0 +1,73 @@
+"""Integration tests for the distributed / merging pipelines (Section 7)."""
+
+import pytest
+
+from repro.analysis import summarize_errors
+from repro.core import MergeStrategy, PrivateMergedRelease
+from repro.sketches import ExactCounter, MisraGriesSketch
+from repro.streams import split_contiguous, split_round_robin, zipf_stream
+
+
+@pytest.fixture(scope="module")
+def workload():
+    stream = zipf_stream(60_000, 1_000, exponent=1.3, rng=0)
+    truth = ExactCounter.from_stream(stream).counters()
+    return stream, truth
+
+
+class TestDistributedAggregation:
+    @pytest.mark.parametrize("splitter", [split_contiguous, split_round_robin])
+    def test_trusted_merge_accuracy_independent_of_split(self, workload, splitter):
+        stream, truth = workload
+        k = 64
+        release = PrivateMergedRelease(epsilon=1.0, delta=1e-6, k=k,
+                                       strategy=MergeStrategy.TRUSTED_MERGED)
+        errors = []
+        for parts_count in (4, 16):
+            parts = splitter(stream, parts_count)
+            sketches = [MisraGriesSketch.from_stream(k, part) for part in parts]
+            histogram = release.release(sketches, rng=parts_count)
+            errors.append(summarize_errors(histogram, truth).max_error)
+        # Error should stay in the same ballpark when the number of servers
+        # quadruples (it is dominated by N/(k+1), not by the merge count).
+        assert errors[1] <= 2.0 * errors[0] + 200
+
+    def test_untrusted_vs_trusted_coverage_gap(self, workload):
+        # With 32 servers and an untrusted aggregator, each sketch pays its
+        # own per-release threshold before merging, so far fewer of the top
+        # elements survive than with either trusted regime.
+        stream, truth = workload
+        k = 64
+        parts = split_contiguous(stream, 32)
+        sketches = [MisraGriesSketch.from_stream(k, part) for part in parts]
+        top = sorted(truth, key=truth.get, reverse=True)[:20]
+
+        def surviving_top_elements(strategy, seed):
+            release = PrivateMergedRelease(epsilon=0.5, delta=1e-6, k=k, strategy=strategy)
+            histogram = release.release(sketches, rng=seed)
+            return sum(1 for element in top if element in histogram)
+
+        untrusted = surviving_top_elements(MergeStrategy.UNTRUSTED, 1)
+        trusted_sum = surviving_top_elements(MergeStrategy.TRUSTED_SUM, 1)
+        trusted_merged = surviving_top_elements(MergeStrategy.TRUSTED_MERGED, 1)
+        assert trusted_sum > untrusted
+        assert trusted_merged > untrusted
+
+    def test_total_stream_length_aggregated(self, workload):
+        stream, _ = workload
+        k = 32
+        parts = split_contiguous(stream, 8)
+        sketches = [MisraGriesSketch.from_stream(k, part) for part in parts]
+        release = PrivateMergedRelease(epsilon=1.0, delta=1e-6, k=k)
+        histogram = release.release(sketches, rng=0)
+        assert histogram.metadata.stream_length == len(stream)
+
+    def test_single_stream_degenerates_to_plain_release(self, workload):
+        stream, truth = workload
+        k = 64
+        sketch = MisraGriesSketch.from_stream(k, stream)
+        release = PrivateMergedRelease(epsilon=1.0, delta=1e-6, k=k,
+                                       strategy=MergeStrategy.TRUSTED_MERGED)
+        histogram = release.release([sketch], rng=2)
+        summary = summarize_errors(histogram, truth)
+        assert summary.max_error <= len(stream) / (k + 1) + 3 * histogram.metadata.threshold

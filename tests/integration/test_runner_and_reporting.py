@@ -1,0 +1,38 @@
+"""Integration tests: experiment runner + mechanisms + reporting together."""
+
+import pytest
+
+from repro.analysis import ExperimentRunner, SweepSpec, format_table, summarize_errors
+from repro.core import PrivateMisraGries
+from repro.sketches import ExactCounter
+from repro.streams import zipf_stream
+
+
+class TestExperimentPipeline:
+    def test_small_sweep_produces_table(self):
+        def trial(rng, k, epsilon):
+            stream = zipf_stream(3_000, 300, exponent=1.2, rng=rng)
+            truth = ExactCounter.from_stream(stream).counters()
+            histogram = PrivateMisraGries(epsilon=epsilon, delta=1e-6).run(stream, k, rng=rng)
+            summary = summarize_errors(histogram, truth)
+            return {"max_error": summary.max_error, "released": float(summary.released_keys)}
+
+        runner = ExperimentRunner(repetitions=2, rng=0)
+        results = runner.run(trial, SweepSpec({"k": [16, 64], "epsilon": [1.0]}))
+        assert len(results) == 2
+        rows = [result.row() for result in results]
+        table = format_table(rows, title="demo sweep")
+        assert "max_error" in table
+        assert "k" in table
+        # Larger k means smaller sketch error on this skewed stream.
+        assert results[1].metrics["max_error"] < results[0].metrics["max_error"]
+
+    def test_runner_results_reproducible(self):
+        def trial(rng, k):
+            stream = zipf_stream(1_000, 100, rng=rng)
+            histogram = PrivateMisraGries(epsilon=1.0, delta=1e-6).run(stream, k, rng=rng)
+            return {"released": float(len(histogram))}
+
+        first = ExperimentRunner(repetitions=3, rng=5).run_single(trial, {"k": 32})
+        second = ExperimentRunner(repetitions=3, rng=5).run_single(trial, {"k": 32})
+        assert first.metrics == second.metrics

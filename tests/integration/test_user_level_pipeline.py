@@ -1,0 +1,75 @@
+"""Integration tests for the user-level pipeline (Section 8 / Theorem 30)."""
+
+import pytest
+
+from repro.analysis import summarize_errors
+from repro.analysis.bounds import pamg_release_error_bound
+from repro.core import GaussianSparseHistogram, UserLevelRelease
+from repro.sketches import ExactCounter
+from repro.streams import distinct_user_stream, lemma25_streams
+from repro.streams.user_streams import user_stream_total_length
+
+
+@pytest.fixture(scope="module")
+def user_workload():
+    stream = distinct_user_stream(8_000, 1_000, max_contribution=8, exponent=1.3, rng=0)
+    truth = ExactCounter().update_sets(stream).counters()
+    return stream, truth
+
+
+class TestTheorem30Pipeline:
+    def test_error_within_theorem30_bound(self, user_workload):
+        stream, truth = user_workload
+        k, epsilon, delta, m = 128, 1.0, 1e-6, 8
+        config = UserLevelRelease(epsilon=epsilon, delta=delta, k=k, max_contribution=m)
+        histogram = config.release_pamg(stream, rng=1)
+        sigma, tau = GaussianSparseHistogram(epsilon=epsilon, delta=delta, l=k).parameters()
+        total = user_stream_total_length(stream)
+        bound = pamg_release_error_bound(total, k, sigma, tau)
+        summary = summarize_errors(histogram, truth)
+        # The theorem bound holds with probability 1 - 2 delta; allow the
+        # upward tau slack on top for the released side.
+        assert summary.max_error <= bound + tau
+
+    def test_pamg_beats_flattened_for_large_m(self, user_workload):
+        stream, truth = user_workload
+        k, epsilon, delta, m = 128, 1.0, 1e-6, 8
+        config = UserLevelRelease(epsilon=epsilon, delta=delta, k=k, max_contribution=m)
+
+        def mean_error_on_top(histogram):
+            top = sorted(truth, key=truth.get, reverse=True)[:20]
+            return sum(abs(histogram.estimate(x) - truth[x]) for x in top) / 20
+
+        pamg_error = sum(mean_error_on_top(config.release_pamg(stream, rng=seed))
+                         for seed in range(3)) / 3
+        flattened_error = sum(mean_error_on_top(config.release_flattened(stream, rng=seed))
+                              for seed in range(3)) / 3
+        # With m = 8 distinct elements per user the flattened route pays an
+        # 8x larger noise scale and an 8x-ish larger threshold; PAMG's
+        # Gaussian noise (sqrt(k) scaled) is smaller for these parameters.
+        assert pamg_error < flattened_error
+
+    def test_lemma25_instance_breaks_flattened_but_not_pamg_counters(self):
+        # On the Lemma 25 worst case the flattened MG sketches differ by m in
+        # one counter while PAMG stays within 1 everywhere — the reason PAMG
+        # can use noise independent of m.
+        from repro.core import PrivacyAwareMisraGries
+        from repro.sketches import MisraGriesSketch
+        from repro.streams.user_streams import flatten_user_stream
+
+        k, m = 16, 8
+        stream, neighbour = lemma25_streams(k, m, tail_length=20)
+        mg_gap = (MisraGriesSketch.from_stream(k, flatten_user_stream(stream)).estimate("x")
+                  - MisraGriesSketch.from_stream(k, flatten_user_stream(neighbour)).estimate("x"))
+        pamg = PrivacyAwareMisraGries.from_stream(k, stream).counters()
+        pamg_neighbour = PrivacyAwareMisraGries.from_stream(k, neighbour).counters()
+        pamg_gap = max(abs(pamg.get(key, 0.0) - pamg_neighbour.get(key, 0.0))
+                       for key in set(pamg) | set(pamg_neighbour))
+        assert mg_gap == pytest.approx(m)
+        assert pamg_gap <= 1.0
+
+    def test_released_elements_are_real(self, user_workload):
+        stream, truth = user_workload
+        config = UserLevelRelease(epsilon=1.0, delta=1e-6, k=64, max_contribution=8)
+        histogram = config.release_pamg(stream, rng=3)
+        assert all(key in truth for key in histogram.keys())

@@ -1,0 +1,105 @@
+"""Property-based tests for the noise distributions and thresholds."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dp.distributions import (
+    gaussian_cdf,
+    gaussian_quantile,
+    laplace_cdf,
+    laplace_quantile,
+    laplace_survival,
+    two_sided_geometric_survival,
+)
+from repro.dp.thresholds import (
+    pmg_threshold,
+    pmg_threshold_standard_sketch,
+    stability_histogram_threshold,
+)
+from repro.dp.accounting import group_privacy, user_level_parameters, PrivacyParams
+
+scales = st.floats(min_value=0.05, max_value=50.0, allow_nan=False, allow_infinity=False)
+reals = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+probabilities = st.floats(min_value=1e-6, max_value=1.0 - 1e-6)
+epsilons = st.floats(min_value=0.01, max_value=10.0)
+deltas = st.floats(min_value=1e-12, max_value=0.1)
+
+
+@given(x=reals, scale=scales)
+@settings(max_examples=300, deadline=None)
+def test_laplace_cdf_in_unit_interval_and_symmetric(x, scale):
+    value = laplace_cdf(x, scale)
+    assert 0.0 <= value <= 1.0
+    assert laplace_cdf(-x, scale) == pytest.approx(1.0 - value, abs=1e-12)
+
+
+@given(x=reals, scale=scales)
+@settings(max_examples=300, deadline=None)
+def test_laplace_survival_complements_cdf(x, scale):
+    assert laplace_cdf(x, scale) + laplace_survival(x, scale) == pytest.approx(1.0)
+
+
+@given(p=probabilities, scale=scales)
+@settings(max_examples=300, deadline=None)
+def test_laplace_quantile_inverts_cdf(p, scale):
+    assert laplace_cdf(laplace_quantile(p, scale), scale) == pytest.approx(p, abs=1e-9)
+
+
+@given(x=st.floats(min_value=-8.0, max_value=8.0), sigma=scales)
+@settings(max_examples=300, deadline=None)
+def test_gaussian_cdf_monotone_and_symmetric(x, sigma):
+    value = gaussian_cdf(x, sigma)
+    assert 0.0 <= value <= 1.0
+    assert gaussian_cdf(-x, sigma) == pytest.approx(1.0 - value, abs=1e-12)
+    assert gaussian_cdf(x + 0.1, sigma) >= value
+
+
+@given(p=st.floats(min_value=1e-5, max_value=1.0 - 1e-5), sigma=scales)
+@settings(max_examples=300, deadline=None)
+def test_gaussian_quantile_inverts_cdf(p, sigma):
+    assert gaussian_cdf(gaussian_quantile(p, sigma), sigma) == pytest.approx(p, abs=1e-6)
+
+
+@given(x=st.integers(min_value=-30, max_value=30), scale=scales)
+@settings(max_examples=300, deadline=None)
+def test_two_sided_geometric_survival_monotone(x, scale):
+    assert (two_sided_geometric_survival(x, scale)
+            >= two_sided_geometric_survival(x + 1, scale) - 1e-12)
+    assert 0.0 <= two_sided_geometric_survival(x, scale) <= 1.0
+
+
+@given(epsilon=epsilons, delta=deltas)
+@settings(max_examples=300, deadline=None)
+def test_thresholds_positive_and_monotone_in_epsilon(epsilon, delta):
+    assert pmg_threshold(epsilon, delta) > 1.0
+    assert pmg_threshold(epsilon, delta) >= pmg_threshold(epsilon * 2, delta) - 1e-9
+    assert stability_histogram_threshold(epsilon, delta) > 0.0
+
+
+@given(epsilon=epsilons, delta=deltas, k=st.integers(min_value=1, max_value=4096))
+@settings(max_examples=300, deadline=None)
+def test_standard_sketch_threshold_monotone_in_k(epsilon, delta, k):
+    assert (pmg_threshold_standard_sketch(epsilon, delta, k + 1)
+            >= pmg_threshold_standard_sketch(epsilon, delta, k))
+
+
+@given(epsilon=epsilons, delta=deltas, m=st.integers(min_value=1, max_value=64))
+@settings(max_examples=300, deadline=None)
+def test_lemma20_roundtrip_never_exceeds_target(epsilon, delta, m):
+    """Group privacy applied to the Lemma 20 parameters stays within the target."""
+    element_level = user_level_parameters(epsilon, delta, m)
+    recovered = group_privacy(element_level, m)
+    assert recovered.epsilon <= epsilon * (1.0 + 1e-9)
+    assert recovered.delta <= delta * (1.0 + 1e-6)
+
+
+@given(epsilon=epsilons, delta=st.floats(min_value=1e-12, max_value=0.99), m=st.integers(min_value=1, max_value=32))
+@settings(max_examples=200, deadline=None)
+def test_group_privacy_monotone_in_group_size(epsilon, delta, m):
+    base = PrivacyParams(epsilon, min(delta, 0.5))
+    smaller = group_privacy(base, m)
+    larger = group_privacy(base, m + 1)
+    assert larger.epsilon >= smaller.epsilon
+    assert larger.delta >= smaller.delta - 1e-15

@@ -1,0 +1,141 @@
+"""Property-based tests for the Misra-Gries sketches (Fact 7, Lemma 8)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches import MisraGriesSketch, SpaceSavingSketch, StandardMisraGriesSketch
+from repro.sketches.misra_gries import DummyKey
+
+# Small universes make collisions (and therefore interesting branch
+# interactions) frequent.
+streams = st.lists(st.integers(min_value=0, max_value=12), min_size=0, max_size=120)
+sketch_sizes = st.integers(min_value=1, max_value=8)
+
+
+@given(stream=streams, k=sketch_sizes)
+@settings(max_examples=200, deadline=None)
+def test_fact7_error_bound_paper_variant(stream, k):
+    """Every estimate lies in [f(x) - n/(k+1), f(x)]."""
+    sketch = MisraGriesSketch.from_stream(k, stream)
+    truth = Counter(stream)
+    bound = len(stream) / (k + 1)
+    for element in set(stream) | set(sketch.counters()):
+        estimate = sketch.estimate(element)
+        exact = truth.get(element, 0)
+        assert exact - bound - 1e-9 <= estimate <= exact + 1e-9
+
+
+@given(stream=streams, k=sketch_sizes)
+@settings(max_examples=200, deadline=None)
+def test_fact7_error_bound_standard_variant(stream, k):
+    sketch = StandardMisraGriesSketch.from_stream(k, stream)
+    truth = Counter(stream)
+    bound = len(stream) / (k + 1)
+    for element in set(stream) | set(sketch.counters()):
+        estimate = sketch.estimate(element)
+        exact = truth.get(element, 0)
+        assert exact - bound - 1e-9 <= estimate <= exact + 1e-9
+
+
+@given(stream=streams, k=sketch_sizes)
+@settings(max_examples=200, deadline=None)
+def test_paper_variant_estimates_equal_standard_variant(stream, k):
+    """The paper's modification changes the stored key set, not the estimates."""
+    paper = MisraGriesSketch.from_stream(k, stream)
+    standard = StandardMisraGriesSketch.from_stream(k, stream)
+    for element in set(stream):
+        assert paper.estimate(element) == standard.estimate(element)
+
+
+@given(stream=streams, k=sketch_sizes)
+@settings(max_examples=200, deadline=None)
+def test_paper_variant_invariants(stream, k):
+    """Structural invariants: exactly k keys, non-negative counters, no dummies
+    with positive counts, stream length tracked."""
+    sketch = MisraGriesSketch.from_stream(k, stream)
+    raw = sketch.raw_counters()
+    assert len(raw) == k
+    assert all(value >= 0 for value in raw.values())
+    assert all(value == 0 for key, value in raw.items() if isinstance(key, DummyKey))
+    assert sketch.stream_length == len(stream)
+
+
+@given(stream=streams, k=sketch_sizes)
+@settings(max_examples=200, deadline=None)
+def test_standard_variant_stores_at_most_k_positive_counters(stream, k):
+    sketch = StandardMisraGriesSketch.from_stream(k, stream)
+    assert len(sketch.counters()) <= k
+    assert all(value > 0 for value in sketch.counters().values())
+
+
+@given(stream=streams, k=sketch_sizes)
+@settings(max_examples=150, deadline=None)
+def test_space_saving_bounds(stream, k):
+    """SpaceSaving overestimates by at most n/k and its counters sum to n."""
+    sketch = SpaceSavingSketch.from_stream(k, stream)
+    truth = Counter(stream)
+    bound = len(stream) / k
+    assert sum(sketch.counters().values()) == pytest.approx(len(stream))
+    for element, estimate in sketch.counters().items():
+        exact = truth.get(element, 0)
+        assert exact <= estimate <= exact + bound + 1e-9
+
+
+def _lemma8_cases_hold(sketch, neighbour_sketch):
+    """Check the conclusion of Lemma 8 for sketches of S and S' (S' = S minus one element)."""
+    keys = sketch.stored_keys()
+    keys_neighbour = neighbour_sketch.stored_keys()
+    counters = sketch.raw_counters()
+    counters_neighbour = neighbour_sketch.raw_counters()
+    # At most two keys differ, and their counters are at most 1.
+    if len(keys & keys_neighbour) < len(keys) - 2:
+        return False
+    for key in keys - keys_neighbour:
+        if counters[key] > 1:
+            return False
+    for key in keys_neighbour - keys:
+        if counters_neighbour[key] > 1:
+            return False
+    union = keys | keys_neighbour
+    diffs = {key: counters.get(key, 0.0) - counters_neighbour.get(key, 0.0) for key in union}
+    # Case (1): all counters in T' are one lower in the sketch for S, and keys
+    # outside T' have counter 0 in the sketch for S.
+    case_decrement = all(
+        counters.get(key, 0.0) == counters_neighbour.get(key, 0.0) - 1 for key in keys_neighbour
+    ) and all(counters.get(key, 0.0) == 0.0 for key in keys - keys_neighbour)
+    # Case (2): exactly one counter is one higher, everything else equal.
+    non_zero = {key: diff for key, diff in diffs.items() if diff != 0.0}
+    case_single = (len(non_zero) == 0) or (
+        len(non_zero) == 1 and list(non_zero.values())[0] == 1.0)
+    return case_decrement or case_single
+
+
+@given(stream=st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=60),
+       k=st.integers(min_value=1, max_value=5),
+       position=st.integers(min_value=0, max_value=59))
+@settings(max_examples=300, deadline=None)
+def test_lemma8_structure_of_neighbouring_sketches(stream, k, position):
+    """For any stream and any deleted position, the two MG sketches are in one
+    of the two cases of Lemma 8."""
+    index = position % len(stream)
+    neighbour = stream[:index] + stream[index + 1:]
+    sketch = MisraGriesSketch.from_stream(k, stream)
+    neighbour_sketch = MisraGriesSketch.from_stream(k, neighbour)
+    assert _lemma8_cases_hold(sketch, neighbour_sketch)
+
+
+@given(stream=st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=60),
+       k=st.integers(min_value=1, max_value=5),
+       position=st.integers(min_value=0, max_value=59))
+@settings(max_examples=300, deadline=None)
+def test_lemma8_l1_distance_at_most_k(stream, k, position):
+    """The l1 distance between neighbouring MG sketches is at most k (Chan et al.)."""
+    index = position % len(stream)
+    neighbour = stream[:index] + stream[index + 1:]
+    counters = MisraGriesSketch.from_stream(k, stream).counters()
+    counters_neighbour = MisraGriesSketch.from_stream(k, neighbour).counters()
+    union = set(counters) | set(counters_neighbour)
+    l1 = sum(abs(counters.get(key, 0.0) - counters_neighbour.get(key, 0.0)) for key in union)
+    assert l1 <= k + 1e-9

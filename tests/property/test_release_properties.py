@@ -1,0 +1,110 @@
+"""Property-based tests for the release mechanisms' structural guarantees.
+
+These do not try to verify differential privacy statistically (that is the
+audit's job); they verify release invariants that must hold for *every* input
+and random seed: released keys come from the sketch, thresholds are enforced,
+dummy keys never leak, and outputs respect the declared universe.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import BohlerKerschbaumMG, ChanPrivateMisraGries, StabilityHistogram
+from repro.core import GaussianSparseHistogram, PrivateMisraGries
+from repro.core.pure_dp import ApproximateDPReducedRelease
+from repro.sketches import MisraGriesSketch
+from repro.sketches.misra_gries import DummyKey
+
+streams = st.lists(st.integers(min_value=0, max_value=20), min_size=0, max_size=150)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+ks = st.integers(min_value=1, max_value=16)
+epsilons = st.floats(min_value=0.1, max_value=5.0)
+
+
+@given(stream=streams, k=ks, epsilon=epsilons, seed=seeds)
+@settings(max_examples=150, deadline=None)
+def test_pmg_release_invariants(stream, k, epsilon, seed):
+    sketch = MisraGriesSketch.from_stream(k, stream)
+    mechanism = PrivateMisraGries(epsilon=epsilon, delta=1e-6)
+    histogram = mechanism.release(sketch, rng=seed)
+    threshold = mechanism.threshold(k)
+    stream_elements = set(stream)
+    for key, value in histogram.items():
+        assert not isinstance(key, DummyKey)
+        assert key in stream_elements
+        assert value >= threshold
+    assert len(histogram) <= k
+    assert histogram.metadata.epsilon == epsilon
+
+
+@given(stream=streams, k=ks, epsilon=epsilons, seed=seeds)
+@settings(max_examples=100, deadline=None)
+def test_approx_dp_reduced_release_invariants(stream, k, epsilon, seed):
+    mechanism = ApproximateDPReducedRelease(epsilon=epsilon, delta=1e-6)
+    histogram = mechanism.run(stream, k=k, rng=seed)
+    stream_elements = set(stream)
+    for key, value in histogram.items():
+        assert key in stream_elements
+        assert value >= mechanism.threshold
+
+
+@given(stream=streams, k=ks, epsilon=epsilons, seed=seeds)
+@settings(max_examples=100, deadline=None)
+def test_chan_thresholded_release_invariants(stream, k, epsilon, seed):
+    mechanism = ChanPrivateMisraGries(epsilon=epsilon, k=k, delta=1e-6)
+    histogram = mechanism.run(stream, rng=seed)
+    stream_elements = set(stream)
+    for key, value in histogram.items():
+        assert key in stream_elements
+        assert value >= mechanism.threshold
+
+
+@given(stream=streams, k=ks, epsilon=epsilons, seed=seeds)
+@settings(max_examples=100, deadline=None)
+def test_bk_release_invariants(stream, k, epsilon, seed):
+    mechanism = BohlerKerschbaumMG(epsilon=epsilon, delta=1e-6, k=k, as_published=True)
+    histogram = mechanism.run(stream, rng=seed)
+    for key, value in histogram.items():
+        assert key in set(stream)
+        assert value >= mechanism.threshold
+
+
+@given(counters=st.dictionaries(st.integers(min_value=0, max_value=30),
+                                st.floats(min_value=0.0, max_value=1e4),
+                                max_size=20),
+       epsilon=st.floats(min_value=0.1, max_value=0.99),
+       l=st.integers(min_value=1, max_value=32),
+       seed=seeds)
+@settings(max_examples=100, deadline=None)
+def test_gshm_release_invariants(counters, epsilon, l, seed):
+    mechanism = GaussianSparseHistogram(epsilon=epsilon, delta=1e-6, l=l, calibration="loose")
+    histogram = mechanism.release(counters, rng=seed)
+    _, tau = mechanism.parameters()
+    for key, value in histogram.items():
+        assert counters.get(key, 0.0) != 0.0
+        assert value >= 1.0 + tau
+
+
+@given(counts=st.dictionaries(st.integers(min_value=0, max_value=50),
+                              st.integers(min_value=0, max_value=10_000),
+                              max_size=30),
+       epsilon=epsilons, seed=seeds)
+@settings(max_examples=100, deadline=None)
+def test_stability_histogram_invariants(counts, epsilon, seed):
+    mechanism = StabilityHistogram(epsilon=epsilon, delta=1e-6)
+    histogram = mechanism.release({key: float(value) for key, value in counts.items()}, rng=seed)
+    for key, value in histogram.items():
+        assert counts.get(key, 0) > 0
+        assert value >= mechanism.threshold
+
+
+@given(stream=streams, k=ks, seed=seeds)
+@settings(max_examples=100, deadline=None)
+def test_pmg_geometric_noise_integrality(stream, k, seed):
+    """With geometric noise all released counts are integers (plus the integer
+    counter), which is the point of the Section 5.2 variant."""
+    sketch = MisraGriesSketch.from_stream(k, stream)
+    mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6, noise="geometric")
+    histogram = mechanism.release(sketch, rng=seed)
+    for value in histogram.counts.values():
+        assert value == pytest.approx(round(value))

@@ -1,0 +1,98 @@
+"""Unit tests for the Monte-Carlo privacy audit."""
+
+import pytest
+
+from repro.analysis import audit_mechanism
+from repro.baselines import BohlerKerschbaumMG
+from repro.core import PrivateMisraGries
+from repro.core.results import PrivateHistogram, ReleaseMetadata
+
+
+class TestAuditMechanics:
+    def test_identical_distributions_not_flagged(self):
+        # A mechanism that ignores its input can never violate privacy.
+        def constant_mechanism(stream, rng):
+            metadata = ReleaseMetadata(mechanism="const", epsilon=1.0, delta=0.0,
+                                       noise_scale=0.0, threshold=0.0, sketch_size=1,
+                                       stream_length=len(stream))
+            return PrivateHistogram(counts={"a": 1.0}, metadata=metadata)
+
+        result = audit_mechanism(constant_mechanism, [1, 2, 3], [1, 2],
+                                 claimed_epsilon=0.5, claimed_delta=1e-6,
+                                 trials=200, rng=0)
+        assert not result.violated
+        assert result.estimated_epsilon_lower_bound == 0.0
+
+    def test_non_private_mechanism_flagged(self):
+        # Releasing the exact count of element 1 with no noise is a blatant
+        # violation: the two outputs are deterministic and different.
+        def exact_mechanism(stream, rng):
+            metadata = ReleaseMetadata(mechanism="exact", epsilon=0.1, delta=0.0,
+                                       noise_scale=0.0, threshold=0.0, sketch_size=1,
+                                       stream_length=len(stream))
+            count = float(sum(1 for x in stream if x == 1))
+            return PrivateHistogram(counts={1: count}, metadata=metadata)
+
+        result = audit_mechanism(exact_mechanism, [1, 1, 1, 2], [1, 1, 2],
+                                 claimed_epsilon=0.1, claimed_delta=1e-6,
+                                 trials=300, rng=1)
+        assert result.violated
+        assert result.estimated_epsilon_lower_bound > 0.1
+
+    def test_result_as_dict(self):
+        def constant_mechanism(stream, rng):
+            metadata = ReleaseMetadata(mechanism="const", epsilon=1.0, delta=0.0,
+                                       noise_scale=0.0, threshold=0.0, sketch_size=1,
+                                       stream_length=len(stream))
+            return PrivateHistogram(counts={}, metadata=metadata)
+
+        result = audit_mechanism(constant_mechanism, [1], [], 1.0, 1e-6, trials=50, rng=2)
+        record = result.as_dict()
+        assert record["trials"] == 50
+        assert "violated" in record
+
+
+@pytest.mark.slow
+class TestAuditOnRealMechanisms:
+    """End-to-end audits; slower, but they demonstrate the paper's point."""
+
+    # The worst case for counter-scaled noise: a stream whose deletion flips
+    # the decrement branch so that *all* k counters shift by one.
+    K = 8
+
+    @staticmethod
+    def _worst_case_pair(k):
+        # Stream: k distinct elements, then one extra element that triggers
+        # the decrement-all branch.  Removing the extra element leaves all
+        # counters one higher.
+        base = [f"e{i}" for i in range(k)] * 30
+        stream = base + ["trigger"]
+        neighbour = base
+        return stream, neighbour
+
+    def test_pmg_stays_within_budget(self):
+        stream, neighbour = self._worst_case_pair(self.K)
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-3)
+
+        def run(data, rng):
+            return mechanism.run(data, k=self.K, rng=rng)
+
+        result = audit_mechanism(run, stream, neighbour, claimed_epsilon=1.0,
+                                 claimed_delta=1e-3, trials=2000, rng=3)
+        assert not result.violated
+
+    def test_bk_as_published_violates_much_smaller_epsilon(self):
+        # The published Böhler-Kerschbaum noise (scale 1/eps) cannot hide a
+        # shift of 1 in all k counters within a small epsilon budget.  We
+        # audit against the much smaller epsilon it would need to satisfy for
+        # the shifted representation and expect a clear violation.
+        stream, neighbour = self._worst_case_pair(self.K)
+        mechanism = BohlerKerschbaumMG(epsilon=1.0, delta=1e-3, k=self.K, as_published=True)
+
+        def run(data, rng):
+            return mechanism.run(data, rng=rng)
+
+        result = audit_mechanism(run, stream, neighbour, claimed_epsilon=1.0,
+                                 claimed_delta=1e-3, trials=2000, rng=4)
+        assert result.violated
+        assert "sum_ge" in result.worst_event or "count" in result.worst_event

@@ -1,0 +1,83 @@
+"""Unit tests for the executable theoretical bounds."""
+
+import pytest
+
+from repro.analysis import (
+    chan_error_bound,
+    mg_error_bound,
+    pamg_release_error_bound,
+    pmg_error_bound,
+    pmg_mse_bound,
+    pure_dp_error_bound,
+)
+from repro.analysis.bounds import (
+    balcer_vadhan_lower_bound,
+    chan_thresholded_error_bound,
+    pmg_noise_error_bound,
+)
+
+
+class TestMgBound:
+    def test_formula(self):
+        assert mg_error_bound(1_000, 9) == pytest.approx(100.0)
+
+    def test_decreases_with_k(self):
+        assert mg_error_bound(1_000, 99) < mg_error_bound(1_000, 9)
+
+
+class TestPmgBounds:
+    def test_total_bound_dominates_noise_bound(self):
+        total = pmg_error_bound(10_000, 64, 1.0, 1e-6)
+        noise_only = pmg_noise_error_bound(64, 1.0, 1e-6)
+        assert total == pytest.approx(noise_only + 10_000 / 65)
+
+    def test_noise_bound_independent_of_stream_length(self):
+        assert pmg_noise_error_bound(64, 1.0, 1e-6) == pmg_noise_error_bound(64, 1.0, 1e-6)
+
+    def test_noise_bound_grows_slowly_with_k(self):
+        import math
+
+        small = pmg_noise_error_bound(16, 1.0, 1e-6)
+        large = pmg_noise_error_bound(1024, 1.0, 1e-6)
+        assert large - small == pytest.approx(2.0 * math.log(1025 / 17))
+
+    def test_mse_bound_positive_and_grows_with_n(self):
+        assert pmg_mse_bound(1_000, 64, 1.0, 1e-6) < pmg_mse_bound(100_000, 64, 1.0, 1e-6)
+
+
+class TestBaselineBounds:
+    def test_chan_bound_grows_linearly_with_k(self):
+        small = chan_error_bound(0, 8, 1.0, 10_000)
+        large = chan_error_bound(0, 800, 1.0, 10_000)
+        assert large == pytest.approx(100 * small)
+
+    def test_chan_thresholded_also_linear_in_k(self):
+        small = chan_thresholded_error_bound(0, 8, 1.0, 1e-6)
+        large = chan_thresholded_error_bound(0, 512, 1.0, 1e-6)
+        assert large > 20 * small
+
+    def test_pure_dp_bound_much_smaller_than_chan_for_large_k(self):
+        n, d, eps = 100_000, 100_000, 1.0
+        k = 512
+        assert pure_dp_error_bound(n, k, eps, d) < chan_error_bound(n, k, eps, d)
+
+    def test_pmg_beats_chan_for_moderate_k(self):
+        n, eps, delta = 100_000, 1.0, 1e-6
+        for k in (16, 64, 256):
+            assert (pmg_error_bound(n, k, eps, delta)
+                    < chan_thresholded_error_bound(n, k, eps, delta))
+
+
+class TestOtherBounds:
+    def test_pamg_bound(self):
+        assert pamg_release_error_bound(10_000, 99, sigma=5.0, tau=20.0) == pytest.approx(
+            100.0 + 41.0)
+
+    def test_balcer_vadhan_regimes(self):
+        # For tiny delta the log(1/delta) branch dominates; for a huge
+        # universe and moderate delta the log(d/k) branch can dominate.
+        low_delta = balcer_vadhan_lower_bound(1_000, 10, 1.0, 1e-300, 10**9)
+        assert low_delta == pytest.approx(min(float(10**9),
+                                              __import__("math").log(100) / 1.0))
+        short_stream = balcer_vadhan_lower_bound(1_000, 10, 1.0, 1e-6, 3)
+        assert short_stream == pytest.approx(3.0)

@@ -1,0 +1,80 @@
+"""Unit tests for the error metrics."""
+
+import pytest
+
+from repro.analysis import (
+    heavy_hitter_scores,
+    max_error,
+    mean_absolute_error,
+    mean_squared_error,
+    summarize_errors,
+)
+from repro.core.results import PrivateHistogram, ReleaseMetadata
+from repro.sketches import MisraGriesSketch
+
+
+def make_histogram(counts):
+    metadata = ReleaseMetadata(mechanism="test", epsilon=1.0, delta=1e-6, noise_scale=1.0,
+                               threshold=0.0, sketch_size=4, stream_length=10)
+    return PrivateHistogram(counts=counts, metadata=metadata)
+
+
+class TestErrorMetrics:
+    def test_max_error_with_mapping(self):
+        assert max_error({"a": 8.0}, {"a": 10.0, "b": 3.0}) == pytest.approx(3.0)
+
+    def test_max_error_with_histogram(self):
+        histogram = make_histogram({"a": 8.0})
+        assert max_error(histogram, {"a": 10.0}) == pytest.approx(2.0)
+
+    def test_max_error_with_sketch(self):
+        sketch = MisraGriesSketch.from_stream(4, [1, 1, 2])
+        assert max_error(sketch, {1: 2.0, 2: 1.0}) == 0.0
+
+    def test_mean_absolute_error(self):
+        estimates = {"a": 8.0, "b": 1.0}
+        truth = {"a": 10.0, "b": 3.0}
+        assert mean_absolute_error(estimates, truth) == pytest.approx(2.0)
+
+    def test_mean_squared_error(self):
+        estimates = {"a": 8.0}
+        truth = {"a": 10.0, "b": 3.0}
+        assert mean_squared_error(estimates, truth) == pytest.approx((4.0 + 9.0) / 2.0)
+
+    def test_universe_restriction(self):
+        estimates = {"a": 8.0}
+        truth = {"a": 10.0, "b": 3.0}
+        assert max_error(estimates, truth, universe=["a"]) == pytest.approx(2.0)
+
+    def test_empty_inputs(self):
+        assert max_error({}, {}) == 0.0
+        assert mean_absolute_error({}, {}) == 0.0
+
+    def test_summarize(self):
+        summary = summarize_errors({"a": 8.0}, {"a": 10.0, "b": 3.0})
+        assert summary.max_error == pytest.approx(3.0)
+        assert summary.released_keys == 1
+        assert summary.as_dict()["mean_squared_error"] == pytest.approx(6.5)
+
+
+class TestHeavyHitterScores:
+    def test_perfect(self):
+        scores = heavy_hitter_scores({1, 2}, {1, 2})
+        assert scores == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_partial(self):
+        scores = heavy_hitter_scores({1, 2, 3, 4}, {1, 2})
+        assert scores["precision"] == pytest.approx(0.5)
+        assert scores["recall"] == pytest.approx(1.0)
+        assert scores["f1"] == pytest.approx(2 / 3)
+
+    def test_disjoint(self):
+        scores = heavy_hitter_scores({3}, {1})
+        assert scores["f1"] == 0.0
+
+    def test_both_empty(self):
+        assert heavy_hitter_scores([], [])["f1"] == 1.0
+
+    def test_empty_prediction(self):
+        scores = heavy_hitter_scores([], {1})
+        assert scores["recall"] == 0.0

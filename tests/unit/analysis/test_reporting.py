@@ -1,0 +1,49 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from repro.analysis import format_series, format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+        assert "empty" in format_table([], title="empty")
+
+    def test_header_and_alignment(self):
+        rows = [{"k": 16, "error": 1.5}, {"k": 256, "error": 0.25}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("k")
+        assert "error" in lines[0]
+        assert len(lines) == 4  # header, separator, two rows
+
+    def test_title_rendered(self):
+        text = format_table([{"a": 1}], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_missing_values_render_empty(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.000123456}], precision=3)
+        assert "e-04" in text or "0.000123" in text
+
+    def test_large_numbers_scientific(self):
+        text = format_table([{"x": 1234567.0}])
+        assert "e+06" in text
+
+
+class TestFormatSeries:
+    def test_two_columns(self):
+        text = format_series("k", "error", [(16, 1.0), (32, 0.5)], title="Figure 1")
+        lines = text.splitlines()
+        assert lines[0] == "Figure 1"
+        assert "k" in lines[2] and "error" in lines[2]
+        assert len(lines) == 6

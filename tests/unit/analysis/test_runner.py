@@ -1,0 +1,72 @@
+"""Unit tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExperimentRunner, SweepSpec
+from repro.exceptions import ParameterError
+
+
+class TestSweepSpec:
+    def test_combinations_cartesian_product(self):
+        sweep = SweepSpec({"k": [1, 2], "epsilon": [0.5, 1.0, 2.0]})
+        combos = sweep.combinations()
+        assert len(combos) == 6
+        assert {"k": 2, "epsilon": 0.5} in combos
+
+    def test_single_parameter(self):
+        assert SweepSpec({"k": [4]}).combinations() == [{"k": 4}]
+
+
+class TestExperimentRunner:
+    def test_metrics_averaged(self):
+        def trial(rng, k):
+            return {"value": float(k) * 2}
+
+        runner = ExperimentRunner(repetitions=3, rng=0)
+        results = runner.run(trial, SweepSpec({"k": [1, 5]}))
+        assert results[0].metrics["value"] == pytest.approx(2.0)
+        assert results[1].metrics["value"] == pytest.approx(10.0)
+        assert results[0].repetitions == 3
+
+    def test_max_metrics_take_maximum(self):
+        calls = iter(range(100))
+
+        def trial(rng, k):
+            return {"error_max": float(next(calls))}
+
+        runner = ExperimentRunner(repetitions=4, rng=0)
+        result = runner.run_single(trial, {"k": 1})
+        assert result.metrics["error_max"] == 3.0
+
+    def test_rngs_independent_across_repetitions(self):
+        seen = []
+
+        def trial(rng, k):
+            seen.append(float(rng.random()))
+            return {"value": 0.0}
+
+        ExperimentRunner(repetitions=5, rng=1).run_single(trial, {"k": 1})
+        assert len(set(seen)) == 5
+
+    def test_reproducible_given_runner_seed(self):
+        def trial(rng, k):
+            return {"value": float(rng.random())}
+
+        first = ExperimentRunner(repetitions=3, rng=9).run_single(trial, {"k": 1})
+        second = ExperimentRunner(repetitions=3, rng=9).run_single(trial, {"k": 1})
+        assert first.metrics == second.metrics
+
+    def test_row_merges_parameters_and_metrics(self):
+        def trial(rng, k):
+            return {"value": 1.0}
+
+        result = ExperimentRunner(repetitions=2, rng=0).run_single(trial, {"k": 7})
+        row = result.row()
+        assert row["k"] == 7
+        assert row["value"] == 1.0
+        assert "seconds" in row
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ParameterError):
+            ExperimentRunner(repetitions=0)

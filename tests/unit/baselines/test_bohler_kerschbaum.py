@@ -1,0 +1,71 @@
+"""Unit tests for the Böhler-Kerschbaum baseline."""
+
+import pytest
+
+from repro.baselines import BohlerKerschbaumMG
+from repro.sketches import MisraGriesSketch
+from repro.streams import zipf_stream
+
+
+class TestAsPublished:
+    def test_noise_scale_uses_sensitivity_one(self):
+        mechanism = BohlerKerschbaumMG(epsilon=0.5, delta=1e-6, k=64, as_published=True)
+        assert mechanism.sensitivity == 1.0
+        assert mechanism.noise_scale == pytest.approx(2.0)
+
+    def test_metadata_flags_the_problem(self):
+        stream = zipf_stream(5_000, 100, rng=0)
+        mechanism = BohlerKerschbaumMG(epsilon=1.0, delta=1e-6, k=32, as_published=True)
+        histogram = mechanism.run(stream, rng=1)
+        assert histogram.metadata.mechanism == "BK-AsPublished"
+        assert "does NOT satisfy" in histogram.metadata.notes
+
+    def test_expected_error_independent_of_k(self):
+        small = BohlerKerschbaumMG(1.0, 1e-6, k=8, as_published=True).expected_max_error()
+        large = BohlerKerschbaumMG(1.0, 1e-6, k=1024, as_published=True).expected_max_error()
+        assert small == pytest.approx(large)
+
+
+class TestCorrected:
+    def test_noise_scale_uses_sensitivity_k(self):
+        mechanism = BohlerKerschbaumMG(epsilon=0.5, delta=1e-6, k=64)
+        assert mechanism.sensitivity == 64.0
+        assert mechanism.noise_scale == pytest.approx(128.0)
+
+    def test_threshold_larger_than_published(self):
+        published = BohlerKerschbaumMG(1.0, 1e-6, k=64, as_published=True).threshold
+        corrected = BohlerKerschbaumMG(1.0, 1e-6, k=64).threshold
+        assert corrected > published
+
+    def test_release_thresholds_counts(self):
+        stream = zipf_stream(50_000, 200, exponent=1.4, rng=2)
+        mechanism = BohlerKerschbaumMG(epsilon=1.0, delta=1e-6, k=32)
+        histogram = mechanism.run(stream, rng=3)
+        assert all(value >= mechanism.threshold for value in histogram.counts.values())
+        assert histogram.metadata.mechanism == "BK-Corrected"
+
+
+class TestBehaviouralComparison:
+    def test_published_variant_tracks_sketch_much_more_closely(self):
+        # The published variant adds only O(1/eps) noise, which is exactly why
+        # it cannot be private: its outputs are far closer to the sketch than
+        # any correctly-calibrated release with sensitivity k.
+        stream = zipf_stream(50_000, 100, exponent=1.5, rng=4)
+        sketch = MisraGriesSketch.from_stream(64, stream)
+        counters = sketch.counters()
+        published = BohlerKerschbaumMG(1.0, 1e-6, k=64, as_published=True)
+        corrected = BohlerKerschbaumMG(1.0, 1e-6, k=64)
+
+        def deviation(histogram):
+            values = [abs(histogram.estimate(key) - value)
+                      for key, value in counters.items() if key in histogram]
+            return sum(values) / max(len(values), 1)
+
+        published_dev = sum(deviation(published.release(sketch, rng=seed)) for seed in range(5))
+        corrected_dev = sum(deviation(corrected.release(sketch, rng=seed)) for seed in range(5))
+        assert corrected_dev > 5 * published_dev
+
+    def test_reproducible(self):
+        stream = zipf_stream(2_000, 50, rng=5)
+        mechanism = BohlerKerschbaumMG(epsilon=1.0, delta=1e-6, k=16)
+        assert mechanism.run(stream, rng=6).as_dict() == mechanism.run(stream, rng=6).as_dict()

@@ -1,0 +1,87 @@
+"""Unit tests for the Chan et al. baseline."""
+
+import pytest
+
+from repro.baselines import ChanPrivateMisraGries
+from repro.core import PrivateMisraGries
+from repro.exceptions import ParameterError
+from repro.sketches import ExactCounter, MisraGriesSketch
+from repro.streams import zipf_stream
+
+
+class TestConfiguration:
+    def test_pure_variant_requires_universe(self):
+        with pytest.raises(ParameterError):
+            ChanPrivateMisraGries(epsilon=1.0, k=16)
+
+    def test_noise_scale_is_k_over_epsilon(self):
+        mechanism = ChanPrivateMisraGries(epsilon=0.5, k=16, delta=1e-6)
+        assert mechanism.noise_scale == pytest.approx(32.0)
+
+    def test_threshold_grows_with_k(self):
+        small = ChanPrivateMisraGries(epsilon=1.0, k=8, delta=1e-6).threshold
+        large = ChanPrivateMisraGries(epsilon=1.0, k=256, delta=1e-6).threshold
+        assert large > small
+
+    def test_expected_error_grows_linearly_with_k(self):
+        small = ChanPrivateMisraGries(epsilon=1.0, k=8, delta=1e-6).expected_max_error()
+        large = ChanPrivateMisraGries(epsilon=1.0, k=512, delta=1e-6).expected_max_error()
+        assert large > 50 * small
+
+
+class TestThresholdedVariant:
+    def test_release(self):
+        stream = zipf_stream(20_000, 300, exponent=1.4, rng=0)
+        mechanism = ChanPrivateMisraGries(epsilon=1.0, k=32, delta=1e-6)
+        histogram = mechanism.run(stream, rng=1)
+        assert histogram.metadata.mechanism == "Chan-Thresholded"
+        assert all(value >= mechanism.threshold for value in histogram.counts.values())
+
+    def test_released_keys_come_from_sketch(self):
+        stream = zipf_stream(10_000, 200, rng=2)
+        sketch = MisraGriesSketch.from_stream(32, stream)
+        mechanism = ChanPrivateMisraGries(epsilon=1.0, k=32, delta=1e-6)
+        histogram = mechanism.release(sketch, rng=3)
+        assert set(histogram.keys()) <= set(sketch.counters().keys())
+
+    def test_noisier_than_pmg(self):
+        # On the same sketch the Chan release deviates from the sketch values
+        # much more than Algorithm 2 (noise scale k/eps vs 1/eps).
+        stream = zipf_stream(50_000, 100, exponent=1.5, rng=4)
+        sketch = MisraGriesSketch.from_stream(64, stream)
+        counters = sketch.counters()
+        chan = ChanPrivateMisraGries(epsilon=1.0, k=64, delta=1e-6)
+        pmg = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+
+        def released_deviation(histogram):
+            deviations = [abs(histogram.estimate(key) - value)
+                          for key, value in counters.items() if key in histogram]
+            return sum(deviations) / max(len(deviations), 1)
+
+        chan_dev = sum(released_deviation(chan.release(sketch, rng=seed)) for seed in range(5))
+        pmg_dev = sum(released_deviation(pmg.release(sketch, rng=seed)) for seed in range(5))
+        assert chan_dev > 5 * pmg_dev
+
+
+class TestPureVariant:
+    def test_release_over_universe(self):
+        stream = zipf_stream(20_000, 200, exponent=1.5, rng=5)
+        mechanism = ChanPrivateMisraGries(epsilon=1.0, k=16, universe_size=200)
+        histogram = mechanism.run(stream, rng=6)
+        assert histogram.metadata.mechanism == "Chan-PureDP"
+        assert len(histogram) == 16
+
+    def test_can_release_elements_outside_stream(self):
+        # With noise scale k/eps the top-k of the noisy universe routinely
+        # includes elements that never appeared — one symptom of the large
+        # noise the paper criticizes.
+        stream = [0] * 1_000
+        mechanism = ChanPrivateMisraGries(epsilon=1.0, k=16, universe_size=10_000)
+        histogram = mechanism.run(stream, rng=7)
+        outside = [key for key in histogram.keys() if key != 0]
+        assert len(outside) >= 10
+
+    def test_rejects_non_integer_keys(self):
+        mechanism = ChanPrivateMisraGries(epsilon=1.0, k=4, universe_size=10)
+        with pytest.raises(ParameterError):
+            mechanism.release({"a": 1.0})

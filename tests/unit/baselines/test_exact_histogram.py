@@ -1,0 +1,68 @@
+"""Unit tests for the stability histogram baseline."""
+
+import pytest
+
+from repro.baselines import StabilityHistogram
+from repro.exceptions import ParameterError
+from repro.sketches import ExactCounter
+from repro.streams import zipf_stream
+
+
+class TestConfiguration:
+    def test_requires_delta_or_universe(self):
+        with pytest.raises(ParameterError):
+            StabilityHistogram(epsilon=1.0)
+
+    def test_noise_scale(self):
+        assert StabilityHistogram(epsilon=0.5, delta=1e-6).noise_scale == pytest.approx(2.0)
+        assert StabilityHistogram(epsilon=0.5, delta=1e-6, sensitivity=3.0).noise_scale == pytest.approx(6.0)
+
+    def test_sensitivity_validation(self):
+        with pytest.raises(ParameterError):
+            StabilityHistogram(epsilon=1.0, delta=1e-6, sensitivity=0.0)
+
+
+class TestThresholdedVariant:
+    def test_release_thresholds(self):
+        stream = zipf_stream(20_000, 5_000, exponent=1.1, rng=0)
+        mechanism = StabilityHistogram(epsilon=1.0, delta=1e-6)
+        histogram = mechanism.run(stream, rng=1)
+        assert all(value >= mechanism.threshold for value in histogram.counts.values())
+
+    def test_accuracy_on_heavy_elements(self):
+        stream = zipf_stream(50_000, 2_000, exponent=1.4, rng=2)
+        truth = ExactCounter.from_stream(stream)
+        mechanism = StabilityHistogram(epsilon=1.0, delta=1e-6)
+        histogram = mechanism.run(stream, rng=3)
+        for element, exact in truth.top(10):
+            assert abs(histogram.estimate(element) - exact) < 60
+
+    def test_zero_counts_never_released(self):
+        mechanism = StabilityHistogram(epsilon=1.0, delta=1e-6)
+        histogram = mechanism.release({"a": 0.0, "b": 5_000.0}, rng=0)
+        assert "a" not in histogram
+
+    def test_accepts_plain_mapping_with_length(self):
+        mechanism = StabilityHistogram(epsilon=1.0, delta=1e-6)
+        histogram = mechanism.release({"a": 100.0}, rng=0, stream_length=150)
+        assert histogram.metadata.stream_length == 150
+
+
+class TestPureVariant:
+    def test_releases_whole_universe(self):
+        stream = zipf_stream(5_000, 50, rng=4)
+        mechanism = StabilityHistogram(epsilon=1.0, universe_size=50)
+        histogram = mechanism.run(stream, rng=5)
+        assert len(histogram) == 50
+        assert histogram.metadata.delta == 0.0
+
+    def test_rejects_out_of_universe_keys(self):
+        mechanism = StabilityHistogram(epsilon=1.0, universe_size=10)
+        with pytest.raises(ParameterError):
+            mechanism.release({42: 1.0})
+
+    def test_expected_error_formulas(self):
+        thresholded = StabilityHistogram(epsilon=1.0, delta=1e-6)
+        pure = StabilityHistogram(epsilon=1.0, universe_size=1_000)
+        assert thresholded.expected_max_error() > 0
+        assert pure.expected_max_error() > 0

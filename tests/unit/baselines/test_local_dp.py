@@ -1,0 +1,109 @@
+"""Unit tests for the local-DP (OUE) frequency estimation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.local_dp import LocalDPFrequencyEstimator
+from repro.exceptions import ParameterError
+from repro.sketches import ExactCounter
+from repro.streams import zipf_stream
+
+
+class TestConfiguration:
+    def test_parameters_validated(self):
+        with pytest.raises(Exception):
+            LocalDPFrequencyEstimator(epsilon=0.0, universe_size=10)
+        with pytest.raises(Exception):
+            LocalDPFrequencyEstimator(epsilon=1.0, universe_size=0)
+
+    def test_flip_probability_formula(self):
+        estimator = LocalDPFrequencyEstimator(epsilon=1.0, universe_size=10)
+        assert estimator.flip_probability == pytest.approx(1.0 / (np.e + 1.0))
+        assert estimator.keep_probability == 0.5
+
+    def test_noise_floor_scales_with_sqrt_n(self):
+        estimator = LocalDPFrequencyEstimator(epsilon=1.0, universe_size=10)
+        assert estimator.expected_standard_deviation(10_000) == pytest.approx(
+            10 * estimator.expected_standard_deviation(100))
+
+
+class TestRandomizer:
+    def test_report_shape_and_binary(self):
+        estimator = LocalDPFrequencyEstimator(epsilon=1.0, universe_size=32)
+        report = estimator.randomize(5, rng=0)
+        assert report.shape == (32,)
+        assert set(np.unique(report)) <= {0, 1}
+
+    def test_out_of_universe_rejected(self):
+        estimator = LocalDPFrequencyEstimator(epsilon=1.0, universe_size=8)
+        with pytest.raises(ParameterError):
+            estimator.randomize(8)
+
+    def test_cold_bit_rate_matches_flip_probability(self):
+        estimator = LocalDPFrequencyEstimator(epsilon=1.0, universe_size=2_000)
+        report = estimator.randomize(0, rng=1)
+        cold_rate = report[1:].mean()
+        assert cold_rate == pytest.approx(estimator.flip_probability, abs=0.03)
+
+
+class TestAggregation:
+    def test_empty_inputs(self):
+        estimator = LocalDPFrequencyEstimator(epsilon=1.0, universe_size=4)
+        assert estimator.aggregate([]) == {}
+        assert estimator.estimate_frequencies([]) == {}
+
+    def test_aggregate_validates_shape(self):
+        estimator = LocalDPFrequencyEstimator(epsilon=1.0, universe_size=4)
+        with pytest.raises(ParameterError):
+            estimator.aggregate([np.zeros(3)])
+
+    def test_estimates_roughly_unbiased(self):
+        universe = 20
+        stream = [0] * 4_000 + [1] * 2_000 + [2] * 1_000
+        estimator = LocalDPFrequencyEstimator(epsilon=2.0, universe_size=universe)
+        estimates = estimator.estimate_frequencies(stream, rng=0)
+        tolerance = 4 * estimator.expected_standard_deviation(len(stream))
+        assert abs(estimates[0] - 4_000) <= tolerance
+        assert abs(estimates[1] - 2_000) <= tolerance
+        assert abs(estimates[5] - 0) <= tolerance
+
+    def test_manual_and_vectorized_protocols_agree_statistically(self):
+        universe = 10
+        stream = [3] * 3_000
+        estimator = LocalDPFrequencyEstimator(epsilon=1.0, universe_size=universe)
+        vectorized = estimator.estimate_frequencies(stream, rng=1)
+        reports = [estimator.randomize(x, rng=rng)
+                   for x, rng in zip(stream, range(3_000))]
+        manual = estimator.aggregate(reports)
+        tolerance = 5 * estimator.expected_standard_deviation(len(stream))
+        assert abs(vectorized[3] - manual[3]) <= tolerance
+
+    def test_reproducible(self):
+        stream = zipf_stream(1_000, 50, rng=2)
+        estimator = LocalDPFrequencyEstimator(epsilon=1.0, universe_size=50)
+        assert estimator.estimate_frequencies(stream, rng=7) == estimator.estimate_frequencies(stream, rng=7)
+
+
+class TestHeavyHitters:
+    def test_recovers_clear_heavy_hitters(self):
+        stream = [0] * 6_000 + [1] * 3_000 + zipf_stream(6_000, 100, exponent=1.01, rng=3)
+        estimator = LocalDPFrequencyEstimator(epsilon=2.0, universe_size=100)
+        histogram = estimator.heavy_hitters(stream, phi=0.15, rng=4)
+        assert 0 in histogram
+        assert histogram.metadata.mechanism == "LocalDP-OUE"
+
+    def test_phi_validated(self):
+        estimator = LocalDPFrequencyEstimator(epsilon=1.0, universe_size=10)
+        with pytest.raises(ParameterError):
+            estimator.heavy_hitters([1, 2], phi=1.5)
+
+    def test_noise_floor_much_larger_than_central_model(self):
+        # The sqrt(n) local-model error floor dwarfs the O(1/eps) noise of the
+        # central-model PMG release for realistic n — the reason the paper's
+        # central-model result matters when a trusted curator exists.
+        from repro.core import PrivateMisraGries
+
+        n = 100_000
+        local = LocalDPFrequencyEstimator(epsilon=1.0, universe_size=1_000)
+        central_noise = 2.0 / 1.0  # two Laplace(1/eps) layers
+        assert local.expected_standard_deviation(n) > 100 * central_noise

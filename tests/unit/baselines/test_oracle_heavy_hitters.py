@@ -1,0 +1,60 @@
+"""Unit tests for the private frequency-oracle baseline."""
+
+import pytest
+
+from repro.baselines import PrivateFrequencyOracle
+from repro.exceptions import ParameterError
+from repro.sketches import ExactCounter
+from repro.streams import zipf_stream
+
+
+class TestConfiguration:
+    def test_kind_validated(self):
+        with pytest.raises(ParameterError):
+            PrivateFrequencyOracle(epsilon=1.0, delta=1e-6, width=16, depth=2, sketch_kind="bloom")
+
+    def test_noise_scale_pure_vs_approximate(self):
+        import math
+
+        pure = PrivateFrequencyOracle(epsilon=1.0, delta=0.0, width=64, depth=4)
+        approx = PrivateFrequencyOracle(epsilon=1.0, delta=1e-6, width=64, depth=4)
+        assert pure.noise_scale == pytest.approx(4.0)
+        # Gaussian noise scales with sqrt(depth) instead of depth.
+        assert approx.noise_scale == pytest.approx(
+            math.sqrt(2.0 * math.log(1.25 / 1e-6) * 4), rel=1e-6)
+
+
+class TestOracleRelease:
+    def test_noisy_table_shape(self):
+        oracle = PrivateFrequencyOracle(epsilon=1.0, delta=1e-6, width=64, depth=3)
+        sketch, table = oracle.release_oracle(zipf_stream(1_000, 50, rng=0), rng=1)
+        assert table.shape == (3, 64)
+        assert sketch.stream_length == 1_000
+
+    def test_reproducible(self):
+        oracle = PrivateFrequencyOracle(epsilon=1.0, delta=1e-6, width=32, depth=3)
+        stream = zipf_stream(500, 30, rng=2)
+        _, first = oracle.release_oracle(stream, rng=7)
+        _, second = oracle.release_oracle(stream, rng=7)
+        assert (first == second).all()
+
+
+class TestHeavyHitters:
+    @pytest.mark.parametrize("kind", ["count_min", "count_sketch"])
+    def test_recovers_planted_heavy_hitters(self, kind):
+        stream = [0] * 5_000 + [1] * 4_000 + zipf_stream(10_000, 1_000, exponent=1.01, rng=3)
+        oracle = PrivateFrequencyOracle(epsilon=1.0, delta=1e-6, width=512, depth=5,
+                                        sketch_kind=kind)
+        histogram = oracle.heavy_hitters(stream, universe=range(1_000), phi=0.1, rng=4)
+        assert 0 in histogram and 1 in histogram
+
+    def test_phi_validated(self):
+        oracle = PrivateFrequencyOracle(epsilon=1.0, delta=1e-6, width=32, depth=3)
+        with pytest.raises(ParameterError):
+            oracle.heavy_hitters([1, 2], universe=range(5), phi=2.0)
+
+    def test_metadata_mentions_universe_iteration(self):
+        stream = zipf_stream(2_000, 100, exponent=1.5, rng=5)
+        oracle = PrivateFrequencyOracle(epsilon=1.0, delta=1e-6, width=128, depth=3)
+        histogram = oracle.heavy_hitters(stream, universe=range(100), phi=0.05, rng=6)
+        assert "universe iteration" in histogram.metadata.notes

@@ -1,0 +1,76 @@
+"""Unit tests for the prefix-tree frequency-oracle heavy hitters."""
+
+import pytest
+
+from repro.baselines import PrefixTreeHeavyHitters
+from repro.exceptions import ParameterError
+from repro.streams import zipf_stream
+from repro.streams.generators import planted_heavy_hitters_stream
+
+
+class TestConfiguration:
+    def test_branching_validated(self):
+        with pytest.raises(ParameterError):
+            PrefixTreeHeavyHitters(epsilon=1.0, delta=1e-6, universe_size=100, branching=1)
+
+    def test_num_levels(self):
+        tree = PrefixTreeHeavyHitters(epsilon=1.0, delta=1e-6, universe_size=1024)
+        assert tree.num_levels == 10
+        tree16 = PrefixTreeHeavyHitters(epsilon=1.0, delta=1e-6, universe_size=4096, branching=16)
+        assert tree16.num_levels == 3
+
+    def test_budget_split_across_levels(self):
+        tree = PrefixTreeHeavyHitters(epsilon=1.0, delta=1e-6, universe_size=1024)
+        assert tree.per_level_epsilon == pytest.approx(0.1)
+
+    def test_noise_scale_grows_with_universe(self):
+        small = PrefixTreeHeavyHitters(epsilon=1.0, delta=1e-6, universe_size=256)
+        large = PrefixTreeHeavyHitters(epsilon=1.0, delta=1e-6, universe_size=2**20)
+        assert large.per_level_noise_scale > small.per_level_noise_scale
+
+    def test_pure_dp_uses_laplace_scale(self):
+        tree = PrefixTreeHeavyHitters(epsilon=1.0, delta=0.0, universe_size=256, depth=3)
+        assert tree.per_level_noise_scale == pytest.approx(3 / (1.0 / 8))
+
+
+class TestSearch:
+    def test_recovers_planted_heavy_hitters(self):
+        stream = planted_heavy_hitters_stream(40_000, 4_096, num_heavy=5,
+                                              heavy_fraction=0.6, rng=0)
+        tree = PrefixTreeHeavyHitters(epsilon=1.0, delta=1e-6, universe_size=4_096,
+                                      width=1_024, depth=4)
+        histogram = tree.heavy_hitters(stream, phi=0.05, rng=1)
+        assert set(range(5)) <= set(histogram.keys())
+
+    def test_visits_far_fewer_nodes_than_universe(self):
+        stream = zipf_stream(20_000, 4_096, exponent=1.5, rng=2)
+        tree = PrefixTreeHeavyHitters(epsilon=1.0, delta=1e-6, universe_size=4_096,
+                                      width=512, depth=3)
+        histogram = tree.heavy_hitters(stream, phi=0.02, rng=3)
+        visited = int(histogram.metadata.notes.split("nodes visited=")[1])
+        assert visited < 4_096 / 4
+
+    def test_rejects_out_of_universe_elements(self):
+        tree = PrefixTreeHeavyHitters(epsilon=1.0, delta=1e-6, universe_size=16)
+        with pytest.raises(ParameterError):
+            tree.build([3, 99])
+
+    def test_phi_validated(self):
+        tree = PrefixTreeHeavyHitters(epsilon=1.0, delta=1e-6, universe_size=16)
+        with pytest.raises(ParameterError):
+            tree.heavy_hitters([1, 2, 3], phi=0.0)
+
+    def test_reproducible(self):
+        stream = zipf_stream(5_000, 256, exponent=1.5, rng=4)
+        tree = PrefixTreeHeavyHitters(epsilon=1.0, delta=1e-6, universe_size=256,
+                                      width=256, depth=3)
+        first = tree.heavy_hitters(stream, phi=0.05, rng=9)
+        second = tree.heavy_hitters(stream, phi=0.05, rng=9)
+        assert first.as_dict() == second.as_dict()
+
+    def test_branching_factor_16_works(self):
+        stream = zipf_stream(10_000, 4_096, exponent=1.6, rng=5)
+        tree = PrefixTreeHeavyHitters(epsilon=1.0, delta=1e-6, universe_size=4_096,
+                                      width=512, depth=3, branching=16)
+        histogram = tree.heavy_hitters(stream, phi=0.05, rng=6)
+        assert 0 in histogram

@@ -1,0 +1,135 @@
+"""Unit tests for the continual-observation monitor."""
+
+import pytest
+
+from repro.core import ContinualHeavyHitters
+from repro.exceptions import ParameterError, SketchStateError
+from repro.sketches import ExactCounter
+from repro.streams import zipf_stream
+
+
+class TestConfiguration:
+    def test_strategy_validated(self):
+        with pytest.raises(ParameterError):
+            ContinualHeavyHitters(k=8, epsilon=1.0, delta=1e-6, block_size=10, strategy="weekly")
+
+    def test_blocks_strategy_uses_full_budget_per_release(self):
+        monitor = ContinualHeavyHitters(k=8, epsilon=1.0, delta=1e-6, block_size=10,
+                                        strategy="blocks")
+        assert monitor.per_release_budget() == {"epsilon": 1.0, "delta": 1e-6}
+        assert monitor.levels == 1
+
+    def test_tree_strategy_splits_budget_over_levels(self):
+        monitor = ContinualHeavyHitters(k=8, epsilon=1.0, delta=1e-6, block_size=10,
+                                        strategy="binary_tree", max_blocks=16)
+        assert monitor.levels == 5  # ceil(log2(16)) + 1
+        budget = monitor.per_release_budget()
+        assert budget["epsilon"] == pytest.approx(0.2)
+        assert budget["delta"] == pytest.approx(2e-7)
+
+
+class TestBlockProcessing:
+    def test_releases_once_per_block(self):
+        monitor = ContinualHeavyHitters(k=8, epsilon=1.0, delta=1e-6, block_size=5,
+                                        strategy="blocks", rng=0)
+        released = []
+        for index in range(23):
+            result = monitor.process(index % 3)
+            if result:
+                released.extend(result)
+        assert monitor.closed_blocks == 4
+        assert len(released) == 4
+        assert monitor.elements_processed == 23
+
+    def test_flush_closes_partial_block(self):
+        monitor = ContinualHeavyHitters(k=8, epsilon=1.0, delta=1e-6, block_size=100,
+                                        strategy="blocks", rng=0)
+        monitor.process_stream([1, 2, 3])
+        assert monitor.closed_blocks == 0
+        assert monitor.flush() is not None
+        assert monitor.closed_blocks == 1
+        assert monitor.flush() is None
+
+    def test_max_blocks_enforced(self):
+        monitor = ContinualHeavyHitters(k=4, epsilon=1.0, delta=1e-6, block_size=1,
+                                        strategy="blocks", max_blocks=2, rng=0)
+        monitor.process(1)
+        monitor.process(2)
+        with pytest.raises(SketchStateError):
+            monitor.process(3)
+
+    def test_releases_are_private_histograms_with_per_release_budget(self):
+        monitor = ContinualHeavyHitters(k=8, epsilon=0.5, delta=1e-6, block_size=4,
+                                        strategy="binary_tree", max_blocks=8, rng=0)
+        monitor.process_stream([1, 1, 2, 3] * 4)
+        assert monitor.releases
+        for histogram in monitor.releases:
+            assert histogram.metadata.epsilon == pytest.approx(0.5 / monitor.levels)
+
+
+class TestTreeStructure:
+    def test_number_of_releases_matches_dyadic_nodes(self):
+        # 8 blocks of a binary tree release 8 leaves + 4 + 2 + 1 = 15 nodes.
+        monitor = ContinualHeavyHitters(k=8, epsilon=1.0, delta=1e-6, block_size=2,
+                                        strategy="binary_tree", max_blocks=8, rng=0)
+        monitor.process_stream(range(16))
+        assert monitor.closed_blocks == 8
+        assert len(monitor.releases) == 15
+
+    def test_query_uses_logarithmically_many_releases(self):
+        stream = zipf_stream(6_400, 100, exponent=1.3, rng=1)
+        blocks = ContinualHeavyHitters(k=32, epsilon=1.0, delta=1e-6, block_size=100,
+                                       strategy="blocks", rng=2).process_stream(stream)
+        tree = ContinualHeavyHitters(k=32, epsilon=1.0, delta=1e-6, block_size=100,
+                                     strategy="binary_tree", max_blocks=64,
+                                     rng=3).process_stream(stream)
+        assert blocks.releases_per_query() == 64
+        assert tree.releases_per_query() <= 7  # popcount/covering of 64 blocks
+
+    def test_partial_prefix_covering(self):
+        monitor = ContinualHeavyHitters(k=8, epsilon=1.0, delta=1e-6, block_size=1,
+                                        strategy="binary_tree", max_blocks=8, rng=0)
+        monitor.process_stream(range(6))
+        # 6 = 4 + 2 blocks -> one level-2 node and one level-1 node.
+        assert monitor.releases_per_query() == 2
+
+
+class TestAccuracy:
+    def test_heavy_element_tracked_through_time(self):
+        stream = zipf_stream(8_000, 200, exponent=1.5, rng=4)
+        truth = ExactCounter.from_stream(stream)
+        monitor = ContinualHeavyHitters(k=64, epsilon=1.0, delta=1e-6, block_size=500,
+                                        strategy="binary_tree", max_blocks=16, rng=5)
+        monitor.process_stream(stream)
+        top_element, top_count = truth.top(1)[0]
+        estimate = monitor.estimate(top_element)
+        assert abs(estimate - top_count) <= 0.25 * top_count
+
+    def test_histogram_and_heavy_hitters_consistent(self):
+        stream = zipf_stream(2_000, 50, exponent=1.4, rng=6)
+        monitor = ContinualHeavyHitters(k=32, epsilon=1.0, delta=1e-6, block_size=250,
+                                        strategy="blocks", rng=7)
+        monitor.process_stream(stream)
+        histogram = monitor.histogram()
+        heavy = monitor.heavy_hitters(100.0)
+        assert all(histogram[key] >= 100.0 for key in heavy)
+        assert set(heavy) <= set(histogram)
+
+    def test_blocks_noise_grows_with_number_of_blocks(self):
+        # With more blocks each released histogram pays its own threshold, so
+        # a fixed moderately-heavy element eventually disappears from some
+        # blocks and its continual estimate degrades.
+        stream = zipf_stream(8_000, 300, exponent=1.2, rng=8)
+        truth = ExactCounter.from_stream(stream)
+        element = truth.top(12)[-1][0]
+
+        def error_with_block_size(block_size, seed):
+            monitor = ContinualHeavyHitters(k=64, epsilon=1.0, delta=1e-6,
+                                            block_size=block_size,
+                                            strategy="blocks", rng=seed)
+            monitor.process_stream(stream)
+            return abs(monitor.estimate(element) - truth.estimate(element))
+
+        few_blocks = sum(error_with_block_size(4_000, seed) for seed in range(3))
+        many_blocks = sum(error_with_block_size(250, seed) for seed in range(3))
+        assert many_blocks >= few_blocks

@@ -1,0 +1,71 @@
+"""Unit tests for heavy-hitter queries."""
+
+import pytest
+
+from repro.core import private_heavy_hitters, true_heavy_hitters
+from repro.core.heavy_hitters import heavy_hitters_from_histogram, rank_released
+from repro.core.results import PrivateHistogram, ReleaseMetadata
+from repro.exceptions import ParameterError
+from repro.streams import zipf_stream
+from repro.streams.generators import planted_heavy_hitters_stream
+
+
+def make_histogram(counts, stream_length=1_000):
+    metadata = ReleaseMetadata(mechanism="test", epsilon=1.0, delta=1e-6, noise_scale=1.0,
+                               threshold=0.0, sketch_size=8, stream_length=stream_length)
+    return PrivateHistogram(counts=counts, metadata=metadata)
+
+
+class TestTrueHeavyHitters:
+    def test_simple_stream(self):
+        stream = [1] * 50 + [2] * 30 + list(range(10, 30))
+        assert set(true_heavy_hitters(stream, phi=0.4)) == {1}
+        assert set(true_heavy_hitters(stream, phi=0.25)) == {1, 2}
+
+    def test_phi_validation(self):
+        with pytest.raises(ParameterError):
+            true_heavy_hitters([1, 2], phi=0.0)
+
+    def test_all_below_threshold(self):
+        assert true_heavy_hitters(list(range(100)), phi=0.5) == {}
+
+
+class TestHistogramHeavyHitters:
+    def test_cutoff_uses_metadata_length(self):
+        histogram = make_histogram({"a": 300.0, "b": 50.0}, stream_length=1_000)
+        assert set(heavy_hitters_from_histogram(histogram, phi=0.1)) == {"a"}
+
+    def test_explicit_stream_length_overrides(self):
+        histogram = make_histogram({"a": 300.0}, stream_length=1_000)
+        assert heavy_hitters_from_histogram(histogram, phi=0.1, stream_length=10_000) == {}
+
+    def test_slack_lowers_cutoff(self):
+        histogram = make_histogram({"a": 95.0}, stream_length=1_000)
+        assert heavy_hitters_from_histogram(histogram, phi=0.1) == {}
+        assert set(heavy_hitters_from_histogram(histogram, phi=0.1, slack=10.0)) == {"a"}
+
+    def test_rank_released(self):
+        histogram = make_histogram({"a": 1.0, "b": 5.0})
+        assert rank_released(histogram) == [("b", 5.0), ("a", 1.0)]
+
+
+class TestEndToEnd:
+    def test_planted_heavy_hitters_recovered(self):
+        stream = planted_heavy_hitters_stream(50_000, 10_000, num_heavy=10,
+                                              heavy_fraction=0.6, rng=0)
+        truth = true_heavy_hitters(stream, phi=0.01)
+        result = private_heavy_hitters(stream, k=64, epsilon=1.0, delta=1e-6, phi=0.01, rng=1)
+        recovered = set(result) & set(truth)
+        assert len(recovered) >= 0.8 * len(truth)
+
+    def test_without_slack_more_conservative(self):
+        stream = zipf_stream(20_000, 1_000, exponent=1.3, rng=2)
+        with_slack = private_heavy_hitters(stream, 64, 1.0, 1e-6, 0.01, rng=3, use_error_slack=True)
+        without_slack = private_heavy_hitters(stream, 64, 1.0, 1e-6, 0.01, rng=3, use_error_slack=False)
+        assert set(without_slack) <= set(with_slack)
+
+    def test_output_counts_are_noisy_estimates(self):
+        stream = [1] * 1_000 + [2] * 10
+        result = private_heavy_hitters(stream, k=8, epsilon=1.0, delta=1e-6, phi=0.5, rng=4)
+        assert 1 in result
+        assert abs(result[1] - 1_000) < 200

@@ -1,0 +1,116 @@
+"""Unit tests for Algorithm 4 (Privacy-Aware Misra-Gries)."""
+
+import pytest
+
+from repro.core import PrivacyAwareMisraGries
+from repro.exceptions import ParameterError, StreamFormatError
+from repro.sketches import ExactCounter
+from repro.streams import distinct_user_stream, lemma25_streams
+from repro.streams.user_streams import user_stream_total_length
+
+
+class TestConstruction:
+    def test_requires_positive_k(self):
+        with pytest.raises(ParameterError):
+            PrivacyAwareMisraGries(0)
+
+    def test_empty_sketch(self):
+        sketch = PrivacyAwareMisraGries(4)
+        assert sketch.counters() == {}
+        assert sketch.total_elements == 0
+
+
+class TestProcessing:
+    def test_counts_users_containing_element(self):
+        sketch = PrivacyAwareMisraGries(8)
+        sketch.process_user({1, 2})
+        sketch.process_user({1, 3})
+        sketch.process_user({4})
+        assert sketch.estimate(1) == 2.0
+        assert sketch.estimate(4) == 1.0
+        assert sketch.stream_length == 3
+        assert sketch.total_elements == 5
+
+    def test_at_most_k_counters_after_each_user(self):
+        stream = distinct_user_stream(500, 300, max_contribution=6, rng=0)
+        sketch = PrivacyAwareMisraGries(16)
+        for user in stream:
+            sketch.process_user(user)
+            assert len(sketch.counters()) <= 16
+
+    def test_decrement_fires_at_most_once_per_user(self):
+        stream = distinct_user_stream(300, 500, max_contribution=8, rng=1)
+        sketch = PrivacyAwareMisraGries.from_stream(12, stream)
+        assert sketch.decrement_rounds <= len(stream)
+
+    def test_duplicate_elements_rejected(self):
+        sketch = PrivacyAwareMisraGries(4)
+        with pytest.raises(StreamFormatError):
+            sketch.process_user([1, 1])
+
+    def test_contribution_bound_enforced(self):
+        sketch = PrivacyAwareMisraGries(8, max_contribution=2)
+        with pytest.raises(StreamFormatError):
+            sketch.process_user({1, 2, 3})
+
+    def test_update_shim_processes_singletons(self):
+        sketch = PrivacyAwareMisraGries(4)
+        sketch.update(7)
+        sketch.update(7)
+        assert sketch.estimate(7) == 2.0
+
+    def test_all_counters_positive(self):
+        stream = distinct_user_stream(400, 200, max_contribution=5, rng=2)
+        sketch = PrivacyAwareMisraGries.from_stream(10, stream)
+        assert all(value > 0 for value in sketch.counters().values())
+
+
+class TestGuarantees:
+    def test_lemma26_error_bound(self):
+        stream = distinct_user_stream(2_000, 300, max_contribution=6, exponent=1.3, rng=3)
+        truth = ExactCounter().update_sets(stream)
+        total = user_stream_total_length(stream)
+        for k in (8, 32, 128):
+            sketch = PrivacyAwareMisraGries.from_stream(k, stream)
+            bound = total // (k + 1)
+            for element in range(300):
+                estimate = sketch.estimate(element)
+                exact = truth.estimate(element)
+                assert exact - bound - 1e-9 <= estimate <= exact + 1e-9
+
+    def test_lemma27_neighbouring_structure_on_lemma25_instance(self):
+        # On the exact instance that breaks the MG sketch, PAMG counters for
+        # neighbouring streams differ by at most 1 everywhere.
+        k, m = 8, 4
+        stream, neighbour = lemma25_streams(k, m, tail_length=12)
+        sketch = PrivacyAwareMisraGries.from_stream(k, stream)
+        sketch_neighbour = PrivacyAwareMisraGries.from_stream(k, neighbour)
+        counters = sketch.counters()
+        counters_neighbour = sketch_neighbour.counters()
+        keys = set(counters) | set(counters_neighbour)
+        diffs = {key: counters.get(key, 0.0) - counters_neighbour.get(key, 0.0) for key in keys}
+        assert all(abs(diff) <= 1.0 for diff in diffs.values())
+        # Moreover all differences share a sign (condition of Lemma 27).
+        signs = {d for d in diffs.values() if d != 0}
+        assert signs <= {1.0} or signs <= {-1.0}
+
+    def test_error_bound_helper(self):
+        stream = [frozenset({i}) for i in range(100)]
+        sketch = PrivacyAwareMisraGries.from_stream(9, stream)
+        assert sketch.error_bound() == pytest.approx(10.0)
+
+    def test_equivalent_to_mg_for_singleton_users(self):
+        # With one element per user, PAMG gives the same estimates as the
+        # (standard) Misra-Gries sketch on the flattened stream.
+        from repro.sketches import StandardMisraGriesSketch
+        from repro.streams import zipf_stream
+
+        elements = zipf_stream(2_000, 80, exponent=1.2, rng=4)
+        user_stream = [frozenset({x}) for x in elements]
+        pamg = PrivacyAwareMisraGries.from_stream(16, user_stream)
+        mg = StandardMisraGriesSketch.from_stream(16, elements)
+        for element in range(80):
+            assert pamg.estimate(element) == mg.estimate(element)
+
+    def test_repr(self):
+        assert "PrivacyAwareMisraGries" in repr(PrivacyAwareMisraGries(4))

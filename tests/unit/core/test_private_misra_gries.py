@@ -1,0 +1,151 @@
+"""Unit tests for Algorithm 2 (PrivateMisraGries)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PrivateMisraGries
+from repro.dp.thresholds import (
+    geometric_pmg_threshold,
+    pmg_threshold,
+    pmg_threshold_standard_sketch,
+)
+from repro.exceptions import ParameterError, SketchStateError
+from repro.sketches import ExactCounter, MisraGriesSketch, StandardMisraGriesSketch
+from repro.streams import zipf_stream
+
+
+class TestConstruction:
+    def test_parameters_validated(self):
+        with pytest.raises(Exception):
+            PrivateMisraGries(epsilon=0.0, delta=1e-6)
+        with pytest.raises(Exception):
+            PrivateMisraGries(epsilon=1.0, delta=0.0)
+        with pytest.raises(ParameterError):
+            PrivateMisraGries(epsilon=1.0, delta=1e-6, noise="uniform")
+
+    def test_noise_scale_is_one_over_epsilon(self):
+        assert PrivateMisraGries(epsilon=0.25, delta=1e-6).noise_scale == pytest.approx(4.0)
+
+    def test_threshold_selection(self):
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+        assert mechanism.threshold(64) == pytest.approx(pmg_threshold(1.0, 1e-6))
+        standard = PrivateMisraGries(epsilon=1.0, delta=1e-6, standard_sketch=True)
+        assert standard.threshold(64) == pytest.approx(pmg_threshold_standard_sketch(1.0, 1e-6, 64))
+        geometric = PrivateMisraGries(epsilon=1.0, delta=1e-6, noise="geometric")
+        assert geometric.threshold(64) == pytest.approx(geometric_pmg_threshold(1.0, 1e-6))
+
+
+class TestRelease:
+    def test_release_returns_histogram(self, mg_sketch_64):
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+        histogram = mechanism.release(mg_sketch_64, rng=0)
+        assert histogram.metadata.mechanism == "PMG"
+        assert histogram.metadata.sketch_size == 64
+        assert histogram.metadata.stream_length == mg_sketch_64.stream_length
+
+    def test_reproducible_with_seed(self, mg_sketch_64):
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+        first = mechanism.release(mg_sketch_64, rng=7)
+        second = mechanism.release(mg_sketch_64, rng=7)
+        assert first.as_dict() == second.as_dict()
+
+    def test_released_values_above_threshold(self, mg_sketch_64):
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+        histogram = mechanism.release(mg_sketch_64, rng=1)
+        threshold = mechanism.threshold(64)
+        assert all(value >= threshold for value in histogram.counts.values())
+
+    def test_no_dummy_keys_released(self):
+        from repro.sketches.misra_gries import DummyKey
+
+        sketch = MisraGriesSketch.from_stream(16, [1, 2, 3])
+        mechanism = PrivateMisraGries(epsilon=10.0, delta=0.4)  # tiny threshold
+        histogram = mechanism.release(sketch, rng=0)
+        assert not any(isinstance(key, DummyKey) for key in histogram.keys())
+
+    def test_released_keys_subset_of_sketch_keys(self, mg_sketch_64):
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+        histogram = mechanism.release(mg_sketch_64, rng=2)
+        assert set(histogram.keys()) <= set(mg_sketch_64.counters().keys())
+
+    def test_elements_not_in_stream_never_released(self):
+        stream = zipf_stream(5_000, 100, rng=0)
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+        histogram = mechanism.run(stream, k=32, rng=1)
+        assert all(key in set(stream) for key in histogram.keys())
+
+    def test_release_plain_dict_requires_k(self):
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+        with pytest.raises(ParameterError):
+            mechanism.release({"a": 5.0})
+        histogram = mechanism.release({"a": 500.0}, k=4, rng=0, stream_length=600)
+        assert histogram.metadata.stream_length == 600
+
+    def test_unsupported_sketch_type(self):
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+        with pytest.raises(ParameterError):
+            mechanism.release([1, 2, 3])
+
+    def test_standard_sketch_flag_mismatch(self, mg_sketch_64):
+        standard_mech = PrivateMisraGries(epsilon=1.0, delta=1e-6, standard_sketch=True)
+        with pytest.raises(SketchStateError):
+            standard_mech.release(mg_sketch_64)
+        paper_mech = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+        standard_sketch = StandardMisraGriesSketch.from_stream(8, [1, 2, 3])
+        with pytest.raises(SketchStateError):
+            paper_mech.release(standard_sketch)
+
+    def test_standard_sketch_release(self):
+        stream = zipf_stream(5_000, 100, rng=3)
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6, standard_sketch=True)
+        histogram = mechanism.run(stream, k=32, rng=4)
+        assert histogram.metadata.threshold == pytest.approx(
+            pmg_threshold_standard_sketch(1.0, 1e-6, 32))
+
+    def test_geometric_noise_release_integer_offsets(self):
+        sketch = MisraGriesSketch.from_stream(8, [1] * 500 + [2] * 300)
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6, noise="geometric")
+        histogram = mechanism.release(sketch, rng=5)
+        for key, value in histogram.items():
+            # Geometric noise keeps counts integral.
+            assert value == pytest.approx(round(value))
+
+
+class TestAccuracy:
+    def test_noise_error_within_lemma13_bound(self, mg_sketch_64):
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+        bound = mechanism.error_bound_vs_sketch(64, beta=0.01)
+        failures = 0
+        for seed in range(20):
+            histogram = mechanism.release(mg_sketch_64, rng=seed)
+            for key, value in mg_sketch_64.counters().items():
+                if abs(histogram.estimate(key) - value) > bound and histogram.estimate(key) != 0.0:
+                    failures += 1
+                if histogram.estimate(key) == 0.0 and value > bound:
+                    failures += 1
+        assert failures == 0
+
+    def test_total_error_within_theorem14_bound(self, zipf_20k, zipf_20k_truth):
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+        bound = mechanism.error_bound_vs_truth(64, len(zipf_20k), beta=0.01)
+        histogram = mechanism.run(zipf_20k, k=64, rng=11)
+        assert histogram.max_error_against(zipf_20k_truth) <= bound
+
+    def test_error_bound_independent_of_k(self):
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+        small = mechanism.error_bound_vs_sketch(16)
+        large = mechanism.error_bound_vs_sketch(1024)
+        # Only the log(k+1) concentration term grows: a 64x increase in k
+        # moves the bound by exactly 2 ln(1025/17), nowhere near 64x.
+        assert large - small == pytest.approx(2.0 * np.log(1025 / 17))
+        assert large < 1.5 * small
+
+    def test_mse_bound_formula(self):
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+        term = 1.0 + (2.0 + 2.0 * np.log(3e6)) + 20_000 / 65
+        assert mechanism.mean_squared_error_bound(64, 20_000) == pytest.approx(3 * term * term)
+
+    def test_error_bound_validation(self):
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+        with pytest.raises(ParameterError):
+            mechanism.error_bound_vs_sketch(64, beta=1.5)

@@ -1,0 +1,110 @@
+"""Unit tests for the Section 6 pure-DP and approximate-DP releases."""
+
+import pytest
+
+from repro.core import PureDPMisraGries
+from repro.core.pure_dp import ApproximateDPReducedRelease
+from repro.exceptions import ParameterError
+from repro.sketches import ExactCounter, MisraGriesSketch
+from repro.streams import zipf_stream
+
+
+class TestPureDPMisraGries:
+    def test_parameters_validated(self):
+        with pytest.raises(Exception):
+            PureDPMisraGries(epsilon=0.0, universe_size=100)
+        with pytest.raises(Exception):
+            PureDPMisraGries(epsilon=1.0, universe_size=0)
+
+    def test_noise_scale_is_two_over_epsilon(self):
+        assert PureDPMisraGries(epsilon=0.5, universe_size=10).noise_scale == pytest.approx(4.0)
+
+    def test_release_keeps_top_k(self):
+        stream = zipf_stream(5_000, 200, exponent=1.3, rng=0)
+        mechanism = PureDPMisraGries(epsilon=1.0, universe_size=200)
+        histogram = mechanism.run(stream, k=16, rng=1)
+        assert len(histogram) == 16
+
+    def test_top_k_override(self):
+        stream = zipf_stream(2_000, 100, rng=2)
+        mechanism = PureDPMisraGries(epsilon=1.0, universe_size=100, top_k=5)
+        histogram = mechanism.run(stream, k=16, rng=3)
+        assert len(histogram) == 5
+
+    def test_reproducible(self):
+        stream = zipf_stream(1_000, 50, rng=4)
+        mechanism = PureDPMisraGries(epsilon=1.0, universe_size=50)
+        assert mechanism.run(stream, 8, rng=9).as_dict() == mechanism.run(stream, 8, rng=9).as_dict()
+
+    def test_rejects_keys_outside_universe(self):
+        mechanism = PureDPMisraGries(epsilon=1.0, universe_size=10)
+        with pytest.raises(ParameterError):
+            mechanism.release({"a": 5.0}, k=4, already_reduced=True)
+        with pytest.raises(ParameterError):
+            mechanism.release({15: 5.0}, k=4, already_reduced=True)
+
+    def test_requires_k_for_mapping(self):
+        mechanism = PureDPMisraGries(epsilon=1.0, universe_size=10)
+        with pytest.raises(ParameterError):
+            mechanism.release({1: 5.0})
+
+    def test_heavy_hitters_recovered_with_reasonable_noise(self):
+        stream = zipf_stream(50_000, 500, exponent=1.5, rng=5)
+        truth = ExactCounter.from_stream(stream)
+        mechanism = PureDPMisraGries(epsilon=1.0, universe_size=500)
+        histogram = mechanism.run(stream, k=32, rng=6)
+        # The top 3 true elements must be released and estimated within the bound.
+        bound = mechanism.error_bound(len(stream), 32, beta=0.01)
+        for element, exact in truth.top(3):
+            assert element in histogram
+            assert abs(histogram.estimate(element) - exact) <= bound
+
+    def test_metadata(self):
+        stream = zipf_stream(500, 30, rng=7)
+        mechanism = PureDPMisraGries(epsilon=2.0, universe_size=30)
+        histogram = mechanism.run(stream, 8, rng=8)
+        assert histogram.metadata.mechanism == "PureDP-MG"
+        assert histogram.metadata.delta == 0.0
+
+
+class TestApproximateDPReducedRelease:
+    def test_threshold_formula(self):
+        import math
+
+        release = ApproximateDPReducedRelease(epsilon=1.0, delta=1e-6)
+        assert release.threshold == pytest.approx(4.0 + 2.0 * math.log(1e6))
+
+    def test_release_runs_and_thresholds(self):
+        stream = zipf_stream(20_000, 300, exponent=1.3, rng=0)
+        release = ApproximateDPReducedRelease(epsilon=1.0, delta=1e-6)
+        histogram = release.run(stream, k=32, rng=1)
+        assert all(value >= release.threshold for value in histogram.counts.values())
+        assert histogram.metadata.mechanism == "ApproxDP-ReducedMG"
+
+    def test_released_keys_come_from_sketch(self):
+        stream = zipf_stream(10_000, 100, exponent=1.4, rng=2)
+        sketch = MisraGriesSketch.from_stream(16, stream)
+        release = ApproximateDPReducedRelease(epsilon=1.0, delta=1e-6)
+        histogram = release.release(sketch, rng=3)
+        assert set(histogram.keys()) <= set(sketch.counters().keys())
+
+    def test_requires_k_for_mapping(self):
+        release = ApproximateDPReducedRelease(epsilon=1.0, delta=1e-6)
+        with pytest.raises(ParameterError):
+            release.release({1: 10.0})
+
+    def test_probabilistic_rounding_unbiased(self):
+        import numpy as np
+
+        release = ApproximateDPReducedRelease(epsilon=1.0, delta=1e-6)
+        rng = np.random.default_rng(0)
+        rounded = [release._probabilistic_round(0.5, rng) for _ in range(20_000)]
+        assert np.mean(rounded) == pytest.approx(0.5, abs=0.05)
+        assert set(rounded) <= {0.0, 2.0}
+
+    def test_rounding_leaves_large_values(self):
+        import numpy as np
+
+        release = ApproximateDPReducedRelease(epsilon=1.0, delta=1e-6)
+        rng = np.random.default_rng(0)
+        assert release._probabilistic_round(7.3, rng) == 7.3

@@ -1,0 +1,75 @@
+"""Unit tests for the PrivateHistogram result type."""
+
+import pytest
+
+from repro.core.results import PrivateHistogram, ReleaseMetadata
+
+
+def make_histogram(counts):
+    metadata = ReleaseMetadata(mechanism="test", epsilon=1.0, delta=1e-6,
+                               noise_scale=1.0, threshold=5.0, sketch_size=4,
+                               stream_length=100)
+    return PrivateHistogram(counts=counts, metadata=metadata)
+
+
+class TestFrequencyOracle:
+    def test_estimate_released_key(self):
+        histogram = make_histogram({"a": 10.0})
+        assert histogram.estimate("a") == 10.0
+
+    def test_estimate_missing_key_is_zero(self):
+        histogram = make_histogram({"a": 10.0})
+        assert histogram.estimate("zzz") == 0.0
+
+    def test_contains_len_iter(self):
+        histogram = make_histogram({"a": 1.0, "b": 2.0})
+        assert "a" in histogram and "c" not in histogram
+        assert len(histogram) == 2
+        assert set(iter(histogram)) == {"a", "b"}
+
+    def test_keys_items_as_dict(self):
+        histogram = make_histogram({"a": 1.0})
+        assert histogram.keys() == ["a"]
+        assert histogram.items() == [("a", 1.0)]
+        assert histogram.as_dict() == {"a": 1.0}
+
+    def test_as_dict_returns_copy(self):
+        histogram = make_histogram({"a": 1.0})
+        histogram.as_dict()["a"] = 99.0
+        assert histogram.estimate("a") == 1.0
+
+
+class TestQueries:
+    def test_top(self):
+        histogram = make_histogram({"a": 3.0, "b": 9.0, "c": 6.0})
+        assert histogram.top(2) == [("b", 9.0), ("c", 6.0)]
+
+    def test_heavy_hitters(self):
+        histogram = make_histogram({"a": 3.0, "b": 9.0})
+        assert histogram.heavy_hitters(5.0) == {"b": 9.0}
+
+    def test_max_error_against_union_of_keys(self):
+        histogram = make_histogram({"a": 8.0})
+        truth = {"a": 10.0, "b": 7.0}
+        # Error on "a" is 2, error on missing "b" is its full frequency 7.
+        assert histogram.max_error_against(truth) == pytest.approx(7.0)
+
+    def test_max_error_with_explicit_universe(self):
+        histogram = make_histogram({"a": 8.0})
+        truth = {"a": 10.0, "b": 7.0}
+        assert histogram.max_error_against(truth, universe=["a"]) == pytest.approx(2.0)
+
+    def test_max_error_empty(self):
+        assert make_histogram({}).max_error_against({}) == 0.0
+
+
+class TestMetadata:
+    def test_metadata_round_trip(self):
+        histogram = make_histogram({"a": 1.0})
+        record = histogram.metadata.as_dict()
+        assert record["mechanism"] == "test"
+        assert record["epsilon"] == 1.0
+        assert record["threshold"] == 5.0
+
+    def test_repr_mentions_mechanism(self):
+        assert "test" in repr(make_histogram({"a": 1.0}))

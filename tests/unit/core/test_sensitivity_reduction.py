@@ -1,0 +1,100 @@
+"""Unit tests for Algorithm 3 (sensitivity reduction)."""
+
+import pytest
+
+from repro.core import SensitivityReducedMG, reduce_sensitivity
+from repro.dp.sensitivity import l1_distance, neighbouring_streams_by_deletion
+from repro.exceptions import ParameterError
+from repro.sketches import ExactCounter, MisraGriesSketch
+from repro.streams import mg_worst_case_stream, zipf_stream
+
+
+class TestReduceSensitivity:
+    def test_requires_k_for_plain_mapping(self):
+        with pytest.raises(ParameterError):
+            reduce_sensitivity({"a": 5.0})
+
+    def test_offset_subtracted(self):
+        counters = {"a": 10.0, "b": 4.0}
+        k = 3
+        gamma = 14.0 / 4.0
+        reduced = reduce_sensitivity(counters, k)
+        assert reduced["a"] == pytest.approx(10.0 - gamma)
+        assert reduced["b"] == pytest.approx(4.0 - gamma)
+
+    def test_non_positive_counts_removed(self):
+        counters = {"a": 10.0, "b": 1.0}
+        reduced = reduce_sensitivity(counters, 3)  # gamma = 11/4 = 2.75
+        assert "b" not in reduced
+
+    def test_accepts_sketch_object(self):
+        sketch = MisraGriesSketch.from_stream(4, [1, 1, 1, 2])
+        reduced = reduce_sensitivity(sketch)
+        assert set(reduced) <= {1, 2}
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ParameterError):
+            reduce_sensitivity([1, 2, 3], 4)
+
+    def test_lemma15_error_bound(self):
+        # Post-processed estimates stay within [f - n/(k+1), f].
+        stream = zipf_stream(5_000, 150, exponent=1.2, rng=0)
+        truth = ExactCounter.from_stream(stream)
+        for k in (8, 32):
+            sketch = MisraGriesSketch.from_stream(k, stream)
+            reduced = reduce_sensitivity(sketch)
+            bound = len(stream) / (k + 1)
+            for element in range(150):
+                estimate = reduced.get(element, 0.0)
+                exact = truth.estimate(element)
+                assert exact - bound - 1e-9 <= estimate <= exact + 1e-9
+
+    def test_lemma15_on_worst_case_stream(self):
+        k = 6
+        stream = mg_worst_case_stream(k, repetitions=40)
+        truth = ExactCounter.from_stream(stream)
+        sketch = MisraGriesSketch.from_stream(k, stream)
+        reduced = reduce_sensitivity(sketch)
+        bound = len(stream) / (k + 1)
+        for element in range(k + 1):
+            estimate = reduced.get(element, 0.0)
+            assert truth.estimate(element) - bound - 1e-9 <= estimate <= truth.estimate(element) + 1e-9
+
+    def test_lemma16_sensitivity_below_two(self):
+        # Across deletion neighbours the post-processed counters move by < 2 in l1.
+        k = 5
+        streams = [zipf_stream(400, 25, exponent=1.1, rng=seed) for seed in range(3)]
+        streams.append(mg_worst_case_stream(k, repetitions=15))
+        for stream in streams:
+            base = reduce_sensitivity(MisraGriesSketch.from_stream(k, stream))
+            for pair in neighbouring_streams_by_deletion(stream, max_pairs=60, rng=0):
+                other = reduce_sensitivity(MisraGriesSketch.from_stream(k, list(pair.neighbour)))
+                assert l1_distance(base, other) < 2.0 + 1e-9
+
+
+class TestSensitivityReducedWrapper:
+    def test_estimates_match_function(self):
+        stream = zipf_stream(1_000, 50, rng=1)
+        wrapper = SensitivityReducedMG.from_stream(16, stream)
+        direct = reduce_sensitivity(MisraGriesSketch.from_stream(16, stream))
+        assert wrapper.counters() == direct
+
+    def test_offset_value(self):
+        wrapper = SensitivityReducedMG.from_stream(4, [1, 1, 2])
+        raw_total = sum(wrapper.inner.counters().values())
+        assert wrapper.offset() == pytest.approx(raw_total / 5)
+
+    def test_estimate_of_missing_element(self):
+        wrapper = SensitivityReducedMG.from_stream(4, [1, 1])
+        assert wrapper.estimate(999) == 0.0
+
+    def test_error_bound_delegates(self):
+        wrapper = SensitivityReducedMG.from_stream(9, range(100))
+        assert wrapper.error_bound() == pytest.approx(10.0)
+
+    def test_streaming_updates(self):
+        wrapper = SensitivityReducedMG(8)
+        for element in [1, 1, 1, 2, 3]:
+            wrapper.update(element)
+        assert wrapper.stream_length == 5
+        assert wrapper.estimate(1) > 0

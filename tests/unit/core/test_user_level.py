@@ -1,0 +1,101 @@
+"""Unit tests for the Section 8 user-level release pipelines."""
+
+import math
+
+import pytest
+
+from repro.core import UserLevelRelease, release_user_level_flattened, release_user_level_pamg
+from repro.exceptions import ParameterError, StreamFormatError
+from repro.sketches import ExactCounter
+from repro.streams import distinct_user_stream
+from repro.streams.user_streams import user_stream_total_length
+
+
+@pytest.fixture
+def user_stream():
+    return distinct_user_stream(2_000, 400, max_contribution=6, exponent=1.3, rng=0)
+
+
+@pytest.fixture
+def user_truth(user_stream):
+    return ExactCounter().update_sets(user_stream).counters()
+
+
+class TestConfiguration:
+    def test_validates_parameters(self):
+        with pytest.raises(Exception):
+            UserLevelRelease(epsilon=0.0, delta=1e-6, k=8, max_contribution=2)
+        with pytest.raises(ParameterError):
+            UserLevelRelease(epsilon=1.0, delta=1e-6, k=4, max_contribution=8)
+
+    def test_element_level_parameters_follow_lemma20(self):
+        config = UserLevelRelease(epsilon=1.0, delta=1e-6, k=64, max_contribution=4)
+        params = config.element_level_parameters()
+        assert params.epsilon == pytest.approx(0.25)
+        assert params.delta == pytest.approx(1e-6 / (4 * math.exp(1.0)))
+
+    def test_noise_summary_keys(self):
+        config = UserLevelRelease(epsilon=1.0, delta=1e-6, k=64, max_contribution=4)
+        summary = config.noise_summary()
+        assert set(summary) == {"pamg_sigma", "pamg_threshold",
+                                "flattened_laplace_scale", "flattened_threshold"}
+
+    def test_flattened_noise_scales_with_m(self):
+        scale_small = UserLevelRelease(1.0, 1e-6, 64, 2).noise_summary()["flattened_laplace_scale"]
+        scale_large = UserLevelRelease(1.0, 1e-6, 64, 32).noise_summary()["flattened_laplace_scale"]
+        assert scale_large == pytest.approx(16.0 * scale_small)
+
+    def test_pamg_noise_independent_of_m(self):
+        sigma_small = UserLevelRelease(1.0, 1e-6, 64, 2).noise_summary()["pamg_sigma"]
+        sigma_large = UserLevelRelease(1.0, 1e-6, 64, 32).noise_summary()["pamg_sigma"]
+        assert sigma_small == pytest.approx(sigma_large)
+
+
+class TestReleases:
+    def test_pamg_release(self, user_stream, user_truth):
+        config = UserLevelRelease(epsilon=1.0, delta=1e-6, k=64, max_contribution=6)
+        histogram = config.release_pamg(user_stream, rng=1)
+        assert histogram.metadata.mechanism == "UserLevel-PAMG"
+        assert len(histogram) > 0
+        # The most popular element should be released and accurate within the
+        # sketch bound plus the GSHM threshold.
+        heaviest = max(user_truth, key=user_truth.get)
+        total = user_stream_total_length(user_stream)
+        slack = total / 65 + 3 * histogram.metadata.threshold
+        assert abs(histogram.estimate(heaviest) - user_truth[heaviest]) <= slack
+
+    def test_flattened_release(self, user_stream, user_truth):
+        config = UserLevelRelease(epsilon=1.0, delta=1e-6, k=64, max_contribution=6)
+        histogram = config.release_flattened(user_stream, rng=2)
+        assert histogram.metadata.mechanism == "UserLevel-FlattenedPMG"
+        assert histogram.metadata.epsilon == 1.0  # user-level target recorded
+        heaviest = max(user_truth, key=user_truth.get)
+        assert heaviest in histogram
+
+    def test_functional_wrappers(self, user_stream):
+        pamg = release_user_level_pamg(user_stream, k=64, epsilon=1.0, delta=1e-6,
+                                       max_contribution=6, rng=3)
+        flattened = release_user_level_flattened(user_stream, k=64, epsilon=1.0, delta=1e-6,
+                                                 max_contribution=6, rng=3)
+        assert pamg.metadata.mechanism == "UserLevel-PAMG"
+        assert flattened.metadata.mechanism == "UserLevel-FlattenedPMG"
+
+    def test_contribution_violations_rejected(self):
+        config = UserLevelRelease(epsilon=1.0, delta=1e-6, k=16, max_contribution=2)
+        with pytest.raises(StreamFormatError):
+            config.release_pamg([frozenset({1, 2, 3})], rng=0)
+        with pytest.raises(StreamFormatError):
+            config.release_flattened([frozenset({1, 2, 3})], rng=0)
+
+    def test_duplicates_rejected_only_for_pamg(self):
+        config = UserLevelRelease(epsilon=1.0, delta=1e-6, k=16, max_contribution=4)
+        with pytest.raises(StreamFormatError):
+            config.release_pamg([(5, 5)], rng=0)
+        # The flattened route tolerates duplicates (Corollary 21 setting).
+        histogram = config.release_flattened([(5, 5)], rng=0)
+        assert histogram is not None
+
+    def test_reproducible(self, user_stream):
+        config = UserLevelRelease(epsilon=1.0, delta=1e-6, k=64, max_contribution=6)
+        assert (config.release_pamg(user_stream, rng=9).as_dict()
+                == config.release_pamg(user_stream, rng=9).as_dict())

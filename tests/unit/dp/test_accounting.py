@@ -1,0 +1,103 @@
+"""Unit tests for privacy accounting (composition, group privacy, Lemma 20)."""
+
+import math
+
+import pytest
+
+from repro.dp.accounting import (
+    PrivacyParams,
+    compose_adaptive,
+    compose_basic,
+    group_privacy,
+    total_budget_for_merges,
+    user_level_parameters,
+    verify_group_privacy_roundtrip,
+)
+from repro.exceptions import PrivacyParameterError
+
+
+class TestPrivacyParams:
+    def test_pure_flag(self):
+        assert PrivacyParams(1.0, 0.0).is_pure
+        assert not PrivacyParams(1.0, 1e-6).is_pure
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(PrivacyParameterError):
+            PrivacyParams(0.0, 0.0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(PrivacyParameterError):
+            PrivacyParams(1.0, 1.5)
+
+
+class TestBasicComposition:
+    def test_epsilons_and_deltas_add(self):
+        total = compose_basic([PrivacyParams(0.5, 1e-7), PrivacyParams(0.25, 2e-7)])
+        assert total.epsilon == pytest.approx(0.75)
+        assert total.delta == pytest.approx(3e-7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PrivacyParameterError):
+            compose_basic([])
+
+    def test_delta_capped_below_one(self):
+        total = compose_basic([PrivacyParams(1.0, 0.4)] * 5)
+        assert total.delta < 1.0
+
+
+class TestAdvancedComposition:
+    def test_beats_basic_for_many_rounds(self):
+        rounds = 100
+        epsilon = 0.1
+        advanced = compose_adaptive(epsilon, 0.0, rounds, delta_prime=1e-6)
+        basic = rounds * epsilon
+        assert advanced.epsilon < basic
+
+    def test_delta_accumulates(self):
+        result = compose_adaptive(0.1, 1e-8, 10, delta_prime=1e-6)
+        assert result.delta == pytest.approx(10 * 1e-8 + 1e-6)
+
+
+class TestGroupPrivacy:
+    def test_lemma19_formula(self):
+        base = PrivacyParams(0.2, 1e-8)
+        grouped = group_privacy(base, 5)
+        assert grouped.epsilon == pytest.approx(1.0)
+        assert grouped.delta == pytest.approx(5 * math.exp(1.0) * 1e-8)
+
+    def test_group_size_one_is_identity(self):
+        base = PrivacyParams(0.7, 1e-7)
+        grouped = group_privacy(base, 1)
+        assert grouped.epsilon == pytest.approx(base.epsilon)
+        assert grouped.delta == pytest.approx(math.exp(0.7) * 1e-7)
+
+    def test_scaled_for_group_method(self):
+        base = PrivacyParams(0.1, 1e-9)
+        assert base.scaled_for_group(3).epsilon == pytest.approx(0.3)
+
+
+class TestUserLevelParameters:
+    def test_lemma20_formula(self):
+        params = user_level_parameters(1.0, 1e-6, 4)
+        assert params.epsilon == pytest.approx(0.25)
+        assert params.delta == pytest.approx(1e-6 / (4 * math.exp(1.0)))
+
+    def test_roundtrip_recovers_target(self):
+        for m in (1, 2, 8, 32):
+            assert verify_group_privacy_roundtrip(1.0, 1e-6, m)
+            assert verify_group_privacy_roundtrip(0.3, 1e-8, m)
+
+    def test_m_one_keeps_epsilon(self):
+        params = user_level_parameters(2.0, 1e-5, 1)
+        assert params.epsilon == pytest.approx(2.0)
+
+
+class TestMergeBudget:
+    def test_disjoint_streams_use_parallel_composition(self):
+        per_sketch = PrivacyParams(1.0, 1e-6)
+        assert total_budget_for_merges(per_sketch, 10).epsilon == pytest.approx(1.0)
+
+    def test_overlapping_streams_compose(self):
+        per_sketch = PrivacyParams(0.5, 1e-7)
+        total = total_budget_for_merges(per_sketch, 4, streams_disjoint=False)
+        assert total.epsilon == pytest.approx(2.0)

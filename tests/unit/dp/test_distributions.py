@@ -1,0 +1,127 @@
+"""Unit tests for the noise distributions (samplers and cdf/quantile functions)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp.distributions import (
+    gaussian_cdf,
+    gaussian_quantile,
+    gaussian_survival,
+    laplace_cdf,
+    laplace_quantile,
+    laplace_survival,
+    sample_gaussian,
+    sample_laplace,
+    sample_two_sided_geometric,
+    two_sided_geometric_survival,
+)
+from repro.exceptions import ParameterError
+
+
+class TestLaplaceSampler:
+    def test_scalar_and_vector_shapes(self):
+        assert isinstance(sample_laplace(1.0, rng=0), float)
+        assert sample_laplace(1.0, size=10, rng=0).shape == (10,)
+
+    def test_reproducible(self):
+        assert np.allclose(sample_laplace(2.0, size=5, rng=3), sample_laplace(2.0, size=5, rng=3))
+
+    def test_mean_and_variance(self):
+        samples = sample_laplace(1.5, size=200_000, rng=0)
+        assert abs(np.mean(samples)) < 0.05
+        # Variance of Laplace(b) is 2 b^2 = 4.5.
+        assert abs(np.var(samples) - 4.5) < 0.2
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ParameterError):
+            sample_laplace(0.0)
+        with pytest.raises(ParameterError):
+            sample_laplace(-1.0)
+
+
+class TestLaplaceCdf:
+    def test_symmetry(self):
+        assert laplace_cdf(0.0, 1.0) == pytest.approx(0.5)
+        assert laplace_cdf(-2.0, 1.0) == pytest.approx(1.0 - laplace_cdf(2.0, 1.0))
+
+    def test_survival_complements_cdf(self):
+        for x in (-3.0, -0.5, 0.0, 0.5, 3.0):
+            assert laplace_cdf(x, 2.0) + laplace_survival(x, 2.0) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # P[Laplace(1) >= ln(3/delta)] = delta/6 for delta small (used in Lemma 11).
+        delta = 1e-6
+        assert laplace_survival(math.log(3.0 / delta), 1.0) == pytest.approx(delta / 6.0)
+
+    def test_quantile_inverts_cdf(self):
+        for p in (0.01, 0.3, 0.5, 0.7, 0.99):
+            assert laplace_cdf(laplace_quantile(p, 1.7), 1.7) == pytest.approx(p)
+
+    def test_vectorized_cdf(self):
+        values = laplace_cdf(np.array([-1.0, 0.0, 1.0]), 1.0)
+        assert values.shape == (3,)
+        assert np.all(np.diff(values) > 0)
+
+
+class TestGaussian:
+    def test_sampler_moments(self):
+        samples = sample_gaussian(2.0, size=200_000, rng=1)
+        assert abs(np.mean(samples)) < 0.05
+        assert abs(np.std(samples) - 2.0) < 0.05
+
+    def test_cdf_symmetry(self):
+        assert gaussian_cdf(0.0, 1.0) == pytest.approx(0.5)
+        assert gaussian_cdf(-1.3, 2.0) == pytest.approx(1.0 - gaussian_cdf(1.3, 2.0))
+
+    def test_survival_complements(self):
+        assert gaussian_cdf(0.7, 1.0) + gaussian_survival(0.7, 1.0) == pytest.approx(1.0)
+
+    def test_quantile_matches_known_values(self):
+        # Standard normal quantiles.
+        assert gaussian_quantile(0.975, 1.0) == pytest.approx(1.959964, abs=1e-4)
+        assert gaussian_quantile(0.5, 1.0) == pytest.approx(0.0, abs=1e-9)
+        assert gaussian_quantile(0.0228, 1.0) == pytest.approx(-1.9991, abs=1e-2)
+
+    def test_quantile_scales_with_sigma(self):
+        assert gaussian_quantile(0.9, 3.0) == pytest.approx(3.0 * gaussian_quantile(0.9, 1.0))
+
+    def test_quantile_inverts_cdf(self):
+        for p in (0.001, 0.2, 0.5, 0.8, 0.999):
+            assert gaussian_cdf(gaussian_quantile(p, 1.0), 1.0) == pytest.approx(p, abs=1e-7)
+
+
+class TestTwoSidedGeometric:
+    def test_integer_valued(self):
+        samples = sample_two_sided_geometric(2.0, size=100, rng=0)
+        assert samples.dtype == np.int64
+
+    def test_scalar_return(self):
+        assert isinstance(sample_two_sided_geometric(1.0, rng=0), int)
+
+    def test_symmetry_and_spread(self):
+        samples = sample_two_sided_geometric(1.0, size=200_000, rng=2)
+        assert abs(np.mean(samples)) < 0.02
+        # Variance of the two-sided geometric with alpha = e^{-1/b}:
+        # 2 alpha / (1 - alpha)^2.
+        alpha = math.exp(-1.0)
+        expected_var = 2 * alpha / (1 - alpha) ** 2
+        assert abs(np.var(samples) - expected_var) < 0.1
+
+    def test_survival_function_matches_empirical(self):
+        scale = 1.5
+        samples = sample_two_sided_geometric(scale, size=100_000, rng=3)
+        for threshold in (1, 2, 4):
+            empirical = np.mean(samples >= threshold)
+            assert two_sided_geometric_survival(threshold, scale) == pytest.approx(empirical, abs=0.01)
+
+    def test_survival_symmetry(self):
+        # P[X >= 0] = 1 - P[X >= 1] ... by symmetry P[X >= -k+1] = 1 - P[X >= k].
+        scale = 2.0
+        assert two_sided_geometric_survival(-1, scale) == pytest.approx(
+            1.0 - two_sided_geometric_survival(2, scale))
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ParameterError):
+            sample_two_sided_geometric(1.0, size=-1)

@@ -1,0 +1,95 @@
+"""Unit tests for the standard DP mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.dp.mechanisms import (
+    GaussianMechanism,
+    GeometricMechanism,
+    LaplaceMechanism,
+    make_mechanism,
+)
+from repro.exceptions import PrivacyParameterError
+
+
+class TestLaplaceMechanism:
+    def test_scale_is_sensitivity_over_epsilon(self):
+        assert LaplaceMechanism(epsilon=0.5, sensitivity=3.0).scale == pytest.approx(6.0)
+
+    def test_noise_scale_reported(self):
+        assert LaplaceMechanism(epsilon=2.0).noise_scale() == pytest.approx(0.5)
+
+    def test_add_noise_array_preserves_shape(self):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        values = np.arange(12, dtype=float).reshape(3, 4)
+        noisy = mechanism.add_noise_array(values, rng=0)
+        assert noisy.shape == values.shape
+        assert not np.allclose(noisy, values)
+
+    def test_add_noise_dict_keys_preserved(self):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        noisy = mechanism.add_noise_dict({"a": 1.0, "b": 2.0}, rng=0)
+        assert set(noisy) == {"a", "b"}
+
+    def test_noise_unbiased(self):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        noisy = mechanism.add_noise_array(np.zeros(100_000), rng=1)
+        assert abs(np.mean(noisy)) < 0.05
+
+    def test_high_probability_bound(self):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        bound = mechanism.high_probability_bound(count=10, beta=0.05)
+        noisy = np.abs(mechanism.add_noise_array(np.zeros((1000, 10)), rng=2))
+        fraction_exceeding = np.mean(noisy.max(axis=1) > bound)
+        assert fraction_exceeding <= 0.07
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PrivacyParameterError):
+            LaplaceMechanism(epsilon=0.0)
+        with pytest.raises(Exception):
+            LaplaceMechanism(epsilon=1.0, sensitivity=0.0)
+
+
+class TestGaussianMechanism:
+    def test_sigma_formula(self):
+        mechanism = GaussianMechanism(epsilon=0.5, delta=1e-6, l2_sensitivity=2.0)
+        expected = np.sqrt(2 * np.log(1.25 / 1e-6)) * 2.0 / 0.5
+        assert mechanism.sigma == pytest.approx(expected)
+
+    def test_add_noise(self):
+        mechanism = GaussianMechanism(epsilon=1.0, delta=1e-5)
+        noisy = mechanism.add_noise_array(np.zeros(50_000), rng=0)
+        assert abs(np.std(noisy) - mechanism.sigma) / mechanism.sigma < 0.02
+
+    def test_sigma_decreases_with_epsilon(self):
+        low = GaussianMechanism(epsilon=0.1, delta=1e-6).sigma
+        high = GaussianMechanism(epsilon=0.9, delta=1e-6).sigma
+        assert high < low
+
+
+class TestGeometricMechanism:
+    def test_scale(self):
+        assert GeometricMechanism(epsilon=0.5, sensitivity=2.0).scale == pytest.approx(4.0)
+
+    def test_output_is_integer_shifted(self):
+        mechanism = GeometricMechanism(epsilon=1.0)
+        values = np.array([3.0, 7.0, 11.0])
+        noisy = mechanism.add_noise_array(values, rng=0)
+        assert np.allclose(noisy, np.round(noisy))
+
+
+class TestFactory:
+    def test_make_laplace(self):
+        assert isinstance(make_mechanism("laplace", 1.0), LaplaceMechanism)
+
+    def test_make_geometric(self):
+        assert isinstance(make_mechanism("geometric", 1.0), GeometricMechanism)
+
+    def test_make_gaussian_requires_delta(self):
+        assert isinstance(make_mechanism("gaussian", 1.0, delta=1e-6), GaussianMechanism)
+        with pytest.raises(PrivacyParameterError):
+            make_mechanism("gaussian", 1.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(PrivacyParameterError):
+            make_mechanism("exponential", 1.0)

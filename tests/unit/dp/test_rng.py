@@ -1,0 +1,59 @@
+"""Unit tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.dp.rng import ensure_rng, spawn_rngs
+from repro.exceptions import ParameterError
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ParameterError):
+            ensure_rng(-1)
+
+    def test_rejects_bool_and_other_types(self):
+        with pytest.raises(ParameterError):
+            ensure_rng(True)
+        with pytest.raises(ParameterError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count_and_type(self):
+        children = spawn_rngs(0, 4)
+        assert len(children) == 4
+        assert all(isinstance(child, np.random.Generator) for child in children)
+
+    def test_children_reproducible_from_seed(self):
+        first = [child.random() for child in spawn_rngs(7, 3)]
+        second = [child.random() for child in spawn_rngs(7, 3)]
+        assert first == second
+
+    def test_children_mutually_independent(self):
+        values = [child.random() for child in spawn_rngs(0, 5)]
+        assert len(set(values)) == 5
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ParameterError):
+            spawn_rngs(0, -1)

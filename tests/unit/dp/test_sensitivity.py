@@ -1,0 +1,115 @@
+"""Unit tests for the sensitivity tooling."""
+
+import math
+
+import pytest
+
+from repro.dp.sensitivity import (
+    all_streams,
+    counter_difference,
+    empirical_sensitivity,
+    l1_distance,
+    l2_distance,
+    linf_distance,
+    neighbouring_streams_by_deletion,
+    sketch_distance,
+)
+from repro.exceptions import ParameterError
+from repro.sketches import MisraGriesSketch
+
+
+class TestDistances:
+    def test_counter_difference_sparse(self):
+        diff = counter_difference({"a": 3, "b": 1}, {"a": 1, "c": 2})
+        assert diff == {"a": 2.0, "b": 1.0, "c": -2.0}
+
+    def test_missing_keys_are_zero(self):
+        assert counter_difference({"a": 1}, {}) == {"a": 1.0}
+
+    def test_identical_gives_empty(self):
+        assert counter_difference({"a": 1}, {"a": 1}) == {}
+
+    def test_l1_l2_linf(self):
+        first = {"a": 3.0, "b": 0.0}
+        second = {"a": 0.0, "c": 4.0}
+        assert l1_distance(first, second) == pytest.approx(7.0)
+        assert l2_distance(first, second) == pytest.approx(5.0)
+        assert linf_distance(first, second) == pytest.approx(4.0)
+
+    def test_sketch_distance_dispatch(self):
+        first, second = {"a": 1.0}, {"a": 4.0}
+        assert sketch_distance(first, second, 1) == pytest.approx(3.0)
+        assert sketch_distance(first, second, 2) == pytest.approx(3.0)
+        assert sketch_distance(first, second, math.inf) == pytest.approx(3.0)
+        with pytest.raises(ParameterError):
+            sketch_distance(first, second, 3)
+
+    def test_distance_of_empty_sketches(self):
+        assert l1_distance({}, {}) == 0.0
+        assert linf_distance({}, {}) == 0.0
+
+
+class TestNeighbourEnumeration:
+    def test_all_deletions_enumerated(self):
+        pairs = list(neighbouring_streams_by_deletion((1, 2, 3)))
+        assert len(pairs) == 3
+        assert pairs[0].neighbour == (2, 3)
+        assert pairs[2].neighbour == (1, 2)
+
+    def test_removed_element_property(self):
+        pairs = list(neighbouring_streams_by_deletion(("a", "b")))
+        assert pairs[0].removed_element == "a"
+        assert pairs[1].removed_element == "b"
+
+    def test_sampling_limits_pairs(self):
+        pairs = list(neighbouring_streams_by_deletion(range(100), max_pairs=7, rng=0))
+        assert len(pairs) == 7
+
+    def test_empty_stream_yields_nothing(self):
+        assert list(neighbouring_streams_by_deletion(())) == []
+
+
+class TestEmpiricalSensitivity:
+    def test_exact_histogram_has_sensitivity_one(self):
+        def exact(stream):
+            counts = {}
+            for element in stream:
+                counts[element] = counts.get(element, 0) + 1.0
+            return counts
+
+        report = empirical_sensitivity(exact, [[1, 2, 1, 3, 1], [2, 2, 2]])
+        assert report.max_l1 == pytest.approx(1.0)
+        assert report.max_l2 == pytest.approx(1.0)
+        assert report.max_differing_keys == 1
+
+    def test_mg_sensitivity_at_most_k(self):
+        k = 4
+
+        def sketch_fn(stream):
+            return MisraGriesSketch.from_stream(k, stream).counters()
+
+        streams = [[i % 7 for i in range(60)], list(range(30))]
+        report = empirical_sensitivity(sketch_fn, streams)
+        assert report.max_l1 <= k
+        assert report.pairs_checked == 90
+
+    def test_report_as_dict(self):
+        def constant(stream):
+            return {"a": 1.0}
+
+        report = empirical_sensitivity(constant, [[1, 2]])
+        assert report.as_dict()["max_l1"] == 0.0
+
+
+class TestAllStreams:
+    def test_counts(self):
+        streams = list(all_streams([0, 1], 3))
+        assert len(streams) == 8
+        assert (0, 0, 0) in streams and (1, 1, 1) in streams
+
+    def test_zero_length(self):
+        assert list(all_streams([0, 1], 0)) == [()]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ParameterError):
+            list(all_streams([0], -1))

@@ -1,0 +1,114 @@
+"""Unit tests for the threshold formulas."""
+
+import math
+
+import pytest
+
+from repro.dp.thresholds import (
+    gaussian_tail_bound,
+    geometric_pmg_threshold,
+    gshm_loose_parameters,
+    gshm_threshold,
+    pmg_threshold,
+    pmg_threshold_standard_sketch,
+    pure_dp_noise_scale,
+    stability_histogram_threshold,
+)
+from repro.exceptions import CalibrationError, PrivacyParameterError
+
+
+class TestPmgThreshold:
+    def test_formula(self):
+        assert pmg_threshold(1.0, 1e-6) == pytest.approx(1.0 + 2.0 * math.log(3e6))
+
+    def test_decreasing_in_epsilon(self):
+        assert pmg_threshold(2.0, 1e-6) < pmg_threshold(0.5, 1e-6)
+
+    def test_increasing_as_delta_shrinks(self):
+        assert pmg_threshold(1.0, 1e-9) > pmg_threshold(1.0, 1e-3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PrivacyParameterError):
+            pmg_threshold(0.0, 1e-6)
+        with pytest.raises(PrivacyParameterError):
+            pmg_threshold(1.0, 0.0)
+
+
+class TestStandardSketchThreshold:
+    def test_larger_than_paper_variant(self):
+        # The standard sketch needs to hide up to k differing keys; once
+        # (k+1)/2 exceeds the paper's constant 3 (i.e. k > 5) its threshold is
+        # strictly larger than the paper-variant threshold.
+        for k in (8, 16, 256):
+            assert pmg_threshold_standard_sketch(1.0, 1e-6, k) > pmg_threshold(1.0, 1e-6)
+
+    def test_grows_with_k(self):
+        assert (pmg_threshold_standard_sketch(1.0, 1e-6, 1024)
+                > pmg_threshold_standard_sketch(1.0, 1e-6, 16))
+
+    def test_formula(self):
+        expected = 1.0 + 2.0 * math.log((64 + 1) / (2 * 1e-6)) / 0.5
+        assert pmg_threshold_standard_sketch(0.5, 1e-6, 64) == pytest.approx(expected)
+
+
+class TestGeometricThreshold:
+    def test_at_least_laplace_threshold(self):
+        # The ceiling makes the geometric threshold at least as large.
+        assert geometric_pmg_threshold(1.0, 1e-6) >= pmg_threshold(1.0, 1e-6) - 2.0
+
+    def test_is_odd_integer_offset(self):
+        value = geometric_pmg_threshold(1.0, 1e-6)
+        assert (value - 1.0) % 2.0 == pytest.approx(0.0)
+
+
+class TestPureDpScale:
+    def test_default_sensitivity_two(self):
+        assert pure_dp_noise_scale(0.5) == pytest.approx(4.0)
+
+    def test_rejects_bad_sensitivity(self):
+        with pytest.raises(CalibrationError):
+            pure_dp_noise_scale(1.0, sensitivity=0.0)
+
+
+class TestStabilityThreshold:
+    def test_formula(self):
+        assert stability_histogram_threshold(1.0, 1e-6) == pytest.approx(1.0 + math.log(1e6))
+
+    def test_scales_with_sensitivity(self):
+        assert (stability_histogram_threshold(1.0, 1e-6, sensitivity=5.0)
+                == pytest.approx(5.0 * stability_histogram_threshold(1.0, 1e-6, sensitivity=1.0)))
+
+
+class TestGshmThresholds:
+    def test_loose_parameters_positive(self):
+        sigma, tau = gshm_loose_parameters(1.0, 1e-6, 64)
+        assert sigma > 0 and tau > 0
+
+    def test_sigma_scales_with_sqrt_l(self):
+        sigma_small, _ = gshm_loose_parameters(1.0, 1e-6, 16)
+        sigma_large, _ = gshm_loose_parameters(1.0, 1e-6, 64)
+        assert sigma_large == pytest.approx(2.0 * sigma_small)
+
+    def test_threshold_grows_with_l(self):
+        sigma = 5.0
+        assert gshm_threshold(sigma, 1e-6, 128) > gshm_threshold(sigma, 1e-6, 2)
+
+    def test_threshold_requires_positive_sigma(self):
+        with pytest.raises(CalibrationError):
+            gshm_threshold(0.0, 1e-6, 4)
+
+
+class TestGaussianTailBound:
+    def test_monotone_in_count(self):
+        assert gaussian_tail_bound(1.0, 100, 0.05) > gaussian_tail_bound(1.0, 10, 0.05)
+
+    def test_zero_count(self):
+        assert gaussian_tail_bound(1.0, 0, 0.05) == 0.0
+
+    def test_roughly_max_of_samples(self):
+        import numpy as np
+
+        bound = gaussian_tail_bound(2.0, 50, 0.05)
+        rng = np.random.default_rng(0)
+        maxima = np.abs(rng.normal(0, 2.0, size=(2000, 50))).max(axis=1)
+        assert np.mean(maxima > bound) <= 0.08

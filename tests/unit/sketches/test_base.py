@@ -1,0 +1,54 @@
+"""Unit tests for the FrequencySketch interface and SketchSummary."""
+
+import pytest
+
+from repro.sketches import MisraGriesSketch, SketchSummary
+
+
+class TestSketchSummary:
+    def test_estimate_defaults_to_zero(self):
+        summary = SketchSummary(counters={"a": 2.0}, stream_length=5, capacity=4)
+        assert summary.estimate("a") == 2.0
+        assert summary.estimate("b") == 0.0
+
+    def test_top(self):
+        summary = SketchSummary(counters={"a": 2.0, "b": 5.0, "c": 1.0})
+        assert summary.top(2) == [("b", 5.0), ("a", 2.0)]
+
+    def test_total_and_len(self):
+        summary = SketchSummary(counters={"a": 2.0, "b": 3.0})
+        assert summary.total() == 5.0
+        assert len(summary) == 2
+
+    def test_keys_items(self):
+        summary = SketchSummary(counters={"a": 1.0})
+        assert summary.keys() == ["a"]
+        assert summary.items() == [("a", 1.0)]
+
+
+class TestFrequencySketchInterface:
+    def test_summary_snapshot(self):
+        sketch = MisraGriesSketch.from_stream(4, [1, 1, 2])
+        summary = sketch.summary()
+        assert summary.stream_length == 3
+        assert summary.capacity == 4
+        assert summary.estimate(1) == 2.0
+
+    def test_summary_is_immutable_snapshot(self):
+        sketch = MisraGriesSketch.from_stream(4, [1])
+        summary = sketch.summary()
+        sketch.update(1)
+        assert summary.estimate(1) == 1.0
+        assert sketch.estimate(1) == 2.0
+
+    def test_heavy_hitters_helper(self):
+        sketch = MisraGriesSketch.from_stream(4, [1, 1, 1, 2])
+        assert sketch.heavy_hitters(2) == {1: 3.0}
+
+    def test_iteration_yields_counter_items(self):
+        sketch = MisraGriesSketch.from_stream(4, [1, 2, 1])
+        assert dict(iter(sketch))[1] == 2.0
+
+    def test_update_all_returns_self(self):
+        sketch = MisraGriesSketch(2)
+        assert sketch.update_all([1, 2]) is sketch

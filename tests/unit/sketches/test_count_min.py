@@ -1,0 +1,72 @@
+"""Unit tests for the CountMin sketch."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sketches import CountMinSketch, ExactCounter
+from repro.streams import zipf_stream
+
+
+class TestCountMin:
+    def test_dimensions_validated(self):
+        with pytest.raises(ParameterError):
+            CountMinSketch(0, 3)
+        with pytest.raises(ParameterError):
+            CountMinSketch(10, 0)
+        with pytest.raises(ParameterError):
+            CountMinSketch(10, 3, seed=-1)
+
+    def test_never_underestimates(self):
+        stream = zipf_stream(2_000, 100, rng=0)
+        truth = ExactCounter.from_stream(stream)
+        sketch = CountMinSketch.from_stream(128, 4, stream)
+        for element in range(100):
+            assert sketch.estimate(element) >= truth.estimate(element)
+
+    def test_error_within_expected_scale(self):
+        stream = zipf_stream(5_000, 200, rng=1)
+        truth = ExactCounter.from_stream(stream)
+        sketch = CountMinSketch.from_stream(512, 5, stream)
+        bound = 2.72 * len(stream) / 512
+        exceed = sum(1 for element in range(200)
+                     if sketch.estimate(element) - truth.estimate(element) > bound)
+        assert exceed <= 10  # the bound holds in expectation per query
+
+    def test_deterministic_given_seed(self):
+        stream = zipf_stream(500, 50, rng=2)
+        first = CountMinSketch.from_stream(64, 3, stream, seed=9)
+        second = CountMinSketch.from_stream(64, 3, stream, seed=9)
+        assert (first.table() == second.table()).all()
+
+    def test_different_seeds_differ(self):
+        stream = zipf_stream(500, 50, rng=3)
+        first = CountMinSketch.from_stream(64, 3, stream, seed=1)
+        second = CountMinSketch.from_stream(64, 3, stream, seed=2)
+        assert not (first.table() == second.table()).all()
+
+    def test_from_error_bounds_sizing(self):
+        sketch = CountMinSketch.from_error_bounds(epsilon_rel=0.01, failure_prob=0.01)
+        assert sketch.width >= 272
+        assert sketch.depth >= 4
+
+    def test_from_error_bounds_validation(self):
+        with pytest.raises(ParameterError):
+            CountMinSketch.from_error_bounds(0.0, 0.1)
+        with pytest.raises(ParameterError):
+            CountMinSketch.from_error_bounds(0.1, 1.5)
+
+    def test_counters_view_covers_seen_keys(self):
+        sketch = CountMinSketch.from_stream(32, 3, ["a", "b", "a"])
+        counters = sketch.counters()
+        assert set(counters) == {"a", "b"}
+        assert counters["a"] >= 2
+
+    def test_weighted_updates(self):
+        sketch = CountMinSketch(32, 3)
+        sketch.update("x", weight=5.0)
+        assert sketch.estimate("x") >= 5.0
+
+    def test_string_and_int_keys_coexist(self):
+        sketch = CountMinSketch.from_stream(64, 3, ["a", 1, "a", 1, 2])
+        assert sketch.estimate("a") >= 2
+        assert sketch.estimate(1) >= 2

@@ -1,0 +1,53 @@
+"""Unit tests for the CountSketch."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sketches import CountSketch, ExactCounter
+from repro.streams import zipf_stream
+
+
+class TestCountSketch:
+    def test_dimensions_validated(self):
+        with pytest.raises(ParameterError):
+            CountSketch(0, 3)
+        with pytest.raises(ParameterError):
+            CountSketch(16, 0)
+
+    def test_heavy_hitters_recovered_accurately(self):
+        stream = zipf_stream(10_000, 500, exponent=1.5, rng=0)
+        truth = ExactCounter.from_stream(stream)
+        sketch = CountSketch.from_stream(1024, 5, stream)
+        # The few heaviest elements should be estimated within a small
+        # fraction of the stream length.
+        for element, exact in truth.top(5):
+            assert abs(sketch.estimate(element) - exact) <= 0.02 * len(stream)
+
+    def test_roughly_unbiased_on_average(self):
+        stream = zipf_stream(5_000, 100, rng=1)
+        truth = ExactCounter.from_stream(stream)
+        sketch = CountSketch.from_stream(512, 7, stream)
+        errors = [sketch.estimate(element) - truth.estimate(element) for element in range(100)]
+        assert abs(np.mean(errors)) <= 0.01 * len(stream)
+
+    def test_deterministic_given_seed(self):
+        stream = zipf_stream(300, 40, rng=2)
+        first = CountSketch.from_stream(64, 3, stream, seed=5)
+        second = CountSketch.from_stream(64, 3, stream, seed=5)
+        assert (first.table() == second.table()).all()
+
+    def test_signs_balance_table_sum(self):
+        # The total signed mass should be much smaller than the stream length.
+        stream = zipf_stream(5_000, 1_000, exponent=1.01, rng=3)
+        sketch = CountSketch.from_stream(256, 3, stream)
+        assert abs(sketch.table().sum()) < len(stream)
+
+    def test_counters_view(self):
+        sketch = CountSketch.from_stream(64, 3, ["a", "a", "b"])
+        assert set(sketch.counters()) == {"a", "b"}
+
+    def test_weighted_update(self):
+        sketch = CountSketch(64, 5)
+        sketch.update("x", weight=10.0)
+        assert sketch.estimate("x") == pytest.approx(10.0)

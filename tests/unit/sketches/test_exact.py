@@ -1,0 +1,44 @@
+"""Unit tests for the exact counter."""
+
+import pytest
+
+from repro.sketches import ExactCounter
+
+
+class TestExactCounter:
+    def test_counts_exactly(self):
+        counter = ExactCounter.from_stream([1, 2, 1, 1, 3])
+        assert counter.estimate(1) == 3.0
+        assert counter.estimate(2) == 1.0
+        assert counter.estimate(4) == 0.0
+
+    def test_stream_length_and_distinct(self):
+        counter = ExactCounter.from_stream(["a", "b", "a"])
+        assert counter.stream_length == 3
+        assert counter.distinct() == 2
+
+    def test_top(self):
+        counter = ExactCounter.from_stream([1, 1, 1, 2, 2, 3])
+        assert counter.top(2) == [(1, 3.0), (2, 2.0)]
+
+    def test_update_sets(self):
+        counter = ExactCounter()
+        counter.update_sets([{1, 2}, {1, 3}, {1}])
+        assert counter.estimate(1) == 3.0
+        assert counter.estimate(2) == 1.0
+        assert counter.stream_length == 5
+
+    def test_counters_returns_copy(self):
+        counter = ExactCounter.from_stream([1])
+        view = counter.counters()
+        view[1] = 99.0
+        assert counter.estimate(1) == 1.0
+
+    def test_empty(self):
+        counter = ExactCounter()
+        assert counter.counters() == {}
+        assert counter.top(3) == []
+
+    def test_heavy_hitters_helper(self):
+        counter = ExactCounter.from_stream([1, 1, 1, 2])
+        assert counter.heavy_hitters(2) == {1: 3.0}

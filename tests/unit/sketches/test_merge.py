@@ -1,0 +1,95 @@
+"""Unit tests for the Agarwal et al. merging algorithm."""
+
+import pytest
+
+from repro.exceptions import ParameterError, SketchStateError
+from repro.sketches import ExactCounter, MisraGriesSketch
+from repro.sketches.merge import merge_many, merge_misra_gries, sum_counters
+from repro.streams import zipf_stream, split_contiguous
+
+
+class TestMergeTwo:
+    def test_small_inputs_simply_sum(self):
+        merged = merge_misra_gries({"a": 2.0}, {"a": 1.0, "b": 3.0}, k=4)
+        assert merged == {"a": 3.0, "b": 3.0}
+
+    def test_reduction_to_k_counters(self):
+        first = {"a": 10.0, "b": 5.0, "c": 2.0}
+        second = {"d": 7.0, "e": 1.0}
+        merged = merge_misra_gries(first, second, k=2)
+        assert len(merged) <= 2
+        # The (k+1) = 3rd largest combined counter is 5, so a -> 5, d -> 2.
+        assert merged == {"a": 5.0, "d": 2.0}
+
+    def test_accepts_sketch_objects(self):
+        left = MisraGriesSketch.from_stream(4, [1, 1, 2])
+        right = MisraGriesSketch.from_stream(4, [1, 3])
+        merged = merge_misra_gries(left, right, k=4)
+        assert merged[1] == 3.0
+
+    def test_rejects_negative_counters(self):
+        with pytest.raises(SketchStateError):
+            merge_misra_gries({"a": -1.0}, {}, k=2)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ParameterError):
+            merge_misra_gries({}, {}, k=0)
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(ParameterError):
+            merge_misra_gries([("a", 1.0)], {}, k=2)
+
+
+class TestMergeMany:
+    def test_empty_list(self):
+        assert merge_many([], k=4) == {}
+
+    def test_single_oversized_input_reduced(self):
+        counters = {i: float(i + 1) for i in range(10)}
+        merged = merge_many([counters], k=3)
+        assert len(merged) <= 3
+
+    def test_error_bound_preserved_across_merges(self):
+        # Lemma 29: merged sketches have error at most N/(k+1).
+        stream = zipf_stream(6_000, 150, exponent=1.2, rng=0)
+        truth = ExactCounter.from_stream(stream)
+        k = 16
+        parts = split_contiguous(stream, 6)
+        sketches = [MisraGriesSketch.from_stream(k, part) for part in parts]
+        merged = merge_many(sketches, k)
+        bound = len(stream) / (k + 1)
+        for element in range(150):
+            estimate = merged.get(element, 0.0)
+            exact = truth.estimate(element)
+            assert exact - bound - 1e-9 <= estimate <= exact + 1e-9
+
+    def test_merge_order_keeps_guarantee(self):
+        stream = zipf_stream(2_000, 60, exponent=1.3, rng=1)
+        truth = ExactCounter.from_stream(stream)
+        k = 8
+        parts = split_contiguous(stream, 4)
+        sketches = [MisraGriesSketch.from_stream(k, part) for part in parts]
+        forward = merge_many(sketches, k)
+        backward = merge_many(list(reversed(sketches)), k)
+        bound = len(stream) / (k + 1)
+        for merged in (forward, backward):
+            for element in range(60):
+                assert truth.estimate(element) - bound - 1e-9 <= merged.get(element, 0.0)
+
+    def test_result_size_bounded(self):
+        sketches = [{i + offset: 1.0 for i in range(10)} for offset in (0, 5, 10)]
+        assert len(merge_many(sketches, k=5)) <= 5
+
+
+class TestSumCounters:
+    def test_plain_sum(self):
+        total = sum_counters([{"a": 1.0, "b": 2.0}, {"a": 3.0}])
+        assert total == {"a": 4.0, "b": 2.0}
+
+    def test_accepts_sketches(self):
+        left = MisraGriesSketch.from_stream(4, [1, 1])
+        right = MisraGriesSketch.from_stream(4, [1])
+        assert sum_counters([left, right])[1] == 3.0
+
+    def test_empty(self):
+        assert sum_counters([]) == {}

@@ -1,0 +1,131 @@
+"""Unit tests for the paper-variant Misra-Gries sketch (Algorithm 1)."""
+
+import pytest
+
+from repro.exceptions import ParameterError, SketchStateError
+from repro.sketches import ExactCounter, MisraGriesSketch
+from repro.sketches.misra_gries import DummyKey
+from repro.streams import zipf_stream
+
+
+class TestConstruction:
+    def test_requires_positive_k(self):
+        with pytest.raises(ParameterError):
+            MisraGriesSketch(0)
+
+    def test_starts_with_k_dummy_counters(self):
+        sketch = MisraGriesSketch(5)
+        raw = sketch.raw_counters()
+        assert len(raw) == 5
+        assert all(isinstance(key, DummyKey) for key in raw)
+        assert all(value == 0.0 for value in raw.values())
+
+    def test_counters_view_hides_dummies(self):
+        assert MisraGriesSketch(3).counters() == {}
+
+    def test_memory_words(self):
+        assert MisraGriesSketch(8).memory_words() == 16
+
+
+class TestUpdates:
+    def test_single_element(self):
+        sketch = MisraGriesSketch(2)
+        sketch.update("a")
+        assert sketch.estimate("a") == 1.0
+        assert sketch.stream_length == 1
+
+    def test_increment_branch(self):
+        sketch = MisraGriesSketch(2)
+        sketch.update_all(["a", "a", "a"])
+        assert sketch.estimate("a") == 3.0
+
+    def test_always_exactly_k_keys_stored(self):
+        sketch = MisraGriesSketch(4)
+        sketch.update_all(zipf_stream(500, 50, rng=0))
+        assert len(sketch.raw_counters()) == 4
+
+    def test_decrement_branch(self):
+        # k=2: after a, b the sketch is full with counts 1,1; c triggers the
+        # decrement-all branch.
+        sketch = MisraGriesSketch(2)
+        sketch.update_all(["a", "b", "c"])
+        assert sketch.estimate("a") == 0.0
+        assert sketch.estimate("b") == 0.0
+        assert sketch.estimate("c") == 0.0
+        assert sketch.decrement_rounds == 1
+        # The keys a, b are still stored (zero counters are kept).
+        assert {"a", "b"} <= sketch.stored_keys()
+
+    def test_replace_smallest_zero_key(self):
+        sketch = MisraGriesSketch(2)
+        sketch.update_all(["a", "b", "c"])  # a, b stored with count 0
+        sketch.update("d")
+        # "a" is the smallest zero-count key, so it is replaced by "d".
+        assert "a" not in sketch.stored_keys()
+        assert "b" in sketch.stored_keys()
+        assert sketch.estimate("d") == 1.0
+
+    def test_dummy_keys_evicted_after_real_keys(self):
+        sketch = MisraGriesSketch(3)
+        sketch.update("x")
+        # Two dummies remain; the next new element replaces a dummy, not "x".
+        sketch.update("y")
+        assert sketch.estimate("x") == 1.0
+        assert sketch.estimate("y") == 1.0
+
+    def test_rejects_dummy_key_input(self):
+        sketch = MisraGriesSketch(2)
+        with pytest.raises(SketchStateError):
+            sketch.update(DummyKey(1))
+
+    def test_estimate_of_dummy_is_zero(self):
+        sketch = MisraGriesSketch(2)
+        assert sketch.estimate(DummyKey(1)) == 0.0
+
+
+class TestGuarantees:
+    def test_fact7_error_bound_on_zipf(self):
+        stream = zipf_stream(5_000, 200, exponent=1.1, rng=1)
+        truth = ExactCounter.from_stream(stream)
+        for k in (4, 16, 64):
+            sketch = MisraGriesSketch.from_stream(k, stream)
+            bound = len(stream) / (k + 1)
+            for element in range(200):
+                estimate = sketch.estimate(element)
+                exact = truth.estimate(element)
+                assert exact - bound <= estimate <= exact
+
+    def test_never_overestimates(self):
+        stream = [1, 1, 2, 3, 1, 4, 1, 5]
+        sketch = MisraGriesSketch.from_stream(2, stream)
+        truth = ExactCounter.from_stream(stream)
+        for element in set(stream):
+            assert sketch.estimate(element) <= truth.estimate(element)
+
+    def test_error_bound_helper(self):
+        sketch = MisraGriesSketch.from_stream(9, range(100))
+        assert sketch.error_bound() == pytest.approx(10.0)
+
+    def test_heavy_element_survives(self):
+        # A strict majority element is always reported with a positive count.
+        stream = [7] * 60 + list(range(50))
+        sketch = MisraGriesSketch.from_stream(8, stream)
+        assert sketch.estimate(7) > 0
+
+    def test_from_stream_equals_manual_updates(self):
+        stream = zipf_stream(300, 30, rng=2)
+        manual = MisraGriesSketch(6)
+        manual.update_all(stream)
+        auto = MisraGriesSketch.from_stream(6, stream)
+        assert manual.raw_counters() == auto.raw_counters()
+
+
+class TestStoredKeyOrderIndependence:
+    def test_eviction_is_deterministic(self):
+        stream = zipf_stream(1_000, 40, rng=3)
+        first = MisraGriesSketch.from_stream(5, stream)
+        second = MisraGriesSketch.from_stream(5, stream)
+        assert first.raw_counters() == second.raw_counters()
+
+    def test_repr_mentions_size(self):
+        assert "k=5" in repr(MisraGriesSketch(5))

@@ -1,0 +1,60 @@
+"""Unit tests for the standard (textbook) Misra-Gries sketch."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sketches import ExactCounter, MisraGriesSketch, StandardMisraGriesSketch
+from repro.streams import zipf_stream
+
+
+class TestStandardMisraGries:
+    def test_requires_positive_k(self):
+        with pytest.raises(ParameterError):
+            StandardMisraGriesSketch(0)
+
+    def test_stores_at_most_k_keys(self):
+        sketch = StandardMisraGriesSketch.from_stream(4, zipf_stream(500, 80, rng=0))
+        assert len(sketch.counters()) <= 4
+
+    def test_no_zero_counters_stored(self):
+        sketch = StandardMisraGriesSketch.from_stream(3, [1, 2, 3, 4, 5, 6])
+        assert all(value > 0 for value in sketch.counters().values())
+
+    def test_fact7_error_bound(self):
+        stream = zipf_stream(3_000, 100, exponent=1.2, rng=1)
+        truth = ExactCounter.from_stream(stream)
+        for k in (5, 20):
+            sketch = StandardMisraGriesSketch.from_stream(k, stream)
+            bound = len(stream) / (k + 1)
+            for element in range(100):
+                estimate = sketch.estimate(element)
+                exact = truth.estimate(element)
+                assert exact - bound <= estimate <= exact
+
+    def test_estimates_match_paper_variant(self):
+        # The paper relies on the two variants producing identical estimates.
+        stream = zipf_stream(2_000, 60, exponent=1.1, rng=2)
+        for k in (3, 8, 32):
+            standard = StandardMisraGriesSketch.from_stream(k, stream)
+            variant = MisraGriesSketch.from_stream(k, stream)
+            for element in range(60):
+                assert standard.estimate(element) == variant.estimate(element)
+
+    def test_decrement_rounds_tracked(self):
+        sketch = StandardMisraGriesSketch.from_stream(2, [1, 2, 3])
+        assert sketch.decrement_rounds == 1
+
+    def test_key_sets_can_differ_from_paper_variant(self):
+        # k distinct elements each once: the standard sketch stores them all
+        # with count 1, while deleting one element changes its stored set —
+        # the scenario motivating the Section 5.1 threshold.
+        stream = [1, 2, 3, 4]
+        sketch = StandardMisraGriesSketch.from_stream(4, stream)
+        assert len(sketch.counters()) == 4
+
+    def test_error_bound_helper(self):
+        sketch = StandardMisraGriesSketch.from_stream(9, range(100))
+        assert sketch.error_bound() == pytest.approx(10.0)
+
+    def test_repr(self):
+        assert "StandardMisraGries" in repr(StandardMisraGriesSketch(3))

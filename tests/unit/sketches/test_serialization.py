@@ -1,0 +1,97 @@
+"""Unit tests for sketch and histogram serialization."""
+
+import pytest
+
+from repro.core import PrivateMisraGries
+from repro.exceptions import ParameterError, SketchStateError
+from repro.sketches import (
+    MisraGriesSketch,
+    StandardMisraGriesSketch,
+    load_histogram,
+    load_sketch,
+    save_histogram,
+    save_sketch,
+    sketch_from_dict,
+    sketch_to_dict,
+)
+from repro.sketches.serialization import histogram_from_dict, histogram_to_dict
+from repro.streams import zipf_stream
+
+
+class TestSketchRoundTrip:
+    def test_paper_variant_roundtrip(self, tmp_path):
+        sketch = MisraGriesSketch.from_stream(16, zipf_stream(2_000, 100, rng=0))
+        path = tmp_path / "sketch.json"
+        save_sketch(sketch, path)
+        restored = load_sketch(path)
+        assert isinstance(restored, MisraGriesSketch)
+        assert restored.raw_counters() == sketch.raw_counters()
+        assert restored.stream_length == sketch.stream_length
+        assert restored.decrement_rounds == sketch.decrement_rounds
+
+    def test_standard_variant_roundtrip(self, tmp_path):
+        sketch = StandardMisraGriesSketch.from_stream(8, zipf_stream(500, 40, rng=1))
+        path = tmp_path / "sketch.json"
+        save_sketch(sketch, path)
+        restored = load_sketch(path)
+        assert isinstance(restored, StandardMisraGriesSketch)
+        assert restored.counters() == sketch.counters()
+
+    def test_restored_sketch_accepts_updates(self, tmp_path):
+        stream = zipf_stream(1_000, 30, rng=2)
+        sketch = MisraGriesSketch.from_stream(8, stream[:500])
+        path = tmp_path / "sketch.json"
+        save_sketch(sketch, path)
+        restored = load_sketch(path)
+        restored.update_all(stream[500:])
+        direct = MisraGriesSketch.from_stream(8, stream)
+        assert restored.counters() == direct.counters()
+
+    def test_string_keys_roundtrip(self, tmp_path):
+        sketch = StandardMisraGriesSketch.from_stream(4, ["alpha", "beta", "alpha"])
+        path = tmp_path / "sketch.json"
+        save_sketch(sketch, path)
+        assert load_sketch(path).estimate("alpha") == 2.0
+
+    def test_unsupported_key_type_rejected(self):
+        sketch = StandardMisraGriesSketch(4)
+        sketch.update((1, 2))
+        with pytest.raises(ParameterError):
+            sketch_to_dict(sketch)
+
+    def test_bad_format_version_rejected(self):
+        payload = sketch_to_dict(MisraGriesSketch(2))
+        payload["format_version"] = 99
+        with pytest.raises(SketchStateError):
+            sketch_from_dict(payload)
+
+    def test_unknown_kind_rejected(self):
+        payload = sketch_to_dict(MisraGriesSketch(2))
+        payload["kind"] = "bloom_filter"
+        with pytest.raises(SketchStateError):
+            sketch_from_dict(payload)
+
+    def test_wrong_counter_count_rejected(self):
+        payload = sketch_to_dict(MisraGriesSketch(2))
+        payload["counters"] = {"i:1": 1.0}
+        with pytest.raises(SketchStateError):
+            sketch_from_dict(payload)
+
+
+class TestHistogramRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        sketch = MisraGriesSketch.from_stream(16, zipf_stream(5_000, 100, exponent=1.4, rng=3))
+        histogram = PrivateMisraGries(epsilon=1.0, delta=1e-6).release(sketch, rng=4)
+        path = tmp_path / "histogram.json"
+        save_histogram(histogram, path)
+        restored = load_histogram(path)
+        assert restored.as_dict() == histogram.as_dict()
+        assert restored.metadata == histogram.metadata
+
+    def test_wrong_kind_rejected(self):
+        sketch = MisraGriesSketch.from_stream(4, [1, 1, 2])
+        histogram = PrivateMisraGries(epsilon=1.0, delta=1e-6).release(sketch, rng=0)
+        payload = histogram_to_dict(histogram)
+        payload["kind"] = "something_else"
+        with pytest.raises(SketchStateError):
+            histogram_from_dict(payload)

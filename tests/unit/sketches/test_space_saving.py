@@ -1,0 +1,50 @@
+"""Unit tests for the SpaceSaving sketch."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sketches import ExactCounter, SpaceSavingSketch
+from repro.streams import zipf_stream
+
+
+class TestSpaceSaving:
+    def test_requires_positive_k(self):
+        with pytest.raises(ParameterError):
+            SpaceSavingSketch(0)
+
+    def test_stores_at_most_k_keys(self):
+        sketch = SpaceSavingSketch.from_stream(6, zipf_stream(1_000, 100, rng=0))
+        assert len(sketch.counters()) <= 6
+
+    def test_overestimates_within_bound(self):
+        stream = zipf_stream(3_000, 80, exponent=1.2, rng=1)
+        truth = ExactCounter.from_stream(stream)
+        k = 10
+        sketch = SpaceSavingSketch.from_stream(k, stream)
+        bound = len(stream) / k
+        for element, estimate in sketch.counters().items():
+            exact = truth.estimate(element)
+            assert exact <= estimate <= exact + bound
+
+    def test_total_count_preserved(self):
+        # SpaceSaving counters sum to exactly the stream length.
+        stream = zipf_stream(500, 30, rng=2)
+        sketch = SpaceSavingSketch.from_stream(7, stream)
+        assert sum(sketch.counters().values()) == pytest.approx(len(stream))
+
+    def test_replacement_takes_min_plus_one(self):
+        sketch = SpaceSavingSketch(2)
+        sketch.update_all(["a", "a", "b"])
+        sketch.update("c")  # replaces "b" (count 1) with count 2
+        assert sketch.estimate("c") == 2.0
+        assert sketch.estimate("b") == 0.0
+
+    def test_error_bound_helper(self):
+        sketch = SpaceSavingSketch.from_stream(10, range(100))
+        assert sketch.error_bound() == pytest.approx(10.0)
+
+    def test_majority_element_is_top(self):
+        stream = [9] * 80 + list(range(40))
+        sketch = SpaceSavingSketch.from_stream(8, stream)
+        top_key, _ = max(sketch.counters().items(), key=lambda kv: kv[1])
+        assert top_key == 9

@@ -1,0 +1,85 @@
+"""Unit tests for the adversarial / worst-case stream constructions."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sketches import ExactCounter, MisraGriesSketch
+from repro.streams import (
+    alternating_stream,
+    lemma25_streams,
+    mg_worst_case_stream,
+    tight_error_stream,
+)
+from repro.streams.user_streams import flatten_user_stream
+
+
+class TestMgWorstCase:
+    def test_contents(self):
+        stream = mg_worst_case_stream(k=3, repetitions=2)
+        assert len(stream) == 8
+        truth = ExactCounter.from_stream(stream)
+        assert all(truth.estimate(i) == 2 for i in range(4))
+
+    def test_forces_maximum_error(self):
+        k, repetitions = 4, 50
+        stream = mg_worst_case_stream(k, repetitions)
+        sketch = MisraGriesSketch.from_stream(k, stream)
+        # Some element with true frequency `repetitions` is estimated at 0,
+        # which exactly matches the n/(k+1) bound.
+        worst = max(repetitions - sketch.estimate(i) for i in range(k + 1))
+        assert worst == pytest.approx(len(stream) / (k + 1))
+
+    def test_zero_repetitions(self):
+        assert mg_worst_case_stream(3, 0) == []
+
+
+class TestTightErrorStream:
+    def test_length_rounded_down(self):
+        stream = tight_error_stream(k=3, n=10)
+        assert len(stream) == 8  # 2 repetitions of 4 elements
+
+    def test_small_n_gives_empty(self):
+        assert tight_error_stream(k=10, n=5) == []
+
+
+class TestAlternatingStream:
+    def test_heavy_element_count(self):
+        stream = alternating_stream(k=3, rounds=5)
+        truth = ExactCounter.from_stream(stream)
+        assert truth.estimate(0) == 5
+        assert len(stream) == 5 * 4
+
+    def test_heavy_element_suppressed_in_sketch(self):
+        k, rounds = 4, 30
+        stream = alternating_stream(k, rounds)
+        sketch = MisraGriesSketch.from_stream(k, stream)
+        # The fresh elements keep displacing the heavy element's counter.
+        assert sketch.estimate(0) <= rounds
+        assert sketch.estimate(0) <= len(stream) / (k + 1) + 1
+
+
+class TestLemma25Streams:
+    def test_neighbouring_by_one_user(self):
+        stream, neighbour = lemma25_streams(k=6, m=3, tail_length=5)
+        assert len(stream) == len(neighbour) + 1
+        # Every user set respects the contribution bound.
+        assert all(len(user) <= 3 for user in stream)
+
+    def test_counter_gap_is_m(self):
+        # The construction makes the MG counter of the target element differ
+        # by exactly m between the flattened neighbouring streams (Lemma 25).
+        for k, m in ((5, 2), (8, 4), (12, 12)):
+            stream, neighbour = lemma25_streams(k=k, m=m, tail_length=6)
+            sketch = MisraGriesSketch.from_stream(k, flatten_user_stream(stream))
+            sketch_neighbour = MisraGriesSketch.from_stream(k, flatten_user_stream(neighbour))
+            gap = sketch.estimate("x") - sketch_neighbour.estimate("x")
+            assert gap == pytest.approx(m)
+
+    def test_requires_m_at_most_k(self):
+        with pytest.raises(ParameterError):
+            lemma25_streams(k=3, m=4)
+
+    def test_padding_elements_distinct_per_user(self):
+        stream, _ = lemma25_streams(k=6, m=3)
+        for user in stream:
+            assert len(user) == len(set(user))

@@ -1,0 +1,53 @@
+"""Unit tests for the named synthetic datasets."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.streams import list_datasets, load_dataset
+
+
+class TestDatasetRegistry:
+    def test_list_datasets(self):
+        names = list_datasets()
+        assert "network_flows" in names
+        assert "user_purchases" in names
+        assert names == sorted(names)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ParameterError, match="unknown dataset"):
+            load_dataset("does_not_exist")
+
+
+class TestElementDatasets:
+    @pytest.mark.parametrize("name", ["network_flows", "search_queries",
+                                      "flat_background", "planted_heavy_hitters"])
+    def test_shape(self, name):
+        dataset = load_dataset(name, n=2_000, rng=0)
+        assert dataset.length == 2_000
+        assert not dataset.user_level
+        assert all(0 <= x < dataset.universe_size for x in dataset.stream)
+
+    def test_reproducible(self):
+        first = load_dataset("network_flows", n=1_000, rng=3)
+        second = load_dataset("network_flows", n=1_000, rng=3)
+        assert first.stream == second.stream
+
+    def test_different_seeds_differ(self):
+        first = load_dataset("network_flows", n=1_000, rng=1)
+        second = load_dataset("network_flows", n=1_000, rng=2)
+        assert first.stream != second.stream
+
+    def test_planted_dataset_has_heavy_hitters(self):
+        from repro.sketches import ExactCounter
+
+        dataset = load_dataset("planted_heavy_hitters", n=20_000, rng=0)
+        truth = ExactCounter.from_stream(dataset.stream)
+        assert truth.estimate(0) > 0.01 * dataset.length
+
+
+class TestUserLevelDataset:
+    def test_user_purchases_shape(self):
+        dataset = load_dataset("user_purchases", n=500, rng=0)
+        assert dataset.user_level
+        assert dataset.length == 500
+        assert all(1 <= len(user) <= 8 for user in dataset.stream)

@@ -1,0 +1,100 @@
+"""Unit tests for the random stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sketches import ExactCounter
+from repro.streams import constant_stream, shuffled_exact_frequencies, uniform_stream, zipf_stream
+from repro.streams.generators import planted_heavy_hitters_stream
+
+
+class TestZipfStream:
+    def test_length_and_range(self):
+        stream = zipf_stream(1_000, 50, rng=0)
+        assert len(stream) == 1_000
+        assert all(0 <= x < 50 for x in stream)
+
+    def test_reproducible(self):
+        assert zipf_stream(200, 30, rng=5) == zipf_stream(200, 30, rng=5)
+
+    def test_skew_orders_frequencies(self):
+        stream = zipf_stream(50_000, 100, exponent=1.5, rng=1)
+        truth = ExactCounter.from_stream(stream)
+        assert truth.estimate(0) > truth.estimate(10) > truth.estimate(90)
+
+    def test_higher_exponent_more_skewed(self):
+        mild = ExactCounter.from_stream(zipf_stream(20_000, 100, exponent=1.01, rng=2))
+        steep = ExactCounter.from_stream(zipf_stream(20_000, 100, exponent=2.0, rng=2))
+        assert steep.estimate(0) > mild.estimate(0)
+
+    def test_zero_length(self):
+        assert zipf_stream(0, 10, rng=0) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            zipf_stream(-1, 10)
+        with pytest.raises(ParameterError):
+            zipf_stream(10, 0)
+        with pytest.raises(ParameterError):
+            zipf_stream(10, 10, exponent=0.0)
+
+
+class TestUniformStream:
+    def test_length_and_range(self):
+        stream = uniform_stream(500, 20, rng=0)
+        assert len(stream) == 500
+        assert set(stream) <= set(range(20))
+
+    def test_roughly_uniform(self):
+        stream = uniform_stream(40_000, 10, rng=1)
+        truth = ExactCounter.from_stream(stream)
+        counts = [truth.estimate(i) for i in range(10)]
+        assert max(counts) - min(counts) < 0.15 * 4_000 + 400
+
+    def test_zero_length(self):
+        assert uniform_stream(0, 5) == []
+
+
+class TestConstantStream:
+    def test_contents(self):
+        assert constant_stream(4, element=9) == [9, 9, 9, 9]
+
+    def test_zero(self):
+        assert constant_stream(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            constant_stream(-1)
+
+
+class TestShuffledExactFrequencies:
+    def test_realizes_exact_counts(self):
+        frequencies = {1: 5, 2: 3, 7: 0}
+        stream = shuffled_exact_frequencies(frequencies, rng=0)
+        truth = ExactCounter.from_stream(stream)
+        assert truth.estimate(1) == 5
+        assert truth.estimate(2) == 3
+        assert truth.estimate(7) == 0
+        assert len(stream) == 8
+
+    def test_shuffle_reproducible(self):
+        frequencies = {1: 3, 2: 3}
+        assert (shuffled_exact_frequencies(frequencies, rng=1)
+                == shuffled_exact_frequencies(frequencies, rng=1))
+
+
+class TestPlantedHeavyHitters:
+    def test_planted_elements_are_heavy(self):
+        stream = planted_heavy_hitters_stream(50_000, 1_000, num_heavy=5,
+                                              heavy_fraction=0.5, rng=0)
+        truth = ExactCounter.from_stream(stream)
+        heavy_counts = [truth.estimate(i) for i in range(5)]
+        light_counts = [truth.estimate(i) for i in range(5, 100)]
+        assert min(heavy_counts) > 10 * max(light_counts)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            planted_heavy_hitters_stream(100, 10, num_heavy=10)
+        with pytest.raises(ValueError):
+            planted_heavy_hitters_stream(100, 10, num_heavy=2, heavy_fraction=1.5)

@@ -1,0 +1,58 @@
+"""Unit tests for stream persistence."""
+
+import pytest
+
+from repro.exceptions import StreamFormatError
+from repro.streams import read_stream, write_stream
+from repro.streams.io import iter_stream
+
+
+class TestElementStreams:
+    def test_roundtrip_ints(self, tmp_path):
+        stream = [1, 5, 2, 2, 9]
+        path = tmp_path / "stream.txt"
+        assert write_stream(path, stream) == 5
+        assert read_stream(path) == stream
+
+    def test_roundtrip_strings(self, tmp_path):
+        stream = ["alpha", "beta", "alpha"]
+        path = tmp_path / "stream.txt"
+        write_stream(path, stream)
+        assert read_stream(path) == stream
+
+    def test_mixed_parse(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        write_stream(path, [1, "two", 3])
+        assert read_stream(path) == [1, "two", 3]
+
+    def test_parse_int_disabled(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        write_stream(path, [1, 2])
+        assert read_stream(path, parse_int=False) == ["1", "2"]
+
+    def test_iter_stream_lazy(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        write_stream(path, range(100))
+        assert list(iter_stream(path)) == list(range(100))
+
+    def test_rejects_newline_in_element(self, tmp_path):
+        with pytest.raises(StreamFormatError):
+            write_stream(tmp_path / "bad.txt", ["a\nb"])
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "stream.txt"
+        write_stream(path, [1])
+        assert read_stream(path) == [1]
+
+
+class TestUserLevelStreams:
+    def test_roundtrip(self, tmp_path):
+        stream = [frozenset({1, 2}), frozenset({3})]
+        path = tmp_path / "users.txt"
+        write_stream(path, stream, user_level=True)
+        loaded = read_stream(path, user_level=True)
+        assert loaded == stream
+
+    def test_rejects_commas_in_elements(self, tmp_path):
+        with pytest.raises(StreamFormatError):
+            write_stream(tmp_path / "bad.txt", [frozenset({"a,b"})], user_level=True)

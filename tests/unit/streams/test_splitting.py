@@ -1,0 +1,39 @@
+"""Unit tests for stream splitting."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.streams import split_contiguous, split_round_robin
+
+
+class TestSplitContiguous:
+    def test_partition_covers_stream(self):
+        stream = list(range(10))
+        parts = split_contiguous(stream, 3)
+        assert [len(p) for p in parts] == [4, 3, 3]
+        assert [x for part in parts for x in part] == stream
+
+    def test_more_parts_than_elements(self):
+        parts = split_contiguous([1, 2], 4)
+        assert parts == [[1], [2], [], []]
+
+    def test_single_part(self):
+        assert split_contiguous([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_invalid_parts(self):
+        with pytest.raises(ParameterError):
+            split_contiguous([1], 0)
+
+
+class TestSplitRoundRobin:
+    def test_dealing_order(self):
+        parts = split_round_robin(list(range(7)), 3)
+        assert parts == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_partition_covers_stream(self):
+        stream = list(range(20))
+        parts = split_round_robin(stream, 4)
+        assert sorted(x for part in parts for x in part) == stream
+
+    def test_empty_stream(self):
+        assert split_round_robin([], 3) == [[], [], []]

@@ -1,0 +1,83 @@
+"""Unit tests for user-level stream generation and validation."""
+
+import pytest
+
+from repro.exceptions import StreamFormatError
+from repro.streams import (
+    distinct_user_stream,
+    duplicate_user_stream,
+    flatten_user_stream,
+    user_stream_total_length,
+)
+from repro.streams.user_streams import validate_user_stream
+
+
+class TestDistinctUserStream:
+    def test_respects_contribution_bound(self):
+        stream = distinct_user_stream(200, 100, max_contribution=5, rng=0)
+        assert len(stream) == 200
+        assert all(1 <= len(user) <= 5 for user in stream)
+
+    def test_elements_distinct_within_user(self):
+        stream = distinct_user_stream(100, 50, max_contribution=8, rng=1)
+        for user in stream:
+            assert len(user) == len(set(user))
+
+    def test_elements_in_universe(self):
+        stream = distinct_user_stream(100, 20, max_contribution=3, rng=2)
+        assert all(all(0 <= x < 20 for x in user) for user in stream)
+
+    def test_reproducible(self):
+        assert (distinct_user_stream(50, 30, 4, rng=3)
+                == distinct_user_stream(50, 30, 4, rng=3))
+
+    def test_contribution_larger_than_universe_rejected(self):
+        with pytest.raises(StreamFormatError):
+            distinct_user_stream(10, 3, max_contribution=5)
+
+    def test_popular_elements_appear_more(self):
+        stream = distinct_user_stream(3_000, 200, max_contribution=5, exponent=1.5, rng=4)
+        count_popular = sum(1 for user in stream if 0 in user)
+        count_rare = sum(1 for user in stream if 150 in user)
+        assert count_popular > count_rare
+
+
+class TestDuplicateUserStream:
+    def test_tuples_and_bound(self):
+        stream = duplicate_user_stream(100, 50, max_contribution=4, rng=0)
+        assert all(isinstance(user, tuple) and 1 <= len(user) <= 4 for user in stream)
+
+    def test_duplicates_possible(self):
+        stream = duplicate_user_stream(2_000, 3, max_contribution=4, rng=1)
+        assert any(len(set(user)) < len(user) for user in stream)
+
+
+class TestFlattening:
+    def test_flatten_preserves_counts(self):
+        stream = [frozenset({1, 2}), frozenset({2, 3})]
+        flat = flatten_user_stream(stream)
+        assert sorted(flat) == [1, 2, 2, 3]
+
+    def test_flatten_sorts_within_user(self):
+        flat = flatten_user_stream([frozenset({3, 1, 2})])
+        assert flat == sorted(flat, key=repr)
+
+    def test_total_length(self):
+        stream = [frozenset({1, 2}), frozenset({5})]
+        assert user_stream_total_length(stream) == 3
+
+
+class TestValidation:
+    def test_valid_stream_passes(self):
+        validate_user_stream([frozenset({1, 2}), frozenset({3})], max_contribution=2)
+
+    def test_oversized_user_rejected(self):
+        with pytest.raises(StreamFormatError):
+            validate_user_stream([frozenset({1, 2, 3})], max_contribution=2)
+
+    def test_duplicates_rejected_when_distinct_required(self):
+        with pytest.raises(StreamFormatError):
+            validate_user_stream([(1, 1)], max_contribution=3, require_distinct=True)
+
+    def test_duplicates_allowed_when_not_required(self):
+        validate_user_stream([(1, 1)], max_contribution=3, require_distinct=False)

@@ -1,0 +1,36 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    CalibrationError,
+    ParameterError,
+    PrivacyParameterError,
+    ReproError,
+    SketchStateError,
+    StreamFormatError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (ParameterError, PrivacyParameterError, SketchStateError,
+                     StreamFormatError, CalibrationError):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_parameter_error_is_value_error():
+    assert issubclass(ParameterError, ValueError)
+    assert issubclass(PrivacyParameterError, ParameterError)
+
+
+def test_sketch_state_error_is_runtime_error():
+    assert issubclass(SketchStateError, RuntimeError)
+
+
+def test_stream_format_error_is_value_error():
+    assert issubclass(StreamFormatError, ValueError)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(ReproError):
+        raise PrivacyParameterError("bad epsilon")

@@ -1,0 +1,103 @@
+"""Unit tests for the shared validation helpers."""
+
+import math
+
+import pytest
+
+from repro._validation import (
+    check_delta,
+    check_epsilon,
+    check_non_negative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+)
+from repro.exceptions import ParameterError, PrivacyParameterError
+
+
+class TestPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ParameterError):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            check_positive_int(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ParameterError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ParameterError):
+            check_positive_int(2.5, "x")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ParameterError, match="width"):
+            check_positive_int(-3, "width")
+
+
+class TestNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            check_non_negative_int(-2, "x")
+
+
+class TestPositiveFloat:
+    def test_accepts_int_and_float(self):
+        assert check_positive_float(2, "x") == 2.0
+        assert check_positive_float(0.5, "x") == 0.5
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ParameterError):
+            check_positive_float(0.0, "x")
+        with pytest.raises(ParameterError):
+            check_positive_float(-1.0, "x")
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ParameterError):
+            check_positive_float(float("nan"), "x")
+        with pytest.raises(ParameterError):
+            check_positive_float(math.inf, "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ParameterError):
+            check_positive_float("abc", "x")
+
+
+class TestEpsilonDelta:
+    def test_epsilon_valid(self):
+        assert check_epsilon(0.1) == 0.1
+
+    def test_epsilon_invalid(self):
+        for bad in (0, -1, math.inf, float("nan")):
+            with pytest.raises(PrivacyParameterError):
+                check_epsilon(bad)
+
+    def test_delta_valid(self):
+        assert check_delta(1e-6) == 1e-6
+
+    def test_delta_zero_allowed_only_when_requested(self):
+        assert check_delta(0.0, allow_zero=True) == 0.0
+        with pytest.raises(PrivacyParameterError):
+            check_delta(0.0)
+
+    def test_delta_one_rejected(self):
+        with pytest.raises(PrivacyParameterError):
+            check_delta(1.0)
+
+
+class TestProbability:
+    def test_valid(self):
+        assert check_probability(0.5, "p") == 0.5
+
+    def test_invalid_bounds(self):
+        for bad in (0.0, 1.0, -0.1, 1.1):
+            with pytest.raises(ParameterError):
+                check_probability(bad, "p")
