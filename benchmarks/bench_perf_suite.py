@@ -1,0 +1,176 @@
+"""Sketch-engine performance suite (decrement-heavy + E11 Zipf workloads).
+
+Measures the update throughput of the optimized Misra-Gries engine against
+the frozen O(k) reference implementation (the seed engine preserved in
+:mod:`repro.sketches._reference`) on
+
+* an adversarial **all-distinct** stream with ``k = 1024`` — every element is
+  new, so the stream alternates decrement rounds with evictions, the exact
+  regime where the seed's O(k) branches collapsed; and
+* the **E11 Zipf workload** (``n = 100_000``, universe 50 000, exponent 1.2,
+  seed 50) at ``k in (64, 256, 1024)``; plus
+* the SpaceSaving baseline on the all-distinct stream (heap vs min-scan).
+
+Each invocation appends one JSON record to ``BENCH_sketch.json`` at the repo
+root so the performance trajectory is preserved across PRs.  Run it with::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--quick]
+
+The record includes the speedup ratios the acceptance criteria track:
+``all_distinct_k1024`` optimized-vs-reference (target >= 10x) and
+``zipf_k1024`` (target >= 3x).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:  # direct invocation without PYTHONPATH
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.sketches import MisraGriesSketch, SpaceSavingSketch
+from repro.sketches._reference import ReferenceMisraGries
+from repro.streams import uniform_stream, zipf_stream
+
+BENCH_PATH = _REPO_ROOT / "BENCH_sketch.json"
+
+#: The E11 workload parameters (benchmarks/bench_e11_performance.py).
+E11_N = 100_000
+E11_UNIVERSE = 50_000
+E11_EXPONENT = 1.2
+E11_RNG = 50
+
+
+def _elems_per_sec(ingest: Callable[[], object], n: int) -> float:
+    start = time.perf_counter()
+    ingest()
+    elapsed = time.perf_counter() - start
+    return n / elapsed if elapsed > 0 else float("inf")
+
+
+def _measure(workload: str, k: int, n: int, mode: str,
+             ingest: Callable[[], object]) -> Dict:
+    return {"workload": workload, "k": k, "n": n, "mode": mode,
+            "elems_per_sec": round(_elems_per_sec(ingest, n), 1)}
+
+
+def run_suite(quick: bool = False) -> Dict:
+    """Run every workload once and return the JSON-ready record."""
+    rows: List[Dict] = []
+    k = 1024
+
+    # -- adversarial all-distinct stream (decrement-heavy) -------------------
+    n_opt = 50_000 if quick else 200_000
+    n_ref = 5_000 if quick else 20_000
+    distinct_opt = np.arange(n_opt, dtype=np.int64)
+    distinct_list = distinct_opt.tolist()
+    rows.append(_measure("all_distinct", k, n_ref, "reference_seed",
+                         lambda: ReferenceMisraGries.from_stream(k, range(n_ref))))
+    rows.append(_measure("all_distinct", k, n_opt, "optimized_sequential",
+                         lambda: _sequential(MisraGriesSketch(k), distinct_list)))
+    rows.append(_measure("all_distinct", k, n_opt, "optimized_batch",
+                         lambda: MisraGriesSketch(k).update_batch(distinct_opt)))
+
+    # -- E11 Zipf workload ----------------------------------------------------
+    zipf = zipf_stream(E11_N // 4 if quick else E11_N, E11_UNIVERSE,
+                       exponent=E11_EXPONENT, rng=E11_RNG, as_array=True)
+    zipf_list = zipf.tolist()
+    zipf_ref = zipf_list[:n_ref]
+    for size in (64, 256, 1024):
+        rows.append(_measure("zipf_e11", size, len(zipf_ref), "reference_seed",
+                             lambda size=size: ReferenceMisraGries.from_stream(size, zipf_ref)))
+        rows.append(_measure("zipf_e11", size, len(zipf), "optimized_sequential",
+                             lambda size=size: _sequential(MisraGriesSketch(size), zipf_list)))
+        rows.append(_measure("zipf_e11", size, len(zipf), "optimized_batch",
+                             lambda size=size: MisraGriesSketch(size).update_batch(zipf)))
+
+    # -- hot-set stream: universe fits in the sketch, pure Branch-1 traffic ---
+    # This is where the vectorized path collapses whole chunks into one bulk
+    # increment per key (production-style traffic over a bounded key space).
+    hot = uniform_stream(4 * n_opt, 512, rng=7, as_array=True)
+    hot_list = hot.tolist()
+    rows.append(_measure("hot_set", k, n_ref, "reference_seed",
+                         lambda: ReferenceMisraGries.from_stream(k, hot_list[:n_ref])))
+    rows.append(_measure("hot_set", k, len(hot), "optimized_sequential",
+                         lambda: _sequential(MisraGriesSketch(k), hot_list)))
+    rows.append(_measure("hot_set", k, len(hot), "optimized_batch",
+                         lambda: MisraGriesSketch(k).update_batch(hot)))
+
+    # -- SpaceSaving baseline (heap eviction) ---------------------------------
+    rows.append(_measure("all_distinct_space_saving", k, n_opt, "optimized_heap",
+                         lambda: _sequential(SpaceSavingSketch(k), distinct_list)))
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "quick": quick,
+        "results": rows,
+        "speedups": _speedups(rows),
+    }
+    return record
+
+
+def _sequential(sketch, elements: List[int]):
+    update = sketch.update
+    for element in elements:
+        update(element)
+    return sketch
+
+
+def _speedups(rows: List[Dict]) -> Dict[str, float]:
+    """Optimized-vs-reference throughput ratios per workload/k."""
+    by_key: Dict = {}
+    for row in rows:
+        by_key[(row["workload"], row["k"], row["mode"])] = row["elems_per_sec"]
+    speedups: Dict[str, float] = {}
+    for (workload, k, mode), rate in sorted(by_key.items()):
+        if mode == "reference_seed":
+            continue
+        reference = by_key.get((workload, k, "reference_seed"))
+        if reference:
+            speedups[f"{workload}_k{k}_{mode.replace('optimized_', '')}"] = round(
+                rate / reference, 2)
+    return speedups
+
+
+def append_record(record: Dict, path: Path = BENCH_PATH) -> Path:
+    """Append ``record`` to the JSON history file (a list of run records).
+
+    An unreadable history file (e.g. truncated by an interrupted write) is
+    moved aside to ``<name>.corrupt`` rather than silently overwritten, so
+    the cross-PR trajectory is never destroyed by one bad run.
+    """
+    history: List[Dict] = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            backup = path.with_name(path.name + ".corrupt")
+            path.replace(backup)
+            print(f"warning: {path} was unreadable; moved it to {backup} "
+                  "and started a fresh history", file=sys.stderr)
+        if not isinstance(history, list):
+            history = [history]
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def format_record(record: Dict) -> str:
+    lines = [f"sketch perf suite @ {record['timestamp']} "
+             f"(python {record['python']}, quick={record['quick']})"]
+    for row in record["results"]:
+        lines.append(f"  {row['workload']:>28s}  k={row['k']:<5d} "
+                     f"{row['mode']:<21s} {row['elems_per_sec']:>14,.0f} elem/s")
+    lines.append("  speedups vs seed engine:")
+    for name, ratio in record["speedups"].items():
+        lines.append(f"    {name:<42s} {ratio:>8.1f}x")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Non-interactive entry point for the sketch performance suite.
+
+Runs every workload in :mod:`bench_perf_suite` once, appends the resulting
+record to ``BENCH_sketch.json`` at the repository root (so every PR extends
+the same performance trajectory) and prints a human-readable summary.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full suite
+    PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI-sized run
+    PYTHONPATH=src python benchmarks/run_bench.py --dry-run  # don't write
+    cd benchmarks && python -m run_bench                     # module form
+
+Exit status is non-zero if the acceptance-criteria speedups regress below
+their floors (>= 10x on the all-distinct k=1024 workload, >= 3x on the E11
+Zipf k=1024 workload), so the script can gate CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_perf_suite import BENCH_PATH, append_record, format_record, run_suite
+
+#: Acceptance floors for optimized-vs-seed speedups (ISSUE 1 criteria).
+FLOORS = {
+    "all_distinct_k1024_batch": 10.0,
+    "zipf_e11_k1024_batch": 3.0,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller streams (CI-sized, ~seconds)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="run and print, but do not append to the history file")
+    parser.add_argument("--output", type=Path, default=BENCH_PATH,
+                        help=f"history file to append to (default: {BENCH_PATH})")
+    args = parser.parse_args(argv)
+
+    record = run_suite(quick=args.quick)
+    print(format_record(record))
+    if not args.dry_run:
+        path = append_record(record, args.output)
+        print(f"\nappended record to {path}")
+
+    failures = [name for name, floor in FLOORS.items()
+                if record["speedups"].get(name, 0.0) < floor]
+    if failures:
+        print(f"perf regression: {failures} below acceptance floors {FLOORS}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

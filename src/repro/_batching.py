@@ -1,0 +1,47 @@
+"""Coercion helpers for the vectorized sketch update path.
+
+The batch update engine (:meth:`repro.sketches.MisraGriesSketch.update_batch`)
+only accepts one-dimensional integer NumPy arrays — for those inputs it is
+*bit-identical* to replaying the stream element by element.  This module
+centralizes the "is this stream safely batchable?" decision so every consumer
+(``FrequencySketch.update_all``, the continual monitor, the user-level and
+merged-release pipelines) applies the same rule.
+
+Python ``bool`` values hash equal to ``0``/``1`` as dict keys but carry a
+different eviction-order rank, so streams are only coerced when NumPy infers
+a genuine integer dtype (bools produce a ``'b'``-kind array and fall back to
+the per-element path).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+def as_int_array(stream: Iterable) -> Optional[np.ndarray]:
+    """Return ``stream`` as a 1-D integer ndarray, or ``None`` if unsafe.
+
+    Accepts integer ndarrays as-is and converts lists/tuples of ints (the
+    dtype check rejects mixed int/str/float payloads, which NumPy would
+    otherwise silently coerce to strings or objects; the explicit bool scan
+    rejects payloads like ``[2, True]``, which NumPy coerces to an int array
+    even though ``True`` carries a different eviction-order rank than ``1``).
+    Any stream rejected here must be processed element by element.
+    """
+    if isinstance(stream, np.ndarray):
+        if stream.ndim == 1 and stream.dtype.kind in "iu":
+            return stream
+        return None
+    if isinstance(stream, (list, tuple)) and stream:
+        first = stream[0]
+        if isinstance(first, (int, np.integer)) and not isinstance(first, bool):
+            try:
+                array = np.asarray(stream)
+            except (TypeError, ValueError, OverflowError):
+                return None
+            if (array.ndim == 1 and array.dtype.kind in "iu"
+                    and not any(type(element) is bool for element in stream)):
+                return array
+    return None

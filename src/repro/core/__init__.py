@@ -25,7 +25,7 @@ from .heavy_hitters import (
     private_heavy_hitters,
     true_heavy_hitters,
 )
-from .merging import MergeStrategy, PrivateMergedRelease, merge_sketches
+from .merging import MergeStrategy, PrivateMergedRelease, merge_sketches, sketch_streams
 from .pamg import PrivacyAwareMisraGries
 from .private_misra_gries import PrivateMisraGries
 from .pure_dp import ApproximateDPReducedRelease, PureDPMisraGries
@@ -54,6 +54,7 @@ __all__ = [
     "gshm_delta",
     "heavy_hitters_from_histogram",
     "merge_sketches",
+    "sketch_streams",
     "private_heavy_hitters",
     "reduce_sensitivity",
     "release_user_level_flattened",

@@ -41,6 +41,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional
 
+from .._batching import as_int_array
 from .._validation import check_delta, check_epsilon, check_positive_int
 from ..dp.rng import RandomState, ensure_rng
 from ..exceptions import ParameterError, SketchStateError
@@ -174,9 +175,34 @@ class ContinualHeavyHitters:
         return self._close_block()
 
     def process_stream(self, stream: Iterable[Hashable]) -> "ContinualHeavyHitters":
-        """Process an entire iterable; returns ``self`` for chaining."""
-        for element in stream:
-            self.process(element)
+        """Process an entire iterable; returns ``self`` for chaining.
+
+        Integer streams (ndarrays or lists of ints) are ingested block by
+        block through :meth:`MisraGriesSketch.update_batch`: each level sketch
+        receives the remainder of the current block as one vectorized update,
+        then the block closes exactly where the per-element loop would close
+        it.  Level sketches are independent between releases, so the final
+        states — and the released histograms, which consume the shared ``rng``
+        in the same order — are identical to per-element processing.
+        """
+        batch = as_int_array(stream)
+        if batch is None:
+            for element in stream:
+                self.process(element)
+            return self
+        position = 0
+        total = len(batch)
+        while position < total:
+            room = self._block_size - self._current_block_count
+            segment = batch[position:position + room]
+            for sketch in self._level_sketches:
+                sketch.update_batch(segment)
+            taken = len(segment)
+            self._current_block_count += taken
+            self._elements_processed += taken
+            position += taken
+            if self._current_block_count >= self._block_size:
+                self._close_block()
         return self
 
     def flush(self) -> Optional[List[PrivateHistogram]]:

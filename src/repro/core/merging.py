@@ -57,6 +57,19 @@ def merge_sketches(sketches: Sequence[SketchLike], k: int) -> Dict[Hashable, flo
     return merge_many(list(sketches), k)
 
 
+def sketch_streams(streams: Sequence, k: int) -> List[MisraGriesSketch]:
+    """Build one paper-variant sketch of size ``k`` per input stream.
+
+    Integer streams (ndarrays or lists of ints) go through the vectorized
+    :meth:`~repro.sketches.MisraGriesSketch.update_batch` path, which is the
+    intended entry point for the distributed setting of Section 7: each edge
+    server sketches its own traffic at batch speed before shipping the sketch
+    to the aggregator.
+    """
+    size = check_positive_int(k, "k")
+    return [MisraGriesSketch.from_stream(size, stream) for stream in streams]
+
+
 class MergeStrategy(str, enum.Enum):
     """How a collection of per-stream sketches is aggregated and privatized."""
 
@@ -109,6 +122,15 @@ class PrivateMergedRelease:
         if self.strategy is MergeStrategy.TRUSTED_MERGED:
             return self._release_trusted_merged(sketches, generator, length)
         return self._release_untrusted(sketches, generator, length)
+
+    def release_streams(self, streams: Sequence, rng: RandomState = None) -> PrivateHistogram:
+        """End-to-end release from raw per-server streams.
+
+        Builds one sketch per stream with :func:`sketch_streams` (vectorized
+        for integer streams) and releases the aggregate under the configured
+        strategy.
+        """
+        return self.release(sketch_streams(streams, self.k), rng=rng)
 
     # -- trusted aggregator, post-process then sum --------------------------------
 

@@ -153,7 +153,9 @@ class PrivateMisraGries:
 
         Uses the paper-variant sketch unless ``standard_sketch=True`` was
         requested, in which case the textbook sketch is used together with
-        the Section 5.1 threshold.
+        the Section 5.1 threshold.  Integer streams (ndarrays or lists of
+        ints) are sketched through the vectorized
+        :meth:`~repro.sketches.MisraGriesSketch.update_batch` path.
         """
         size = check_positive_int(k, "k")
         if self.standard_sketch:

@@ -103,6 +103,8 @@ class UserLevelRelease:
         validate_user_stream(stream, self.max_contribution, require_distinct=False)
         params = self.element_level_parameters()
         flattened = flatten_user_stream(stream)
+        # from_stream routes integer streams (the common case for the paper's
+        # workloads) through the vectorized update_batch path.
         sketch = MisraGriesSketch.from_stream(self.k, flattened)
         mechanism = PrivateMisraGries(epsilon=params.epsilon, delta=params.delta)
         histogram = mechanism.release(sketch, rng=rng)

@@ -1,0 +1,86 @@
+"""Eviction ordering shared by the counter-based sketches.
+
+The paper's Misra-Gries variant breaks ties between zero-count keys with any
+*stream independent* rule; the implementation uses "smallest key first,
+dummies last".  This module provides the canonical sort key implementing that
+rule plus the :class:`DummyKey` padding keys of Algorithm 1.
+
+The sort key is a type-tagged tuple ``(rank, value)``:
+
+* numbers (ints and floats, but not bools) compare numerically in rank 0;
+* every other real key compares by ``repr`` in rank 1;
+* dummy keys compare by index in rank 2, after all real keys.
+
+Earlier revisions encoded numbers as fixed-width strings, which inverted the
+order of negative numbers (``-3`` formatted as ``"-00…3"`` sorts before
+``-5`` formatted as ``"-00…5"``); the tuple form compares ``-5 < -3``
+correctly and avoids the per-comparison string formatting cost entirely.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from typing import Hashable, Tuple
+
+#: Rank constants of the type-tagged eviction key.
+_RANK_NUMBER = 0
+_RANK_OTHER = 1
+_RANK_DUMMY = 2
+
+
+@functools.total_ordering
+class DummyKey:
+    """Placeholder key used to pad the sketch to exactly ``k`` counters.
+
+    Dummy keys play the role of the elements ``d+1, ..., d+k`` in the paper:
+    they are outside the universe and compare *greater* than every real
+    element, so real zero-count keys are always evicted before dummies and
+    dummies are evicted in index order.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"DummyKey({self.index})"
+
+    def __hash__(self) -> int:
+        return hash(("__repro_dummy__", self.index))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DummyKey) and other.index == self.index
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, DummyKey):
+            return self.index < other.index
+        # A dummy key is greater than any real element.
+        return False
+
+    def __gt__(self, other) -> bool:
+        if isinstance(other, DummyKey):
+            return self.index > other.index
+        return True
+
+
+def eviction_order(key: Hashable) -> Tuple:
+    """Sort key implementing "smallest key first, dummies last".
+
+    Numbers order numerically before all non-numeric keys, non-numeric keys
+    order by ``repr`` and dummy keys come last in index order.  Keys with
+    different ranks never compare against each other's payload, so mixed-type
+    universes cannot raise ``TypeError``.
+    """
+    if isinstance(key, DummyKey):
+        return (_RANK_DUMMY, key.index)
+    if isinstance(key, (int, float)) and not isinstance(key, bool):
+        try:
+            return (_RANK_NUMBER, float(key))
+        except OverflowError:
+            # Ints beyond float range: order after/before every float of the
+            # same sign, then numerically among themselves (the extra tuple
+            # element only ever compares against another oversized int).
+            return (_RANK_NUMBER, math.inf if key > 0 else -math.inf, key)
+    return (_RANK_OTHER, repr(key))

@@ -1,0 +1,101 @@
+"""Frozen reference implementation of the paper-variant Misra-Gries sketch.
+
+This is the pre-optimization engine (explicit O(k) decrement sweeps and an
+O(k) ``min`` scan per eviction) kept verbatim as the *executable
+specification* of Algorithm 1.  The production engine in
+:mod:`repro.sketches.misra_gries` uses a lazy offset, value buckets and a
+zero-key heap instead; the property tests in
+``tests/unit/sketches/test_misra_gries_equivalence.py`` assert that both
+engines produce byte-identical ``raw_counters()``, ``stream_length`` and
+``decrement_rounds`` on randomized and adversarial streams.
+
+The only intentional difference from the historical seed code is the
+tie-break: it uses the corrected type-tagged
+:func:`~repro.sketches._ordering.eviction_order` (the old fixed-width string
+keys inverted the order of negative numbers).
+
+Do not optimize this module; it exists to stay slow and obviously correct.
+It also serves as the "seed engine" baseline in ``benchmarks/bench_perf_suite.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Set
+
+from .._validation import check_positive_int
+from ..exceptions import SketchStateError
+from ._ordering import DummyKey, eviction_order
+
+
+class ReferenceMisraGries:
+    """Direct transcription of Algorithm 1 with O(k) branches."""
+
+    def __init__(self, k: int) -> None:
+        self._k = check_positive_int(k, "k")
+        self._counters: Dict[Hashable, float] = {DummyKey(i): 0.0
+                                                 for i in range(1, self._k + 1)}
+        self._zero_keys: Set[Hashable] = set(self._counters.keys())
+        self._stream_length = 0
+        self._decrement_rounds = 0
+
+    @property
+    def size(self) -> int:
+        return self._k
+
+    @property
+    def stream_length(self) -> int:
+        return self._stream_length
+
+    @property
+    def decrement_rounds(self) -> int:
+        return self._decrement_rounds
+
+    def update(self, element: Hashable) -> None:
+        if isinstance(element, DummyKey):
+            raise SketchStateError("dummy keys cannot appear in the input stream")
+        self._stream_length += 1
+        if element in self._counters:
+            # Branch 1: increment the stored counter.
+            if self._counters[element] == 0.0:
+                self._zero_keys.discard(element)
+            self._counters[element] += 1.0
+            return
+        if not self._zero_keys:
+            # Branch 2: all counters are at least 1, decrement everything.
+            self._decrement_rounds += 1
+            for key in self._counters:
+                self._counters[key] -= 1.0
+                if self._counters[key] == 0.0:
+                    self._zero_keys.add(key)
+            return
+        # Branch 3: replace the smallest zero-count key with the new element.
+        victim = min(self._zero_keys, key=eviction_order)
+        self._zero_keys.discard(victim)
+        del self._counters[victim]
+        self._counters[element] = 1.0
+
+    def update_all(self, stream: Iterable[Hashable]) -> "ReferenceMisraGries":
+        for element in stream:
+            self.update(element)
+        return self
+
+    @classmethod
+    def from_stream(cls, k: int, stream: Iterable[Hashable]) -> "ReferenceMisraGries":
+        sketch = cls(k)
+        sketch.update_all(stream)
+        return sketch
+
+    def estimate(self, element: Hashable) -> float:
+        if isinstance(element, DummyKey):
+            return 0.0
+        return float(self._counters.get(element, 0.0))
+
+    def counters(self) -> Dict[Hashable, float]:
+        return {key: float(value) for key, value in self._counters.items()
+                if not isinstance(key, DummyKey)}
+
+    def raw_counters(self) -> Dict[Hashable, float]:
+        return dict(self._counters)
+
+    def stored_keys(self) -> Set[Hashable]:
+        return set(self._counters.keys())

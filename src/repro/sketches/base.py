@@ -62,7 +62,22 @@ class FrequencySketch(ABC):
         """Process one element of the stream."""
 
     def update_all(self, stream: Iterable[Hashable]) -> "FrequencySketch":
-        """Process an entire iterable of elements; returns ``self`` for chaining."""
+        """Process an entire iterable of elements; returns ``self`` for chaining.
+
+        Sketches exposing an ``update_batch`` method (currently
+        :class:`~repro.sketches.misra_gries.MisraGriesSketch`) receive integer
+        ndarrays — and lists/tuples of ints, coerced via
+        :func:`repro._batching.as_int_array` — through the vectorized path,
+        which is bit-identical to the element-by-element loop.
+        """
+        update_batch = getattr(self, "update_batch", None)
+        if update_batch is not None:
+            from .._batching import as_int_array
+
+            batch = as_int_array(stream)
+            if batch is not None:
+                update_batch(batch)
+                return self
         for element in stream:
             self.update(element)
         return self

@@ -13,7 +13,9 @@ which is what the private merged release relies on.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Union
+from typing import Dict, Hashable, Iterable, Mapping, Sequence, Union
+
+import numpy as np
 
 from .._validation import check_positive_int
 from ..exceptions import ParameterError, SketchStateError
@@ -58,9 +60,11 @@ def merge_misra_gries(first: SketchLike, second: SketchLike, k: int) -> Dict[Has
             combined[key] = combined.get(key, 0.0) + float(value)
     if len(combined) <= size:
         return {key: value for key, value in combined.items() if value > 0}
-    # Subtract the (k+1)-th largest counter from every counter.
-    ranked: List[float] = sorted(combined.values(), reverse=True)
-    offset = ranked[size]  # 0-indexed: element size is the (k+1)-th largest.
+    # Subtract the (k+1)-th largest counter from every counter.  np.partition
+    # selects it in O(m) instead of the O(m log m) full sort.
+    values = np.fromiter(combined.values(), dtype=float, count=len(combined))
+    position = len(values) - 1 - size  # ascending index of the (k+1)-th largest
+    offset = float(np.partition(values, position)[position])
     merged = {key: value - offset for key, value in combined.items() if value - offset > 0}
     return merged
 

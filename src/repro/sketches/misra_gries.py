@@ -13,66 +13,48 @@ for the *privacy* analysis, not for the estimates it produces:
 Lemma 8 of the paper shows that with these rules the sketches of neighbouring
 streams share at least ``k - 2`` keys and their counters differ either by +1
 in one position or by -1 everywhere, which is what Algorithm 2 exploits.
+
+Complexity
+----------
+Updates are **O(1) amortized** (matching the paper's cost model) via the
+classic lazy-offset representation:
+
+* counters are stored relative to a global ``_base`` offset, so the
+  decrement-all branch (Branch 2) is a single ``base += 1`` instead of an
+  O(k) sweep;
+* keys are bucketed by their *stored* (offset) value, so the keys that reach
+  zero after a lazy decrement are found in O(#newly-zero) time;
+* zero-count keys live in a min-heap of precomputed
+  :func:`~repro.sketches._ordering.eviction_order` keys, making each
+  eviction (Branch 3) O(log k) with no repeated ``repr``/format calls.
+
+:meth:`MisraGriesSketch.update_batch` additionally vectorizes integer
+streams with NumPy (run-length grouping of stored keys, bulk increments)
+while producing *bit-identical* sketch state to the sequential algorithm;
+``tests/unit/sketches/test_misra_gries_equivalence.py`` proves the
+equivalence against the frozen reference implementation in
+:mod:`repro.sketches._reference`.
 """
 
 from __future__ import annotations
 
-import functools
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+import heapq
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+import numpy as np
 
 from .._validation import check_positive_int
-from ..exceptions import SketchStateError
+from ..exceptions import ParameterError, SketchStateError
+from ._ordering import DummyKey, eviction_order
 from .base import FrequencySketch
 
+__all__ = ["DummyKey", "MisraGriesSketch"]
 
-@functools.total_ordering
-class DummyKey:
-    """Placeholder key used to pad the sketch to exactly ``k`` counters.
+# Backwards-compatible alias: earlier revisions defined the sort key here.
+_eviction_order = eviction_order
 
-    Dummy keys play the role of the elements ``d+1, ..., d+k`` in the paper:
-    they are outside the universe and compare *greater* than every real
-    element, so real zero-count keys are always evicted before dummies and
-    dummies are evicted in index order.
-    """
-
-    __slots__ = ("index",)
-
-    def __init__(self, index: int) -> None:
-        self.index = index
-
-    def __repr__(self) -> str:
-        return f"DummyKey({self.index})"
-
-    def __hash__(self) -> int:
-        return hash(("__repro_dummy__", self.index))
-
-    def __eq__(self, other) -> bool:
-        return isinstance(other, DummyKey) and other.index == self.index
-
-    def __lt__(self, other) -> bool:
-        if isinstance(other, DummyKey):
-            return self.index < other.index
-        # A dummy key is greater than any real element.
-        return False
-
-    def __gt__(self, other) -> bool:
-        if isinstance(other, DummyKey):
-            return self.index > other.index
-        return True
-
-
-def _eviction_order(key: Hashable) -> Tuple[int, str]:
-    """Sort key implementing "smallest key first, dummies last".
-
-    Real elements are compared through their ``repr`` so that mixed-type
-    universes do not raise; for the homogeneous integer/string universes used
-    in the paper and the experiments this coincides with the natural order.
-    """
-    if isinstance(key, DummyKey):
-        return (1, f"{key.index:020d}")
-    if isinstance(key, (int, float)) and not isinstance(key, bool):
-        return (0, f"{float(key):040.10f}")
-    return (0, repr(key))
+#: Elements per NumPy chunk in :meth:`MisraGriesSketch.update_batch`.
+_BATCH_CHUNK = 8192
 
 
 class MisraGriesSketch(FrequencySketch):
@@ -96,8 +78,17 @@ class MisraGriesSketch(FrequencySketch):
 
     def __init__(self, k: int) -> None:
         self._k = check_positive_int(k, "k")
-        self._counters: Dict[Hashable, float] = {DummyKey(i): 0.0 for i in range(1, self._k + 1)}
-        self._zero_keys: Set[Hashable] = set(self._counters.keys())
+        # Lazy decrement offset: the counter of a key is `stored - base`.
+        self._base = 0
+        self._stored: Dict[Hashable, int] = {DummyKey(i): 0 for i in range(1, self._k + 1)}
+        # Keys grouped by stored value; the bucket at `_base` is the zero set.
+        self._buckets: Dict[int, Set[Hashable]] = {0: set(self._stored)}
+        # Min-heap of (eviction_order, seq, key) over zero-count keys; entries
+        # go stale when a key leaves the zero set and are discarded lazily.
+        self._heap_seq = self._k
+        self._zero_heap: List[Tuple[Tuple, int, Hashable]] = [
+            (eviction_order(key), index, key) for index, key in enumerate(self._stored)]
+        heapq.heapify(self._zero_heap)
         self._stream_length = 0
         self._decrement_rounds = 0
 
@@ -124,35 +115,44 @@ class MisraGriesSketch(FrequencySketch):
         if isinstance(element, DummyKey):
             raise SketchStateError("dummy keys cannot appear in the input stream")
         self._stream_length += 1
-        if element in self._counters:
-            # Branch 1: increment the stored counter.
-            if self._counters[element] == 0.0:
-                self._zero_keys.discard(element)
-            self._counters[element] += 1.0
-            return
-        if not self._zero_keys:
-            # Branch 2: all counters are at least 1, decrement everything.
-            self._decrement_rounds += 1
-            for key in self._counters:
-                self._counters[key] -= 1.0
-                if self._counters[key] == 0.0:
-                    self._zero_keys.add(key)
-            return
-        # Branch 3: replace the smallest zero-count key with the new element.
-        victim = min(self._zero_keys, key=_eviction_order)
-        self._zero_keys.discard(victim)
-        del self._counters[victim]
-        self._counters[element] = 1.0
+        self._apply_one(element)
+
+    def update_batch(self, values) -> "MisraGriesSketch":
+        """Vectorized update for a 1-D integer array; returns ``self``.
+
+        Produces exactly the same sketch state (counters, eviction choices,
+        ``decrement_rounds``) as calling :meth:`update` on every element in
+        order: within any maximal span of elements that are all currently
+        stored, every update takes Branch 1 and the increments commute, so
+        they can be applied as bulk per-key additions; the remaining elements
+        are replayed through the sequential engine.
+        """
+        array = np.asarray(values)
+        if array.ndim != 1:
+            raise ParameterError(
+                f"update_batch expects a one-dimensional array, got shape {array.shape}")
+        if array.size == 0:
+            return self
+        if array.dtype.kind not in "iu":
+            raise ParameterError(
+                f"update_batch expects an integer array, got dtype {array.dtype}")
+        for start in range(0, len(array), _BATCH_CHUNK):
+            self._apply_chunk(array[start:start + _BATCH_CHUNK])
+        return self
 
     def estimate(self, element: Hashable) -> float:
         """Estimated frequency of ``element`` (0 for unstored elements)."""
         if isinstance(element, DummyKey):
             return 0.0
-        return float(self._counters.get(element, 0.0))
+        value = self._stored.get(element)
+        if value is None:
+            return 0.0
+        return float(value - self._base)
 
     def counters(self) -> Dict[Hashable, float]:
         """Stored real keys and their counters (dummy keys removed)."""
-        return {key: float(value) for key, value in self._counters.items()
+        base = self._base
+        return {key: float(value - base) for key, value in self._stored.items()
                 if not isinstance(key, DummyKey)}
 
     def raw_counters(self) -> Dict[Hashable, float]:
@@ -162,11 +162,12 @@ class MisraGriesSketch(FrequencySketch):
         stored counter and dummy keys are discarded afterwards as
         post-processing.
         """
-        return dict(self._counters)
+        base = self._base
+        return {key: float(value - base) for key, value in self._stored.items()}
 
     def stored_keys(self) -> Set[Hashable]:
         """The key set ``T`` of Algorithm 1 (includes dummy keys)."""
-        return set(self._counters.keys())
+        return set(self._stored.keys())
 
     # ------------------------------------------------------------------
     # Convenience constructors / helpers
@@ -174,7 +175,11 @@ class MisraGriesSketch(FrequencySketch):
 
     @classmethod
     def from_stream(cls, k: int, stream: Iterable[Hashable]) -> "MisraGriesSketch":
-        """Build a sketch of size ``k`` from an iterable of elements."""
+        """Build a sketch of size ``k`` from an iterable of elements.
+
+        Integer ndarrays (and plain lists of ints) are routed through
+        :meth:`update_batch` automatically by ``update_all``.
+        """
         sketch = cls(k)
         sketch.update_all(stream)
         return sketch
@@ -191,3 +196,153 @@ class MisraGriesSketch(FrequencySketch):
         stored = len(self.counters())
         return (f"MisraGriesSketch(k={self._k}, stored={stored}, "
                 f"n={self._stream_length})")
+
+    # ------------------------------------------------------------------
+    # Sequential engine
+    # ------------------------------------------------------------------
+
+    def _apply_one(self, element: Hashable) -> None:
+        """Branches 1-3 for one element; ``_stream_length`` handled by callers."""
+        stored = self._stored
+        value = stored.get(element)
+        if value is not None:
+            # Branch 1: increment the stored counter.
+            self._move(element, value, value + 1)
+            return
+        base = self._base
+        zeros = self._buckets.get(base)
+        if not zeros:
+            # Branch 2: all counters >= 1; decrement everything lazily.
+            self._decrement_rounds += 1
+            base += 1
+            self._base = base
+            newly_zero = self._buckets.get(base)
+            if newly_zero:
+                heap, seq = self._zero_heap, self._heap_seq
+                for key in newly_zero:
+                    heapq.heappush(heap, (eviction_order(key), seq, key))
+                    seq += 1
+                self._heap_seq = seq
+                if len(heap) > 4 * self._k + 64:
+                    self._compact_heap()
+            return
+        # Branch 3: replace the smallest zero-count key with the new element.
+        heap = self._zero_heap
+        while heap:
+            _, _, victim = heapq.heappop(heap)
+            if victim in zeros:
+                break
+        else:
+            raise SketchStateError("zero-key heap exhausted; sketch state is corrupt")
+        zeros.discard(victim)
+        if not zeros:
+            del self._buckets[base]
+        del stored[victim]
+        value = base + 1
+        stored[element] = value
+        bucket = self._buckets.get(value)
+        if bucket is None:
+            self._buckets[value] = {element}
+        else:
+            bucket.add(element)
+
+    def _move(self, element: Hashable, old: int, new: int) -> None:
+        """Reassign ``element`` from stored value ``old`` to ``new``."""
+        self._stored[element] = new
+        bucket = self._buckets[old]
+        bucket.discard(element)
+        if not bucket:
+            del self._buckets[old]
+        target = self._buckets.get(new)
+        if target is None:
+            self._buckets[new] = {element}
+        else:
+            target.add(element)
+
+    def _compact_heap(self) -> None:
+        """Drop stale heap entries; cost O(k), amortized O(1) per update."""
+        zeros = self._buckets.get(self._base, ())
+        self._zero_heap = [(eviction_order(key), index, key)
+                           for index, key in enumerate(zeros)]
+        heapq.heapify(self._zero_heap)
+        self._heap_seq = len(self._zero_heap)
+
+    # ------------------------------------------------------------------
+    # Vectorized engine
+    # ------------------------------------------------------------------
+
+    def _apply_chunk(self, chunk: np.ndarray) -> None:
+        stored = self._stored
+        unique = np.unique(chunk)
+        unique_list = unique.tolist()
+        missing = [value for value in unique_list if value not in stored]
+        if not missing:
+            self._bulk_segment(chunk)
+            return
+        if 4 * len(missing) >= len(unique_list):
+            # Missing-dense chunk (e.g. adversarial all-distinct streams):
+            # the sequential engine is already O(1) amortized per element.
+            for value in chunk.tolist():
+                self._stream_length += 1
+                self._apply_one(value)
+            return
+        # Spans between positions holding a missing value consist purely of
+        # Branch-1 increments and are applied in bulk.
+        flagged = np.flatnonzero(np.isin(chunk, np.asarray(missing, dtype=chunk.dtype)))
+        position = 0
+        for index in flagged.tolist():
+            if index > position:
+                self._bulk_segment(chunk[position:index])
+            self._stream_length += 1
+            self._apply_one(int(chunk[index]))
+            position = index + 1
+        if position < len(chunk):
+            self._bulk_segment(chunk[position:])
+
+    def _bulk_segment(self, segment: np.ndarray) -> None:
+        """Apply a segment expected to contain only stored keys.
+
+        Branch-1 increments of distinct keys commute, so the segment collapses
+        to one bulk addition per unique key.  A Branch-3 eviction earlier in
+        the chunk can invalidate the expectation for a key that re-appears
+        later; such segments are replayed sequentially to stay bit-identical.
+        """
+        stored = self._stored
+        unique, counts = np.unique(segment, return_counts=True)
+        pairs = list(zip(unique.tolist(), counts.tolist()))
+        if all(value in stored for value, _ in pairs):
+            for value, count in pairs:
+                self._move(value, stored[value], stored[value] + count)
+            self._stream_length += int(len(segment))
+            return
+        for value in segment.tolist():
+            self._stream_length += 1
+            self._apply_one(value)
+
+    # ------------------------------------------------------------------
+    # State restoration (serialization support)
+    # ------------------------------------------------------------------
+
+    def _restore_state(self, counters: Dict[Hashable, float], stream_length: int,
+                       decrement_rounds: int) -> None:
+        """Rebuild internal structures from a deserialized counter mapping."""
+        if len(counters) != self._k:
+            raise SketchStateError(
+                f"paper-variant sketch must store exactly k={self._k} counters, "
+                f"got {len(counters)}")
+        self._base = 0
+        self._stored = {}
+        self._buckets = {}
+        for key, value in counters.items():
+            if value < 0:
+                raise SketchStateError(f"negative counter for {key!r}")
+            count = int(value) if float(value).is_integer() else value
+            self._stored[key] = count
+            bucket = self._buckets.get(count)
+            if bucket is None:
+                self._buckets[count] = {key}
+            else:
+                bucket.add(key)
+        self._compact_heap()
+        self._stream_length = int(stream_length)
+        self._decrement_rounds = int(decrement_rounds)

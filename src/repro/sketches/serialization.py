@@ -82,13 +82,9 @@ def sketch_from_dict(payload: Dict) -> Union[MisraGriesSketch, StandardMisraGrie
                 for token, value in payload["counters"].items()}
     if kind == "misra_gries_paper":
         sketch = MisraGriesSketch(k)
-        if len(counters) != k:
-            raise SketchStateError(
-                f"paper-variant sketch must store exactly k={k} counters, got {len(counters)}")
-        sketch._counters = dict(counters)
-        sketch._zero_keys = {key for key, value in counters.items() if value == 0.0}
-        sketch._stream_length = int(payload["stream_length"])
-        sketch._decrement_rounds = int(payload.get("decrement_rounds", 0))
+        sketch._restore_state(counters,
+                              stream_length=int(payload["stream_length"]),
+                              decrement_rounds=int(payload.get("decrement_rounds", 0)))
         return sketch
     if kind == "misra_gries_standard":
         sketch = StandardMisraGriesSketch(k)

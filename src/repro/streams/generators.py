@@ -1,8 +1,12 @@
 """Random stream generators over an integer universe ``[0, d)``.
 
-All generators return Python lists of ints so they can be fed directly to any
-sketch, stored with :mod:`repro.streams.io` and sliced for distributed
-merging.  Every generator takes an ``rng`` seed/generator for reproducibility.
+By default all generators return Python lists of ints so they can be fed
+directly to any sketch, stored with :mod:`repro.streams.io` and sliced for
+distributed merging; the lists are produced with ``ndarray.tolist()`` (a
+single C call) rather than a per-element ``int(x)`` loop.  The random
+generators also accept ``as_array=True`` to return the raw integer ndarray,
+which feeds :meth:`repro.sketches.MisraGriesSketch.update_batch` with zero
+copies.  Every generator takes an ``rng`` seed/generator for reproducibility.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ from ..dp.rng import RandomState, ensure_rng
 
 
 def zipf_stream(n: int, universe_size: int, exponent: float = 1.1,
-                rng: RandomState = None) -> List[int]:
+                rng: RandomState = None, as_array: bool = False):
     """A stream of ``n`` elements with Zipf-distributed frequencies.
 
     Element ``i`` of the universe is drawn with probability proportional to
@@ -33,28 +37,31 @@ def zipf_stream(n: int, universe_size: int, exponent: float = 1.1,
         Skew parameter ``s > 0``; larger means more skewed.
     rng:
         Seed or generator.
+    as_array:
+        Return the integer ndarray instead of a list (batch-update ready).
     """
     length = check_non_negative_int(n, "n")
     d = check_positive_int(universe_size, "universe_size")
     s = check_positive_float(exponent, "exponent")
     generator = ensure_rng(rng)
     if length == 0:
-        return []
+        return np.empty(0, dtype=np.int64) if as_array else []
     weights = 1.0 / np.power(np.arange(1, d + 1, dtype=float), s)
     probabilities = weights / weights.sum()
     samples = generator.choice(d, size=length, p=probabilities)
-    return [int(x) for x in samples]
+    return samples if as_array else samples.tolist()
 
 
-def uniform_stream(n: int, universe_size: int, rng: RandomState = None) -> List[int]:
+def uniform_stream(n: int, universe_size: int, rng: RandomState = None,
+                   as_array: bool = False):
     """A stream of ``n`` elements drawn uniformly from ``[0, universe_size)``."""
     length = check_non_negative_int(n, "n")
     d = check_positive_int(universe_size, "universe_size")
     generator = ensure_rng(rng)
     if length == 0:
-        return []
+        return np.empty(0, dtype=np.int64) if as_array else []
     samples = generator.integers(0, d, size=length)
-    return [int(x) for x in samples]
+    return samples if as_array else samples.tolist()
 
 
 def constant_stream(n: int, element: int = 0) -> List[int]:
@@ -80,7 +87,8 @@ def shuffled_exact_frequencies(frequencies: dict, rng: RandomState = None) -> Li
 
 def planted_heavy_hitters_stream(n: int, universe_size: int, num_heavy: int,
                                  heavy_fraction: float = 0.5,
-                                 rng: RandomState = None) -> List[int]:
+                                 rng: RandomState = None,
+                                 as_array: bool = False):
     """A stream where ``num_heavy`` planted elements share ``heavy_fraction`` of the mass.
 
     The remaining mass is spread uniformly over the rest of the universe.
@@ -96,9 +104,9 @@ def planted_heavy_hitters_stream(n: int, universe_size: int, num_heavy: int,
         raise ValueError(f"heavy_fraction must be in (0,1), got {heavy_fraction}")
     generator = ensure_rng(rng)
     if length == 0:
-        return []
+        return np.empty(0, dtype=np.int64) if as_array else []
     probabilities = np.full(d, (1.0 - heavy_fraction) / (d - h))
     probabilities[:h] = heavy_fraction / h
     probabilities = probabilities / probabilities.sum()
     samples = generator.choice(d, size=length, p=probabilities)
-    return [int(x) for x in samples]
+    return samples if as_array else samples.tolist()
