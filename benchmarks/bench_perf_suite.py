@@ -1,24 +1,43 @@
-"""Sketch-engine performance suite (decrement-heavy + E11 Zipf workloads).
+"""Performance suite: sketch engine, aggregation/release tier, runner.
 
-Measures the update throughput of the optimized Misra-Gries engine against
-the frozen O(k) reference implementation (the seed engine preserved in
-:mod:`repro.sketches._reference`) on
+Workload groups (select with ``run_bench.py --workloads``):
 
-* an adversarial **all-distinct** stream with ``k = 1024`` — every element is
-  new, so the stream alternates decrement rounds with evictions, the exact
-  regime where the seed's O(k) branches collapsed; and
-* the **E11 Zipf workload** (``n = 100_000``, universe 50 000, exponent 1.2,
-  seed 50) at ``k in (64, 256, 1024)``; plus
-* the SpaceSaving baseline on the all-distinct stream (heap vs min-scan).
+``sketch``
+    Update throughput of the optimized Misra-Gries engine against the frozen
+    O(k) reference (the seed engine preserved in
+    :mod:`repro.sketches._reference`) on the adversarial all-distinct stream,
+    the E11 Zipf workload and a hot-set stream, plus the SpaceSaving baseline.
+
+``merge``
+    The aggregator hot path of Section 7: ``m = 256`` size-``k = 1024``
+    per-user sketch exports (E11-style Zipf traffic) merged into one summary.
+    The vectorized key-interning fold over dict inputs
+    (:func:`repro.sketches.merge.merge_many`) and over columnar wire inputs
+    (:func:`repro.sketches.merge.merge_many_arrays`) are measured against the
+    frozen seed dict-based left fold preserved in
+    :mod:`repro.sketches._reference_merge`; all three produce exactly the
+    same merged summary.
+
+``release``
+    The DP release of a large aggregated histogram: one bulk-noise
+    mask-filter pass (:func:`repro.core.merging._noisy_threshold_filter`)
+    against the frozen seed per-key loop preserved in
+    :mod:`repro.core._reference`.
+
+``runner``
+    An :class:`repro.analysis.ExperimentRunner` sweep executed sequentially
+    and with ``workers=2`` process-level parallelism (recorded for the
+    trajectory; no floor — the win depends on core count).
 
 Each invocation appends one JSON record to ``BENCH_sketch.json`` at the repo
 root so the performance trajectory is preserved across PRs.  Run it with::
 
-    PYTHONPATH=src python benchmarks/run_bench.py [--quick]
+    PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--workloads ...]
 
 The record includes the speedup ratios the acceptance criteria track:
-``all_distinct_k1024`` optimized-vs-reference (target >= 10x) and
-``zipf_k1024`` (target >= 3x).
+``all_distinct_k1024_batch`` (>= 10x), ``zipf_e11_k1024_batch`` (>= 3x),
+``merge_m256_k1024_arrays`` (>= 10x) and
+``release_trusted_sum_k1024_vectorized`` (>= 3x).
 """
 
 from __future__ import annotations
@@ -28,7 +47,7 @@ import platform
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterable, List, Optional
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(_REPO_ROOT / "src") not in sys.path:  # direct invocation without PYTHONPATH
@@ -36,11 +55,20 @@ if str(_REPO_ROOT / "src") not in sys.path:  # direct invocation without PYTHONP
 
 import numpy as np
 
-from repro.sketches import MisraGriesSketch, SpaceSavingSketch
+from repro.analysis import ExperimentRunner, SweepSpec
+from repro.core._reference import reference_trusted_sum_filter
+from repro.core.merging import _noisy_threshold_filter
+from repro.dp.thresholds import stability_histogram_threshold
+from repro.sketches import MisraGriesSketch, SpaceSavingSketch, merge_many
+from repro.sketches.merge import merge_many_arrays
 from repro.sketches._reference import ReferenceMisraGries
+from repro.sketches._reference_merge import reference_merge_many
 from repro.streams import uniform_stream, zipf_stream
 
 BENCH_PATH = _REPO_ROOT / "BENCH_sketch.json"
+
+#: All workload groups, in report order.
+WORKLOAD_GROUPS = ("sketch", "merge", "release", "runner")
 
 #: The E11 workload parameters (benchmarks/bench_e11_performance.py).
 E11_N = 100_000
@@ -48,23 +76,34 @@ E11_UNIVERSE = 50_000
 E11_EXPONENT = 1.2
 E11_RNG = 50
 
+#: The merge workload shape pinned by the ISSUE 2 acceptance criteria.
+MERGE_M = 256
+MERGE_K = 1024
 
-def _elems_per_sec(ingest: Callable[[], object], n: int) -> float:
-    start = time.perf_counter()
-    ingest()
-    elapsed = time.perf_counter() - start
-    return n / elapsed if elapsed > 0 else float("inf")
+
+def _elems_per_sec(ingest: Callable[[], object], n: int, repeats: int = 1) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ingest()
+        best = min(best, time.perf_counter() - start)
+    return n / best if best > 0 else float("inf")
 
 
 def _measure(workload: str, k: int, n: int, mode: str,
-             ingest: Callable[[], object]) -> Dict:
+             ingest: Callable[[], object], repeats: int = 1) -> Dict:
+    """One result row; ``repeats > 1`` takes the best of several runs (used
+    for the sub-second aggregation workloads, where scheduler noise on a
+    busy machine would otherwise dominate a single measurement)."""
     return {"workload": workload, "k": k, "n": n, "mode": mode,
-            "elems_per_sec": round(_elems_per_sec(ingest, n), 1)}
+            "elems_per_sec": round(_elems_per_sec(ingest, n, repeats), 1)}
 
 
-def run_suite(quick: bool = False) -> Dict:
-    """Run every workload once and return the JSON-ready record."""
-    rows: List[Dict] = []
+# ---------------------------------------------------------------------------
+# sketch group (the PR-1 suite)
+# ---------------------------------------------------------------------------
+
+def _run_sketch_group(rows: List[Dict], quick: bool) -> None:
     k = 1024
 
     # -- adversarial all-distinct stream (decrement-heavy) -------------------
@@ -108,10 +147,127 @@ def run_suite(quick: bool = False) -> Dict:
     rows.append(_measure("all_distinct_space_saving", k, n_opt, "optimized_heap",
                          lambda: _sequential(SpaceSavingSketch(k), distinct_list)))
 
+
+# ---------------------------------------------------------------------------
+# merge group (ISSUE 2: m sketches in, one summary out)
+# ---------------------------------------------------------------------------
+
+def _per_user_sketch_exports(m: int, k: int, n_per_user: int):
+    """Wire-form exports of real per-user sketches under E11-style traffic.
+
+    Each of the ``m`` users sketches its own Zipf stream (the paper's traffic
+    model: the heavy hitters are shared across users, each tail is not) and
+    exports ``counters()`` as a (keys, values) array pair — exactly what a
+    production edge server would ship to the aggregator.
+    """
+    keys_list, values_list = [], []
+    for user in range(m):
+        stream = zipf_stream(n_per_user, E11_UNIVERSE, exponent=E11_EXPONENT,
+                             rng=100 + user, as_array=True)
+        counters = MisraGriesSketch.from_stream(k, stream).counters()
+        keys_list.append(np.fromiter(counters.keys(), dtype=np.int64,
+                                     count=len(counters)))
+        values_list.append(np.fromiter(counters.values(), dtype=np.float64,
+                                       count=len(counters)))
+    return keys_list, values_list
+
+
+def _run_merge_group(rows: List[Dict], quick: bool) -> None:
+    """m sketch exports in, one merged summary out (all three agree exactly).
+
+    The seed path must materialize per-sketch dicts before its left fold, so
+    that conversion is part of its measurement; ``optimized_dicts`` pays the
+    same conversion into the vectorized fold; ``optimized_arrays`` is the
+    columnar wire path (:func:`repro.sketches.merge.merge_many_arrays`).
+    """
+    m, k = MERGE_M, MERGE_K
+    keys_list, values_list = _per_user_sketch_exports(
+        m, k, n_per_user=5_000 if quick else 20_000)
+    pairs = int(sum(keys.size for keys in keys_list))
+
+    def _as_dicts():
+        return [dict(zip(keys.tolist(), values.tolist()))
+                for keys, values in zip(keys_list, values_list)]
+
+    rows.append(_measure(f"merge_m{m}", k, pairs, "reference_seed",
+                         lambda: reference_merge_many(_as_dicts(), k), repeats=3))
+    rows.append(_measure(f"merge_m{m}", k, pairs, "optimized_dicts",
+                         lambda: merge_many(_as_dicts(), k), repeats=3))
+    rows.append(_measure(f"merge_m{m}", k, pairs, "optimized_arrays",
+                         lambda: merge_many_arrays(keys_list, values_list, k),
+                         repeats=3))
+
+
+# ---------------------------------------------------------------------------
+# release group (bulk noise + threshold filter over a large aggregate)
+# ---------------------------------------------------------------------------
+
+def _run_release_group(rows: List[Dict], quick: bool) -> None:
+    keys = 20_000 if quick else 100_000
+    generator = np.random.default_rng(77)
+    aggregate = dict(zip(range(keys),
+                         generator.integers(1, 500, size=keys).astype(np.float64).tolist()))
+    epsilon, delta = 1.0, 1e-6
+    scale = 2.0 / epsilon
+    threshold = stability_histogram_threshold(epsilon, delta, sensitivity=2.0)
+    rows.append(_measure("release_trusted_sum", MERGE_K, keys, "reference_seed",
+                         lambda: reference_trusted_sum_filter(
+                             aggregate, scale, threshold, np.random.default_rng(3)),
+                         repeats=3))
+    rows.append(_measure("release_trusted_sum", MERGE_K, keys, "optimized_vectorized",
+                         lambda: _noisy_threshold_filter(
+                             aggregate, scale, threshold, np.random.default_rng(3)),
+                         repeats=3))
+
+
+# ---------------------------------------------------------------------------
+# runner group (process-parallel sweep execution)
+# ---------------------------------------------------------------------------
+
+def _runner_trial(rng, k, exponent):
+    """Sketch a Zipf stream and report the stored-key count (picklable)."""
+    stream = zipf_stream(20_000, 5_000, exponent=exponent, rng=rng, as_array=True)
+    sketch = MisraGriesSketch.from_stream(k, stream)
+    return {"stored": float(len(sketch.counters()))}
+
+
+def _run_runner_group(rows: List[Dict], quick: bool) -> None:
+    repetitions = 2 if quick else 3
+    sweep = SweepSpec({"k": [64, 256], "exponent": [1.1, 1.3]})
+    trials = len(sweep.combinations()) * repetitions
+    rows.append(_measure("runner_sweep", 0, trials, "optimized_sequential",
+                         lambda: ExperimentRunner(repetitions=repetitions, rng=5)
+                         .run(_runner_trial, sweep)))
+    rows.append(_measure("runner_sweep", 0, trials, "optimized_workers2",
+                         lambda: ExperimentRunner(repetitions=repetitions, rng=5, workers=2)
+                         .run(_runner_trial, sweep)))
+
+
+_GROUP_RUNNERS = {
+    "sketch": _run_sketch_group,
+    "merge": _run_merge_group,
+    "release": _run_release_group,
+    "runner": _run_runner_group,
+}
+
+
+def run_suite(quick: bool = False,
+              workloads: Optional[Iterable[str]] = None) -> Dict:
+    """Run the selected workload groups once and return the JSON-ready record."""
+    selected = list(WORKLOAD_GROUPS) if workloads is None else list(workloads)
+    unknown = [name for name in selected if name not in _GROUP_RUNNERS]
+    if unknown:
+        raise ValueError(f"unknown workload group(s) {unknown}; "
+                         f"choose from {WORKLOAD_GROUPS}")
+    rows: List[Dict] = []
+    for name in WORKLOAD_GROUPS:
+        if name in selected:
+            _GROUP_RUNNERS[name](rows, quick)
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "quick": quick,
+        "workloads": [name for name in WORKLOAD_GROUPS if name in selected],
         "results": rows,
         "speedups": _speedups(rows),
     }
@@ -166,7 +322,8 @@ def append_record(record: Dict, path: Path = BENCH_PATH) -> Path:
 
 def format_record(record: Dict) -> str:
     lines = [f"sketch perf suite @ {record['timestamp']} "
-             f"(python {record['python']}, quick={record['quick']})"]
+             f"(python {record['python']}, quick={record['quick']}, "
+             f"workloads={','.join(record.get('workloads', []))})"]
     for row in record["results"]:
         lines.append(f"  {row['workload']:>28s}  k={row['k']:<5d} "
                      f"{row['mode']:<21s} {row['elems_per_sec']:>14,.0f} elem/s")

@@ -1,19 +1,23 @@
-"""Non-interactive entry point for the sketch performance suite.
+"""Non-interactive entry point for the performance suite.
 
-Runs every workload in :mod:`bench_perf_suite` once, appends the resulting
-record to ``BENCH_sketch.json`` at the repository root (so every PR extends
-the same performance trajectory) and prints a human-readable summary.
+Runs the selected workload groups in :mod:`bench_perf_suite`, appends the
+resulting record to ``BENCH_sketch.json`` at the repository root (so every PR
+extends the same performance trajectory) and prints a human-readable summary.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full suite
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI-sized run
     PYTHONPATH=src python benchmarks/run_bench.py --dry-run  # don't write
+    PYTHONPATH=src python benchmarks/run_bench.py --workloads merge,release
     cd benchmarks && python -m run_bench                     # module form
 
 Exit status is non-zero if the acceptance-criteria speedups regress below
-their floors (>= 10x on the all-distinct k=1024 workload, >= 3x on the E11
-Zipf k=1024 workload), so the script can gate CI.
+their floors (>= 10x on the all-distinct k=1024 sketch workload, >= 3x on
+the E11 Zipf k=1024 workload, >= 10x on the m=256 k=1024 merge workload,
+>= 3x on the trusted-sum release workload), so the script can gate CI.
+``--workloads`` lets the merge/release floors gate independently of the
+sketch floors: only floors whose workload group actually ran are enforced.
 """
 
 from __future__ import annotations
@@ -24,12 +28,21 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from bench_perf_suite import BENCH_PATH, append_record, format_record, run_suite
+from bench_perf_suite import (
+    BENCH_PATH,
+    WORKLOAD_GROUPS,
+    append_record,
+    format_record,
+    run_suite,
+)
 
-#: Acceptance floors for optimized-vs-seed speedups (ISSUE 1 criteria).
+#: Acceptance floors for optimized-vs-seed speedups, keyed by speedup name,
+#: valued (workload group, floor).  A floor only gates when its group ran.
 FLOORS = {
-    "all_distinct_k1024_batch": 10.0,
-    "zipf_e11_k1024_batch": 3.0,
+    "all_distinct_k1024_batch": ("sketch", 10.0),
+    "zipf_e11_k1024_batch": ("sketch", 3.0),
+    "merge_m256_k1024_arrays": ("merge", 10.0),
+    "release_trusted_sum_k1024_vectorized": ("release", 3.0),
 }
 
 
@@ -40,21 +53,34 @@ def main(argv=None) -> int:
                         help="smaller streams (CI-sized, ~seconds)")
     parser.add_argument("--dry-run", action="store_true",
                         help="run and print, but do not append to the history file")
+    parser.add_argument("--workloads", type=str, default=None, metavar="GROUPS",
+                        help="comma-separated workload groups to run "
+                             f"(default: all of {','.join(WORKLOAD_GROUPS)})")
     parser.add_argument("--output", type=Path, default=BENCH_PATH,
                         help=f"history file to append to (default: {BENCH_PATH})")
     args = parser.parse_args(argv)
 
-    record = run_suite(quick=args.quick)
+    selected = None
+    if args.workloads is not None:
+        selected = [name.strip() for name in args.workloads.split(",") if name.strip()]
+        unknown = [name for name in selected if name not in WORKLOAD_GROUPS]
+        if unknown:
+            parser.error(f"unknown workload group(s) {unknown}; "
+                         f"choose from {','.join(WORKLOAD_GROUPS)}")
+
+    record = run_suite(quick=args.quick, workloads=selected)
     print(format_record(record))
     if not args.dry_run:
         path = append_record(record, args.output)
         print(f"\nappended record to {path}")
 
-    failures = [name for name, floor in FLOORS.items()
+    ran = set(record.get("workloads", []))
+    active = {name: floor for name, (group, floor) in FLOORS.items() if group in ran}
+    failures = [name for name, floor in active.items()
                 if record["speedups"].get(name, 0.0) < floor]
     if failures:
-        print(f"perf regression: {failures} below acceptance floors {FLOORS}",
-              file=sys.stderr)
+        print(f"perf regression: {failures} below acceptance floors "
+              f"{ {name: active[name] for name in failures} }", file=sys.stderr)
         return 1
     return 0
 

@@ -7,14 +7,21 @@ trusted aggregator with unbounded memory, trusted aggregator with the
 Agarwal et al. bounded-memory merge, and an untrusted aggregator that only
 ever sees noisy sketches — as the number of servers grows.
 
-Run with ``python examples/distributed_merge.py`` (``--quick`` for CI).
+The per-server sketches are built through the parallel fan-out
+(:func:`repro.core.sketch_streams` with ``workers=``): the streams are
+independent, so sketching them in worker processes is deterministic and
+produces exactly the sketches a sequential loop would.  The aggregation
+itself uses the vectorized key-interning merge.
+
+Run with ``python examples/distributed_merge.py`` (``--quick`` for CI,
+``--workers N`` to fan sketching out over N processes).
 """
 
 import argparse
 
 from repro.analysis import format_table
-from repro.core import MergeStrategy, PrivateMergedRelease
-from repro.sketches import ExactCounter, MisraGriesSketch
+from repro.core import MergeStrategy, PrivateMergedRelease, sketch_streams
+from repro.sketches import ExactCounter
 from repro.streams import split_contiguous, zipf_stream
 
 
@@ -25,12 +32,14 @@ def main() -> None:
     parser.add_argument("--delta", type=float, default=1e-6)
     parser.add_argument("--k", type=int, default=64)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="processes for the sketching fan-out (1 = sequential)")
     args = parser.parse_args()
 
     n = 60_000 if args.quick else 600_000
     universe = 2_000
-    stream = zipf_stream(n, universe, exponent=1.3, rng=args.seed)
-    counter = ExactCounter.from_stream(stream)
+    stream = zipf_stream(n, universe, exponent=1.3, rng=args.seed, as_array=True)
+    counter = ExactCounter.from_stream(stream.tolist())
     truth = counter.counters()
     top_elements = [element for element, _ in counter.top(20)]
     server_counts = [2, 8, 32] if args.quick else [2, 8, 32, 128]
@@ -38,7 +47,7 @@ def main() -> None:
     rows = []
     for servers in server_counts:
         parts = split_contiguous(stream, servers)
-        sketches = [MisraGriesSketch.from_stream(args.k, part) for part in parts]
+        sketches = sketch_streams(parts, args.k, workers=args.workers)
         for strategy in MergeStrategy:
             release = PrivateMergedRelease(epsilon=args.epsilon, delta=args.delta,
                                            k=args.k, strategy=strategy)

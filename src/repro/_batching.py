@@ -42,6 +42,6 @@ def as_int_array(stream: Iterable) -> Optional[np.ndarray]:
             except (TypeError, ValueError, OverflowError):
                 return None
             if (array.ndim == 1 and array.dtype.kind in "iu"
-                    and not any(type(element) is bool for element in stream)):
+                    and not any(type(element) in (bool, np.bool_) for element in stream)):
                 return array
     return None

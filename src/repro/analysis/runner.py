@@ -4,14 +4,21 @@ The benchmarks all have the same shape: sweep one or two parameters, run a
 handful of repetitions with independent seeds, aggregate an error metric.
 ``ExperimentRunner`` centralizes seed management and result collection so the
 benchmark modules stay declarative.
+
+Sweep combinations are independent, so the runner can execute them in
+parallel worker processes (``workers=``).  Per-repetition generators are
+spawned from the runner's root generator *in combination order before*
+dispatching, which makes the parallel results bit-identical to a sequential
+run (only the wall-clock ``seconds`` field differs).
 """
 
 from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -50,6 +57,32 @@ class ExperimentResult:
         return merged
 
 
+def _run_combination(trial: Callable[..., Mapping[str, float]],
+                     parameters: Dict[str, Any],
+                     rngs: List[np.random.Generator]) -> ExperimentResult:
+    """Execute one parameter combination with pre-spawned repetition rngs.
+
+    Module-level so worker processes can unpickle it; the per-repetition
+    generators are spawned by the caller, which is what keeps parallel and
+    sequential execution bit-identical.
+    """
+    start = time.perf_counter()
+    collected: Dict[str, List[float]] = {}
+    for generator in rngs:
+        metrics = trial(rng=generator, **parameters)
+        for name, value in metrics.items():
+            collected.setdefault(name, []).append(float(value))
+    elapsed = time.perf_counter() - start
+    aggregated: Dict[str, float] = {}
+    for name, values in collected.items():
+        if name.endswith("_max"):
+            aggregated[name] = float(np.max(values))
+        else:
+            aggregated[name] = float(np.mean(values))
+    return ExperimentResult(parameters=dict(parameters), metrics=aggregated,
+                            repetitions=len(rngs), seconds=elapsed)
+
+
 class ExperimentRunner:
     """Run a trial function over a parameter sweep with independent seeds.
 
@@ -57,36 +90,49 @@ class ExperimentRunner:
     arguments) plus an ``rng`` keyword and returns a mapping of metric name to
     value.  Metrics are averaged over repetitions; ``*_max`` metrics are
     maximized instead, so worst-case quantities survive aggregation.
+
+    Parameters
+    ----------
+    repetitions:
+        Number of independently seeded repetitions per combination.
+    rng:
+        Root seed or generator; per-repetition generators are spawned from it.
+    workers:
+        When greater than 1, :meth:`run` executes the sweep combinations in a
+        :class:`~concurrent.futures.ProcessPoolExecutor` with that many
+        processes.  Per-repetition generators are spawned in combination
+        order before dispatching, so parameters, metrics and repetition
+        counts are bit-identical to a sequential run; only the wall-clock
+        ``seconds`` field differs.  The trial function (and its metric
+        values) must be picklable — i.e. defined at module level.
     """
 
-    def __init__(self, repetitions: int = 5, rng: RandomState = 0) -> None:
+    def __init__(self, repetitions: int = 5, rng: RandomState = 0,
+                 workers: Optional[int] = None) -> None:
         self._repetitions = check_positive_int(repetitions, "repetitions")
         self._rng = ensure_rng(rng)
+        if workers is not None:
+            check_positive_int(workers, "workers")
+        self._workers = workers
 
     def run(self, trial: Callable[..., Mapping[str, float]],
             sweep: SweepSpec) -> List[ExperimentResult]:
         """Run ``trial`` for every parameter combination in ``sweep``."""
-        results: List[ExperimentResult] = []
-        for combo in sweep.combinations():
-            results.append(self.run_single(trial, combo))
-        return results
+        combinations = sweep.combinations()
+        # Spawn every combination's repetition generators from the root
+        # generator first, in combination order — the single source of
+        # randomness — so execution order (or process boundaries) cannot
+        # change any result.
+        spawned = [spawn_rngs(self._rng, self._repetitions) for _ in combinations]
+        if self._workers is not None and self._workers > 1 and len(combinations) > 1:
+            with ProcessPoolExecutor(max_workers=self._workers) as pool:
+                futures = [pool.submit(_run_combination, trial, combo, rngs)
+                           for combo, rngs in zip(combinations, spawned)]
+                return [future.result() for future in futures]
+        return [_run_combination(trial, combo, rngs)
+                for combo, rngs in zip(combinations, spawned)]
 
     def run_single(self, trial: Callable[..., Mapping[str, float]],
                    parameters: Dict[str, Any]) -> ExperimentResult:
         """Run one parameter combination with independent per-repetition seeds."""
-        rngs = spawn_rngs(self._rng, self._repetitions)
-        start = time.perf_counter()
-        collected: Dict[str, List[float]] = {}
-        for generator in rngs:
-            metrics = trial(rng=generator, **parameters)
-            for name, value in metrics.items():
-                collected.setdefault(name, []).append(float(value))
-        elapsed = time.perf_counter() - start
-        aggregated: Dict[str, float] = {}
-        for name, values in collected.items():
-            if name.endswith("_max"):
-                aggregated[name] = float(np.max(values))
-            else:
-                aggregated[name] = float(np.mean(values))
-        return ExperimentResult(parameters=dict(parameters), metrics=aggregated,
-                                repetitions=self._repetitions, seconds=elapsed)
+        return _run_combination(trial, parameters, spawn_rngs(self._rng, self._repetitions))

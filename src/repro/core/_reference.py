@@ -1,0 +1,76 @@
+"""Frozen reference implementations of the seed release loops.
+
+The production release paths (:meth:`repro.core.private_misra_gries.
+PrivateMisraGries.release`, the trusted-sum branch of :class:`repro.core.
+merging.PrivateMergedRelease` and :meth:`repro.core.gshm.
+GaussianSparseHistogram.release`) build their noisy histograms in one NumPy
+pass: bulk noise sample, mask-based threshold filter, single dict
+construction from the surviving indices.  This module preserves the seed
+per-key Python loops verbatim as the executable specification; the
+equivalence tests in ``tests/unit/core/test_release_reference.py`` and
+``tests/property/test_release_equivalence.py`` drive both versions with
+identically-seeded generators and assert exactly equal outputs (the noise
+samplers consume the underlying bit stream identically whether drawn one
+scalar at a time or as one array).
+
+Do not optimize this module; it exists to stay slow and obviously correct.
+It also serves as the "seed release" baseline for the release workload in
+``benchmarks/bench_perf_suite.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Sequence
+
+import numpy as np
+
+from ..dp.distributions import sample_gaussian, sample_laplace
+from ..sketches.misra_gries import DummyKey
+
+
+def reference_pmg_filter(counters: Mapping[Hashable, float],
+                         per_counter: np.ndarray, shared: float,
+                         threshold: float) -> Dict[Hashable, float]:
+    """Seed Algorithm 2 noise-add/threshold/dict-build loop.
+
+    ``per_counter`` and ``shared`` are the two PMG noise layers, already
+    sampled (the seed sampled them in bulk too; only the filter loop below
+    was per-key Python).
+    """
+    keys = list(counters.keys())
+    values = np.array([counters[key] for key in keys], dtype=float)
+    noisy = values + per_counter + shared
+    released: Dict[Hashable, float] = {}
+    for key, value in zip(keys, noisy):
+        if value >= threshold and not isinstance(key, DummyKey):
+            released[key] = float(value)
+    return released
+
+
+def reference_trusted_sum_filter(aggregate: Mapping[Hashable, float],
+                                 scale: float, threshold: float,
+                                 generator: np.random.Generator) -> Dict[Hashable, float]:
+    """Seed trusted-sum release loop: one scalar Laplace draw per key."""
+    released: Dict[Hashable, float] = {}
+    for key, value in aggregate.items():
+        noisy = value + float(sample_laplace(scale, rng=generator))
+        if noisy >= threshold:
+            released[key] = noisy
+    return released
+
+
+def reference_gshm_filter(counters: Mapping[Hashable, float],
+                          sigma: float, tau: float,
+                          generator: np.random.Generator) -> Dict[Hashable, float]:
+    """Seed GSHM release: per-key list comprehensions and filter loop."""
+    keys = [key for key, value in counters.items() if value != 0]
+    values = np.array([float(counters[key]) for key in keys], dtype=float)
+    if len(keys):
+        noise = np.asarray(sample_gaussian(sigma, size=len(keys), rng=generator), dtype=float)
+        noisy = values + noise
+    else:
+        noisy = values
+    cutoff = 1.0 + tau
+    released: Dict[Hashable, float] = {
+        key: float(value) for key, value in zip(keys, noisy) if value >= cutoff}
+    return released

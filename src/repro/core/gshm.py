@@ -171,16 +171,25 @@ class GaussianSparseHistogram:
         """
         sigma, tau = self.parameters()
         generator = ensure_rng(rng)
-        keys = [key for key, value in counters.items() if value != 0]
-        values = np.array([float(counters[key]) for key in keys], dtype=float)
-        if len(keys):
-            noise = np.asarray(sample_gaussian(sigma, size=len(keys), rng=generator), dtype=float)
+        # One vectorized pass: non-zero filter, bulk noise sample, threshold
+        # mask, dict built from the surviving indices only.  Equal to the seed
+        # per-key loops kept in repro.core._reference.reference_gshm_filter.
+        all_keys = list(counters.keys())
+        all_values = np.fromiter(counters.values(), dtype=float, count=len(all_keys))
+        nonzero = np.flatnonzero(all_values != 0.0)
+        values = all_values[nonzero]
+        if nonzero.size:
+            noise = np.asarray(sample_gaussian(sigma, size=nonzero.size, rng=generator),
+                               dtype=float)
             noisy = values + noise
         else:
             noisy = values
         cutoff = 1.0 + tau
+        noisy_list = noisy.tolist()
+        nonzero_list = nonzero.tolist()
         released: Dict[Hashable, float] = {
-            key: float(value) for key, value in zip(keys, noisy) if value >= cutoff}
+            all_keys[nonzero_list[slot]]: noisy_list[slot]
+            for slot in np.flatnonzero(noisy >= cutoff).tolist()}
         metadata = ReleaseMetadata(
             mechanism="GSHM",
             epsilon=self.epsilon,

@@ -27,6 +27,7 @@ Untrusted aggregator (``MergeStrategy.UNTRUSTED``)
 from __future__ import annotations
 
 import enum
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Union
 
@@ -51,13 +52,21 @@ SketchLike = Union[MisraGriesSketch, Mapping[Hashable, float], FrequencySketch]
 def merge_sketches(sketches: Sequence[SketchLike], k: int) -> Dict[Hashable, float]:
     """Merge several Misra-Gries summaries into one of size at most ``k``.
 
-    Thin re-export of :func:`repro.sketches.merge.merge_many` so users of the
-    core package do not need to import the sketches subpackage directly.
+    Thin re-export of :func:`repro.sketches.merge.merge_many` (the vectorized
+    key-interning fold) so users of the core package do not need to import
+    the sketches subpackage directly.  For very large collections consider
+    :func:`repro.sketches.merge.merge_tree`.
     """
     return merge_many(list(sketches), k)
 
 
-def sketch_streams(streams: Sequence, k: int) -> List[MisraGriesSketch]:
+def _sketch_one_stream(k: int, stream) -> MisraGriesSketch:
+    """Worker for the parallel fan-out (module-level so it pickles)."""
+    return MisraGriesSketch.from_stream(k, stream)
+
+
+def sketch_streams(streams: Sequence, k: int,
+                   workers: Optional[int] = None) -> List[MisraGriesSketch]:
     """Build one paper-variant sketch of size ``k`` per input stream.
 
     Integer streams (ndarrays or lists of ints) go through the vectorized
@@ -65,9 +74,45 @@ def sketch_streams(streams: Sequence, k: int) -> List[MisraGriesSketch]:
     intended entry point for the distributed setting of Section 7: each edge
     server sketches its own traffic at batch speed before shipping the sketch
     to the aggregator.
+
+    Parameters
+    ----------
+    workers:
+        When greater than 1, the independent streams are sketched by a
+        :class:`~concurrent.futures.ProcessPoolExecutor` with that many
+        processes.  Sketching is deterministic, so the result is identical to
+        the sequential fan-out; the streams must be picklable (ndarrays and
+        lists are).
     """
     size = check_positive_int(k, "k")
+    if workers is not None:
+        check_positive_int(workers, "workers")
+    if workers is not None and workers > 1 and len(streams) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_sketch_one_stream, size, stream) for stream in streams]
+            return [future.result() for future in futures]
     return [MisraGriesSketch.from_stream(size, stream) for stream in streams]
+
+
+def _noisy_threshold_filter(aggregate: Mapping[Hashable, float], scale: float,
+                            threshold: float,
+                            generator: np.random.Generator) -> Dict[Hashable, float]:
+    """Laplace-noise + threshold filter over a counter dict in one NumPy pass.
+
+    One bulk Laplace sample (the generator consumes its bit stream exactly as
+    the seed's per-key scalar draws did), one threshold mask, one dict built
+    from the surviving indices.  Equal output to the seed loop kept in
+    :func:`repro.core._reference.reference_trusted_sum_filter`.
+    """
+    keys = list(aggregate.keys())
+    if not keys:
+        return {}
+    values = np.fromiter(aggregate.values(), dtype=float, count=len(keys))
+    noise = np.asarray(sample_laplace(scale, size=len(keys), rng=generator), dtype=float)
+    noisy = values + noise
+    noisy_list = noisy.tolist()
+    return {keys[index]: noisy_list[index]
+            for index in np.flatnonzero(noisy >= threshold).tolist()}
 
 
 class MergeStrategy(str, enum.Enum):
@@ -123,14 +168,15 @@ class PrivateMergedRelease:
             return self._release_trusted_merged(sketches, generator, length)
         return self._release_untrusted(sketches, generator, length)
 
-    def release_streams(self, streams: Sequence, rng: RandomState = None) -> PrivateHistogram:
+    def release_streams(self, streams: Sequence, rng: RandomState = None,
+                        workers: Optional[int] = None) -> PrivateHistogram:
         """End-to-end release from raw per-server streams.
 
         Builds one sketch per stream with :func:`sketch_streams` (vectorized
-        for integer streams) and releases the aggregate under the configured
-        strategy.
+        for integer streams, fanned out over ``workers`` processes when
+        requested) and releases the aggregate under the configured strategy.
         """
-        return self.release(sketch_streams(streams, self.k), rng=rng)
+        return self.release(sketch_streams(streams, self.k, workers=workers), rng=rng)
 
     # -- trusted aggregator, post-process then sum --------------------------------
 
@@ -139,11 +185,7 @@ class PrivateMergedRelease:
         aggregate = sum_counters(reduced)
         scale = 2.0 / self.epsilon
         threshold = stability_histogram_threshold(self.epsilon, self.delta, sensitivity=2.0)
-        released: Dict[Hashable, float] = {}
-        for key, value in aggregate.items():
-            noisy = value + float(sample_laplace(scale, rng=generator))
-            if noisy >= threshold:
-                released[key] = noisy
+        released = _noisy_threshold_filter(aggregate, scale, threshold, generator)
         metadata = ReleaseMetadata(
             mechanism="MergedMG-TrustedSum",
             epsilon=self.epsilon,

@@ -128,13 +128,18 @@ class PrivateMisraGries:
         generator = ensure_rng(rng)
         threshold = self.threshold(size)
         keys = list(counters.keys())
-        values = np.array([counters[key] for key in keys], dtype=float)
+        values = np.fromiter(counters.values(), dtype=float, count=len(keys))
         per_counter, shared = self._sample_noise(len(keys), generator)
         noisy = values + per_counter + shared
-        released: Dict[Hashable, float] = {}
-        for key, value in zip(keys, noisy):
-            if value >= threshold and not isinstance(key, DummyKey):
-                released[key] = float(value)
+        # One vectorized pass: threshold mask, dummy-key mask, dict built from
+        # the surviving indices only.  Equal to the seed per-key loop kept in
+        # repro.core._reference.reference_pmg_filter.
+        real = np.fromiter((not isinstance(key, DummyKey) for key in keys),
+                           dtype=bool, count=len(keys))
+        noisy_list = noisy.tolist()
+        released: Dict[Hashable, float] = {
+            keys[index]: noisy_list[index]
+            for index in np.flatnonzero((noisy >= threshold) & real).tolist()}
         metadata = ReleaseMetadata(
             mechanism="PMG",
             epsilon=self.epsilon,

@@ -36,12 +36,17 @@ class NoiseMechanism(ABC):
 
     def add_noise_dict(self, values: Mapping[Hashable, float],
                        rng: RandomState = None) -> Dict[Hashable, float]:
-        """Return a new dict with independent noise added to every value."""
+        """Return a new dict with independent noise added to every value.
+
+        Values are gathered with ``np.fromiter`` (no per-key dict lookup) and
+        the noisy array is converted back through ``ndarray.tolist`` (C-level
+        float unboxing) instead of a per-entry ``float()`` call.
+        """
         generator = ensure_rng(rng)
         keys = list(values.keys())
-        noisy = self.add_noise_array(np.array([values[k] for k in keys], dtype=float),
-                                     rng=generator)
-        return {key: float(value) for key, value in zip(keys, noisy)}
+        flat = np.fromiter(values.values(), dtype=float, count=len(keys))
+        noisy = self.add_noise_array(flat, rng=generator)
+        return dict(zip(keys, np.asarray(noisy, dtype=float).tolist()))
 
     @abstractmethod
     def noise_scale(self) -> float:

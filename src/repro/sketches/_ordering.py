@@ -76,8 +76,17 @@ def eviction_order(key: Hashable) -> Tuple:
     if isinstance(key, DummyKey):
         return (_RANK_DUMMY, key.index)
     if isinstance(key, (int, float)) and not isinstance(key, bool):
+        if key != key:
+            # NaN keys are incomparable as floats, which would make the sort
+            # key a partial order; rank them with the non-numeric keys by
+            # repr so the order stays total and stream-independent.
+            return (_RANK_OTHER, repr(key))
         try:
-            return (_RANK_NUMBER, float(key))
+            # The exact key breaks ties between distinct ints that round to
+            # the same float (possible from 2**53 up); hash-equal keys like
+            # 5 and 5.0 cannot coexist in one sketch, so the third element
+            # only ever compares numerically comparable values.
+            return (_RANK_NUMBER, float(key), key)
         except OverflowError:
             # Ints beyond float range: order after/before every float of the
             # same sign, then numerically among themselves (the extra tuple

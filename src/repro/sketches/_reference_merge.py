@@ -1,0 +1,75 @@
+"""Frozen reference implementation of the seed merging/aggregation code.
+
+These are the pre-vectorization dict-based left-fold implementations of
+:func:`repro.sketches.merge.merge_many` / :func:`~repro.sketches.merge.
+sum_counters`, kept verbatim as the *executable specification* of the
+Agarwal et al. merge.  The production code in :mod:`repro.sketches.merge`
+replaces the per-key Python loops with a key-interning NumPy fold; the
+property tests in ``tests/property/test_merge_equivalence.py`` assert that
+both implementations produce equal results (same key sets, exactly equal
+float values) on randomized sketch collections.
+
+Do not optimize this module; it exists to stay slow and obviously correct.
+It also serves as the "seed aggregation" baseline for the merge workload in
+``benchmarks/bench_perf_suite.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ParameterError, SketchStateError
+from .base import FrequencySketch
+
+
+def _as_counters_reference(sketch) -> Dict[Hashable, float]:
+    """Normalize a sketch object or mapping to a plain counter dict."""
+    if isinstance(sketch, FrequencySketch):
+        return sketch.counters()
+    if isinstance(sketch, Mapping):
+        return {key: float(value) for key, value in sketch.items()}
+    raise ParameterError(f"expected a FrequencySketch or mapping, got {type(sketch)!r}")
+
+
+def reference_merge_misra_gries(first, second, k: int) -> Dict[Hashable, float]:
+    """Seed pairwise merge: sum, subtract the (k+1)-th largest, drop <= 0."""
+    size = check_positive_int(k, "k")
+    combined: Dict[Hashable, float] = {}
+    for counters in (_as_counters_reference(first), _as_counters_reference(second)):
+        for key, value in counters.items():
+            if value < 0:
+                raise SketchStateError(f"negative counter for {key!r} cannot be merged")
+            combined[key] = combined.get(key, 0.0) + float(value)
+    if len(combined) <= size:
+        return {key: value for key, value in combined.items() if value > 0}
+    values = np.fromiter(combined.values(), dtype=float, count=len(combined))
+    position = len(values) - 1 - size  # ascending index of the (k+1)-th largest
+    offset = float(np.partition(values, position)[position])
+    merged = {key: value - offset for key, value in combined.items() if value - offset > 0}
+    return merged
+
+
+def reference_merge_many(sketches: Sequence, k: int) -> Dict[Hashable, float]:
+    """Seed left-fold of :func:`reference_merge_misra_gries` over sketches."""
+    size = check_positive_int(k, "k")
+    if not sketches:
+        return {}
+    result = _as_counters_reference(sketches[0])
+    if len(result) > size:
+        # A single over-sized input is reduced through a merge with nothing.
+        result = reference_merge_misra_gries(result, {}, size)
+    for sketch in sketches[1:]:
+        result = reference_merge_misra_gries(result, sketch, size)
+    return result
+
+
+def reference_sum_counters(sketches: Iterable) -> Dict[Hashable, float]:
+    """Seed counter-wise sum with a per-key ``dict.get`` loop."""
+    total: Dict[Hashable, float] = {}
+    for sketch in sketches:
+        for key, value in _as_counters_reference(sketch).items():
+            total[key] = total.get(key, 0.0) + float(value)
+    return total

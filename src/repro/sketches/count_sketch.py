@@ -9,7 +9,8 @@ baseline in :mod:`repro.baselines.oracle_heavy_hitters`.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable
+from collections import Counter
+from typing import Dict, Hashable, Iterable, Tuple
 
 import numpy as np
 
@@ -18,12 +19,22 @@ from ..exceptions import ParameterError
 from ._hashing import bucket_hash, sign_hash
 from .base import FrequencySketch
 
+#: Cap on cached per-key hash vectors; all-distinct streams would otherwise
+#: grow the cache without bound (keys past the cap are hashed per occurrence,
+#: exactly like the pre-cache code).
+_HASH_CACHE_LIMIT = 1 << 18
+
 
 class CountSketch(FrequencySketch):
     """CountSketch with ``depth`` rows of ``width`` signed counters.
 
     ``estimate(x)`` is the median over rows of the signed bucket values; it is
     an unbiased estimator of ``f(x)``.
+
+    Row columns and signs for each distinct element are hashed once and
+    cached as ``depth``-vectors, so updates are a single NumPy fancy-indexed
+    add instead of a Python loop over ``depth``; :meth:`update_all` groups a
+    whole batch by element and applies it with one ``np.add.at`` call.
     """
 
     def __init__(self, width: int, depth: int, seed: int = 0) -> None:
@@ -35,6 +46,8 @@ class CountSketch(FrequencySketch):
         self._table = np.zeros((self._depth, self._width), dtype=np.float64)
         self._stream_length = 0
         self._keys_seen: set = set()
+        self._rows = np.arange(self._depth)
+        self._hash_cache: Dict[Hashable, Tuple[np.ndarray, np.ndarray]] = {}
 
     @property
     def width(self) -> int:
@@ -50,21 +63,62 @@ class CountSketch(FrequencySketch):
     def stream_length(self) -> int:
         return self._stream_length
 
+    def _hashes(self, element: Hashable) -> Tuple[np.ndarray, np.ndarray]:
+        """``(columns, signs)`` vectors of ``element``, hashed once and cached."""
+        hashes = self._hash_cache.get(element)
+        if hashes is None:
+            hashes = self._compute_hashes(element)
+            if len(self._hash_cache) < _HASH_CACHE_LIMIT:
+                self._hash_cache[element] = hashes
+        return hashes
+
+    def _compute_hashes(self, element: Hashable) -> Tuple[np.ndarray, np.ndarray]:
+        columns = np.fromiter(
+            (bucket_hash(element, self._seed, row, self._width)
+             for row in range(self._depth)),
+            dtype=np.intp, count=self._depth)
+        signs = np.fromiter(
+            (sign_hash(element, self._seed, row) for row in range(self._depth)),
+            dtype=np.float64, count=self._depth)
+        return columns, signs
+
     def update(self, element: Hashable, weight: float = 1.0) -> None:
         """Add ``weight`` occurrences of ``element`` to the sketch."""
         self._stream_length += 1
         self._keys_seen.add(element)
-        for row in range(self._depth):
-            column = bucket_hash(element, self._seed, row, self._width)
-            sign = sign_hash(element, self._seed, row)
-            self._table[row, column] += sign * weight
+        columns, signs = self._hashes(element)
+        self._table[self._rows, columns] += signs * weight
+
+    def update_all(self, stream: Iterable[Hashable]) -> "CountSketch":
+        """Process a whole batch with one grouped ``np.add.at`` table update.
+
+        The batch is grouped by element, each distinct element's columns and
+        signs are hashed once (and cached for later batches), and all signed
+        increments land in a single scatter-add — identical counters to
+        element-by-element :meth:`update` calls.
+        """
+        counts = Counter(stream)
+        if not counts:
+            return self
+        unique = list(counts.keys())
+        hashes = [self._hashes(element) for element in unique]
+        columns = np.vstack([columns for columns, _ in hashes])
+        signs = np.vstack([signs for _, signs in hashes])
+        weights = np.fromiter(counts.values(), dtype=np.float64, count=len(unique))
+        np.add.at(self._table, (self._rows[np.newaxis, :], columns),
+                  signs * weights[:, np.newaxis])
+        self._stream_length += int(weights.sum())
+        self._keys_seen.update(unique)
+        return self
 
     def estimate(self, element: Hashable) -> float:
         """Point query: median of the signed bucket values across rows."""
-        values = [sign_hash(element, self._seed, row) *
-                  self._table[row, bucket_hash(element, self._seed, row, self._width)]
-                  for row in range(self._depth)]
-        return float(np.median(values))
+        hashes = self._hash_cache.get(element)
+        if hashes is None:
+            # Point queries over a large universe should not grow the cache.
+            hashes = self._compute_hashes(element)
+        columns, signs = hashes
+        return float(np.median(signs * self._table[self._rows, columns]))
 
     def counters(self) -> Dict[Hashable, float]:
         """Estimates for every element observed during updates (see CountMin note)."""

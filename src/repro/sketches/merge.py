@@ -9,11 +9,31 @@ the truth where ``N`` is the combined stream length (Lemma 29 in the paper).
 Section 7 of the paper shows that for neighbouring inputs the merged counters
 differ by at most 1 in at most ``k`` positions (Lemma 17 / Corollary 18),
 which is what the private merged release relies on.
+
+Performance
+-----------
+:func:`merge_many` is the aggregator hot path of the distributed setting
+(``m`` users each ship a size-``k`` sketch).  It is implemented as a
+*key-interning* fold: all keys across the ``m`` sketches are mapped to integer
+ids once (via ``np.unique`` for integer universes, a dict otherwise), the
+counters live in one dense float array, and each fold step is a handful of
+NumPy bulk operations (fancy-indexed add, ``np.union1d``, ``np.partition`` for
+the (k+1)-th largest, one mask).  The result is equal — same key set, exactly
+equal float values — to the seed dict-based left fold, which is preserved
+verbatim in :mod:`repro.sketches._reference_merge` and property-tested against
+this implementation in ``tests/property/test_merge_equivalence.py``.
+
+For very large ``m``, :func:`merge_tree` performs the same reduction as a
+balanced pairwise tree (any merge order keeps the Lemma 29 guarantee); tree
+rounds are embarrassingly parallel and keep every intermediate at ``<= 2k``
+counters.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Mapping, Sequence, Union
+import itertools
+from collections import Counter
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -69,21 +89,346 @@ def merge_misra_gries(first: SketchLike, second: SketchLike, k: int) -> Dict[Has
     return merged
 
 
-def merge_many(sketches: Sequence[SketchLike], k: int) -> Dict[Hashable, float]:
-    """Left-fold :func:`merge_misra_gries` over a sequence of sketches.
+# ---------------------------------------------------------------------------
+# Key interning
+# ---------------------------------------------------------------------------
 
-    The error guarantee holds for any merge order; the left fold matches the
-    ordering used in the paper's experiments and keeps memory at ``O(k)``.
+def _concat_keys(counters_list: Sequence[Dict[Hashable, float]]) -> List[Hashable]:
+    all_keys: List[Hashable] = []
+    for counters in counters_list:
+        all_keys.extend(counters.keys())
+    return all_keys
+
+
+def _as_int_key_array(all_keys: List[Hashable]) -> Optional[np.ndarray]:
+    """``all_keys`` as an integer ndarray, or ``None`` when that is unsafe.
+
+    Only plain-integer universes qualify: for any other inferred dtype NumPy
+    would silently coerce (floats truncating, ints stringifying, ...) and
+    conflate keys that dict semantics keep distinct.
+    """
+    if not all_keys:
+        return np.empty(0, dtype=np.int64)
+    try:
+        array = np.asarray(all_keys)
+    except (TypeError, ValueError, OverflowError):
+        return None
+    if array.ndim != 1 or array.dtype.kind not in "iu" or array.size != len(all_keys):
+        return None
+    return array
+
+
+def _intern_generic(all_keys: List[Hashable]) -> Tuple[List[Hashable], np.ndarray]:
+    """Intern arbitrary hashable keys with a dict (dict hashing semantics)."""
+    index: Dict[Hashable, int] = {}
+    keys: List[Hashable] = []
+    ids = np.empty(len(all_keys), dtype=np.intp)
+    for slot, key in enumerate(all_keys):
+        key_id = index.setdefault(key, len(keys))
+        if key_id == len(keys):
+            keys.append(key)
+        ids[slot] = key_id
+    return keys, ids
+
+
+def _counter_views(sketches: Sequence[SketchLike]) -> List[Mapping[Hashable, float]]:
+    """Per-sketch counter mappings, without copying plain dicts."""
+    views: List[Mapping[Hashable, float]] = []
+    for sketch in sketches:
+        if isinstance(sketch, FrequencySketch):
+            views.append(sketch.counters())
+        elif isinstance(sketch, Mapping):
+            views.append(sketch)
+        else:
+            raise ParameterError(
+                f"expected a FrequencySketch or mapping, got {type(sketch)!r}")
+    return views
+
+
+def _intern_ids(views: Sequence[Mapping[Hashable, float]]) -> Tuple[np.ndarray, int, Tuple]:
+    """Map every key across all sketches to an integer id.
+
+    Returns ``(flat_ids, domain, resolver)`` where ``flat_ids`` covers the
+    concatenated sketches, ``domain`` is the id-space size and ``resolver``
+    describes how to turn ids back into keys:
+
+    * ``("dense", low)`` — integer keys in a bounded range; ``key = low + id``
+      (no ``np.unique`` pass at all);
+    * ``("unique", uniques)`` — integer keys in a wide range, interned through
+      ``np.unique``;
+    * ``("generic", keys)`` — arbitrary hashable keys interned with a dict.
+    """
+    all_keys = _concat_keys(views)
+    array = _as_int_key_array(all_keys)
+    if array is not None:
+        return _intern_int_keys(array)
+    keys, ids = _intern_generic(all_keys)
+    return ids, len(keys), ("generic", keys)
+
+
+def _intern_int_keys(flat_keys: np.ndarray) -> Tuple[np.ndarray, int, Tuple]:
+    """Intern an integer key array: dense offset when bounded, else unique."""
+    if flat_keys.size == 0:
+        return np.empty(0, dtype=np.intp), 0, ("dense", 0)
+    low = int(flat_keys.min())
+    span = int(flat_keys.max()) - low + 1
+    if span <= max(4 * flat_keys.size, 1 << 20) and span <= (1 << 23):
+        return np.asarray(flat_keys - low, dtype=np.intp), span, ("dense", low)
+    uniques, inverse = np.unique(flat_keys, return_inverse=True)
+    return inverse.astype(np.intp, copy=False), len(uniques), ("unique", uniques)
+
+
+def _resolve_keys(active: np.ndarray, resolver: Tuple) -> List[Hashable]:
+    """Turn surviving integer ids back into dict keys."""
+    kind = resolver[0]
+    if kind == "dense":
+        low = resolver[1]
+        return [low + key_id for key_id in active.tolist()]
+    if kind == "unique":
+        return resolver[1][active].tolist()
+    keys = resolver[1]
+    return [keys[key_id] for key_id in active.tolist()]
+
+
+def _raise_negative(views: Sequence[Mapping[Hashable, float]]) -> None:
+    """Locate the first negative counter and raise like the seed fold."""
+    for view in views:
+        for key, value in view.items():
+            if value < 0:
+                raise SketchStateError(f"negative counter for {key!r} cannot be merged")
+    raise SketchStateError("negative counter cannot be merged")
+
+
+# ---------------------------------------------------------------------------
+# Vectorized many-way merge
+# ---------------------------------------------------------------------------
+
+def _fold_interned(flat_ids: np.ndarray, flat_values: np.ndarray,
+                   lengths: Sequence[int], domain: int,
+                   size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Left fold of the Agarwal merge over interned (id, value) sketches.
+
+    The accumulator is one dense float array over the id space with the
+    invariant ``acc[id] > 0 iff id is a live counter``; each fold step is a
+    fancy-indexed add, an ``acc == 0`` membership test for the step's new
+    keys, and (when more than ``size`` counters are live) one
+    ``np.partition`` for the (k+1)-th largest plus one masked write-back.
+    Every per-key float operation matches the seed dict fold and ``active``
+    preserves the seed dict's key *insertion order* (survivors keep their
+    relative position, new keys append in sketch order), so the resulting
+    dict is exactly the seed's — same iteration order, same float bits.
+
+    The one wrinkle in the invariant: the seed passes the first sketch
+    through verbatim, so its zero-valued counters survive until the second
+    fold step (where the merge's ``> 0`` output filter finally drops them)
+    and keep their dict position if that step refills them.  Those ids are
+    carried in ``zero_live`` and excluded from the second step's freshness
+    test, since they sit in ``active`` with ``acc == 0``.
+
+    Returns ``(active_ids, acc)``.
+    """
+    acc = np.zeros(domain, dtype=np.float64)
+    active = np.empty(0, dtype=np.intp)
+    zero_live = None
+    first_step = True
+    start = 0
+    for length in lengths:
+        end = start + length
+        ids = flat_ids[start:end]
+        values = flat_values[start:end]
+        start = end
+        if first_step:
+            # The seed takes the first sketch as-is, reducing only when it is
+            # over-sized (and only then dropping its zero-valued counters).
+            first_step = False
+            if length == 0:
+                continue
+            acc[ids] = values
+            if length > size:
+                current = values
+                scratch = current.copy()
+                scratch.partition(length - 1 - size)
+                shifted = current - scratch[length - 1 - size]
+                keep = shifted > 0.0
+                acc[ids] = np.where(keep, shifted, 0.0)
+                active = ids[keep]
+            else:
+                active = ids
+                zeros = values == 0.0
+                if zeros.any():
+                    zero_live = ids[zeros]
+            continue
+        if length == 0:
+            # The seed's merge with an empty summary still drops any
+            # zero-valued counters carried over from the first sketch.
+            if zero_live is not None:
+                active = active[acc[active] > 0.0]
+                zero_live = None
+            continue
+        before = acc[ids]
+        if zero_live is not None:
+            fresh = ids[(before == 0.0) & ~np.isin(ids, zero_live)]
+        else:
+            fresh = ids[before == 0.0]
+        # Keys are unique within one sketch, so a fancy-indexed add matches
+        # the seed's per-key ``combined.get(key, 0.0) + value``.
+        acc[ids] = before + values
+        combined = np.concatenate((active, fresh)) if fresh.size else active
+        count = combined.size
+        if count > size:
+            # Subtract the (k+1)-th largest combined counter, drop <= 0.
+            current = acc[combined]
+            scratch = current.copy()
+            scratch.partition(count - 1 - size)
+            shifted = current - scratch[count - 1 - size]
+            keep = shifted > 0.0
+            acc[combined] = np.where(keep, shifted, 0.0)
+            active = combined[keep]
+        elif zero_live is None and bool(values.min() > 0.0):
+            # Strictly positive inputs cannot create zero-valued counters, so
+            # every combined counter is still live.
+            active = combined
+        else:
+            # Zero-valued (or non-finite) counters are dropped and zeroed so
+            # the ``acc == 0`` membership invariant holds.
+            current = acc[combined]
+            keep = current > 0.0
+            acc[combined] = np.where(keep, current, 0.0)
+            active = combined[keep]
+        zero_live = None
+    return active, acc
+
+
+def merge_many(sketches: Sequence[SketchLike], k: int) -> Dict[Hashable, float]:
+    """Fold :func:`merge_misra_gries` over a sequence of sketches, vectorized.
+
+    The error guarantee holds for any merge order; the fold matches the
+    ordering used in the paper's experiments and keeps memory at ``O(k)``
+    live counters (plus the interning table).  The result is equal to the
+    seed dict-based left fold preserved in
+    :func:`repro.sketches._reference_merge.reference_merge_many` — the per-key
+    float operations are performed in the same order, so the values agree
+    exactly, not just approximately.
+
+    Sketches that already live in columnar form (key and value arrays, e.g.
+    deserialized straight off the aggregator's wire protocol) should go
+    through :func:`merge_many_arrays`, which skips the per-object dict
+    traversal entirely.
     """
     size = check_positive_int(k, "k")
     if not sketches:
         return {}
-    result = _as_counters(sketches[0])
+    if len(sketches) == 1:
+        result = _as_counters(sketches[0])
+        if len(result) > size:
+            # A single over-sized input is reduced through a merge with nothing.
+            return merge_misra_gries(result, {}, size)
+        return result
+    views = _counter_views(sketches)
+    lengths = [len(view) for view in views]
+    total = sum(lengths)
+    flat_ids, domain, resolver = _intern_ids(views)
+    flat_values = np.fromiter(
+        itertools.chain.from_iterable(view.values() for view in views),
+        dtype=np.float64, count=total)
+    if total and bool(np.min(flat_values) < 0):
+        _raise_negative(views)
+    active, acc = _fold_interned(flat_ids, flat_values, lengths, domain, size)
+    return dict(zip(_resolve_keys(active, resolver), acc[active].tolist()))
+
+
+def merge_many_arrays(keys_list: Sequence[np.ndarray],
+                      values_list: Sequence[np.ndarray],
+                      k: int) -> Dict[int, float]:
+    """Columnar :func:`merge_many`: sketches as parallel (keys, values) arrays.
+
+    This is the aggregator's wire path for the distributed setting of
+    Section 7: ``m`` users each ship a size-``k`` sketch as an integer key
+    array plus a float counter array (the natural serialization of
+    ``counters()``), and the merge runs entirely on NumPy arrays — no per-key
+    Python object traversal at all, which is where the dict path spends about
+    half its time.  The result is exactly the left fold the seed computes on
+    the corresponding dicts, i.e. ``merge_many([dict(zip(ks, vs)), ...], k)``,
+    and is property-tested against the frozen seed reference.
+
+    Keys must be unique within each sketch (``counters()`` guarantees this).
+    Negative values raise :class:`~repro.exceptions.SketchStateError` exactly
+    where :func:`merge_many` would: multi-sketch inputs are checked, while a
+    single sketch is passed through unvalidated like the seed fold does.
+    """
+    size = check_positive_int(k, "k")
+    if len(keys_list) != len(values_list):
+        raise ParameterError(
+            f"got {len(keys_list)} key arrays but {len(values_list)} value arrays")
+    if not keys_list:
+        return {}
+    key_arrays: List[np.ndarray] = []
+    value_arrays: List[np.ndarray] = []
+    for keys, values in zip(keys_list, values_list):
+        key_array = np.asarray(keys)
+        value_array = np.asarray(values, dtype=np.float64)
+        if key_array.ndim != 1 or value_array.ndim != 1:
+            raise ParameterError("sketch key/value arrays must be one-dimensional")
+        if key_array.size != value_array.size:
+            raise ParameterError(
+                f"sketch has {key_array.size} keys but {value_array.size} values")
+        if key_array.size and key_array.dtype.kind not in "iu":
+            raise ParameterError(
+                f"sketch keys must be integers, got dtype {key_array.dtype}")
+        key_arrays.append(key_array)
+        value_arrays.append(value_array)
+    if len(key_arrays) == 1:
+        result = dict(zip(key_arrays[0].tolist(), value_arrays[0].tolist()))
+        if len(result) > size:
+            return merge_misra_gries(result, {}, size)
+        return result
+    lengths = [array.size for array in key_arrays]
+    # Empty arrays are excluded from the concatenation: their (arbitrary)
+    # dtype must not participate in promotion.  The zero entries stay in
+    # ``lengths`` so the fold still sees those sketches as no-op steps.
+    non_empty = [array for array in key_arrays if array.size]
+    if not non_empty:
+        return {}
+    flat_keys = np.concatenate(non_empty)
+    if flat_keys.dtype.kind not in "iu":
+        # Mixed signed/unsigned inputs promote to float64, which would
+        # corrupt keys beyond 2**53; take the exact dict route instead.
+        return merge_many(
+            [dict(zip(keys.tolist(), values.tolist()))
+             for keys, values in zip(key_arrays, value_arrays)], size)
+    flat_values = np.concatenate([array for array in value_arrays if array.size])
+    if flat_values.size and bool(np.min(flat_values) < 0):
+        offender = flat_keys[np.flatnonzero(flat_values < 0)[0]]
+        raise SketchStateError(f"negative counter for {offender!r} cannot be merged")
+    flat_ids, domain, resolver = _intern_int_keys(flat_keys)
+    active, acc = _fold_interned(flat_ids, flat_values, lengths, domain, size)
+    return dict(zip(_resolve_keys(active, resolver), acc[active].tolist()))
+
+
+def merge_tree(sketches: Sequence[SketchLike], k: int) -> Dict[Hashable, float]:
+    """Merge as a balanced pairwise tree instead of a left fold.
+
+    Lemma 29 holds for *any* merge order, so the tree result carries the same
+    ``N/(k+1)`` guarantee as :func:`merge_many` (the values themselves differ
+    from the left fold in general).  Trees are preferable for very large
+    ``m``: every intermediate holds at most ``2k`` counters, rounds are
+    embarrassingly parallel, and each element participates in only
+    ``O(log m)`` reductions.
+    """
+    size = check_positive_int(k, "k")
+    if not sketches:
+        return {}
+    level: List[Dict[Hashable, float]] = [_as_counters(sketch) for sketch in sketches]
+    while len(level) > 1:
+        next_level: List[Dict[Hashable, float]] = []
+        for index in range(0, len(level) - 1, 2):
+            next_level.append(merge_many([level[index], level[index + 1]], size))
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+    result = level[0]
     if len(result) > size:
-        # A single over-sized input is reduced through a merge with nothing.
         result = merge_misra_gries(result, {}, size)
-    for sketch in sketches[1:]:
-        result = merge_misra_gries(result, sketch, size)
     return result
 
 
@@ -91,10 +436,35 @@ def sum_counters(sketches: Iterable[SketchLike]) -> Dict[Hashable, float]:
     """Plain counter-wise sum of several summaries (no size reduction).
 
     Used by the trusted-aggregator merging path of Section 7 where the
-    aggregator may keep more than ``k`` counters.
+    aggregator may keep more than ``k`` counters.  Integer key universes are
+    aggregated with ``np.unique`` + ``np.bincount`` in one pass; other key
+    types fall back to a single C-level :class:`collections.Counter` pass
+    (no per-key ``dict.get`` in Python).  Both paths add each key's values in
+    first-appearance order and build the result dict in first-appearance key
+    order, exactly like the seed loop preserved in
+    :func:`repro.sketches._reference_merge.reference_sum_counters` — this
+    matters downstream, where the trusted-sum release pairs sequential noise
+    draws with the aggregate's iteration order.
     """
-    total: Dict[Hashable, float] = {}
-    for sketch in sketches:
-        for key, value in _as_counters(sketch).items():
-            total[key] = total.get(key, 0.0) + float(value)
-    return total
+    counters_list = [_as_counters(sketch) for sketch in sketches]
+    if not counters_list:
+        return {}
+    all_keys = _concat_keys(counters_list)
+    array = _as_int_key_array(all_keys)
+    if array is not None:
+        if array.size == 0:
+            return {}
+        uniques, first_seen, inverse = np.unique(
+            array, return_index=True, return_inverse=True)
+        values = np.concatenate(
+            [np.fromiter(counters.values(), dtype=np.float64, count=len(counters))
+             for counters in counters_list])
+        # np.bincount adds weights in input order, matching the seed's
+        # left-to-right accumulation per key.
+        sums = np.bincount(inverse, weights=values, minlength=len(uniques))
+        order = np.argsort(first_seen, kind="stable")
+        return dict(zip(uniques[order].tolist(), sums[order].tolist()))
+    total: Counter = Counter()
+    for counters in counters_list:
+        total.update(counters)
+    return dict(total)

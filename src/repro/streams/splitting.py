@@ -10,17 +10,25 @@ from __future__ import annotations
 
 from typing import List, Sequence, TypeVar
 
+import numpy as np
+
 from .._validation import check_positive_int
 
 T = TypeVar("T")
 
 
-def split_contiguous(stream: Sequence[T], parts: int) -> List[List[T]]:
-    """Split ``stream`` into ``parts`` contiguous chunks of near-equal length."""
+def split_contiguous(stream: Sequence[T], parts: int) -> List[Sequence[T]]:
+    """Split ``stream`` into ``parts`` contiguous chunks of near-equal length.
+
+    NumPy arrays are split into array *views* (same chunk boundaries, no
+    copies), so a columnar stream stays columnar all the way into the
+    vectorized sketch batch path; any other input is materialized into
+    per-chunk lists.
+    """
     count = check_positive_int(parts, "parts")
-    items = list(stream)
+    items = stream if isinstance(stream, np.ndarray) else list(stream)
     n = len(items)
-    chunks: List[List[T]] = []
+    chunks: List[Sequence[T]] = []
     base, remainder = divmod(n, count)
     start = 0
     for index in range(count):

@@ -1,0 +1,142 @@
+"""Bit-identity of the vectorized aggregation tier vs the frozen seed fold.
+
+The vectorized key-interning merge (:func:`repro.sketches.merge.merge_many`),
+its columnar wire-path twin (:func:`~repro.sketches.merge.merge_many_arrays`)
+and the single-pass :func:`~repro.sketches.merge.sum_counters` must produce
+*exactly* the results of the seed dict-based implementations preserved in
+:mod:`repro.sketches._reference_merge` — same keys in the same dict
+iteration order, exactly equal float values (the per-key float operations
+are performed in the same order, so no tolerance is needed anywhere in this
+file).  Iteration order matters downstream: the DP releases pair sequential
+noise draws with dict order.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SketchStateError
+from repro.sketches.merge import merge_many, merge_many_arrays, merge_tree, sum_counters
+from repro.sketches._reference_merge import (
+    reference_merge_many,
+    reference_sum_counters,
+)
+
+# Small universes make key collisions across sketches frequent; negative ints
+# exercise the dense-offset interning, large ints the np.unique path.
+small_ints = st.integers(min_value=-12, max_value=12)
+wide_ints = st.integers(min_value=-(10 ** 14), max_value=10 ** 14)
+strings = st.text(alphabet="abcdef", min_size=0, max_size=4)
+mixed_keys = st.one_of(small_ints, strings, st.booleans(),
+                       st.tuples(st.integers(0, 3), st.integers(0, 3)))
+
+# Values include exact zeros (dropped by the merge), integers and awkward
+# fractions; non-negative, as the merge requires.
+values = st.one_of(
+    st.just(0.0),
+    st.integers(min_value=0, max_value=30).map(float),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+)
+
+sketch_sizes = st.integers(min_value=1, max_value=8)
+
+
+def _collections(keys):
+    # max_size above k so single- and multi-sketch inputs are over-sized often.
+    sketch = st.dictionaries(keys, values, min_size=0, max_size=24)
+    return st.lists(sketch, min_size=0, max_size=6)
+
+
+@given(sketches=_collections(small_ints), k=sketch_sizes)
+@settings(max_examples=300, deadline=None)
+def test_merge_many_matches_seed_fold_small_ints(sketches, k):
+    got = merge_many([dict(s) for s in sketches], k)
+    expected = reference_merge_many([dict(s) for s in sketches], k)
+    assert list(got.items()) == list(expected.items())
+
+
+@given(sketches=_collections(wide_ints), k=sketch_sizes)
+@settings(max_examples=150, deadline=None)
+def test_merge_many_matches_seed_fold_wide_ints(sketches, k):
+    got = merge_many([dict(s) for s in sketches], k)
+    expected = reference_merge_many([dict(s) for s in sketches], k)
+    assert list(got.items()) == list(expected.items())
+
+
+@given(sketches=_collections(strings), k=sketch_sizes)
+@settings(max_examples=150, deadline=None)
+def test_merge_many_matches_seed_fold_strings(sketches, k):
+    got = merge_many([dict(s) for s in sketches], k)
+    expected = reference_merge_many([dict(s) for s in sketches], k)
+    assert list(got.items()) == list(expected.items())
+
+
+@given(sketches=_collections(mixed_keys), k=sketch_sizes)
+@settings(max_examples=300, deadline=None)
+def test_merge_many_matches_seed_fold_mixed_keys(sketches, k):
+    got = merge_many([dict(s) for s in sketches], k)
+    expected = reference_merge_many([dict(s) for s in sketches], k)
+    assert list(got.items()) == list(expected.items())
+
+
+@given(counters=st.dictionaries(small_ints, values, min_size=0, max_size=30),
+       k=sketch_sizes)
+@settings(max_examples=200, deadline=None)
+def test_single_oversized_input_matches_seed(counters, k):
+    got = merge_many([dict(counters)], k)
+    expected = reference_merge_many([dict(counters)], k)
+    assert list(got.items()) == list(expected.items())
+
+
+@given(sketches=_collections(small_ints), k=sketch_sizes)
+@settings(max_examples=200, deadline=None)
+def test_merge_many_arrays_matches_seed_fold(sketches, k):
+    keys_list = [np.fromiter(s.keys(), dtype=np.int64, count=len(s)) for s in sketches]
+    values_list = [np.fromiter(s.values(), dtype=np.float64, count=len(s))
+                   for s in sketches]
+    got = merge_many_arrays(keys_list, values_list, k)
+    expected = reference_merge_many([dict(s) for s in sketches], k)
+    assert list(got.items()) == list(expected.items())
+
+
+@given(sketches=_collections(mixed_keys))
+@settings(max_examples=300, deadline=None)
+def test_sum_counters_matches_seed(sketches):
+    got = sum_counters([dict(s) for s in sketches])
+    expected = reference_sum_counters([dict(s) for s in sketches])
+    assert list(got.items()) == list(expected.items())
+
+
+@given(sketches=_collections(wide_ints))
+@settings(max_examples=150, deadline=None)
+def test_sum_counters_matches_seed_wide_ints(sketches):
+    got = sum_counters([dict(s) for s in sketches])
+    expected = reference_sum_counters([dict(s) for s in sketches])
+    assert list(got.items()) == list(expected.items())
+
+
+@given(sketches=_collections(small_ints), k=sketch_sizes)
+@settings(max_examples=150, deadline=None)
+def test_merge_tree_keeps_size_bound_and_key_subset(sketches, k):
+    """The tree merge returns at most k counters drawn from the input keys."""
+    merged = merge_tree([dict(s) for s in sketches], k)
+    if len(sketches) != 1:
+        assert len(merged) <= k
+    all_keys = {key for sketch in sketches for key in sketch}
+    assert set(merged) <= all_keys
+    assert all(value > 0 for value in merged.values()) or len(sketches) == 1
+
+
+@given(sketches=_collections(small_ints), k=sketch_sizes)
+@settings(max_examples=100, deadline=None)
+def test_negative_counters_raise_like_seed(sketches, k):
+    """Planting a negative counter raises in both implementations alike."""
+    sketches = [dict(s) for s in sketches]
+    if len(sketches) < 2:
+        sketches = sketches + [{0: 1.0}, {1: 2.0}]
+    sketches[-1] = dict(sketches[-1])
+    sketches[-1][99] = -1.0
+    with pytest.raises(SketchStateError):
+        reference_merge_many([dict(s) for s in sketches], k)
+    with pytest.raises(SketchStateError):
+        merge_many([dict(s) for s in sketches], k)

@@ -70,3 +70,28 @@ class TestExperimentRunner:
     def test_invalid_repetitions(self):
         with pytest.raises(ParameterError):
             ExperimentRunner(repetitions=0)
+
+
+def _pickleable_trial(rng, k):
+    return {"value": float(rng.random()) * k}
+
+
+class TestExperimentRunnerWorkers:
+    def test_workers_validated(self):
+        with pytest.raises(ParameterError):
+            ExperimentRunner(repetitions=2, workers=0)
+        with pytest.raises(ParameterError):
+            ExperimentRunner(repetitions=2, workers=-3)
+
+    def test_workers_one_runs_in_process(self):
+        results = ExperimentRunner(repetitions=2, rng=0, workers=1).run(
+            _pickleable_trial, SweepSpec({"k": [1, 2]}))
+        assert len(results) == 2
+
+    def test_parallel_matches_sequential(self):
+        sweep = SweepSpec({"k": [1, 2, 3]})
+        sequential = ExperimentRunner(repetitions=3, rng=7).run(_pickleable_trial, sweep)
+        parallel = ExperimentRunner(repetitions=3, rng=7, workers=2).run(
+            _pickleable_trial, sweep)
+        assert [r.metrics for r in sequential] == [r.metrics for r in parallel]
+        assert [r.parameters for r in sequential] == [r.parameters for r in parallel]

@@ -1,0 +1,109 @@
+"""Vectorized release paths equal the frozen seed per-key loops.
+
+Each test drives the production release (one bulk noise sample, mask-based
+threshold filter, single dict construction) and the seed loop preserved in
+:mod:`repro.core._reference` with identically-seeded generators and asserts
+exactly equal outputs.  This works because NumPy generators produce the same
+sample stream whether draws happen one scalar at a time or as one array
+(Laplace and Gaussian both consume the bit stream identically either way).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core._reference import (
+    reference_gshm_filter,
+    reference_pmg_filter,
+    reference_trusted_sum_filter,
+)
+from repro.core.gshm import GaussianSparseHistogram
+from repro.core.merging import MergeStrategy, PrivateMergedRelease, _noisy_threshold_filter
+from repro.core.private_misra_gries import PrivateMisraGries
+from repro.core.sensitivity_reduction import reduce_sensitivity
+from repro.dp.thresholds import stability_histogram_threshold
+from repro.sketches import MisraGriesSketch
+from repro.sketches.merge import sum_counters
+from repro.streams import zipf_stream
+
+
+class TestPmgReleaseMatchesSeedLoop:
+    @pytest.mark.parametrize("noise", ["laplace", "geometric"])
+    def test_release_equals_reference_filter(self, noise):
+        sketch = MisraGriesSketch.from_stream(
+            32, zipf_stream(5_000, 200, exponent=1.2, rng=4, as_array=True))
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6, noise=noise)
+        histogram = mechanism.release(sketch, rng=123)
+        generator = np.random.default_rng(123)
+        counters = sketch.raw_counters()
+        per_counter, shared = mechanism._sample_noise(len(counters), generator)
+        expected = reference_pmg_filter(counters, per_counter, shared,
+                                        mechanism.threshold(sketch.size))
+        assert histogram.as_dict() == expected
+
+    def test_empty_dict_release(self):
+        mechanism = PrivateMisraGries(epsilon=1.0, delta=1e-6)
+        histogram = mechanism.release({}, rng=0, k=4)
+        assert histogram.as_dict() == {}
+
+    def test_dummy_keys_never_released(self):
+        sketch = MisraGriesSketch.from_stream(8, [1, 2])  # 6 dummy counters
+        mechanism = PrivateMisraGries(epsilon=100.0, delta=0.5)  # tiny threshold
+        histogram = mechanism.release(sketch, rng=0)
+        from repro.sketches.misra_gries import DummyKey
+        assert not any(isinstance(key, DummyKey) for key in histogram.as_dict())
+
+
+class TestTrustedSumReleaseMatchesSeedLoop:
+    def test_filter_equals_reference(self):
+        generator = np.random.default_rng(77)
+        aggregate = {int(key): float(value) for key, value in zip(
+            range(500), generator.integers(0, 50, size=500))}
+        scale = 2.0
+        threshold = stability_histogram_threshold(1.0, 1e-6, sensitivity=2.0)
+        assert _noisy_threshold_filter(aggregate, scale, threshold,
+                                       np.random.default_rng(5)) == \
+            reference_trusted_sum_filter(aggregate, scale, threshold,
+                                         np.random.default_rng(5))
+
+    def test_empty_aggregate(self):
+        assert _noisy_threshold_filter({}, 2.0, 5.0, np.random.default_rng(0)) == {}
+
+    def test_full_trusted_sum_release_equals_seed_recipe(self):
+        """End-to-end: the strategy release equals the seed recipe re-run."""
+        stream = zipf_stream(20_000, 500, exponent=1.2, rng=9, as_array=True)
+        parts = np.array_split(stream, 8)
+        sketches = [MisraGriesSketch.from_stream(64, part) for part in parts]
+        release = PrivateMergedRelease(epsilon=2.0, delta=1e-6, k=64,
+                                       strategy=MergeStrategy.TRUSTED_SUM)
+        histogram = release.release(sketches, rng=31)
+        aggregate = sum_counters([reduce_sensitivity(sketch) for sketch in sketches])
+        threshold = stability_histogram_threshold(2.0, 1e-6, sensitivity=2.0)
+        expected = reference_trusted_sum_filter(aggregate, 2.0 / 2.0, threshold,
+                                                np.random.default_rng(31))
+        assert histogram.as_dict() == expected
+
+
+class TestGshmReleaseMatchesSeedLoop:
+    def test_release_equals_reference_filter(self):
+        mechanism = GaussianSparseHistogram(epsilon=1.0, delta=1e-6, l=32)
+        generator = np.random.default_rng(13)
+        counters = {int(key): float(value) for key, value in zip(
+            range(400), generator.integers(0, 40, size=400))}  # includes zeros
+        sigma, tau = mechanism.parameters()
+        got = mechanism.release(counters, rng=np.random.default_rng(8)).as_dict()
+        expected = reference_gshm_filter(counters, sigma, tau,
+                                         np.random.default_rng(8))
+        assert got == expected
+
+    def test_zero_counters_consume_no_noise(self):
+        """Zeros are filtered before sampling, as in the seed code."""
+        mechanism = GaussianSparseHistogram(epsilon=1.0, delta=1e-6, l=4)
+        with_zeros = mechanism.release({1: 5.0, 2: 0.0, 3: 7.0},
+                                       rng=np.random.default_rng(3)).as_dict()
+        without = mechanism.release({1: 5.0, 3: 7.0},
+                                    rng=np.random.default_rng(3)).as_dict()
+        assert with_zeros == without
+
+    def test_empty_release(self):
+        mechanism = GaussianSparseHistogram(epsilon=1.0, delta=1e-6, l=4)
+        assert mechanism.release({}, rng=0).as_dict() == {}

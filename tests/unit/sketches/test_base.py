@@ -52,3 +52,16 @@ class TestFrequencySketchInterface:
     def test_update_all_returns_self(self):
         sketch = MisraGriesSketch(2)
         assert sketch.update_all([1, 2]) is sketch
+
+
+def test_update_all_keeps_numpy_bools_out_of_batch_path():
+    """np.bool_ hashes like 0/1 but has a different eviction rank; a stream
+    containing one must not be coerced into the integer batch path."""
+    import numpy as np
+    from repro.sketches import MisraGriesSketch
+    batched = MisraGriesSketch(3)
+    batched.update_all([2, np.True_])
+    sequential = MisraGriesSketch(3)
+    for element in [2, np.True_]:
+        sequential.update(element)
+    assert batched.raw_counters() == sequential.raw_counters()

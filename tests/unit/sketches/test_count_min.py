@@ -70,3 +70,37 @@ class TestCountMin:
         sketch = CountMinSketch.from_stream(64, 3, ["a", 1, "a", 1, 2])
         assert sketch.estimate("a") >= 2
         assert sketch.estimate(1) >= 2
+
+    def test_bulk_update_all_identical_to_sequential(self):
+        import numpy as np
+        stream = np.random.default_rng(0).integers(0, 50, 2_000).tolist()
+        sequential = CountMinSketch(37, 4, seed=3)
+        for element in stream:
+            sequential.update(element)
+        bulk = CountMinSketch(37, 4, seed=3)
+        bulk.update_all(stream)
+        assert np.array_equal(sequential.table(), bulk.table())
+        assert sequential.stream_length == bulk.stream_length
+        assert sequential.counters() == bulk.counters()
+
+    def test_bulk_update_all_mixed_key_types(self):
+        import numpy as np
+        stream = ["a", 1, "a", (2, 3), 1, "b"] * 10
+        sequential = CountMinSketch(29, 3, seed=1)
+        for element in stream:
+            sequential.update(element)
+        bulk = CountMinSketch(29, 3, seed=1)
+        bulk.update_all(stream)
+        assert np.array_equal(sequential.table(), bulk.table())
+
+    def test_update_all_empty_stream(self):
+        sketch = CountMinSketch(8, 2)
+        sketch.update_all([])
+        assert sketch.stream_length == 0
+
+    def test_estimate_of_unseen_key_does_not_grow_cache(self):
+        sketch = CountMinSketch(8, 2)
+        sketch.update("a")
+        cached = len(sketch._column_cache)
+        sketch.estimate("never-updated")
+        assert len(sketch._column_cache) == cached

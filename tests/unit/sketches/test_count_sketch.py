@@ -51,3 +51,20 @@ class TestCountSketch:
         sketch = CountSketch(64, 5)
         sketch.update("x", weight=10.0)
         assert sketch.estimate("x") == pytest.approx(10.0)
+
+    def test_bulk_update_all_identical_to_sequential(self):
+        import numpy as np
+        stream = np.random.default_rng(1).integers(0, 50, 2_000).tolist()
+        sequential = CountSketch(37, 5, seed=3)
+        for element in stream:
+            sequential.update(element)
+        bulk = CountSketch(37, 5, seed=3)
+        bulk.update_all(stream)
+        assert np.array_equal(sequential.table(), bulk.table())
+        assert sequential.stream_length == bulk.stream_length
+        assert sequential.counters() == bulk.counters()
+
+    def test_update_all_empty_stream(self):
+        sketch = CountSketch(8, 2)
+        sketch.update_all([])
+        assert sketch.stream_length == 0

@@ -1,10 +1,17 @@
 """Unit tests for the Agarwal et al. merging algorithm."""
 
+import numpy as np
 import pytest
 
 from repro.exceptions import ParameterError, SketchStateError
 from repro.sketches import ExactCounter, MisraGriesSketch
-from repro.sketches.merge import merge_many, merge_misra_gries, sum_counters
+from repro.sketches.merge import (
+    merge_many,
+    merge_many_arrays,
+    merge_misra_gries,
+    merge_tree,
+    sum_counters,
+)
 from repro.streams import zipf_stream, split_contiguous
 
 
@@ -81,6 +88,72 @@ class TestMergeMany:
         assert len(merge_many(sketches, k=5)) <= 5
 
 
+class TestMergeManyArrays:
+    def test_matches_dict_merge(self):
+        keys_list = [np.array([1, 2, 3]), np.array([2, 4])]
+        values_list = [np.array([2.0, 5.0, 1.0]), np.array([3.0, 7.0])]
+        dicts = [dict(zip(keys.tolist(), values.tolist()))
+                 for keys, values in zip(keys_list, values_list)]
+        assert merge_many_arrays(keys_list, values_list, 3) == merge_many(dicts, 3)
+
+    def test_empty_collection(self):
+        assert merge_many_arrays([], [], 4) == {}
+
+    def test_single_sketch_passthrough(self):
+        merged = merge_many_arrays([np.array([5, 6])], [np.array([1.0, 0.0])], 4)
+        assert merged == {5: 1.0, 6: 0.0}  # seed keeps zeros for a single input
+
+    def test_negative_counter_raises(self):
+        with pytest.raises(SketchStateError):
+            merge_many_arrays([np.array([1]), np.array([2])],
+                              [np.array([1.0]), np.array([-2.0])], 4)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ParameterError):
+            merge_many_arrays([np.array([1])], [], 4)
+        with pytest.raises(ParameterError):
+            merge_many_arrays([np.array([1, 2])], [np.array([1.0])], 4)
+
+    def test_non_integer_keys_raise(self):
+        with pytest.raises(ParameterError):
+            merge_many_arrays([np.array([1.5])], [np.array([1.0])], 4)
+
+    def test_wide_key_range_uses_unique_interning(self):
+        keys_list = [np.array([0, 2 ** 60]), np.array([2 ** 60, -2 ** 60])]
+        values_list = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+        dicts = [dict(zip(keys.tolist(), values.tolist()))
+                 for keys, values in zip(keys_list, values_list)]
+        assert merge_many_arrays(keys_list, values_list, 8) == merge_many(dicts, 8)
+
+
+class TestMergeTree:
+    def test_matches_pairwise_reduction_guarantee(self):
+        stream = zipf_stream(4_000, 100, exponent=1.2, rng=3)
+        truth = ExactCounter.from_stream(stream)
+        k = 12
+        parts = split_contiguous(stream, 8)
+        sketches = [MisraGriesSketch.from_stream(k, part) for part in parts]
+        merged = merge_tree(sketches, k)
+        assert len(merged) <= k
+        bound = len(stream) / (k + 1)
+        for element in range(100):
+            estimate = merged.get(element, 0.0)
+            assert truth.estimate(element) - bound - 1e-9 <= estimate
+
+    def test_empty_and_single(self):
+        assert merge_tree([], 4) == {}
+        assert merge_tree([{"a": 2.0}], 4) == {"a": 2.0}
+
+    def test_odd_count_carries_last_sketch(self):
+        sketches = [{i: 1.0} for i in range(5)]
+        merged = merge_tree(sketches, 8)
+        assert merged == {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0}
+
+    def test_result_size_bounded(self):
+        sketches = [{i + offset: 1.0 for i in range(10)} for offset in (0, 5, 10)]
+        assert len(merge_tree(sketches, k=5)) <= 5
+
+
 class TestSumCounters:
     def test_plain_sum(self):
         total = sum_counters([{"a": 1.0, "b": 2.0}, {"a": 3.0}])
@@ -93,3 +166,23 @@ class TestSumCounters:
 
     def test_empty(self):
         assert sum_counters([]) == {}
+
+
+class TestMergeManyArraysDtypeSafety:
+    def test_empty_float_key_array_does_not_poison_dtype(self):
+        merged = merge_many_arrays(
+            [np.array([2 ** 53, 2 ** 53 + 1]), np.array([])],
+            [np.array([5.0, 7.0]), np.array([])], 10)
+        assert merged == {2 ** 53: 5.0, 2 ** 53 + 1: 7.0}
+
+    def test_mixed_signed_unsigned_keys_stay_exact(self):
+        merged = merge_many_arrays(
+            [np.array([2 ** 53, 1], dtype=np.int64),
+             np.array([2 ** 53 + 1, 1], dtype=np.uint64)],
+            [np.array([5.0, 1.0]), np.array([7.0, 2.0])], 10)
+        assert merged == {2 ** 53: 5.0, 2 ** 53 + 1: 7.0, 1: 3.0}
+        assert all(type(key) is int for key in merged)
+
+    def test_all_empty_sketches(self):
+        assert merge_many_arrays([np.array([]), np.array([])],
+                                 [np.array([]), np.array([])], 4) == {}

@@ -248,3 +248,29 @@ class TestSpaceSavingHeap:
             sketch.update(element)
         assert sketch.counters() == reference._counters
         assert len(sketch._heap) <= 4 * k + 64 + 1
+
+
+class TestLargeIntTieBreak:
+    def test_ints_beyond_float_precision_evict_identically(self):
+        """Distinct ints >= 2**53 collapse to equal floats; the exact-key
+        tie-break must still match the reference engine's min() scan."""
+        from repro.sketches import MisraGriesSketch
+        from repro.sketches._reference import ReferenceMisraGries
+        stream = [9, 2 ** 53 + 1, 7, 2 ** 53 + 1, 2 ** 53, 9, 7]
+        optimized = MisraGriesSketch.from_stream(2, stream)
+        reference = ReferenceMisraGries.from_stream(2, stream)
+        assert optimized.raw_counters() == reference.raw_counters()
+
+    def test_eviction_order_distinguishes_large_ints(self):
+        from repro.sketches._ordering import eviction_order
+        assert eviction_order(2 ** 53) < eviction_order(2 ** 53 + 1)
+
+    def test_nan_keys_evict_identically(self):
+        """A NaN key must not break the total eviction order."""
+        import math
+        from repro.sketches import MisraGriesSketch
+        from repro.sketches._reference import ReferenceMisraGries
+        stream = [7.0, math.nan, 3.0, 2.0, 9.0, 1.0, 5.0, 3.0, 7.0, 2.0] * 6
+        optimized = MisraGriesSketch.from_stream(4, stream)
+        reference = ReferenceMisraGries.from_stream(4, stream)
+        assert list(optimized.raw_counters()) == list(reference.raw_counters())

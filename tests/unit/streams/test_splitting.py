@@ -37,3 +37,13 @@ class TestSplitRoundRobin:
 
     def test_empty_stream(self):
         assert split_round_robin([], 3) == [[], [], []]
+
+
+def test_split_contiguous_keeps_ndarray_views():
+    import numpy as np
+    stream = np.arange(10, dtype=np.int64)
+    parts = split_contiguous(stream, 3)
+    assert [len(part) for part in parts] == [4, 3, 3]
+    assert all(isinstance(part, np.ndarray) for part in parts)
+    assert np.concatenate(parts).tolist() == stream.tolist()
+    assert parts[0].base is stream  # views, not copies
