@@ -1,17 +1,21 @@
 """Distributed aggregation scenario: merging sketches from many servers.
 
-Section 7 of the paper: a dataset is spread over many servers, each computes a
-Misra-Gries sketch of its own stream, and an aggregator combines them.  This
-example compares the three aggregation regimes implemented in the library —
-trusted aggregator with unbounded memory, trusted aggregator with the
-Agarwal et al. bounded-memory merge, and an untrusted aggregator that only
-ever sees noisy sketches — as the number of servers grows.
+Section 7 of the paper: a dataset is spread over many servers, each computes
+a Misra-Gries sketch of its own stream, and an aggregator combines them.
+This example drives the whole scenario through the unified API:
 
-The per-server sketches are built through the parallel fan-out
-(:func:`repro.core.sketch_streams` with ``workers=``): the streams are
-independent, so sketching them in worker processes is deterministic and
-produces exactly the sketches a sequential loop would.  The aggregation
-itself uses the vectorized key-interning merge.
+* each "server" is a :class:`repro.api.Pipeline` that sketches its shard
+  (the per-server sketches are built via the parallel fan-out,
+  :func:`repro.core.sketch_streams` with ``workers=``) and exports its state
+  as a **v2 columnar wire envelope** (:meth:`Pipeline.to_wire`) — exactly
+  what it would ship over the network;
+* the aggregator adds the decoded envelopes to a
+  ``Pipeline(mechanism={"name": "merged", "strategy": ...})`` and releases
+  under each of the three aggregation regimes; for the default
+  ``trusted_merged`` strategy the integer envelopes stay columnar all the
+  way into :func:`~repro.sketches.merge.merge_many_arrays` (no per-key
+  Python), while the other strategies reconstruct per-sketch state for
+  their Algorithm 3 / Algorithm 2 post-processing.
 
 Run with ``python examples/distributed_merge.py`` (``--quick`` for CI,
 ``--workers N`` to fan sketching out over N processes).
@@ -20,7 +24,8 @@ Run with ``python examples/distributed_merge.py`` (``--quick`` for CI,
 import argparse
 
 from repro.analysis import format_table
-from repro.core import MergeStrategy, PrivateMergedRelease, sketch_streams
+from repro.api import Pipeline, decode
+from repro.core import MergeStrategy, sketch_streams
 from repro.sketches import ExactCounter
 from repro.streams import split_contiguous, zipf_stream
 
@@ -48,11 +53,17 @@ def main() -> None:
     for servers in server_counts:
         parts = split_contiguous(stream, servers)
         sketches = sketch_streams(parts, args.k, workers=args.workers)
+        # Each server ships its sketch as a columnar v2 envelope.
+        envelopes = [decode(Pipeline.from_sketch(sketch).to_wire()) for sketch in sketches]
         for strategy in MergeStrategy:
-            release = PrivateMergedRelease(epsilon=args.epsilon, delta=args.delta,
-                                           k=args.k, strategy=strategy)
-            histogram = release.release(sketches, rng=args.seed + servers)
-            top_error = sum(abs(histogram.estimate(x) - truth[x]) for x in top_elements) / len(top_elements)
+            aggregator = Pipeline(
+                mechanism={"name": "merged", "strategy": strategy.value},
+                k=args.k, epsilon=args.epsilon, delta=args.delta)
+            for envelope in envelopes:
+                aggregator.add_sketch(envelope)
+            histogram = aggregator.release(rng=args.seed + servers)
+            top_error = sum(abs(histogram.estimate(x) - truth[x])
+                            for x in top_elements) / len(top_elements)
             rows.append({
                 "servers": servers,
                 "strategy": strategy.value,
@@ -65,7 +76,7 @@ def main() -> None:
     print()
     print("Trusted aggregation keeps the error flat as the number of servers grows;")
     print("with an untrusted aggregator every server pays its own noise and threshold,")
-    print("so the error of moderately heavy elements grows with the number of servers.")
+    print("so the error of moderately heavy elements grows with the number of streams.")
 
 
 if __name__ == "__main__":

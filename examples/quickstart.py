@@ -1,8 +1,19 @@
 """Quickstart: private approximate histogram of a stream in a few lines.
 
-Builds a Misra-Gries sketch over a synthetic Zipf stream, releases it with the
-paper's (epsilon, delta)-DP mechanism (Algorithm 2) and compares the result
-with the exact histogram.
+Uses the unified :class:`repro.api.Pipeline` facade: pick a sketch and a
+release mechanism by registry name, fit the stream (integer streams ride the
+vectorized batch engine automatically) and release under differential
+privacy.  Swap ``mechanism="pmg"`` for any element-stream mechanism in
+``repro.api.list_mechanisms()`` — e.g. ``"chan"``, ``"bohler_kerschbaum"``
+or ``"exact"`` — to compare baselines without touching the rest of the
+script.  (The user-level mechanisms ``pamg``/``user_level`` need a
+user-level stream; see ``examples/user_level_privacy.py``.)
+
+The same pipeline spelled with the raw class API (the level the other
+examples in this directory document) is::
+
+    sketch = MisraGriesSketch.from_stream(k, stream)
+    histogram = PrivateMisraGries(epsilon=eps, delta=delta).release(sketch, rng=seed)
 
 Run with ``python examples/quickstart.py`` (add ``--quick`` for a smaller
 stream, as used by the test suite).
@@ -10,8 +21,8 @@ stream, as used by the test suite).
 
 import argparse
 
-from repro import MisraGriesSketch, PrivateMisraGries
 from repro.analysis import format_table, summarize_errors
+from repro.api import Pipeline, mechanism_entry
 from repro.sketches import ExactCounter
 from repro.streams import zipf_stream
 
@@ -19,36 +30,45 @@ from repro.streams import zipf_stream
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="use a small stream")
+    parser.add_argument("--mechanism", default="pmg",
+                        help="registered mechanism name (see `repro list`)")
     parser.add_argument("--epsilon", type=float, default=1.0)
     parser.add_argument("--delta", type=float, default=1e-6)
     parser.add_argument("--k", type=int, default=64, help="sketch size")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
+    if mechanism_entry(args.mechanism).consumes == "user_stream":
+        parser.error(f"{args.mechanism!r} releases user-level streams; "
+                     "see examples/user_level_privacy.py")
+
     n = 20_000 if args.quick else 500_000
     universe = 10_000
-    stream = zipf_stream(n, universe, exponent=1.2, rng=args.seed)
+    stream = zipf_stream(n, universe, exponent=1.2, rng=args.seed, as_array=True)
 
-    # 1. Stream the data through a Misra-Gries sketch (2k words of memory).
-    sketch = MisraGriesSketch.from_stream(args.k, stream)
-
-    # 2. Release it under (epsilon, delta)-differential privacy.
-    mechanism = PrivateMisraGries(epsilon=args.epsilon, delta=args.delta)
-    histogram = mechanism.release(sketch, rng=args.seed + 1)
+    # 1.+2. One pipeline: Misra-Gries sketch (2k words of memory), then the
+    # configured (epsilon, delta)-DP release.
+    pipeline = Pipeline(sketch="misra_gries", mechanism=args.mechanism,
+                        k=args.k, epsilon=args.epsilon, delta=args.delta,
+                        universe_size=universe)
+    histogram = pipeline.fit(stream).release(rng=args.seed + 1)
 
     # 3. Inspect the result.
-    truth = ExactCounter.from_stream(stream).counters()
+    truth = ExactCounter.from_stream(stream.tolist()).counters()
     summary = summarize_errors(histogram, truth)
-    bound = mechanism.error_bound_vs_truth(args.k, n, beta=0.05)
 
     print("Private Misra-Gries quickstart")
     print(f"  stream length          : {n}")
     print(f"  universe size           : {universe}")
     print(f"  sketch size k           : {args.k}")
+    print(f"  mechanism               : {pipeline.mechanism_name} "
+          f"({histogram.metadata.mechanism})")
     print(f"  privacy                 : ({args.epsilon}, {args.delta})-DP")
     print(f"  released elements       : {len(histogram)}")
     print(f"  max error (measured)    : {summary.max_error:.1f}")
-    print(f"  max error (paper bound) : {bound:.1f}")
+    if pipeline.mechanism_name == "pmg":
+        bound = pipeline.mechanism.impl.error_bound_vs_truth(args.k, n, beta=0.05)
+        print(f"  max error (paper bound) : {bound:.1f}")
     print()
     rows = [{"element": key, "noisy count": value, "true count": truth.get(key, 0.0)}
             for key, value in histogram.top(10)]

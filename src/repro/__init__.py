@@ -16,6 +16,11 @@ The most common entry points are re-exported here:
   setting.
 * :func:`~repro.core.heavy_hitters.private_heavy_hitters` — the end-to-end
   heavy-hitter convenience function.
+* :class:`~repro.api.Pipeline` — the unified facade over every registered
+  sketch and release mechanism
+  (``Pipeline(sketch="misra_gries", mechanism="pmg", k=256, epsilon=1.0,
+  delta=1e-6).fit(stream).release(rng=0)``); see
+  :func:`repro.api.list_mechanisms` for the registry.
 
 See ``examples/`` for runnable walkthroughs and ``DESIGN.md`` for the full
 system inventory.
@@ -47,9 +52,19 @@ from .sketches.exact import ExactCounter
 from .sketches.misra_gries import MisraGriesSketch
 from .sketches.misra_gries_standard import StandardMisraGriesSketch
 
-__version__ = "1.0.0"
+# The unified API layer builds on everything above, so it imports last.
+from . import api
+from .api import Pipeline, list_mechanisms, list_sketches, make_mechanism, make_sketch
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "Pipeline",
+    "api",
+    "list_mechanisms",
+    "list_sketches",
+    "make_mechanism",
+    "make_sketch",
     "CalibrationError",
     "ContinualHeavyHitters",
     "ExactCounter",

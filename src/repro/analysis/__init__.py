@@ -18,12 +18,13 @@ from .metrics import (
     summarize_errors,
 )
 from .reporting import format_series, format_table
-from .runner import ExperimentResult, ExperimentRunner, SweepSpec
+from .runner import ExperimentResult, ExperimentRunner, PipelineTrial, SweepSpec
 
 __all__ = [
     "ErrorSummary",
     "ExperimentResult",
     "ExperimentRunner",
+    "PipelineTrial",
     "PrivacyAuditResult",
     "SweepSpec",
     "audit_mechanism",

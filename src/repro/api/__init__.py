@@ -1,0 +1,70 @@
+"""Unified public API: mechanism/sketch registry, Pipeline facade, wire protocol.
+
+This package is the single addressable surface over the library:
+
+* :mod:`repro.api.registry` — ``@register_sketch`` / ``@register_mechanism``
+  decorators, ``list_sketches()`` / ``list_mechanisms()`` enumeration, and
+  spec-based construction (``make_mechanism("pmg", epsilon=1.0)``).
+* :mod:`repro.api.pipeline` — the :class:`Pipeline` facade:
+  ``Pipeline(sketch="misra_gries", mechanism="pmg", k=256, epsilon=1.0,
+  delta=1e-6).fit(stream).release(rng=0)``.
+* :mod:`repro.api.wire` — the versioned columnar wire envelope (v2) whose
+  integer fast path feeds the vectorized merge with no per-key Python.
+"""
+
+from .pipeline import Pipeline, describe_pipeline
+from .registry import (
+    MechanismAdapter,
+    RegistryEntry,
+    ReleaseMechanism,
+    Sketch,
+    list_mechanisms,
+    list_sketches,
+    make_mechanism,
+    make_sketch,
+    mechanism_entry,
+    normalize_spec,
+    register_mechanism,
+    register_sketch,
+    sketch_entry,
+)
+from .wire import (
+    WIRE_FORMAT_VERSION,
+    WirePayload,
+    decode,
+    encode_counters,
+    encode_histogram,
+    encode_sketch,
+    load_payload,
+    payload_to_histogram,
+    payload_to_sketch,
+    wire_version,
+)
+
+__all__ = [
+    "MechanismAdapter",
+    "Pipeline",
+    "RegistryEntry",
+    "ReleaseMechanism",
+    "Sketch",
+    "WIRE_FORMAT_VERSION",
+    "WirePayload",
+    "decode",
+    "describe_pipeline",
+    "encode_counters",
+    "encode_histogram",
+    "encode_sketch",
+    "list_mechanisms",
+    "list_sketches",
+    "load_payload",
+    "make_mechanism",
+    "make_sketch",
+    "mechanism_entry",
+    "normalize_spec",
+    "payload_to_histogram",
+    "payload_to_sketch",
+    "register_mechanism",
+    "register_sketch",
+    "sketch_entry",
+    "wire_version",
+]

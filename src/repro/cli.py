@@ -1,8 +1,9 @@
 """Command-line interface for the library.
 
-The CLI covers the operational loop a deployment needs without writing Python:
-generate or ingest a stream, build a sketch, release it under differential
-privacy, merge sketches from several machines, and query heavy hitters.
+The CLI is a thin layer over the unified API registry
+(:mod:`repro.api.registry`): every registered release mechanism — the
+paper's and all baselines — is reachable through ``repro release
+--mechanism <name>``, and ``repro list`` enumerates what is available.
 
 Examples
 --------
@@ -14,7 +15,16 @@ Generate a synthetic workload, sketch it, and release it::
         --out flows.hist.json
     repro heavy-hitters --histogram flows.hist.json --phi 0.01
 
-Merge sketches produced on several servers::
+Pick any registered mechanism by name (``repro list`` shows them all)::
+
+    repro release --mechanism chan --sketch flows.sketch.json --epsilon 1.0
+    repro release --mechanism local_dp --stream flows.txt --universe 10000 \
+        --phi 0.01 --epsilon 2.0
+    repro release --mechanism pamg --stream users.txt --user-level -m 8 \
+        --epsilon 1.0 --delta 1e-6 -k 256
+
+Merge sketches produced on several servers (v2 files ride the columnar
+``merge_many_arrays`` path; ``--format v1`` keeps the old row format)::
 
     repro merge --epsilon 1.0 --delta 1e-6 -k 256 \
         --out merged.hist.json server1.sketch.json server2.sketch.json
@@ -25,21 +35,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .analysis.metrics import summarize_errors
 from .analysis.reporting import format_table
-from .core.merging import MergeStrategy, PrivateMergedRelease
-from .core.private_misra_gries import PrivateMisraGries
-from .core.pure_dp import PureDPMisraGries
+from .api.pipeline import Pipeline
+from .api.registry import list_mechanisms, list_sketches, make_sketch, mechanism_entry
+from .api.wire import load_payload
+from .core.merging import MergeStrategy
 from .exceptions import ReproError
 from .sketches.exact import ExactCounter
-from .sketches.misra_gries import MisraGriesSketch
 from .sketches.serialization import (
-    histogram_from_dict,
     histogram_to_dict,
     load_histogram,
-    load_sketch,
     save_histogram,
     save_sketch,
 )
@@ -48,11 +56,20 @@ from .streams.generators import uniform_stream, zipf_stream
 from .streams.io import read_stream, write_stream
 
 
+def _add_format(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--format", choices=["v1", "v2"], default="v2",
+                        help="wire format for output files (default v2, columnar)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(prog="repro",
                                      description="Differentially private Misra-Gries toolkit")
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    listing = subparsers.add_parser("list",
+                                    help="list registered mechanisms and sketches")
+    listing.add_argument("--what", choices=["mechanisms", "sketches", "all"], default="all")
 
     generate = subparsers.add_parser("generate", help="generate a synthetic stream")
     generate.add_argument("--dataset", choices=list_datasets() + ["zipf", "uniform"],
@@ -63,24 +80,49 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--out", required=True, help="output stream file")
 
-    sketch = subparsers.add_parser("sketch", help="build a Misra-Gries sketch from a stream file")
+    sketch = subparsers.add_parser("sketch", help="build a sketch from a stream file")
     sketch.add_argument("--stream", required=True)
+    sketch.add_argument("--type", dest="sketch_type", default="misra_gries",
+                        choices=sorted(list_sketches()),
+                        help="registered sketch type (default misra_gries)")
     sketch.add_argument("-k", type=int, required=True, help="sketch size")
+    sketch.add_argument("--depth", type=int, default=3,
+                        help="rows for the hash-table sketches (count_min/count_sketch)")
     sketch.add_argument("--out", required=True, help="output sketch JSON file")
+    _add_format(sketch)
 
-    release = subparsers.add_parser("release", help="release a sketch under differential privacy")
-    release.add_argument("--sketch", required=True, help="sketch JSON file")
+    release = subparsers.add_parser(
+        "release", help="release a sketch or stream under differential privacy")
+    release.add_argument("--mechanism", default=None, choices=sorted(list_mechanisms()),
+                         help="registered mechanism (default: pmg, or pure_dp when "
+                              "--delta is omitted)")
+    release.add_argument("--sketch", action="append", default=None,
+                         help="sketch JSON file (repeatable for the merged mechanism)")
+    release.add_argument("--stream", default=None,
+                         help="stream file (for stream/user-level mechanisms)")
+    release.add_argument("--user-level", action="store_true",
+                         help="read --stream as a user-level stream (one comma-separated "
+                              "set per line)")
     release.add_argument("--epsilon", type=float, required=True)
     release.add_argument("--delta", type=float, default=None,
                          help="omit for the pure-DP release (requires --universe)")
     release.add_argument("--universe", type=int, default=None,
-                         help="universe size for the pure-DP release")
-    release.add_argument("--noise", choices=["laplace", "geometric"], default="laplace")
+                         help="universe size (pure_dp, chan, local_dp, prefix_tree, exact)")
+    release.add_argument("-k", type=int, default=None, help="sketch size context")
+    release.add_argument("-m", "--max-contribution", type=int, default=None,
+                         help="distinct elements per user (user-level mechanisms)")
+    release.add_argument("--noise", choices=["laplace", "geometric"], default=None)
+    release.add_argument("--phi", type=float, default=None,
+                         help="heavy-hitter fraction (local_dp, prefix_tree)")
+    release.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                         help="extra mechanism parameter (repeatable; value parsed as JSON "
+                              "when possible)")
     release.add_argument("--seed", type=int, default=None)
     release.add_argument("--out", default=None, help="output histogram JSON (stdout if omitted)")
+    _add_format(release)
 
     merge = subparsers.add_parser("merge", help="privately release merged sketches")
-    merge.add_argument("sketches", nargs="+", help="sketch JSON files")
+    merge.add_argument("sketches", nargs="+", help="sketch JSON files (v1 or v2)")
     merge.add_argument("--epsilon", type=float, required=True)
     merge.add_argument("--delta", type=float, required=True)
     merge.add_argument("-k", type=int, required=True)
@@ -88,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default=MergeStrategy.TRUSTED_MERGED.value)
     merge.add_argument("--seed", type=int, default=None)
     merge.add_argument("--out", default=None, help="output histogram JSON (stdout if omitted)")
+    _add_format(merge)
 
     heavy = subparsers.add_parser("heavy-hitters", help="query heavy hitters from a histogram")
     heavy.add_argument("--histogram", required=True, help="released histogram JSON file")
@@ -107,6 +150,23 @@ def build_parser() -> argparse.ArgumentParser:
 # Subcommand implementations
 # ---------------------------------------------------------------------------
 
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.what in ("mechanisms", "all"):
+        rows = []
+        for name, description in list_mechanisms().items():
+            entry = mechanism_entry(name)
+            rows.append({"mechanism": name, "consumes": entry.consumes,
+                         "description": description})
+        print(format_table(rows, title="registered release mechanisms"))
+    if args.what == "all":
+        print()
+    if args.what in ("sketches", "all"):
+        rows = [{"sketch": name, "description": description}
+                for name, description in list_sketches().items()]
+        print(format_table(rows, title="registered sketches"))
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     if args.dataset == "zipf":
         stream = zipf_stream(args.n, args.universe, exponent=args.exponent, rng=args.seed)
@@ -125,43 +185,140 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sketch(args: argparse.Namespace) -> int:
+    restorable = args.sketch_type in ("misra_gries", "misra_gries_standard")
+    if args.format == "v1" and not restorable:
+        print(f"error: the v1 format only stores Misra-Gries sketches; "
+              f"{args.sketch_type!r} needs --format v2", file=sys.stderr)
+        return 2
     stream = read_stream(args.stream)
-    sketch = MisraGriesSketch.from_stream(args.k, stream)
-    save_sketch(sketch, args.out)
-    print(f"sketched {sketch.stream_length} elements into k={args.k} counters -> {args.out}")
+    sketch = make_sketch(args.sketch_type, k=args.k, depth=args.depth)
+    sketch.update_all(stream)
+    if restorable:
+        save_sketch(sketch, args.out, format=args.format)
+    else:
+        # Non-MG sketches have no restorable full state; ship their counters
+        # as a v2 envelope (readable by `repro release/merge`).
+        from pathlib import Path
+
+        from .api.wire import encode_counters
+
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(encode_counters(sketch, k=args.k),
+                                     indent=2, sort_keys=True),
+                          encoding="utf-8")
+    print(f"sketched {sketch.stream_length} elements with {args.sketch_type} "
+          f"(k={args.k}) -> {args.out}")
     return 0
 
 
-def _emit_histogram(histogram, out: Optional[str]) -> None:
+def _emit_histogram(histogram, out: Optional[str], format: str = "v2") -> None:
     if out:
-        save_histogram(histogram, out)
+        save_histogram(histogram, out, format=format)
         print(f"released {len(histogram)} elements -> {out}")
     else:
-        json.dump(histogram_to_dict(histogram), sys.stdout, indent=2, sort_keys=True)
+        if format == "v1":
+            payload = histogram_to_dict(histogram)
+        else:
+            from .api.wire import encode_histogram
+
+            payload = encode_histogram(histogram)
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
         print()
 
 
+def _parse_params(pairs: Sequence[str]) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise ReproError(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _release_params(args: argparse.Namespace) -> Dict[str, Any]:
+    params: Dict[str, Any] = {"epsilon": args.epsilon}
+    if args.delta is not None:
+        params["delta"] = args.delta
+    if args.universe is not None:
+        params["universe_size"] = args.universe
+    if args.k is not None:
+        params["k"] = args.k
+    if args.max_contribution is not None:
+        params["max_contribution"] = args.max_contribution
+    if args.noise is not None:
+        params["noise"] = args.noise
+    if args.phi is not None:
+        params["phi"] = args.phi
+    params.update(_parse_params(args.param))
+    return params
+
+
 def _cmd_release(args: argparse.Namespace) -> int:
-    sketch = load_sketch(args.sketch)
-    if args.delta is None:
-        if args.universe is None:
-            print("error: the pure-DP release requires --universe", file=sys.stderr)
+    mechanism = args.mechanism
+    if mechanism is None:
+        # Back-compat default: Algorithm 2 when delta is given, the pure-DP
+        # release otherwise (which needs an explicit universe).
+        mechanism = "pmg" if args.delta is not None else "pure_dp"
+    params = _release_params(args)
+    consumes = mechanism_entry(mechanism).consumes
+    if mechanism == "pure_dp" and args.universe is None:
+        print("error: the pure-DP release requires --universe", file=sys.stderr)
+        return 2
+
+    if consumes in ("stream", "user_stream"):
+        if args.stream is None:
+            print(f"error: mechanism {mechanism!r} releases a raw stream; pass --stream "
+                  f"(and --user-level for user-level input)", file=sys.stderr)
             return 2
-        mechanism = PureDPMisraGries(epsilon=args.epsilon, universe_size=args.universe)
-        histogram = mechanism.release(sketch, rng=args.seed)
+        user_level = consumes == "user_stream" or args.user_level
+        stream = read_stream(args.stream, user_level=user_level)
+        pipeline = Pipeline(mechanism=mechanism, **params).fit(stream)
     else:
-        mechanism = PrivateMisraGries(epsilon=args.epsilon, delta=args.delta, noise=args.noise)
-        histogram = mechanism.release(sketch, rng=args.seed)
-    _emit_histogram(histogram, args.out)
+        if not args.sketch:
+            print(f"error: mechanism {mechanism!r} releases a sketch; pass --sketch",
+                  file=sys.stderr)
+            return 2
+        payloads = [load_payload(path) for path in args.sketch]
+        if consumes == "sketch_list":
+            if "k" not in params:
+                # The merged release is calibrated to k; take it from the
+                # envelopes when they agree rather than guessing.
+                declared = {payload.k for payload in payloads if payload.k is not None}
+                if len(declared) != 1:
+                    print("error: pass -k (the sketch files declare "
+                          f"k={sorted(declared) if declared else 'nothing'})",
+                          file=sys.stderr)
+                    return 2
+                params["k"] = declared.pop()
+            pipeline = Pipeline(mechanism=mechanism, **params)
+            for payload in payloads:
+                pipeline.add_sketch(payload)
+        else:
+            if len(payloads) > 1:
+                print(f"error: mechanism {mechanism!r} releases a single sketch, "
+                      f"got {len(payloads)}", file=sys.stderr)
+                return 2
+            pipeline = Pipeline.from_sketch(payloads[0], mechanism=mechanism, **params)
+    histogram = pipeline.release(rng=args.seed)
+    _emit_histogram(histogram, args.out, args.format)
     return 0
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
-    sketches = [load_sketch(path) for path in args.sketches]
-    release = PrivateMergedRelease(epsilon=args.epsilon, delta=args.delta, k=args.k,
-                                   strategy=MergeStrategy(args.strategy))
-    histogram = release.release(sketches, rng=args.seed)
-    _emit_histogram(histogram, args.out)
+    # One dispatch path with `release --mechanism merged`: the registered
+    # adapter keeps all-columnar v2 inputs on the merge_many_arrays wire
+    # route and materializes per-sketch state otherwise.
+    pipeline = Pipeline(mechanism={"name": "merged", "strategy": args.strategy},
+                        k=args.k, epsilon=args.epsilon, delta=args.delta)
+    for path in args.sketches:
+        pipeline.add_sketch(load_payload(path))
+    histogram = pipeline.release(rng=args.seed)
+    _emit_histogram(histogram, args.out, args.format)
     return 0
 
 
@@ -189,6 +346,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 _HANDLERS = {
+    "list": _cmd_list,
     "generate": _cmd_generate,
     "sketch": _cmd_sketch,
     "release": _cmd_release,

@@ -39,7 +39,7 @@ from ..dp.rng import RandomState, ensure_rng
 from ..dp.thresholds import stability_histogram_threshold
 from ..exceptions import ParameterError
 from ..sketches.base import FrequencySketch
-from ..sketches.merge import merge_many, merge_misra_gries, sum_counters
+from ..sketches.merge import merge_many, merge_many_arrays, merge_misra_gries, sum_counters
 from ..sketches.misra_gries import MisraGriesSketch
 from .gshm import GaussianSparseHistogram
 from .private_misra_gries import PrivateMisraGries
@@ -168,6 +168,34 @@ class PrivateMergedRelease:
             return self._release_trusted_merged(sketches, generator, length)
         return self._release_untrusted(sketches, generator, length)
 
+    def release_arrays(self, keys_list: Sequence[np.ndarray],
+                       values_list: Sequence[np.ndarray],
+                       rng: RandomState = None,
+                       total_stream_length: Optional[int] = None) -> PrivateHistogram:
+        """Release sketches that arrive in columnar wire form.
+
+        This is the aggregator's v2 wire entry point: each sketch is a
+        parallel (integer keys, float values) array pair, e.g. decoded
+        straight off :mod:`repro.api.wire` envelopes.  The default
+        ``TRUSTED_MERGED`` strategy folds the arrays through
+        :func:`~repro.sketches.merge.merge_many_arrays` — no per-key Python
+        between the wire and the private release — and produces exactly the
+        histogram :meth:`release` computes on the corresponding dicts.  The
+        other strategies need per-sketch dict post-processing (Algorithm 3,
+        or one Algorithm 2 release per sketch) and fall back to it.
+        """
+        if not len(keys_list):
+            raise ParameterError("at least one sketch is required")
+        generator = ensure_rng(rng)
+        length = total_stream_length if total_stream_length is not None else 0
+        if self.strategy is MergeStrategy.TRUSTED_MERGED:
+            merged = merge_many_arrays(keys_list, values_list, self.k)
+            return self._gshm_release(merged, generator, length, len(keys_list),
+                                      ", columnar wire")
+        sketches = [dict(zip(np.asarray(keys).tolist(), np.asarray(values, dtype=float).tolist()))
+                    for keys, values in zip(keys_list, values_list)]
+        return self.release(sketches, rng=generator, total_stream_length=length)
+
     def release_streams(self, streams: Sequence, rng: RandomState = None,
                         workers: Optional[int] = None) -> PrivateHistogram:
         """End-to-end release from raw per-server streams.
@@ -202,6 +230,15 @@ class PrivateMergedRelease:
 
     def _release_trusted_merged(self, sketches, generator, length) -> PrivateHistogram:
         merged = merge_many([self._counters(sketch) for sketch in sketches], self.k)
+        return self._gshm_release(merged, generator, length, len(sketches), "")
+
+    def _gshm_release(self, merged: Mapping[Hashable, float], generator,
+                      length: int, streams: int, note: str) -> PrivateHistogram:
+        """The trusted-merged GSHM release of an already-merged summary.
+
+        Shared by the dict and columnar wire entry points so the two paths
+        cannot drift.
+        """
         mechanism = GaussianSparseHistogram(epsilon=self.epsilon, delta=self.delta, l=self.k)
         histogram = mechanism.release(merged, rng=generator, stream_length=length,
                                       sketch_size=self.k)
@@ -213,7 +250,7 @@ class PrivateMergedRelease:
             threshold=histogram.metadata.threshold,
             sketch_size=self.k,
             stream_length=length,
-            notes=f"streams={len(sketches)}, GSHM with l=k={self.k}",
+            notes=f"streams={streams}, GSHM with l=k={self.k}{note}",
         )
         return PrivateHistogram(counts=histogram.counts, metadata=metadata)
 

@@ -1,0 +1,73 @@
+"""Property tests: serialized keys round-trip for int, str and bytes keys.
+
+Covers the v1 token codec (`_encode_key`/`_decode_key`) and the v2 columnar
+envelope, including adversarial strings that contain the ``:`` separator or
+start with the literal ``__dummy__:`` / ``i:`` / ``s:`` / ``b:`` prefixes.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import wire
+from repro.sketches.misra_gries import DummyKey
+from repro.sketches.serialization import _decode_key, _encode_key
+
+#: Strings biased towards the codec's own separators and prefixes.
+_tricky_strings = st.one_of(
+    st.text(max_size=30),
+    st.text(max_size=10).map(lambda s: f"__dummy__:{s}"),
+    st.text(max_size=10).map(lambda s: f"i:{s}"),
+    st.text(max_size=10).map(lambda s: f"s:{s}"),
+    st.text(max_size=10).map(lambda s: f"b:{s}"),
+    st.text(max_size=10).map(lambda s: f":{s}:"),
+)
+
+_keys = st.one_of(
+    st.integers(),
+    _tricky_strings,
+    st.binary(max_size=30),
+)
+
+
+@given(key=_keys)
+def test_token_roundtrip(key):
+    assert _decode_key(_encode_key(key)) == key
+
+
+@given(key=_keys)
+def test_token_roundtrip_preserves_type(key):
+    decoded = _decode_key(_encode_key(key))
+    assert type(decoded) is type(key)
+
+
+@given(index=st.integers(min_value=0, max_value=10_000))
+def test_dummy_key_roundtrip(index):
+    assert _decode_key(_encode_key(DummyKey(index))) == DummyKey(index)
+
+
+@given(counters=st.dictionaries(_keys, st.floats(min_value=0.0, max_value=1e12,
+                                                 allow_nan=False), max_size=20),
+       stream_length=st.integers(min_value=0, max_value=10 ** 9))
+@settings(max_examples=60)
+def test_v2_counters_envelope_roundtrip(counters, stream_length):
+    """The columnar envelope round-trips keys, values and metadata bit-exactly."""
+    payload = json.loads(json.dumps(
+        wire.encode_counters(counters, k=16, stream_length=stream_length)))
+    decoded = wire.decode(payload)
+    assert decoded.counters() == counters
+    assert decoded.stream_length == stream_length
+    assert decoded.k == 16
+
+
+@given(counters=st.dictionaries(st.integers(min_value=-2 ** 63, max_value=2 ** 63 - 1),
+                                st.floats(min_value=0.0, max_value=1e12,
+                                          allow_nan=False), max_size=20))
+@settings(max_examples=60)
+def test_v2_integer_envelope_takes_columnar_path(counters):
+    payload = json.loads(json.dumps(wire.encode_counters(counters)))
+    assert payload["key_encoding"] == "int"
+    decoded = wire.decode(payload)
+    assert decoded.key_array is not None
+    assert decoded.counters() == counters

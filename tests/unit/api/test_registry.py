@@ -1,0 +1,129 @@
+"""Unit tests for the unified sketch/mechanism registry."""
+
+import pytest
+
+from repro.api import (
+    MechanismAdapter,
+    ReleaseMechanism,
+    Sketch,
+    list_mechanisms,
+    list_sketches,
+    make_mechanism,
+    make_sketch,
+    mechanism_entry,
+    normalize_spec,
+    register_mechanism,
+    register_sketch,
+    sketch_entry,
+)
+from repro.core.results import PrivateHistogram
+from repro.exceptions import ParameterError
+from repro.sketches import MisraGriesSketch
+from repro.streams import zipf_stream
+from repro.streams.user_streams import distinct_user_stream
+
+#: Pipeline-level parameter grab-bag sufficient for every registered mechanism.
+PARAMS = dict(k=16, epsilon=1.0, delta=1e-6, universe_size=64,
+              max_contribution=4, phi=0.02)
+
+EXPECTED_MECHANISMS = {
+    "pmg", "pure_dp", "reduced", "gshm", "pamg", "user_level", "merged",
+    "chan", "local_dp", "prefix_tree", "bohler_kerschbaum", "exact",
+}
+EXPECTED_SKETCHES = {
+    "misra_gries", "misra_gries_standard", "space_saving", "count_min",
+    "count_sketch", "exact",
+}
+
+
+class TestEnumeration:
+    def test_all_mechanisms_registered(self):
+        assert EXPECTED_MECHANISMS <= set(list_mechanisms())
+
+    def test_all_sketches_registered(self):
+        assert EXPECTED_SKETCHES <= set(list_sketches())
+
+    def test_descriptions_nonempty(self):
+        assert all(list_mechanisms().values())
+        assert all(list_sketches().values())
+
+    def test_aliases_resolve_but_are_not_listed(self):
+        assert mechanism_entry("bk").name == "bohler_kerschbaum"
+        assert sketch_entry("mg").name == "misra_gries"
+        assert "bk" not in list_mechanisms()
+        assert "mg" not in list_sketches()
+
+
+class TestSpecs:
+    def test_normalize_string(self):
+        assert normalize_spec("pmg") == ("pmg", {})
+
+    def test_normalize_dict(self):
+        name, params = normalize_spec({"name": "pmg", "noise": "geometric"})
+        assert name == "pmg"
+        assert params == {"noise": "geometric"}
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ParameterError):
+            normalize_spec({"noise": "geometric"})
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ParameterError, match="unknown mechanism"):
+            make_mechanism("not_a_mechanism")
+        with pytest.raises(ParameterError, match="unknown sketch"):
+            make_sketch("not_a_sketch")
+
+    def test_unknown_spec_parameter_rejected(self):
+        with pytest.raises(ParameterError, match="does not accept"):
+            make_mechanism({"name": "pmg", "typo_param": 1}, **PARAMS)
+
+    def test_defaults_are_filtered_spec_params_win(self):
+        adapter = make_mechanism({"name": "pmg", "noise": "geometric"}, **PARAMS)
+        assert adapter.impl.noise == "geometric"
+        assert adapter.impl.epsilon == 1.0
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ParameterError, match="duplicate"):
+            register_mechanism("pmg")(lambda: None)
+        with pytest.raises(ParameterError, match="duplicate"):
+            register_sketch("misra_gries")(lambda: None)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_MECHANISMS))
+class TestMechanismRoundTrip:
+    """Acceptance: spec -> instance -> release works for every mechanism."""
+
+    def _fit_input(self, adapter):
+        if adapter.consumes == "user_stream":
+            return list(distinct_user_stream(60, 40, max_contribution=4, rng=1))
+        stream = zipf_stream(600, 60, rng=0)
+        if adapter.consumes == "sketch":
+            return MisraGriesSketch.from_stream(16, stream)
+        if adapter.consumes == "sketch_list":
+            return [MisraGriesSketch.from_stream(16, stream[:300]),
+                    MisraGriesSketch.from_stream(16, stream[300:])]
+        return stream
+
+    def test_string_spec_releases(self, name):
+        adapter = make_mechanism(name, **PARAMS)
+        assert isinstance(adapter, MechanismAdapter)
+        assert isinstance(adapter, ReleaseMechanism)
+        histogram = adapter.release(self._fit_input(adapter), rng=0)
+        assert isinstance(histogram, PrivateHistogram)
+        assert histogram.metadata.epsilon > 0
+
+    def test_dict_spec_releases(self, name):
+        adapter = make_mechanism({"name": name, "epsilon": 0.5}, **PARAMS)
+        assert adapter.impl.epsilon == 0.5
+        histogram = adapter.release(self._fit_input(adapter), rng=1)
+        assert isinstance(histogram, PrivateHistogram)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SKETCHES))
+def test_every_sketch_constructible_and_satisfies_protocol(name):
+    sketch = make_sketch(name, k=8)
+    assert isinstance(sketch, Sketch)
+    sketch.update_all([1, 2, 1, 3, 1])
+    assert sketch.estimate(1) >= 1.0
+    assert sketch.stream_length == 5
+    assert isinstance(sketch.counters(), dict)

@@ -1,0 +1,58 @@
+"""The pre-registry public import surface must keep working unchanged."""
+
+import importlib
+
+import pytest
+
+#: Every name the seed's ``repro/__init__.py`` exported, with its home module.
+SEED_EXPORTS = {
+    "CalibrationError": "repro.exceptions",
+    "ContinualHeavyHitters": "repro.core.continual",
+    "ExactCounter": "repro.sketches.exact",
+    "GaussianSparseHistogram": "repro.core.gshm",
+    "MergeStrategy": "repro.core.merging",
+    "MisraGriesSketch": "repro.sketches.misra_gries",
+    "ParameterError": "repro.exceptions",
+    "PrivacyAwareMisraGries": "repro.core.pamg",
+    "PrivacyParameterError": "repro.exceptions",
+    "PrivateHistogram": "repro.core.results",
+    "PrivateMergedRelease": "repro.core.merging",
+    "PrivateMisraGries": "repro.core.private_misra_gries",
+    "PureDPMisraGries": "repro.core.pure_dp",
+    "ReleaseMetadata": "repro.core.results",
+    "ReproError": "repro.exceptions",
+    "SensitivityReducedMG": "repro.core.sensitivity_reduction",
+    "SketchStateError": "repro.exceptions",
+    "StandardMisraGriesSketch": "repro.sketches.misra_gries_standard",
+    "StreamFormatError": "repro.exceptions",
+    "UserLevelRelease": "repro.core.user_level",
+    "merge_sketches": "repro.core.merging",
+    "private_heavy_hitters": "repro.core.heavy_hitters",
+    "reduce_sensitivity": "repro.core.sensitivity_reduction",
+    "release_user_level_flattened": "repro.core.user_level",
+    "release_user_level_pamg": "repro.core.user_level",
+    "true_heavy_hitters": "repro.core.heavy_hitters",
+}
+
+
+@pytest.mark.parametrize("name", sorted(SEED_EXPORTS))
+def test_seed_export_still_importable(name):
+    repro = importlib.import_module("repro")
+    assert name in repro.__all__
+    exported = getattr(repro, name)
+    home = importlib.import_module(SEED_EXPORTS[name])
+    assert exported is getattr(home, name)
+
+
+def test_version_present():
+    import repro
+
+    assert isinstance(repro.__version__, str)
+
+
+def test_new_api_layer_exported():
+    import repro
+
+    assert repro.Pipeline is importlib.import_module("repro.api").Pipeline
+    assert callable(repro.list_mechanisms)
+    assert callable(repro.list_sketches)
