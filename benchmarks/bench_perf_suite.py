@@ -18,6 +18,16 @@ Workload groups (select with ``run_bench.py --workloads``):
     :mod:`repro.sketches._reference_merge`; all three produce exactly the
     same merged summary.
 
+``framed_merge``
+    The streaming transport of the distributed setting: the same ``m = 256``
+    sketch exports shipped as one length-prefix framed stream
+    (:mod:`repro.api.framing`, binary columnar frames) and folded one frame
+    at a time by :class:`~repro.api.framing.StreamingMerger`, against the
+    seed aggregator pipeline — per-sketch v1 JSON envelopes (token-keyed
+    counter objects) decoded key by key and folded with the frozen seed dict
+    left fold.  Both paths start from serialized bytes and produce the same
+    merged summary.
+
 ``release``
     The DP release of a large aggregated histogram: one bulk-noise
     mask-filter pass (:func:`repro.core.merging._noisy_threshold_filter`)
@@ -36,7 +46,8 @@ root so the performance trajectory is preserved across PRs.  Run it with::
 
 The record includes the speedup ratios the acceptance criteria track:
 ``all_distinct_k1024_batch`` (>= 10x), ``zipf_e11_k1024_batch`` (>= 3x),
-``merge_m256_k1024_arrays`` (>= 10x) and
+``merge_m256_k1024_arrays`` (>= 10x),
+``framed_merge_m256_k1024_streaming`` (>= 8x) and
 ``release_trusted_sum_k1024_vectorized`` (>= 3x).
 """
 
@@ -68,7 +79,7 @@ from repro.streams import uniform_stream, zipf_stream
 BENCH_PATH = _REPO_ROOT / "BENCH_sketch.json"
 
 #: All workload groups, in report order.
-WORKLOAD_GROUPS = ("sketch", "merge", "release", "runner")
+WORKLOAD_GROUPS = ("sketch", "merge", "framed_merge", "release", "runner")
 
 #: The E11 workload parameters (benchmarks/bench_e11_performance.py).
 E11_N = 100_000
@@ -199,6 +210,65 @@ def _run_merge_group(rows: List[Dict], quick: bool) -> None:
 
 
 # ---------------------------------------------------------------------------
+# framed_merge group (ISSUE 4: streaming wire transport into the merge fold)
+# ---------------------------------------------------------------------------
+
+def _run_framed_merge_group(rows: List[Dict], quick: bool) -> None:
+    """m framed sketch exports in, one merged summary out, frame by frame.
+
+    The seed aggregator reads one v1 JSON envelope per sketch — a token-keyed
+    ``{"i:123": count}`` object decoded key by key — and folds the dicts with
+    the frozen seed left fold.  The streaming path reads the same exports as
+    one framed stream (binary columnar frames) through ``FrameReader`` +
+    ``StreamingMerger``, holding only the current frame plus the ``<= k``
+    accumulator.  Both start from serialized bytes and end at the *same*
+    merged summary (asserted below), so the ratio is transport + fold against
+    transport + fold.
+    """
+    import io
+    import json as json_module
+
+    from repro.api.framing import FrameReader, FrameWriter, StreamingMerger
+    from repro.api.wire import encode_counters
+    from repro.sketches.serialization import _decode_key
+
+    m, k = MERGE_M, MERGE_K
+    keys_list, values_list = _per_user_sketch_exports(
+        m, k, n_per_user=5_000 if quick else 20_000)
+    pairs = int(sum(keys.size for keys in keys_list))
+    counters_list = [dict(zip(keys.tolist(), values.tolist()))
+                     for keys, values in zip(keys_list, values_list)]
+
+    buffer = io.BytesIO()
+    with FrameWriter(buffer, k=k, frames=m) as writer:
+        for counters in counters_list:
+            writer.write_payload(encode_counters(counters, k=k))
+    framed = buffer.getvalue()
+
+    v1_blobs = [json_module.dumps(
+        {"format_version": 1, "kind": "counters", "k": k,
+         "counters": {f"i:{key}": value for key, value in counters.items()}})
+        for counters in counters_list]
+
+    def _seed_fold():
+        dicts = []
+        for blob in v1_blobs:
+            payload = json_module.loads(blob)
+            dicts.append({_decode_key(token): float(value)
+                          for token, value in payload["counters"].items()})
+        return reference_merge_many(dicts, k)
+
+    def _streamed_fold():
+        return StreamingMerger(k).consume(FrameReader(io.BytesIO(framed))).merged()
+
+    assert _seed_fold() == _streamed_fold()  # same summary, same key order
+    rows.append(_measure(f"framed_merge_m{m}", k, pairs, "reference_seed",
+                         _seed_fold, repeats=3))
+    rows.append(_measure(f"framed_merge_m{m}", k, pairs, "optimized_streaming",
+                         _streamed_fold, repeats=3))
+
+
+# ---------------------------------------------------------------------------
 # release group (bulk noise + threshold filter over a large aggregate)
 # ---------------------------------------------------------------------------
 
@@ -246,6 +316,7 @@ def _run_runner_group(rows: List[Dict], quick: bool) -> None:
 _GROUP_RUNNERS = {
     "sketch": _run_sketch_group,
     "merge": _run_merge_group,
+    "framed_merge": _run_framed_merge_group,
     "release": _run_release_group,
     "runner": _run_runner_group,
 }

@@ -26,7 +26,7 @@ See ``examples/`` for runnable walkthroughs and ``DESIGN.md`` for the full
 system inventory.
 """
 
-from .core.continual import ContinualHeavyHitters
+from .core.continual import ContinualConfig, ContinualHeavyHitters
 from .core.gshm import GaussianSparseHistogram
 from .core.heavy_hitters import private_heavy_hitters, true_heavy_hitters
 from .core.merging import MergeStrategy, PrivateMergedRelease, merge_sketches
@@ -66,6 +66,7 @@ __all__ = [
     "make_mechanism",
     "make_sketch",
     "CalibrationError",
+    "ContinualConfig",
     "ContinualHeavyHitters",
     "ExactCounter",
     "GaussianSparseHistogram",

@@ -10,8 +10,21 @@ This package is the single addressable surface over the library:
   delta=1e-6).fit(stream).release(rng=0)``.
 * :mod:`repro.api.wire` — the versioned columnar wire envelope (v2) whose
   integer fast path feeds the vectorized merge with no per-key Python.
+* :mod:`repro.api.framing` — length-prefixed chunked framing over the v2
+  envelopes: ``m`` sketch exports in one binary stream, decoded and merged
+  one frame at a time (:class:`StreamingMerger`) without buffering the file.
 """
 
+from .framing import (
+    FRAMING_VERSION,
+    FrameHeader,
+    FrameReader,
+    FrameWriter,
+    StreamingMerger,
+    iter_frames,
+    merge_frames,
+    write_frames,
+)
 from .pipeline import Pipeline, describe_pipeline
 from .registry import (
     MechanismAdapter,
@@ -34,6 +47,7 @@ from .wire import (
     decode,
     encode_counters,
     encode_histogram,
+    encode_payload,
     encode_sketch,
     load_payload,
     payload_to_histogram,
@@ -42,24 +56,32 @@ from .wire import (
 )
 
 __all__ = [
+    "FRAMING_VERSION",
+    "FrameHeader",
+    "FrameReader",
+    "FrameWriter",
     "MechanismAdapter",
     "Pipeline",
     "RegistryEntry",
     "ReleaseMechanism",
     "Sketch",
+    "StreamingMerger",
     "WIRE_FORMAT_VERSION",
     "WirePayload",
     "decode",
     "describe_pipeline",
     "encode_counters",
     "encode_histogram",
+    "encode_payload",
     "encode_sketch",
+    "iter_frames",
     "list_mechanisms",
     "list_sketches",
     "load_payload",
     "make_mechanism",
     "make_sketch",
     "mechanism_entry",
+    "merge_frames",
     "normalize_spec",
     "payload_to_histogram",
     "payload_to_sketch",
@@ -67,4 +89,5 @@ __all__ = [
     "register_sketch",
     "sketch_entry",
     "wire_version",
+    "write_frames",
 ]

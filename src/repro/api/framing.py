@@ -1,0 +1,743 @@
+"""Length-prefixed chunked framing for wire-v2 envelopes (streaming transport).
+
+The deployment story of the paper is ``m`` untrusted clients each exporting
+one Misra-Gries sketch to an aggregator that merges and releases privately.
+A plain JSON file per sketch forces the aggregator to either open ``m``
+files or buffer one giant JSON array; this module defines a *framed* binary
+container so all ``m`` exports travel in one stream (a file, a socket, a
+pipe) and the aggregator decodes **one sketch at a time**:
+
+.. code-block:: text
+
+    +---------------------------+
+    | magic  b"RPRF"  (4 bytes) |
+    | framing version (1 byte)  |
+    +---------------------------+
+    | frame 0: header           |  {"kind": "frame_header", "framing": 1,
+    |   u32 length (big-endian) |   "frames": m or null, "k": ..., "meta": {}}
+    |   UTF-8 JSON payload      |
+    +---------------------------+
+    | frame 1..m: envelopes     |  each a wire-v2 envelope (format: 2),
+    |   u32 length (big-endian) |  one frame per sketch export
+    |   JSON or binary columnar |
+    +---------------------------+
+
+A payload frame body is one of two self-describing encodings, distinguished
+by its first byte:
+
+* ``0x7B`` (``{``) — a UTF-8 JSON wire-v2 envelope, exactly as
+  :func:`repro.api.wire.decode` consumes it.
+* ``0x01`` — a *binary columnar* envelope for integer-keyed exports:
+  ``0x01 | u32 header_len | header JSON | int64-LE keys | float64-LE values``
+  where the header carries the envelope fields minus ``keys``/``values``
+  (plus ``count``).  Decoding is two ``np.frombuffer`` views — no JSON
+  number parsing on the hot path — and round-trips bit-exactly (raw IEEE
+  bits for values, raw two's-complement for keys).
+
+Rules:
+
+* The first frame is always a header frame (JSON); its ``framing`` field
+  repeats the container version so the header survives being copied out of
+  the stream.  ``frames`` may declare the number of payload frames
+  (``null`` for open-ended streams); when declared, the reader enforces it.
+* Every payload frame is exactly one wire-v2 envelope
+  (:mod:`repro.api.wire`), so framing composes with — rather than
+  replaces — the versioned columnar wire protocol.
+* A clean stream ends exactly at a frame boundary.  A truncated length
+  prefix, a truncated frame body, an implausible length, an unrecognized
+  frame tag, bytes that do not parse, or payload frames beyond a declared
+  ``frames`` count all raise :class:`~repro.exceptions.FramingError`.
+
+:class:`StreamingMerger` folds decoded frames into a running Agarwal merge
+as they arrive — the aggregator never materializes the whole file, only the
+current frame plus the ``<= k``-counter accumulator — and feeds
+:meth:`~repro.core.merging.PrivateMergedRelease.release_arrays` at the end.
+The incremental fold is *bit-identical* to the buffered
+``load_payload`` → :func:`~repro.sketches.merge.merge_many_arrays` path
+(property-tested in ``tests/property/test_framing_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..core.merging import PrivateMergedRelease
+from ..core.results import PrivateHistogram
+from ..dp.rng import RandomState
+from ..exceptions import FramingError, ParameterError, SketchStateError
+from ..sketches.base import FrequencySketch
+from ..sketches.merge import merge_many, merge_many_arrays, merge_misra_gries
+from . import wire as wire_module
+from .wire import WIRE_FORMAT_VERSION, WirePayload
+
+#: Container magic; the byte after it is the framing version.
+MAGIC = b"RPRF"
+
+#: Version of the framing container (independent of the envelope version).
+FRAMING_VERSION = 1
+
+#: Upper bound on a single frame's byte length.  A corrupt or garbage length
+#: prefix must not make the reader allocate gigabytes before failing.
+MAX_FRAME_BYTES = 1 << 28
+
+#: First body byte of a binary columnar frame (JSON frames start with ``{``).
+BINARY_FRAME_TAG = 0x01
+
+#: Widest dense accumulator the incremental fold keeps (ids = key - low).
+#: Matches the dense-offset bound of the batch interner; streams over wider
+#: key universes fall back to the pairwise fold.
+_DENSE_SPAN_LIMIT = 1 << 23
+
+_LENGTH = struct.Struct(">I")
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """The decoded header frame of a framed stream."""
+
+    framing: int
+    frames: Optional[int] = None
+    k: Optional[int] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": "frame_header", "framing": self.framing,
+                "frames": self.frames, "k": self.k, "meta": dict(self.meta)}
+
+
+def _read_exact(fileobj, count: int, what: str) -> bytes:
+    """Read exactly ``count`` bytes, never more, raising on short streams."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = fileobj.read(remaining)
+        if not chunk:
+            got = count - remaining
+            raise FramingError(f"truncated {what}: expected {count} bytes, got {got}")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return chunks[0] if len(chunks) == 1 else b"".join(chunks)
+
+
+class FrameWriter:
+    """Write a framed stream of wire-v2 envelopes to a binary file-like.
+
+    The magic and header frame are written on construction; each
+    :meth:`write_sketch` / :meth:`write_payload` call appends one frame.
+    Usable as a context manager; :meth:`close` verifies a declared frame
+    count was honored (it does not close the underlying file object).
+    """
+
+    def __init__(self, fileobj, k: Optional[int] = None,
+                 frames: Optional[int] = None,
+                 meta: Optional[Mapping[str, object]] = None,
+                 encoding: str = "binary") -> None:
+        if frames is not None and (not isinstance(frames, int) or frames < 0):
+            raise ParameterError(f"frames must be a non-negative count, got {frames!r}")
+        if encoding not in ("binary", "json"):
+            raise ParameterError(
+                f"encoding must be 'binary' or 'json', got {encoding!r}")
+        self._fileobj = fileobj
+        self._declared = frames
+        self._written = 0
+        self._closed = False
+        self._encoding = encoding
+        self.header = FrameHeader(framing=FRAMING_VERSION, frames=frames,
+                                  k=int(k) if k is not None else None,
+                                  meta=dict(meta or {}))
+        fileobj.write(MAGIC + bytes([FRAMING_VERSION]))
+        self._write_frame(self.header.as_dict())
+
+    @property
+    def frames_written(self) -> int:
+        """Number of payload frames written so far (header excluded)."""
+        return self._written
+
+    def _write_frame(self, payload: Mapping) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if len(body) > MAX_FRAME_BYTES:
+            raise FramingError(
+                f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES={MAX_FRAME_BYTES}")
+        self._fileobj.write(_LENGTH.pack(len(body)))
+        self._fileobj.write(body)
+
+    def write_payload(self, payload: Union[Mapping, WirePayload]) -> None:
+        """Append one wire-v2 envelope (dict or decoded payload) as a frame."""
+        if self._closed:
+            raise FramingError("writer is closed")
+        if isinstance(payload, WirePayload):
+            payload = wire_module.encode_payload(payload)
+        if payload.get("format") != WIRE_FORMAT_VERSION:
+            raise FramingError(
+                f"frames must carry wire v2 envelopes (format: {WIRE_FORMAT_VERSION}), "
+                f"got format={payload.get('format')!r}")
+        if self._declared is not None and self._written >= self._declared:
+            raise FramingError(
+                f"header declared {self._declared} frame(s); cannot write more")
+        if self._encoding == "binary" and payload.get("key_encoding") == "int":
+            self._write_binary_frame(payload)
+        else:
+            self._write_frame(payload)
+        self._written += 1
+
+    def _write_binary_frame(self, payload: Mapping) -> None:
+        """One integer-keyed envelope as a binary columnar frame (tag 0x01)."""
+        keys = np.asarray(payload.get("keys", []), dtype="<i8")
+        values = np.asarray(payload.get("values", []), dtype="<f8")
+        if keys.size != values.size:
+            raise FramingError(
+                f"malformed columnar payload: {keys.size} keys vs {values.size} values")
+        header = {field: payload[field] for field in ("format", "kind", "k", "meta")
+                  if field in payload}
+        header["key_encoding"] = "int"
+        header["count"] = int(keys.size)
+        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+        length = 5 + len(header_bytes) + keys.nbytes + values.nbytes
+        if length > MAX_FRAME_BYTES:
+            raise FramingError(
+                f"frame of {length} bytes exceeds MAX_FRAME_BYTES={MAX_FRAME_BYTES}")
+        self._fileobj.write(_LENGTH.pack(length))
+        self._fileobj.write(bytes([BINARY_FRAME_TAG]))
+        self._fileobj.write(_LENGTH.pack(len(header_bytes)))
+        self._fileobj.write(header_bytes)
+        self._fileobj.write(keys.tobytes())
+        self._fileobj.write(values.tobytes())
+
+    def write_sketch(self, sketch) -> None:
+        """Append one sketch export (any :class:`FrequencySketch`) as a frame."""
+        self.write_payload(wire_module.encode_sketch(sketch))
+
+    def write_counters(self, counters, k: Optional[int] = None,
+                       stream_length: Optional[int] = None) -> None:
+        """Append a bare counter export as a frame."""
+        self.write_payload(wire_module.encode_counters(counters, k=k,
+                                                       stream_length=stream_length))
+
+    def close(self) -> None:
+        """Finish the stream (verifies a declared frame count was met)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._declared is not None and self._written != self._declared:
+            raise FramingError(
+                f"header declared {self._declared} frame(s) but {self._written} "
+                "were written")
+
+    def __enter__(self) -> "FrameWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+
+class FrameReader:
+    """Iterate the wire-v2 envelopes of a framed stream, one frame at a time.
+
+    Only ``fileobj.read(n)`` with explicit sizes is ever issued (one length
+    prefix, then one frame body), so the reader works over non-seekable
+    streams and never materializes more than a single frame.
+    """
+
+    def __init__(self, fileobj) -> None:
+        self._fileobj = fileobj
+        self._delivered = 0
+        self._exhausted = False
+        prefix = _read_exact(fileobj, len(MAGIC) + 1, "magic header")
+        if prefix[:len(MAGIC)] != MAGIC:
+            raise FramingError(
+                f"bad magic {prefix[:len(MAGIC)]!r}; not a framed wire stream")
+        version = prefix[len(MAGIC)]
+        if version != FRAMING_VERSION:
+            raise FramingError(
+                f"unsupported framing version {version}; this reader speaks "
+                f"version {FRAMING_VERSION}")
+        body = self._read_frame_bytes("header frame")
+        header = self._parse_json_body(body) if body is not None else None
+        if header is None or header.get("kind") != "frame_header":
+            raise FramingError("first frame must be a frame_header")
+        framing = header.get("framing")
+        if framing != FRAMING_VERSION:
+            raise FramingError(f"header declares framing version {framing!r}, "
+                               f"expected {FRAMING_VERSION}")
+        frames = header.get("frames")
+        if frames is not None and (not isinstance(frames, int) or frames < 0):
+            raise FramingError(f"header declares a bad frame count {frames!r}")
+        k = header.get("k")
+        self.header = FrameHeader(framing=FRAMING_VERSION, frames=frames,
+                                  k=int(k) if k is not None else None,
+                                  meta=dict(header.get("meta") or {}))
+
+    def _read_frame_bytes(self, what: str) -> Optional[bytes]:
+        """The next frame body, or ``None`` at a clean end of stream."""
+        prefix = self._fileobj.read(_LENGTH.size)
+        if not prefix:
+            return None
+        if len(prefix) < _LENGTH.size:
+            raise FramingError(
+                f"truncated length prefix: expected {_LENGTH.size} bytes, "
+                f"got {len(prefix)} (trailing garbage?)")
+        (length,) = _LENGTH.unpack(prefix)
+        if length > MAX_FRAME_BYTES:
+            raise FramingError(
+                f"frame length {length} exceeds MAX_FRAME_BYTES={MAX_FRAME_BYTES} "
+                "(corrupt length prefix or trailing garbage)")
+        return _read_exact(self._fileobj, length, what)
+
+    @staticmethod
+    def _parse_json_body(body: bytes) -> Dict:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise FramingError(f"frame body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise FramingError(f"frame body must be a JSON object, got {type(payload)!r}")
+        return payload
+
+    def _decode_binary_body(self, body: bytes) -> WirePayload:
+        """Decode a binary columnar frame: two ``frombuffer`` views, no JSON keys."""
+        if len(body) < 5:
+            raise FramingError("binary frame too short for its header length")
+        (header_length,) = _LENGTH.unpack_from(body, 1)
+        if 5 + header_length > len(body):
+            raise FramingError("binary frame header overruns the frame body")
+        header = self._parse_json_body(body[5:5 + header_length])
+        kind = header.get("kind")
+        if header.get("format") != wire_module.WIRE_FORMAT_VERSION:
+            raise FramingError(
+                f"binary frame declares format {header.get('format')!r}, "
+                f"expected {wire_module.WIRE_FORMAT_VERSION}")
+        if kind not in wire_module._KINDS:
+            raise FramingError(f"unrecognized wire v2 kind {kind!r}")
+        count = header.get("count")
+        if not isinstance(count, int) or count < 0:
+            raise FramingError(f"binary frame declares a bad count {count!r}")
+        offset = 5 + header_length
+        if len(body) != offset + 16 * count:
+            raise FramingError(
+                f"binary frame carries {len(body) - offset} payload bytes; "
+                f"count={count} requires {16 * count}")
+        keys = np.asarray(np.frombuffer(body, dtype="<i8", count=count,
+                                        offset=offset), dtype=np.int64)
+        values = np.asarray(np.frombuffer(body, dtype="<f8", count=count,
+                                          offset=offset + 8 * count),
+                            dtype=np.float64)
+        k = header.get("k")
+        return WirePayload(kind=kind, keys=keys.tolist(), values=values,
+                           k=int(k) if k is not None else None,
+                           meta=dict(header.get("meta", {})), key_array=keys)
+
+    def __iter__(self) -> Iterator[WirePayload]:
+        return self
+
+    def __next__(self) -> WirePayload:
+        if self._exhausted:
+            raise StopIteration
+        body = self._read_frame_bytes(f"frame {self._delivered + 1}")
+        declared = self.header.frames
+        if body is None:
+            self._exhausted = True
+            if declared is not None and self._delivered != declared:
+                raise FramingError(
+                    f"stream ended after {self._delivered} frame(s); header "
+                    f"declared {declared}")
+            raise StopIteration
+        if declared is not None and self._delivered >= declared:
+            raise FramingError(
+                f"stream carries more frames than the declared {declared} "
+                "(trailing garbage?)")
+        self._delivered += 1
+        if body[:1] == b"{":
+            payload = self._parse_json_body(body)
+            try:
+                return wire_module.decode(payload)
+            except Exception as error:
+                raise FramingError(
+                    f"frame {self._delivered} is not a wire v2 envelope: "
+                    f"{error}") from None
+        if body[:1] == bytes([BINARY_FRAME_TAG]):
+            return self._decode_binary_body(body)
+        raise FramingError(
+            f"unrecognized frame tag {body[:1]!r}; frames are JSON envelopes "
+            "('{') or binary columnar (0x01)")
+
+
+class StreamingMerger:
+    """Fold framed sketch exports into one Agarwal-merged summary incrementally.
+
+    The merger keeps only the running ``<= k``-counter accumulator; each
+    :meth:`add` folds one frame and discards it, so the aggregator's live
+    memory is one frame plus ``O(k)`` — never the whole stream.  Integer
+    envelopes stay on the columnar :func:`merge_many_arrays` path; the first
+    token-encoded envelope drops the accumulator to dict mode (still the
+    exact same fold).  The final summary is **bit-identical** to the
+    buffered ``merge_many_arrays([all frames])`` fold because both equal the
+    seed pairwise left fold.
+    """
+
+    def __init__(self, k: int) -> None:
+        self._k = check_positive_int(k, "k")
+        self._frames = 0
+        self._total_length = 0
+        # Columnar accumulator, one of two representations:
+        # * dense fold (the fast path): ``_acc`` is a dense float array over
+        #   the id space ``key - _low`` with the ``acc[id] > 0 iff live``
+        #   invariant of the batch fold; ``_active`` holds live ids in seed
+        #   insertion order.  Replicates merge._fold_interned step by step.
+        # * pairwise fallback (very wide key universes): ``_acc_keys`` /
+        #   ``_acc_values`` arrays folded through merge_many_arrays.
+        self._low: Optional[int] = None
+        self._acc: Optional[np.ndarray] = None
+        self._active: Optional[np.ndarray] = None
+        self._zero_live: Optional[np.ndarray] = None
+        self._first_negative = False
+        self._acc_keys: Optional[np.ndarray] = None
+        self._acc_values: Optional[np.ndarray] = None
+        self._acc_dict: Optional[Dict[Hashable, float]] = None
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def frames(self) -> int:
+        """Number of sketch exports folded so far."""
+        return self._frames
+
+    @property
+    def total_stream_length(self) -> int:
+        """Sum of the folded envelopes' declared stream lengths."""
+        return self._total_length
+
+    @property
+    def columnar(self) -> bool:
+        """Whether the accumulator is still on the integer-array fast path."""
+        return self._acc_dict is None
+
+    # ------------------------------------------------------------------
+    # Folding
+    # ------------------------------------------------------------------
+
+    def _dense_to_pairwise(self) -> None:
+        """Drop the dense accumulator to the pairwise (keys, values) arrays."""
+        if self._acc is not None:
+            self._acc_keys = (self._active + self._low).astype(np.int64)
+            self._acc_values = self._acc[self._active].copy()
+            self._low = self._acc = self._active = None
+            # The pairwise fold re-checks negatives itself; the zero-live
+            # bookkeeping transfers implicitly (zero-valued survivors of a
+            # sole first frame sit in the arrays and drop on the next merge).
+
+    def _to_dict_mode(self) -> Dict[Hashable, float]:
+        if self._acc_dict is None:
+            self._dense_to_pairwise()
+            if self._acc_keys is None:
+                self._acc_dict = {}
+            else:
+                self._acc_dict = dict(zip(self._acc_keys.tolist(),
+                                          self._acc_values.tolist()))
+            self._acc_keys = self._acc_values = None
+        return self._acc_dict
+
+    # -- dense incremental fold (mirrors merge._fold_interned per step) -----
+
+    def _dense_viable(self, keys: np.ndarray) -> bool:
+        """Whether the dense id space can (still) cover this frame's keys."""
+        if keys.size == 0:
+            return True
+        low = int(keys.min())
+        high = int(keys.max()) + 1
+        if self._low is not None:
+            low = min(low, self._low)
+            high = max(high, self._low + self._acc.size)
+        return high - low <= _DENSE_SPAN_LIMIT
+
+    def _dense_grow(self, keys: np.ndarray) -> None:
+        """Extend the dense id space to cover ``keys`` (ids shift with low)."""
+        if keys.size == 0 and self._acc is not None:
+            return
+        low = int(keys.min()) if keys.size else 0
+        high = int(keys.max()) + 1 if keys.size else 1
+        if self._acc is None:
+            self._low = low
+            self._acc = np.zeros(high - low, dtype=np.float64)
+            self._active = np.empty(0, dtype=np.intp)
+            return
+        old_high = self._low + self._acc.size
+        new_low = min(low, self._low)
+        new_high = max(high, old_high)
+        if new_low == self._low and new_high == old_high:
+            return
+        # Grow geometrically (at least double the span, capped at the dense
+        # limit) with the headroom on the side(s) that forced the growth, so
+        # a stream of monotonically expanding key ranges reallocates O(log)
+        # times instead of copying the accumulator on every frame.
+        needed = new_high - new_low
+        target = min(_DENSE_SPAN_LIMIT, max(needed, 2 * self._acc.size))
+        slack = target - needed
+        if slack:
+            down = new_low < self._low
+            up = new_high > old_high
+            low_slack = slack // 2 if (down and up) else (slack if down else 0)
+            new_low -= low_slack
+            new_high += slack - low_slack
+        grown = np.zeros(new_high - new_low, dtype=np.float64)
+        offset = self._low - new_low
+        grown[offset:offset + self._acc.size] = self._acc
+        if offset:
+            self._active = self._active + offset
+            if self._zero_live is not None:
+                self._zero_live = self._zero_live + offset
+        self._low = new_low
+        self._acc = grown
+
+    def _dense_first_step(self, ids: np.ndarray, values: np.ndarray) -> None:
+        size = self._k
+        length = ids.size
+        if length == 0:
+            return
+        if length > size and bool(values.min() < 0.0):
+            # The seed reduces an oversized single input through a merge with
+            # nothing, which validates it immediately.
+            offender = int(ids[int(np.flatnonzero(values < 0.0)[0])]) + self._low
+            raise SketchStateError(
+                f"negative counter for {offender!r} cannot be merged")
+        self._first_negative = bool(values.min() < 0.0)
+        self._acc[ids] = values
+        if length > size:
+            scratch = values.copy()
+            scratch.partition(length - 1 - size)
+            shifted = values - scratch[length - 1 - size]
+            keep = shifted > 0.0
+            self._acc[ids] = np.where(keep, shifted, 0.0)
+            self._active = ids[keep]
+        else:
+            self._active = ids
+            zeros = values == 0.0
+            if zeros.any():
+                self._zero_live = ids[zeros]
+
+    def _dense_step(self, ids: np.ndarray, values: np.ndarray,
+                    keys: np.ndarray) -> None:
+        size = self._k
+        acc, active = self._acc, self._active
+        if self._first_negative:
+            # The seed's second fold step revisits the first sketch's
+            # counters and raises on the negative it let through.
+            bad = int(np.flatnonzero(acc[active] < 0.0)[0])
+            raise SketchStateError(
+                f"negative counter for {int(active[bad]) + self._low!r} "
+                "cannot be merged")
+        if ids.size == 0:
+            if self._zero_live is not None:
+                self._active = active[acc[active] > 0.0]
+                self._zero_live = None
+            return
+        if bool(values.min() < 0.0):
+            offender = keys[int(np.flatnonzero(values < 0.0)[0])]
+            raise SketchStateError(
+                f"negative counter for {int(offender)!r} cannot be merged")
+        before = acc[ids]
+        if self._zero_live is not None:
+            fresh = ids[(before == 0.0) & ~np.isin(ids, self._zero_live)]
+        else:
+            fresh = ids[before == 0.0]
+        acc[ids] = before + values
+        combined = np.concatenate((active, fresh)) if fresh.size else active
+        count = combined.size
+        if count > size:
+            current = acc[combined]
+            scratch = current.copy()
+            scratch.partition(count - 1 - size)
+            shifted = current - scratch[count - 1 - size]
+            keep = shifted > 0.0
+            acc[combined] = np.where(keep, shifted, 0.0)
+            self._active = combined[keep]
+        elif self._zero_live is None and bool(values.min() > 0.0):
+            self._active = combined
+        else:
+            current = acc[combined]
+            keep = current > 0.0
+            acc[combined] = np.where(keep, current, 0.0)
+            self._active = combined[keep]
+        self._zero_live = None
+
+    def _add_columnar(self, keys: np.ndarray, values: np.ndarray,
+                      first: bool) -> None:
+        if self._acc_keys is None and self._dense_viable(keys):
+            self._dense_grow(keys)
+            ids = (keys - self._low).astype(np.intp, copy=False)
+            if first:
+                self._dense_first_step(ids, values)
+            else:
+                self._dense_step(ids, values, keys)
+            return
+        self._dense_to_pairwise()
+        if self._acc_keys is None:
+            # First frame: mirror the left fold's first step (reduce a
+            # single oversized input through a merge with nothing).
+            merged = merge_many_arrays([keys], [values], self._k)
+        else:
+            merged = merge_many_arrays([self._acc_keys, keys],
+                                       [self._acc_values, values], self._k)
+        self._acc_keys = np.fromiter(merged.keys(), dtype=np.int64,
+                                     count=len(merged))
+        self._acc_values = np.fromiter(merged.values(), dtype=np.float64,
+                                       count=len(merged))
+
+    def add(self, payload: Union[WirePayload, Mapping]) -> "StreamingMerger":
+        """Fold one sketch export (decoded payload or raw v2 envelope dict)."""
+        if isinstance(payload, Mapping):
+            payload = wire_module.decode(payload)
+        self._frames += 1
+        self._total_length += payload.stream_length
+        columnar = payload.columnar()
+        if columnar is not None and self._acc_dict is None:
+            self._add_columnar(columnar[0], columnar[1], first=self._frames == 1)
+            return self
+        counters = payload.merge_counters()
+        acc = self._to_dict_mode()
+        if not acc and self._frames == 1:
+            self._acc_dict = (merge_misra_gries(counters, {}, self._k)
+                              if len(counters) > self._k else dict(counters))
+        else:
+            self._acc_dict = merge_many([acc, counters], self._k)
+        return self
+
+    def consume(self, frames: Iterable[Union[WirePayload, Mapping]]) -> "StreamingMerger":
+        """Fold every frame of an iterable (e.g. a :class:`FrameReader`)."""
+        for payload in frames:
+            self.add(payload)
+        return self
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def merged(self) -> Dict[Hashable, float]:
+        """The current merged summary (at most ``k`` counters)."""
+        if self._acc_dict is not None:
+            return dict(self._acc_dict)
+        keys, values = self.merged_arrays()
+        return dict(zip(keys.tolist(), values.tolist()))
+
+    def merged_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The merged summary as a columnar (keys, values) pair.
+
+        Key order matches the seed fold's dict insertion order.  Raises
+        :class:`~repro.exceptions.ParameterError` in dict mode (token keys
+        cannot be shipped as an integer array).
+        """
+        if self._acc_dict is not None:
+            raise ParameterError(
+                "merger left the columnar path (token-encoded frames were folded)")
+        if self._acc is not None:
+            return ((self._active + self._low).astype(np.int64),
+                    self._acc[self._active].copy())
+        if self._acc_keys is None:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        return self._acc_keys, self._acc_values
+
+    def release(self, mechanism: PrivateMergedRelease,
+                rng: RandomState = None) -> PrivateHistogram:
+        """Release the folded aggregate through a :class:`PrivateMergedRelease`.
+
+        Columnar accumulators feed
+        :meth:`~repro.core.merging.PrivateMergedRelease.release_arrays`
+        directly; the already-merged summary folds through as a single input,
+        which leaves it unchanged — so the released histogram is exactly what
+        the buffered release of all frames would produce for the default
+        trusted-merged strategy.
+        """
+        from ..core.merging import MergeStrategy
+
+        if self._frames == 0:
+            raise ParameterError("no frames folded yet; nothing to release")
+        if mechanism.strategy is not MergeStrategy.TRUSTED_MERGED:
+            raise ParameterError(
+                f"streaming merge releases the {MergeStrategy.TRUSTED_MERGED.value} "
+                f"strategy; {mechanism.strategy.value!r} needs per-sketch state "
+                "(use PrivateMergedRelease.release on the buffered sketches)")
+        if mechanism.k != self._k:
+            raise ParameterError(
+                f"merger folded at k={self._k} but the mechanism is calibrated "
+                f"to k={mechanism.k}")
+        if self._acc_dict is None:
+            keys, values = self.merged_arrays()
+            return mechanism.release_arrays(
+                [keys], [values], rng=rng,
+                total_stream_length=self._total_length, streams=self._frames)
+        return mechanism.release([self._acc_dict], rng=rng,
+                                 total_stream_length=self._total_length,
+                                 streams=self._frames)
+
+
+# ---------------------------------------------------------------------------
+# Convenience file-level helpers
+# ---------------------------------------------------------------------------
+
+def write_frames(target, payloads: Iterable[Union[Mapping, WirePayload, FrequencySketch]],
+                 k: Optional[int] = None,
+                 frames: Optional[int] = None,
+                 meta: Optional[Mapping[str, object]] = None) -> int:
+    """Pack envelopes/sketches into a framed stream at ``target`` (path or file).
+
+    ``frames`` declares the expected payload count in the header so readers
+    can detect a stream truncated at a frame boundary; when ``payloads`` is
+    a sized collection it is declared automatically.  Returns the number of
+    payload frames written.
+    """
+    if frames is None and hasattr(payloads, "__len__"):
+        frames = len(payloads)
+
+    def _pack(fileobj) -> int:
+        with FrameWriter(fileobj, k=k, frames=frames, meta=meta) as writer:
+            for payload in payloads:
+                if isinstance(payload, FrequencySketch):
+                    writer.write_sketch(payload)
+                else:
+                    writer.write_payload(payload)
+            return writer.frames_written
+
+    if hasattr(target, "write"):
+        return _pack(target)
+    path = Path(target)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as fileobj:
+        return _pack(fileobj)
+
+
+def iter_frames(source) -> Iterator[WirePayload]:
+    """Yield the envelopes of a framed stream (path or binary file-like)."""
+    if hasattr(source, "read"):
+        yield from FrameReader(source)
+        return
+    with Path(source).open("rb") as fileobj:
+        yield from FrameReader(fileobj)
+
+
+def merge_frames(source, k: Optional[int] = None) -> StreamingMerger:
+    """Stream-merge a framed file into a :class:`StreamingMerger`.
+
+    ``k`` defaults to the stream header's declared sketch size.
+    """
+    def _fold(fileobj) -> StreamingMerger:
+        reader = FrameReader(fileobj)
+        size = k if k is not None else reader.header.k
+        if size is None:
+            raise ParameterError(
+                "the framed stream's header declares no k; pass k explicitly")
+        return StreamingMerger(size).consume(reader)
+
+    if hasattr(source, "read"):
+        return _fold(source)
+    with Path(source).open("rb") as fileobj:
+        return _fold(fileobj)

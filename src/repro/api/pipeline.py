@@ -38,10 +38,12 @@ from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Seque
 
 import numpy as np
 
+from .._batching import as_int_array
+from .._validation import check_positive_int
 from ..core.results import PrivateHistogram
 from ..exceptions import ParameterError, SketchStateError
 from ..sketches.base import FrequencySketch
-from ..sketches.merge import merge_many, merge_many_arrays
+from ..sketches.merge import merge_many, merge_many_arrays, merge_tree
 from . import wire as wire_module
 from .registry import (
     MechanismAdapter,
@@ -132,37 +134,135 @@ class Pipeline:
     def _ensure_sketch(self) -> FrequencySketch:
         if self._counters is not None:
             raise SketchStateError(
-                "this pipeline holds merged counters; create a fresh Pipeline to fit streams")
+                "this pipeline holds merged counters (from merge() or a sharded "
+                "fit); continue with fit(stream, workers=2) or more to fold "
+                "further shards in, or create a fresh Pipeline to fit "
+                "sequentially")
         if self._sketch is None:
             self._sketch = make_sketch(self._sketch_spec, **self._params)
         return self._sketch
 
-    def fit(self, stream: Iterable[Hashable]) -> "Pipeline":
+    #: Sketch specs the sharded ``fit(stream, workers=N)`` path supports:
+    #: the shard sketches are paper-variant Misra-Gries and the fan-in is the
+    #: Agarwal ``merge_tree``, which is only a meaningful summary for the
+    #: Misra-Gries family.
+    _SHARDABLE_SKETCHES = ("misra_gries", "mg")
+
+    def fit(self, stream: Iterable[Hashable],
+            workers: Optional[int] = None) -> "Pipeline":
         """Process one stream; returns ``self`` for chaining.
 
         Integer ndarray (and int-list) streams dispatch to the vectorized
         ``update_batch`` engine for sketch-consuming mechanisms.  For
         ``sketch_list`` mechanisms each ``fit`` call contributes one
         per-stream sketch to the eventual merged release.
+
+        ``workers=N`` (N > 1) shards an integer ndarray stream into ``N``
+        contiguous slices, sketches each slice in its own process
+        (:func:`repro.core.merging.sketch_streams`) and tree-reduces the
+        shard sketches with :func:`~repro.sketches.merge.merge_tree`.  The
+        result is a size-``k`` merged summary that satisfies the same
+        Misra-Gries guarantee (estimates within ``n/(k+1)``, Lemma 29) as
+        the sequential fit — the individual counter values differ.  Only the
+        ``misra_gries`` sketch spec and sketch/sketch_list mechanisms
+        support sharding; stream-consuming mechanisms must see the raw
+        elements and reject ``workers``.  A sharded fit leaves the pipeline
+        holding a merged summary, so later ``fit`` calls on it must also
+        pass ``workers`` (they fold into the summary); a plain ``fit``
+        raises like any merged pipeline.
+
+        .. warning::
+            A merged summary has a different *privacy* sensitivity structure
+            than a single-stream sketch: neighbouring inputs can change up
+            to ``k`` counters by 1 (Corollary 18), which is what the
+            merged-sensitivity releases (``merged``, ``gshm`` with
+            ``l = k``) are calibrated to.  Algorithm-2 style mechanisms
+            (``pmg``, ``reduced``, ...) release sharded/merged state with
+            their single-stream calibration, exactly as they do for
+            :meth:`merge` results — choose a merged-sensitivity mechanism
+            when the DP guarantee must cover the sharded input.
         """
         consumes = self._mechanism.consumes
+        if workers is not None:
+            check_positive_int(workers, "workers")
+            if consumes not in ("sketch", "sketch_list"):
+                raise ParameterError(
+                    f"{self.mechanism_name!r} consumes the raw stream; "
+                    "sharded fit only applies to sketch-building pipelines")
+            if workers > 1:
+                return self._fit_sharded(stream, workers)
         if consumes == "sketch":
             sketch = self._ensure_sketch()
             before = sketch.stream_length
             sketch.update_all(stream)
             self._stream_length += sketch.stream_length - before
-        elif consumes in ("stream", "user_stream"):
+        elif consumes in ("stream", "user_stream", "checkpointed_stream"):
             items = list(stream)
             self._buffer.extend(items)
             self._stream_length += len(items)
         else:  # sketch_list: one sketch per fitted stream
             from ..sketches.misra_gries import MisraGriesSketch
 
-            size = self._params.get("k", 64)
-            sketch = MisraGriesSketch(size)
+            sketch = MisraGriesSketch(self._sketch_list_k())
             sketch.update_all(stream)
             self._sketches.append(sketch)
             self._stream_length += sketch.stream_length
+        self._last_release = None
+        return self
+
+    def _sketch_list_k(self) -> int:
+        """The sketch size for per-stream sketches of a sketch_list fit.
+
+        The mechanism's own calibrated ``k`` (e.g. ``PrivateMergedRelease.k``)
+        wins over the pipeline default, so the built sketches can never
+        disagree with the release calibration.
+        """
+        size = self._params.get("k")
+        if size is None:
+            size = getattr(self._mechanism.impl, "k", None)
+        return size if size is not None else 64
+
+    def _fit_sharded(self, stream, workers: int) -> "Pipeline":
+        """Shard → parallel sketch → ``merge_tree`` fan-in (see :meth:`fit`)."""
+        from ..core.merging import sketch_streams
+
+        consumes = self._mechanism.consumes
+        if consumes == "sketch_list":
+            # merge() rejects collapsing untrusted/trusted-sum sketch lists;
+            # the sharded fan-in performs the same collapse per fit call.
+            self._require_tree_mergeable(self)
+        spec_name, _ = normalize_spec(self._sketch_spec)
+        if consumes == "sketch" and spec_name not in self._SHARDABLE_SKETCHES:
+            raise ParameterError(
+                f"sharded fit builds Misra-Gries shard sketches; sketch spec "
+                f"{spec_name!r} cannot be merged with merge_tree")
+        batch = as_int_array(stream)
+        if batch is None:
+            raise ParameterError(
+                "fit(stream, workers=N) shards integer ndarray (or int-list) "
+                "streams; process other streams sequentially")
+        if consumes == "sketch":
+            # Resolve k exactly as the sequential fit would (spec-dict
+            # parameters win over the pipeline grab-bag), so the sharded
+            # summary carries the same n/(k+1) guarantee.
+            size = make_sketch(self._sketch_spec, **self._params).size
+        else:
+            size = self._sketch_list_k()
+        shards = [shard for shard in np.array_split(batch, workers) if shard.size]
+        sketches = sketch_streams(shards, size, workers=workers)
+        merged = merge_tree([sketch.counters() for sketch in sketches], size)
+        if consumes == "sketch_list":
+            self._sketches.append(merged)
+        else:
+            contributions = []
+            if self._sketch is not None:
+                contributions.append(self._sketch.counters())
+            elif self._counters is not None:
+                contributions.append(self._counters)
+            contributions.append(merged)
+            self._sketch = None
+            self._counters = merge_tree(contributions, size) if len(contributions) > 1 else merged
+        self._stream_length += int(batch.size)
         self._last_release = None
         return self
 
@@ -238,7 +338,7 @@ class Pipeline:
             if self._sketch is None:
                 raise SketchStateError("nothing fitted yet; call fit(stream) first")
             return self._sketch
-        if consumes in ("stream", "user_stream"):
+        if consumes in ("stream", "user_stream", "checkpointed_stream"):
             if not self._buffer:
                 raise SketchStateError("nothing fitted yet; call fit(stream) first")
             return self._buffer
@@ -271,28 +371,54 @@ class Pipeline:
     # Merging
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _require_tree_mergeable(pipeline: "Pipeline") -> None:
+        """Only trusted-merged ``sketch_list`` pipelines may be tree-merged.
+
+        The untrusted strategy privatizes every sketch *before* merging and
+        trusted-sum applies Algorithm 3 per sketch; collapsing their raw
+        sketches into one summary would silently change those semantics.
+        """
+        from ..core.merging import MergeStrategy
+
+        strategy = getattr(pipeline._mechanism.impl, "strategy", None)
+        if strategy is not None and strategy is not MergeStrategy.TRUSTED_MERGED:
+            raise ParameterError(
+                f"cannot tree-merge a {MergeStrategy(strategy).value!r} "
+                f"sketch_list pipeline: that strategy needs its per-sketch "
+                f"structure (release it directly instead)")
+
+    @staticmethod
+    def _entry_counters(entry) -> Dict[Hashable, float]:
+        """Counters of one ``_sketches`` entry (sketch, dict or wire payload)."""
+        if isinstance(entry, wire_module.WirePayload):
+            return entry.merge_counters()
+        if isinstance(entry, FrequencySketch):
+            return entry.counters()
+        return {key: float(value) for key, value in entry.items()}
+
     def _merge_contribution(self, other: Mergeable):
         """Normalize a merge input to (counters_or_None, columnar_or_None, length)."""
         if isinstance(other, Pipeline):
-            if other._buffer or other._sketches:
+            if other._buffer:
                 raise ParameterError(
                     f"cannot merge a {other.mechanism_name!r} pipeline: merging applies "
                     "to sketch-consuming pipelines (a fitted sketch or merged counters)")
+            if other._sketches:
+                self._require_tree_mergeable(other)
+                size = other._params.get("k") or other.k
+                if size is None:
+                    raise ParameterError(
+                        "merging a sketch_list pipeline requires its parameter k")
+                return (merge_tree([self._entry_counters(sketch)
+                                    for sketch in other._sketches], size),
+                        None, other.stream_length)
             return other.counters(), None, other.stream_length
         if isinstance(other, wire_module.WirePayload):
             columnar = other.columnar()
             if columnar is not None:
                 return None, columnar, other.stream_length
-            counters = other.counters()
-            if other.kind == "misra_gries_paper":
-                # Full paper-variant state carries dummy padding keys; merging
-                # operates on the real counters (the class-level counters()
-                # view), so strip them like MisraGriesSketch.counters() does.
-                from ..sketches.misra_gries import DummyKey
-
-                counters = {key: value for key, value in counters.items()
-                            if not isinstance(key, DummyKey)}
-            return counters, None, other.stream_length
+            return other.merge_counters(), None, other.stream_length
         if isinstance(other, FrequencySketch):
             return other.counters(), None, other.stream_length
         if isinstance(other, Mapping):
@@ -306,12 +432,24 @@ class Pipeline:
 
         ``others`` may be a single item or a sequence of sketch-consuming
         pipelines, sketches, counter mappings, or v2 wire payloads (decoded
-        or raw JSON dicts); stream-buffering and ``sketch_list`` pipelines
-        are rejected (use the ``merged`` mechanism's own release for those).
+        or raw JSON dicts); stream-buffering pipelines are rejected.  A
+        ``sketch_list`` pipeline (its own or among ``others``) contributes
+        the pairwise :func:`~repro.sketches.merge.merge_tree` reduction of
+        its per-stream sketches — the Section 7 "tree of servers" fan-in
+        (trusted-merged strategy only; the untrusted and trusted-sum
+        strategies need their per-sketch structure and are rejected).
         The result is a new :class:`Pipeline` with the same mechanism whose
         fitted state is the size-``k`` merged summary.  When every input is
         columnar (v2 integer wire), the fold runs through
         :func:`merge_many_arrays`; otherwise through :func:`merge_many`.
+
+        .. warning::
+            Merged summaries carry the merged sensitivity structure
+            (Corollary 18: up to ``k`` counters change by 1 between
+            neighbours); single-stream mechanisms like ``pmg`` release the
+            result with their single-stream calibration.  Use a
+            merged-sensitivity mechanism (``merged``, ``gshm`` with
+            ``l = k``) when the DP guarantee must cover the merged input.
         """
         size = self._params.get("k") or self.k
         if size is None:
@@ -323,7 +461,16 @@ class Pipeline:
         if not contributions:
             raise SketchStateError("nothing to merge")
         total_length = sum(length for _, _, length in contributions)
-        if all(columnar is not None for _, columnar, _ in contributions):
+        if self._mechanism.consumes == "sketch_list":
+            self._require_tree_mergeable(self)
+            # Tree reduction over the contributing summaries: each sketch_list
+            # contribution is already a tree-merged summary of its servers, so
+            # one more pairwise tree round combines the server groups.
+            merged = merge_tree(
+                [counters if counters is not None
+                 else dict(zip(columnar[0].tolist(), columnar[1].tolist()))
+                 for counters, columnar, _ in contributions], size)
+        elif all(columnar is not None for _, columnar, _ in contributions):
             merged = merge_many_arrays([columnar[0] for _, columnar, _ in contributions],
                                        [columnar[1] for _, columnar, _ in contributions],
                                        size)

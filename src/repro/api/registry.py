@@ -51,6 +51,7 @@ from ..baselines.chan import ChanPrivateMisraGries
 from ..baselines.exact_histogram import StabilityHistogram
 from ..baselines.local_dp import LocalDPFrequencyEstimator
 from ..baselines.prefix_tree import PrefixTreeHeavyHitters
+from ..core.continual import ContinualConfig
 from ..core.gshm import GaussianSparseHistogram
 from ..core.merging import MergeStrategy, PrivateMergedRelease
 from ..core.private_misra_gries import PrivateMisraGries
@@ -103,8 +104,10 @@ class ReleaseMechanism(Protocol):
 # ---------------------------------------------------------------------------
 
 #: What a mechanism releases: a single frequency sketch, a raw element
-#: stream, a user-level stream (sets of elements), or several sketches.
-CONSUMES = ("sketch", "stream", "user_stream", "sketch_list")
+#: stream, a user-level stream (sets of elements), several sketches, or a
+#: checkpointed stream (a raw stream released repeatedly at epoch boundaries,
+#: with the budget accounted over the whole timeline).
+CONSUMES = ("sketch", "stream", "user_stream", "sketch_list", "checkpointed_stream")
 
 
 @dataclass(frozen=True)
@@ -463,6 +466,31 @@ def _make_merged(epsilon: float = 1.0, delta: float = 1e-6, k: Optional[int] = N
 
     return MechanismAdapter(name="merged", consumes="sketch_list", impl=impl,
                             _release=release)
+
+
+@register_mechanism("continual", consumes="checkpointed_stream",
+                    aliases=("continual_heavy_hitters",),
+                    description="Continual observation: per-block Algorithm 2 releases "
+                                "('blocks' linear or 'binary_tree' logarithmic noise "
+                                "growth), budget accounted over the whole timeline.")
+def _make_continual(epsilon: float = 1.0, delta: float = 1e-6, k: int = 64,
+                    block_size: int = 1000, strategy: str = "blocks",
+                    max_blocks: int = 1024) -> MechanismAdapter:
+    # Epoch parameters are validated eagerly (ContinualConfig.__post_init__),
+    # so a bad block_size/strategy/max_blocks fails at construction with
+    # ParameterError, not at release time inside the monitor.
+    config = ContinualConfig(k=k, epsilon=epsilon, delta=delta,
+                             block_size=block_size, strategy=strategy,
+                             max_blocks=max_blocks)
+
+    def release(mechanism, fitted, rng, context):
+        monitor = mechanism.build(rng)
+        monitor.process_stream(fitted)
+        monitor.flush()
+        return monitor.as_histogram()
+
+    return MechanismAdapter(name="continual", consumes="checkpointed_stream",
+                            impl=config, _release=release)
 
 
 # ---------------------------------------------------------------------------

@@ -54,15 +54,25 @@ _SKETCH_KINDS = ("misra_gries_paper", "misra_gries_standard")
 _KINDS = _SKETCH_KINDS + ("counters", "private_histogram")
 
 
+def _unsupported_version_message(payload: Mapping) -> str:
+    declared = {field: payload[field] for field in ("format", "format_version")
+                if field in payload}
+    if declared:
+        claim = ", ".join(f"{field}: {value!r}" for field, value in sorted(declared.items()))
+        head = f"unsupported wire version ({claim})"
+    else:
+        head = "payload declares no wire version"
+    return (f"{head}; supported versions are v1 ('format_version': 1) "
+            f"and v2 ('format': {WIRE_FORMAT_VERSION})")
+
+
 def wire_version(payload: Mapping) -> int:
     """The wire version of a decoded JSON payload (1 or 2)."""
     if payload.get("format") == WIRE_FORMAT_VERSION:
         return 2
     if payload.get("format_version") == 1:
         return 1
-    raise SketchStateError(
-        f"payload declares neither wire v1 nor v2 (format={payload.get('format')!r}, "
-        f"format_version={payload.get('format_version')!r})")
+    raise SketchStateError(_unsupported_version_message(payload))
 
 
 _INT64_MIN, _INT64_MAX = -(1 << 63), (1 << 63) - 1
@@ -112,6 +122,21 @@ class WirePayload:
     def counters(self) -> Dict[Hashable, float]:
         """The payload's counters as a plain dict (insertion order preserved)."""
         return dict(zip(self.keys, self.values.tolist()))
+
+    def merge_counters(self) -> Dict[Hashable, float]:
+        """The counters a merge should consume.
+
+        Full paper-variant sketch state carries dummy padding keys; merging
+        operates on the real counters (the class-level ``counters()`` view),
+        so those are stripped here — every other kind passes through as-is.
+        """
+        counters = self.counters()
+        if self.kind == "misra_gries_paper":
+            from ..sketches.misra_gries import DummyKey
+
+            counters = {key: value for key, value in counters.items()
+                        if not isinstance(key, DummyKey)}
+        return counters
 
     def columnar(self) -> Optional[tuple]:
         """``(key_array, values)`` when the integer fast path applies, else ``None``."""
@@ -193,7 +218,7 @@ def decode(payload: Mapping) -> WirePayload:
     """
     if payload.get("format") != WIRE_FORMAT_VERSION:
         raise SketchStateError(
-            f"not a wire v2 payload (format={payload.get('format')!r})")
+            f"not a wire v2 payload: {_unsupported_version_message(payload)}")
     kind = payload.get("kind")
     if kind not in _KINDS:
         raise SketchStateError(f"unrecognized wire v2 kind {kind!r}")
@@ -216,6 +241,23 @@ def decode(payload: Mapping) -> WirePayload:
                        k=int(k) if k is not None else None,
                        meta=dict(payload.get("meta", {})),
                        key_array=key_array)
+
+
+def encode_payload(wire: WirePayload) -> Dict:
+    """Re-encode a decoded :class:`WirePayload` as a v2 envelope dict.
+
+    The inverse of :func:`decode`: keys/values round-trip bit-exactly through
+    the same columnar encoding the original envelope used, so a payload can
+    be loaded from any v1/v2 file and re-shipped (e.g. repacked into a framed
+    stream) without touching the sketch state.
+    """
+    return {
+        "format": WIRE_FORMAT_VERSION,
+        "kind": wire.kind,
+        "k": int(wire.k) if wire.k is not None else None,
+        "meta": dict(wire.meta),
+        **_encode_columns(wire.counters()),
+    }
 
 
 def payload_to_sketch(payload: Union[Mapping, WirePayload]):
@@ -264,7 +306,11 @@ def load_payload(path) -> WirePayload:
 
     with Path(path).open("r", encoding="utf-8") as handle:
         payload = json.load(handle)
-    if wire_version(payload) == 2:
+    try:
+        version = wire_version(payload)
+    except SketchStateError as error:
+        raise SketchStateError(f"{path}: {error}") from None
+    if version == 2:
         return decode(payload)
     kind = payload.get("kind")
     if kind == "private_histogram":

@@ -28,6 +28,19 @@ Merge sketches produced on several servers (v2 files ride the columnar
 
     repro merge --epsilon 1.0 --delta 1e-6 -k 256 \
         --out merged.hist.json server1.sketch.json server2.sketch.json
+
+Pack many sketch exports into one length-prefix framed stream and merge it
+without ever buffering the whole file (the aggregator folds one frame at a
+time through :class:`repro.api.framing.StreamingMerger`)::
+
+    repro pack --out exports.frames server1.sketch.json server2.sketch.json
+    repro merge --framed --epsilon 1.0 --delta 1e-6 --out merged.hist.json \
+        exports.frames
+
+Monitor a stream continually (one private release per closed block)::
+
+    repro release --mechanism continual --stream flows.txt --epsilon 1.0 \
+        --delta 1e-6 -k 64 --block-size 1000
 """
 
 from __future__ import annotations
@@ -114,6 +127,8 @@ def build_parser() -> argparse.ArgumentParser:
     release.add_argument("--noise", choices=["laplace", "geometric"], default=None)
     release.add_argument("--phi", type=float, default=None,
                          help="heavy-hitter fraction (local_dp, prefix_tree)")
+    release.add_argument("--block-size", type=int, default=None,
+                         help="elements per release epoch (continual mechanism)")
     release.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
                          help="extra mechanism parameter (repeatable; value parsed as JSON "
                               "when possible)")
@@ -122,15 +137,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_format(release)
 
     merge = subparsers.add_parser("merge", help="privately release merged sketches")
-    merge.add_argument("sketches", nargs="+", help="sketch JSON files (v1 or v2)")
+    merge.add_argument("sketches", nargs="+",
+                       help="sketch JSON files (v1 or v2), or framed streams "
+                            "with --framed")
+    merge.add_argument("--framed", action="store_true",
+                       help="treat inputs as length-prefix framed streams "
+                            "(repro pack output) and merge them frame by frame "
+                            "without buffering")
     merge.add_argument("--epsilon", type=float, required=True)
     merge.add_argument("--delta", type=float, required=True)
-    merge.add_argument("-k", type=int, required=True)
+    merge.add_argument("-k", type=int, default=None,
+                       help="sketch size (required for JSON inputs; framed "
+                            "streams default to their header's k)")
     merge.add_argument("--strategy", choices=[s.value for s in MergeStrategy],
                        default=MergeStrategy.TRUSTED_MERGED.value)
     merge.add_argument("--seed", type=int, default=None)
     merge.add_argument("--out", default=None, help="output histogram JSON (stdout if omitted)")
     _add_format(merge)
+
+    pack = subparsers.add_parser(
+        "pack", help="pack sketch JSON files into one framed stream")
+    pack.add_argument("sketches", nargs="+", help="sketch JSON files (v1 or v2)")
+    pack.add_argument("--out", required=True, help="output framed stream file")
+    pack.add_argument("-k", type=int, default=None,
+                      help="sketch size recorded in the stream header "
+                           "(default: taken from the inputs when they agree)")
 
     heavy = subparsers.add_parser("heavy-hitters", help="query heavy hitters from a histogram")
     heavy.add_argument("--histogram", required=True, help="released histogram JSON file")
@@ -240,6 +271,17 @@ def _parse_params(pairs: Sequence[str]) -> Dict[str, Any]:
     return params
 
 
+def _infer_k(payloads) -> Optional[int]:
+    """The single sketch size the payloads agree on, else ``None`` (with a
+    uniform ``error:`` line naming what they actually declare)."""
+    declared = sorted({payload.k for payload in payloads if payload.k is not None})
+    if len(declared) == 1:
+        return declared[0]
+    print(f"error: pass -k (the sketch files declare "
+          f"k={declared if declared else 'nothing'})", file=sys.stderr)
+    return None
+
+
 def _release_params(args: argparse.Namespace) -> Dict[str, Any]:
     params: Dict[str, Any] = {"epsilon": args.epsilon}
     if args.delta is not None:
@@ -254,6 +296,8 @@ def _release_params(args: argparse.Namespace) -> Dict[str, Any]:
         params["noise"] = args.noise
     if args.phi is not None:
         params["phi"] = args.phi
+    if args.block_size is not None:
+        params["block_size"] = args.block_size
     params.update(_parse_params(args.param))
     return params
 
@@ -270,7 +314,7 @@ def _cmd_release(args: argparse.Namespace) -> int:
         print("error: the pure-DP release requires --universe", file=sys.stderr)
         return 2
 
-    if consumes in ("stream", "user_stream"):
+    if consumes in ("stream", "user_stream", "checkpointed_stream"):
         if args.stream is None:
             print(f"error: mechanism {mechanism!r} releases a raw stream; pass --stream "
                   f"(and --user-level for user-level input)", file=sys.stderr)
@@ -288,13 +332,10 @@ def _cmd_release(args: argparse.Namespace) -> int:
             if "k" not in params:
                 # The merged release is calibrated to k; take it from the
                 # envelopes when they agree rather than guessing.
-                declared = {payload.k for payload in payloads if payload.k is not None}
-                if len(declared) != 1:
-                    print("error: pass -k (the sketch files declare "
-                          f"k={sorted(declared) if declared else 'nothing'})",
-                          file=sys.stderr)
+                inferred = _infer_k(payloads)
+                if inferred is None:
                     return 2
-                params["k"] = declared.pop()
+                params["k"] = inferred
             pipeline = Pipeline(mechanism=mechanism, **params)
             for payload in payloads:
                 pipeline.add_sketch(payload)
@@ -310,15 +351,81 @@ def _cmd_release(args: argparse.Namespace) -> int:
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
+    if args.framed:
+        return _cmd_merge_framed(args)
+    k = args.k
+    payloads = [load_payload(path) for path in args.sketches]
+    if k is None:
+        k = _infer_k(payloads)
+        if k is None:
+            return 2
     # One dispatch path with `release --mechanism merged`: the registered
     # adapter keeps all-columnar v2 inputs on the merge_many_arrays wire
     # route and materializes per-sketch state otherwise.
     pipeline = Pipeline(mechanism={"name": "merged", "strategy": args.strategy},
-                        k=args.k, epsilon=args.epsilon, delta=args.delta)
-    for path in args.sketches:
-        pipeline.add_sketch(load_payload(path))
+                        k=k, epsilon=args.epsilon, delta=args.delta)
+    for payload in payloads:
+        pipeline.add_sketch(payload)
     histogram = pipeline.release(rng=args.seed)
     _emit_histogram(histogram, args.out, args.format)
+    return 0
+
+
+def _cmd_merge_framed(args: argparse.Namespace) -> int:
+    # Streaming aggregation: fold each framed file one frame at a time
+    # through StreamingMerger — nothing beyond the current frame and the
+    # <= k-counter accumulator is ever resident.
+    from pathlib import Path
+
+    from .api.framing import FrameReader, StreamingMerger
+    from .core.merging import PrivateMergedRelease
+
+    if MergeStrategy(args.strategy) is not MergeStrategy.TRUSTED_MERGED:
+        print(f"error: --framed streams the {MergeStrategy.TRUSTED_MERGED.value} "
+              f"strategy; {args.strategy!r} needs the buffered `repro merge`",
+              file=sys.stderr)
+        return 2
+    merger = None
+    k = args.k
+    for path in args.sketches:
+        with Path(path).open("rb") as fileobj:
+            reader = FrameReader(fileobj)
+            declared = reader.header.k
+            if k is None:
+                k = declared
+            if k is None:
+                print(f"error: {path} declares no k in its header; pass -k",
+                      file=sys.stderr)
+                return 2
+            if args.k is None and declared is not None and declared != k:
+                # Mirror the buffered path: disagreeing declared sizes need
+                # an explicit -k rather than a silent truncation to the
+                # first stream's k.
+                print(f"error: {path} declares k={declared} but the merge "
+                      f"is folding at k={k}; pass -k to override",
+                      file=sys.stderr)
+                return 2
+            if merger is None:
+                merger = StreamingMerger(k)
+            merger.consume(reader)
+    mechanism = PrivateMergedRelease(epsilon=args.epsilon, delta=args.delta, k=k,
+                                     strategy=MergeStrategy.TRUSTED_MERGED)
+    histogram = merger.release(mechanism, rng=args.seed)
+    _emit_histogram(histogram, args.out, args.format)
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from .api.framing import write_frames
+
+    payloads = [load_payload(path) for path in args.sketches]
+    k = args.k
+    if k is None:
+        k = _infer_k(payloads)
+        if k is None:
+            return 2
+    count = write_frames(args.out, payloads, k=k)
+    print(f"packed {count} sketch export(s) (k={k}) -> {args.out}")
     return 0
 
 
@@ -351,6 +458,7 @@ _HANDLERS = {
     "sketch": _cmd_sketch,
     "release": _cmd_release,
     "merge": _cmd_merge,
+    "pack": _cmd_pack,
     "heavy-hitters": _cmd_heavy_hitters,
     "evaluate": _cmd_evaluate,
 }

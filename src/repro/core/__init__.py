@@ -18,7 +18,7 @@
 * :mod:`repro.core.heavy_hitters` — heavy-hitter queries over any release.
 """
 
-from .continual import ContinualHeavyHitters
+from .continual import ContinualConfig, ContinualHeavyHitters
 from .gshm import GaussianSparseHistogram, calibrate_gshm, gshm_delta
 from .heavy_hitters import (
     heavy_hitters_from_histogram,
@@ -39,6 +39,7 @@ from .user_level import (
 
 __all__ = [
     "ApproximateDPReducedRelease",
+    "ContinualConfig",
     "ContinualHeavyHitters",
     "GaussianSparseHistogram",
     "MergeStrategy",

@@ -47,9 +47,45 @@ from ..dp.rng import RandomState, ensure_rng
 from ..exceptions import ParameterError, SketchStateError
 from ..sketches.misra_gries import MisraGriesSketch
 from .private_misra_gries import PrivateMisraGries
-from .results import PrivateHistogram
+from .results import PrivateHistogram, ReleaseMetadata
 
 _STRATEGIES = ("blocks", "binary_tree")
+
+
+@dataclass(frozen=True)
+class ContinualConfig:
+    """Validated epoch parameters for a continual-release timeline.
+
+    The monitor itself consumes its noise generator at construction time, so
+    the registry cannot build a :class:`ContinualHeavyHitters` until the
+    release-time ``rng`` is known.  This config carries — and eagerly
+    validates — every epoch parameter, and :meth:`build` instantiates a fresh
+    monitor per release.
+    """
+
+    k: int
+    epsilon: float
+    delta: float
+    block_size: int
+    strategy: str = "blocks"
+    max_blocks: int = 1024
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.k, "k")
+        check_epsilon(self.epsilon)
+        check_delta(self.delta)
+        check_positive_int(self.block_size, "block_size")
+        if self.strategy not in _STRATEGIES:
+            raise ParameterError(
+                f"strategy must be one of {_STRATEGIES}, got {self.strategy!r}")
+        check_positive_int(self.max_blocks, "max_blocks")
+
+    def build(self, rng: RandomState = None) -> "ContinualHeavyHitters":
+        """A fresh monitor for one timeline, drawing noise from ``rng``."""
+        return ContinualHeavyHitters(k=self.k, epsilon=self.epsilon,
+                                     delta=self.delta, block_size=self.block_size,
+                                     strategy=self.strategy,
+                                     max_blocks=self.max_blocks, rng=rng)
 
 
 @dataclass
@@ -254,6 +290,30 @@ class ContinualHeavyHitters:
     def heavy_hitters(self, threshold: float) -> Dict[Hashable, float]:
         """Elements whose estimated total count is at least ``threshold``."""
         return {key: value for key, value in self.histogram().items() if value >= threshold}
+
+    def as_histogram(self) -> PrivateHistogram:
+        """The current prefix query as a standard :class:`PrivateHistogram`.
+
+        Sums the covering released histograms (pure post-processing, no new
+        privacy cost) and attaches timeline metadata, so the continual
+        mechanism plugs into every consumer of the uniform release interface
+        (the registry adapter, the CLI, error summaries).
+        """
+        budget = self.per_release_budget()
+        metadata = ReleaseMetadata(
+            mechanism="ContinualMG",
+            epsilon=self._epsilon,
+            delta=self._delta,
+            noise_scale=1.0 / budget["epsilon"],
+            threshold=self._mechanism.threshold(self._k),
+            sketch_size=self._k,
+            stream_length=self._elements_processed,
+            notes=(f"strategy={self._strategy}, blocks={self._closed_blocks}, "
+                   f"levels={self._levels}, releases={len(self._releases)}, "
+                   f"per-release budget eps={budget['epsilon']:.6g} "
+                   f"delta={budget['delta']:.6g}"),
+        )
+        return PrivateHistogram(counts=self.histogram(), metadata=metadata)
 
     def releases_per_query(self) -> int:
         """How many released histograms the current prefix query sums."""

@@ -156,22 +156,30 @@ class PrivateMergedRelease:
     # ------------------------------------------------------------------
 
     def release(self, sketches: Sequence[SketchLike], rng: RandomState = None,
-                total_stream_length: Optional[int] = None) -> PrivateHistogram:
-        """Aggregate the given per-stream sketches and release privately."""
+                total_stream_length: Optional[int] = None,
+                streams: Optional[int] = None) -> PrivateHistogram:
+        """Aggregate the given per-stream sketches and release privately.
+
+        ``streams`` overrides the stream count recorded in the release
+        metadata — used by the streaming aggregator, which folds ``m``
+        framed exports into one summary before handing it here.
+        """
         if not sketches:
             raise ParameterError("at least one sketch is required")
         generator = ensure_rng(rng)
         length = total_stream_length if total_stream_length is not None else self._total_length(sketches)
+        count = streams if streams is not None else len(sketches)
         if self.strategy is MergeStrategy.TRUSTED_SUM:
-            return self._release_trusted_sum(sketches, generator, length)
+            return self._release_trusted_sum(sketches, generator, length, count)
         if self.strategy is MergeStrategy.TRUSTED_MERGED:
-            return self._release_trusted_merged(sketches, generator, length)
-        return self._release_untrusted(sketches, generator, length)
+            return self._release_trusted_merged(sketches, generator, length, count)
+        return self._release_untrusted(sketches, generator, length, count)
 
     def release_arrays(self, keys_list: Sequence[np.ndarray],
                        values_list: Sequence[np.ndarray],
                        rng: RandomState = None,
-                       total_stream_length: Optional[int] = None) -> PrivateHistogram:
+                       total_stream_length: Optional[int] = None,
+                       streams: Optional[int] = None) -> PrivateHistogram:
         """Release sketches that arrive in columnar wire form.
 
         This is the aggregator's v2 wire entry point: each sketch is a
@@ -188,13 +196,15 @@ class PrivateMergedRelease:
             raise ParameterError("at least one sketch is required")
         generator = ensure_rng(rng)
         length = total_stream_length if total_stream_length is not None else 0
+        count = streams if streams is not None else len(keys_list)
         if self.strategy is MergeStrategy.TRUSTED_MERGED:
             merged = merge_many_arrays(keys_list, values_list, self.k)
-            return self._gshm_release(merged, generator, length, len(keys_list),
+            return self._gshm_release(merged, generator, length, count,
                                       ", columnar wire")
         sketches = [dict(zip(np.asarray(keys).tolist(), np.asarray(values, dtype=float).tolist()))
                     for keys, values in zip(keys_list, values_list)]
-        return self.release(sketches, rng=generator, total_stream_length=length)
+        return self.release(sketches, rng=generator, total_stream_length=length,
+                            streams=count)
 
     def release_streams(self, streams: Sequence, rng: RandomState = None,
                         workers: Optional[int] = None) -> PrivateHistogram:
@@ -208,7 +218,7 @@ class PrivateMergedRelease:
 
     # -- trusted aggregator, post-process then sum --------------------------------
 
-    def _release_trusted_sum(self, sketches, generator, length) -> PrivateHistogram:
+    def _release_trusted_sum(self, sketches, generator, length, count) -> PrivateHistogram:
         reduced = [self._reduce(sketch) for sketch in sketches]
         aggregate = sum_counters(reduced)
         scale = 2.0 / self.epsilon
@@ -222,15 +232,15 @@ class PrivateMergedRelease:
             threshold=threshold,
             sketch_size=self.k,
             stream_length=length,
-            notes=f"streams={len(sketches)}, unbounded aggregator memory",
+            notes=f"streams={count}, unbounded aggregator memory",
         )
         return PrivateHistogram(counts=released, metadata=metadata)
 
     # -- trusted aggregator, Agarwal merge then GSHM -------------------------------
 
-    def _release_trusted_merged(self, sketches, generator, length) -> PrivateHistogram:
+    def _release_trusted_merged(self, sketches, generator, length, count) -> PrivateHistogram:
         merged = merge_many([self._counters(sketch) for sketch in sketches], self.k)
-        return self._gshm_release(merged, generator, length, len(sketches), "")
+        return self._gshm_release(merged, generator, length, count, "")
 
     def _gshm_release(self, merged: Mapping[Hashable, float], generator,
                       length: int, streams: int, note: str) -> PrivateHistogram:
@@ -256,7 +266,7 @@ class PrivateMergedRelease:
 
     # -- untrusted aggregator -------------------------------------------------------
 
-    def _release_untrusted(self, sketches, generator, length) -> PrivateHistogram:
+    def _release_untrusted(self, sketches, generator, length, count) -> PrivateHistogram:
         mechanism = PrivateMisraGries(epsilon=self.epsilon, delta=self.delta)
         noisy_summaries: List[Dict[Hashable, float]] = []
         for sketch in sketches:
@@ -275,7 +285,7 @@ class PrivateMergedRelease:
             threshold=threshold,
             sketch_size=self.k,
             stream_length=length,
-            notes=(f"streams={len(sketches)}; each sketch privatized with Algorithm 2 "
+            notes=(f"streams={count}; each sketch privatized with Algorithm 2 "
                    "before merging, error grows with the number of streams"),
         )
         return PrivateHistogram(counts=merged, metadata=metadata)

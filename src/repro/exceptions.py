@@ -29,6 +29,17 @@ class SketchStateError(ReproError, RuntimeError):
     """
 
 
+class FramingError(SketchStateError):
+    """A framed wire stream is malformed.
+
+    Raised when a length-prefixed frame stream has a bad magic header, a
+    truncated length prefix or frame body, an implausible frame length, or
+    trailing garbage after the final frame.  Subclasses
+    :class:`SketchStateError` so existing wire-level error handling catches
+    framing failures too.
+    """
+
+
 class StreamFormatError(ReproError, ValueError):
     """A stream does not conform to the expected format.
 

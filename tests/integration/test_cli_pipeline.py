@@ -51,6 +51,9 @@ def _release_args(name, flat_workspace, user_workspace, out):
     if consumes == "stream":
         return base + ["--stream", str(stream), "--delta", "1e-6",
                        "--universe", "64", "--phi", "0.02"]
+    if consumes == "checkpointed_stream":
+        return base + ["--stream", str(stream), "--delta", "1e-6", "-k", "16",
+                       "--block-size", "500"]
     if consumes == "sketch_list":
         return base + ["--sketch", str(sketch), "--sketch", str(second),
                        "--delta", "1e-6", "-k", "16"]
@@ -202,3 +205,128 @@ def test_sketch_mechanism_requires_sketch(flat_workspace, capsys):
     assert main(["release", "--mechanism", "pmg", "--epsilon", "1.0",
                  "--delta", "1e-6"]) == 2
     assert "--sketch" in capsys.readouterr().err
+
+
+class TestFramedPipeline:
+    """pack -> merge --framed: streaming aggregation through the CLI."""
+
+    def test_pack_then_framed_merge_matches_buffered_merge(self, flat_workspace,
+                                                           tmp_path):
+        _, _, first, second = flat_workspace
+        frames = tmp_path / "exports.frames"
+        assert main(["pack", "--out", str(frames), str(first), str(second)]) == 0
+        framed_out = tmp_path / "framed.hist.json"
+        buffered_out = tmp_path / "buffered.hist.json"
+        assert main(["merge", "--framed", "--epsilon", "1.0", "--delta", "1e-6",
+                     "--seed", "4", "--out", str(framed_out), str(frames)]) == 0
+        assert main(["merge", "--epsilon", "1.0", "--delta", "1e-6", "-k", "16",
+                     "--seed", "4", "--out", str(buffered_out),
+                     str(first), str(second)]) == 0
+        framed = load_histogram(framed_out)
+        buffered = load_histogram(buffered_out)
+        assert framed.as_dict() == buffered.as_dict()
+        assert "streams=2" in framed.metadata.notes
+
+    def test_pack_records_k_from_inputs(self, flat_workspace, tmp_path):
+        _, _, first, second = flat_workspace
+        frames = tmp_path / "exports.frames"
+        assert main(["pack", "--out", str(frames), str(first), str(second)]) == 0
+        from repro.api.framing import FrameReader
+
+        with frames.open("rb") as fileobj:
+            assert FrameReader(fileobj).header.k == 16
+
+    def test_pack_accepts_v1_inputs(self, flat_workspace, tmp_path):
+        _, stream, _, _ = flat_workspace
+        old = tmp_path / "old.sketch.json"
+        assert main(["sketch", "--stream", str(stream), "-k", "16",
+                     "--format", "v1", "--out", str(old)]) == 0
+        frames = tmp_path / "exports.frames"
+        assert main(["pack", "--out", str(frames), str(old)]) == 0
+        assert main(["merge", "--framed", "--epsilon", "1.0", "--delta", "1e-6",
+                     "--seed", "1", "--out", str(tmp_path / "h.json"),
+                     str(frames)]) == 0
+
+    def test_framed_merge_rejects_non_streamable_strategy(self, flat_workspace,
+                                                          tmp_path, capsys):
+        _, _, first, _ = flat_workspace
+        frames = tmp_path / "exports.frames"
+        assert main(["pack", "--out", str(frames), str(first)]) == 0
+        assert main(["merge", "--framed", "--strategy", "trusted_sum",
+                     "--epsilon", "1.0", "--delta", "1e-6",
+                     str(frames)]) == 2
+        assert "trusted_merged" in capsys.readouterr().err
+
+    def test_framed_merge_reports_truncation_cleanly(self, flat_workspace,
+                                                     tmp_path, capsys):
+        _, _, first, second = flat_workspace
+        frames = tmp_path / "exports.frames"
+        assert main(["pack", "--out", str(frames), str(first), str(second)]) == 0
+        truncated = tmp_path / "truncated.frames"
+        truncated.write_bytes(frames.read_bytes()[:-10])
+        assert main(["merge", "--framed", "--epsilon", "1.0", "--delta", "1e-6",
+                     str(truncated)]) == 1
+        assert "truncated" in capsys.readouterr().err
+
+
+def test_continual_release_reports_timeline_metadata(flat_workspace, tmp_path):
+    _, stream, _, _ = flat_workspace
+    out = tmp_path / "continual.hist.json"
+    assert main(["release", "--mechanism", "continual", "--stream", str(stream),
+                 "--epsilon", "1.0", "--delta", "1e-6", "-k", "16",
+                 "--block-size", "1000", "--seed", "3", "--out", str(out)]) == 0
+    histogram = load_histogram(out)
+    assert histogram.metadata.mechanism == "ContinualMG"
+    assert "blocks=4" in histogram.metadata.notes
+    assert histogram.metadata.stream_length == 4000
+
+
+def test_framed_merge_rejects_disagreeing_header_k(flat_workspace, tmp_path, capsys):
+    _, stream, first, _ = flat_workspace
+    other = tmp_path / "other-k.sketch.json"
+    assert main(["sketch", "--stream", str(stream), "-k", "8", "--out", str(other)]) == 0
+    frames_a = tmp_path / "a.frames"
+    frames_b = tmp_path / "b.frames"
+    assert main(["pack", "--out", str(frames_a), str(first)]) == 0
+    assert main(["pack", "--out", str(frames_b), str(other)]) == 0
+    assert main(["merge", "--framed", "--epsilon", "1.0", "--delta", "1e-6",
+                 str(frames_a), str(frames_b)]) == 2
+    assert "pass -k" in capsys.readouterr().err
+    # An explicit -k overrides, like the buffered path.
+    assert main(["merge", "--framed", "--epsilon", "1.0", "--delta", "1e-6",
+                 "-k", "16", "--out", str(tmp_path / "h.json"),
+                 str(frames_a), str(frames_b)]) == 0
+
+
+def test_pack_declares_frame_count_so_truncation_is_detected(flat_workspace,
+                                                             tmp_path, capsys):
+    """A framed stream cut exactly at a frame boundary must not merge cleanly."""
+    import struct
+
+    from repro.api.framing import MAGIC
+
+    _, _, first, second = flat_workspace
+    frames = tmp_path / "exports.frames"
+    assert main(["pack", "--out", str(frames), str(first), str(second)]) == 0
+    data = frames.read_bytes()
+    # Walk the frames and drop the last one, ending on a clean boundary.
+    offset = len(MAGIC) + 1
+    boundaries = []
+    while offset < len(data):
+        (length,) = struct.unpack_from(">I", data, offset)
+        offset += 4 + length
+        boundaries.append(offset)
+    truncated = tmp_path / "boundary-cut.frames"
+    truncated.write_bytes(data[:boundaries[-2]])
+    assert main(["merge", "--framed", "--epsilon", "1.0", "--delta", "1e-6",
+                 str(truncated)]) == 1
+    assert "declared 2" in capsys.readouterr().err
+
+
+def test_pack_rejects_disagreeing_k(flat_workspace, tmp_path, capsys):
+    _, stream, first, _ = flat_workspace
+    other = tmp_path / "other-k.sketch.json"
+    assert main(["sketch", "--stream", str(stream), "-k", "8", "--out", str(other)]) == 0
+    assert main(["pack", "--out", str(tmp_path / "x.frames"),
+                 str(first), str(other)]) == 2
+    assert "pass -k" in capsys.readouterr().err

@@ -1,0 +1,125 @@
+"""Property: framed encode → decode → merge is bit-identical to the buffered path.
+
+The streaming aggregator folds frames one at a time
+(:class:`repro.api.framing.StreamingMerger`); the buffered aggregator decodes
+every envelope (``load_payload``-style) and hands all arrays to
+:func:`repro.sketches.merge.merge_many_arrays` at once.  Both must produce
+*exactly* the same merged summary — same key set, same insertion order, bit
+equal float values — because both equal the seed pairwise left fold.
+
+Corrupted streams (truncated mid-frame, truncated length prefix, trailing
+garbage) must fail with :class:`~repro.exceptions.FramingError`, never with a
+bare ``struct``/``json``/``KeyError`` from the internals.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.api.framing import FrameReader, FrameWriter, StreamingMerger
+from repro.api.wire import decode, encode_counters
+from repro.exceptions import FramingError
+from repro.sketches.merge import merge_many, merge_many_arrays
+
+# Counter dicts as the wire ships them: int64 keys, non-negative float values
+# with integral and fractional cases (merged sketches carry fractions).
+_KEYS = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+_VALUES = st.one_of(
+    st.integers(min_value=0, max_value=10 ** 9).map(float),
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False))
+_COUNTERS = st.dictionaries(_KEYS, _VALUES, min_size=0, max_size=24)
+_SKETCH_LISTS = st.lists(_COUNTERS, min_size=1, max_size=8)
+
+
+def _frame_bytes(counters_list, k):
+    buffer = io.BytesIO()
+    with FrameWriter(buffer, k=k, frames=len(counters_list)) as writer:
+        for index, counters in enumerate(counters_list):
+            writer.write_counters(counters, k=k, stream_length=100 * index)
+    return buffer.getvalue()
+
+
+@given(counters_list=_SKETCH_LISTS, k=st.integers(min_value=1, max_value=32))
+@settings(max_examples=120, deadline=None)
+def test_streamed_fold_bit_identical_to_buffered_arrays(counters_list, k):
+    data = _frame_bytes(counters_list, k)
+
+    # Buffered path: decode every envelope, one merge_many_arrays call.
+    payloads = [decode(encode_counters(counters, k=k, stream_length=100 * index))
+                for index, counters in enumerate(counters_list)]
+    buffered = merge_many_arrays([payload.key_array for payload in payloads],
+                                 [payload.values for payload in payloads], k)
+
+    # Streamed path: fold one frame at a time off the framed bytes.
+    merger = StreamingMerger(k).consume(FrameReader(io.BytesIO(data)))
+
+    streamed = merger.merged()
+    assert list(streamed.keys()) == list(buffered.keys())
+    assert all(streamed[key] == buffered[key] for key in buffered)  # bit equal
+    assert merger.frames == len(counters_list)
+    assert merger.total_stream_length == sum(100 * index
+                                             for index in range(len(counters_list)))
+
+
+@given(counters_list=st.lists(
+    st.dictionaries(st.text(min_size=1, max_size=6), _VALUES, max_size=12),
+    min_size=1, max_size=5), k=st.integers(min_value=1, max_value=16))
+@settings(max_examples=40, deadline=None)
+def test_token_keyed_frames_match_dict_merge(counters_list, k):
+    data = _frame_bytes(counters_list, k)
+    merger = StreamingMerger(k).consume(FrameReader(io.BytesIO(data)))
+    assert merger.merged() == merge_many(counters_list, k)
+
+
+@given(counters_list=_SKETCH_LISTS, k=st.integers(min_value=1, max_value=16),
+       cut=st.integers(min_value=1, max_value=200))
+@settings(max_examples=60, deadline=None)
+def test_truncated_stream_raises_framing_error(counters_list, k, cut):
+    data = _frame_bytes(counters_list, k)
+    cut = min(cut, len(data) - 1)
+    truncated = data[:len(data) - cut]
+    with pytest.raises(FramingError):
+        StreamingMerger(k).consume(FrameReader(io.BytesIO(truncated)))
+
+
+@given(counters_list=_SKETCH_LISTS, k=st.integers(min_value=1, max_value=16),
+       garbage=st.binary(min_size=1, max_size=64))
+@settings(max_examples=60, deadline=None)
+def test_trailing_garbage_raises_framing_error(counters_list, k, garbage):
+    data = _frame_bytes(counters_list, k) + garbage
+    with pytest.raises(FramingError):
+        StreamingMerger(k).consume(FrameReader(io.BytesIO(data)))
+
+
+@given(counters_list=st.lists(
+    st.dictionaries(st.integers(min_value=-300, max_value=300), _VALUES,
+                    min_size=0, max_size=24), min_size=1, max_size=8),
+    k=st.integers(min_value=1, max_value=32))
+@settings(max_examples=120, deadline=None)
+def test_dense_fold_bit_identical_on_bounded_universes(counters_list, k):
+    """Bounded key ranges stay on the dense incremental fold — same bits."""
+    data = _frame_bytes(counters_list, k)
+    merger = StreamingMerger(k).consume(FrameReader(io.BytesIO(data)))
+    payloads = [decode(encode_counters(counters, k=k))
+                for counters in counters_list]
+    buffered = merge_many_arrays([payload.key_array for payload in payloads],
+                                 [payload.values for payload in payloads], k)
+    streamed = merger.merged()
+    assert list(streamed.keys()) == list(buffered.keys())
+    assert all(streamed[key] == buffered[key] for key in buffered)
+
+
+@given(counters=_COUNTERS, k=st.integers(min_value=1, max_value=16))
+@settings(max_examples=40, deadline=None)
+def test_single_frame_equals_single_buffered_input(counters, k):
+    """The first-fold step must mirror the left fold's oversized-input reduction."""
+    data = _frame_bytes([counters], k)
+    merger = StreamingMerger(k).consume(FrameReader(io.BytesIO(data)))
+    payload = decode(encode_counters(counters, k=k))
+    expected = merge_many_arrays([payload.key_array], [payload.values], k)
+    assert merger.merged() == expected

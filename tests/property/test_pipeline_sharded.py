@@ -1,0 +1,128 @@
+"""Property: sharded ``Pipeline.fit(stream, workers=N)`` keeps the MG guarantee.
+
+Sharding an integer stream over ``N`` processes (one Misra-Gries sketch per
+shard, ``merge_tree`` fan-in) yields a *different* summary than the
+sequential fit — but Lemma 29 (Agarwal et al. mergeability) promises the same
+error guarantee: for every element, the summary's estimate is at most the
+true count and undercounts by at most ``n / (k + 1)``, exactly as the
+sequential sketch does.  This is checked for N in {1, 2, 4} on identical
+streams; N = 1 additionally stays bit-identical to the plain sequential fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.api import Pipeline
+from repro.exceptions import ParameterError
+from repro.sketches import ExactCounter
+
+_STREAMS = st.lists(st.integers(min_value=0, max_value=60),
+                    min_size=1, max_size=400)
+
+
+def _check_mg_guarantee(counters, stream, k):
+    truth = ExactCounter.from_stream(stream).counters()
+    bound = len(stream) / (k + 1)
+    for key, estimate in counters.items():
+        true_count = truth.get(key, 0.0)
+        assert estimate <= true_count + 1e-9
+        assert estimate >= true_count - bound - 1e-9
+    # Every element missing from the summary has an implicit estimate of 0,
+    # which must also satisfy the undercount bound.
+    for key, true_count in truth.items():
+        if key not in counters:
+            assert true_count <= bound + 1e-9
+
+
+@given(stream=_STREAMS, k=st.integers(min_value=1, max_value=32))
+@settings(max_examples=12, deadline=None)
+def test_sharded_fit_satisfies_mg_error_guarantee(stream, k):
+    batch = np.asarray(stream, dtype=np.int64)
+    for workers in (1, 2, 4):
+        pipe = Pipeline(sketch="misra_gries", mechanism="pmg", k=k,
+                        epsilon=1.0, delta=1e-6)
+        pipe.fit(batch, workers=workers)
+        assert pipe.stream_length == len(stream)
+        _check_mg_guarantee(pipe.counters(), stream, k)
+
+
+@given(stream=_STREAMS, k=st.integers(min_value=1, max_value=32))
+@settings(max_examples=12, deadline=None)
+def test_workers_1_is_bit_identical_to_sequential_fit(stream, k):
+    batch = np.asarray(stream, dtype=np.int64)
+    sequential = Pipeline(sketch="misra_gries", mechanism="pmg", k=k,
+                          epsilon=1.0, delta=1e-6).fit(batch)
+    explicit = Pipeline(sketch="misra_gries", mechanism="pmg", k=k,
+                        epsilon=1.0, delta=1e-6).fit(batch, workers=1)
+    assert explicit.counters() == sequential.counters()
+
+
+@given(stream=_STREAMS, k=st.integers(min_value=1, max_value=16))
+@settings(max_examples=8, deadline=None)
+def test_sharded_sketch_list_fit_satisfies_guarantee(stream, k):
+    batch = np.asarray(stream, dtype=np.int64)
+    pipe = Pipeline(mechanism="merged", k=k, epsilon=1.0, delta=1e-6)
+    pipe.fit(batch, workers=2)
+    assert len(pipe._sketches) == 1  # one tree-merged summary per fit call
+    _check_mg_guarantee(pipe._sketches[0], stream.copy(), k)
+
+
+def test_sharded_fit_rejects_non_integer_streams():
+    pipe = Pipeline(sketch="misra_gries", mechanism="pmg", k=8,
+                    epsilon=1.0, delta=1e-6)
+    with pytest.raises(ParameterError, match="integer ndarray"):
+        pipe.fit(["a", "b"], workers=2)
+
+
+def test_sharded_fit_rejects_stream_consuming_mechanisms():
+    pipe = Pipeline(mechanism="exact", epsilon=1.0, delta=1e-6, k=8)
+    with pytest.raises(ParameterError, match="raw stream"):
+        pipe.fit(np.arange(10), workers=2)
+
+
+def test_sharded_fit_rejects_unmergeable_sketch_specs():
+    pipe = Pipeline(sketch="count_min", mechanism="pmg", k=8,
+                    epsilon=1.0, delta=1e-6)
+    with pytest.raises(ParameterError, match="merge_tree"):
+        pipe.fit(np.arange(10), workers=2)
+
+
+def test_sharded_fit_accumulates_with_existing_state():
+    stream = np.arange(200, dtype=np.int64) % 20
+    pipe = Pipeline(sketch="misra_gries", mechanism="pmg", k=16,
+                    epsilon=1.0, delta=1e-6)
+    pipe.fit(stream[:100], workers=2)
+    pipe.fit(stream[100:], workers=2)
+    assert pipe.stream_length == 200
+    _check_mg_guarantee(pipe.counters(), stream.tolist(), 16)
+
+
+def test_any_workers_value_rejected_by_stream_consumers():
+    """Even workers=1 is rejected: stream consumers never accept the knob."""
+    pipe = Pipeline(mechanism="local_dp", epsilon=1.0, universe_size=64)
+    with pytest.raises(ParameterError, match="raw stream"):
+        pipe.fit(np.arange(10), workers=1)
+
+
+def test_sharded_sketch_list_fit_rejects_untrusted_strategy():
+    """merge() rejects collapsing untrusted sketch lists; sharded fit must too."""
+    pipe = Pipeline(mechanism={"name": "merged", "strategy": "untrusted"},
+                    k=8, epsilon=1.0, delta=1e-6)
+    with pytest.raises(ParameterError, match="untrusted"):
+        pipe.fit(np.arange(100, dtype=np.int64), workers=2)
+
+
+def test_sketch_list_fit_takes_k_from_mechanism_spec():
+    """k in the mechanism spec dict must size the per-stream sketches."""
+    pipe = Pipeline(mechanism={"name": "merged", "k": 8},
+                    epsilon=1.0, delta=1e-6)
+    pipe.fit(np.arange(100, dtype=np.int64))
+    assert pipe._sketches[0].size == 8
+    sharded = Pipeline(mechanism={"name": "merged", "k": 8},
+                       epsilon=1.0, delta=1e-6)
+    sharded.fit(np.arange(100, dtype=np.int64), workers=2)
+    assert len(sharded._sketches[0]) <= 8

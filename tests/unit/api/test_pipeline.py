@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.api import Pipeline, decode, list_mechanisms
+from repro.api.registry import CONSUMES
 from repro.core import PrivateMisraGries
 from repro.exceptions import ParameterError, SketchStateError
 from repro.sketches import MisraGriesSketch, merge_many
@@ -102,13 +103,30 @@ class TestMerge:
         with pytest.raises(ParameterError, match="k"):
             Pipeline(mechanism="pmg", epsilon=1.0, delta=1e-6).merge([{1: 2.0}])
 
-    def test_merge_rejects_stream_and_sketch_list_pipelines(self):
+    def test_merge_rejects_stream_buffering_pipelines(self):
         buffered = Pipeline(mechanism="exact", k=8, epsilon=1.0, delta=1e-6).fit([1, 2])
         with pytest.raises(ParameterError, match="sketch-consuming"):
             buffered.merge({1: 2.0})
-        lists = Pipeline(mechanism="merged", k=8, epsilon=1.0, delta=1e-6).fit([1, 2])
         with pytest.raises(ParameterError, match="sketch-consuming"):
-            Pipeline(mechanism="pmg", k=8, epsilon=1.0, delta=1e-6).fit([1]).merge(lists)
+            Pipeline(mechanism="pmg", k=8, epsilon=1.0, delta=1e-6).fit([1]).merge(buffered)
+
+    def test_merge_folds_sketch_list_pipelines_via_tree_reduction(self):
+        from repro.sketches.merge import merge_tree
+
+        streams = [zipf_stream(400, 40, rng=seed) for seed in (1, 2, 3, 4)]
+        lists = Pipeline(mechanism="merged", k=8, epsilon=1.0, delta=1e-6)
+        for stream in streams[:2]:
+            lists.fit(stream)
+        other = Pipeline(mechanism="merged", k=8, epsilon=1.0, delta=1e-6)
+        for stream in streams[2:]:
+            other.fit(stream)
+        merged = lists.merge(other)
+        assert merged.stream_length == sum(len(stream) for stream in streams)
+        expected = merge_tree(
+            [merge_tree([sketch.counters() for sketch in lists._sketches], 8),
+             merge_tree([sketch.counters() for sketch in other._sketches], 8)], 8)
+        assert merged.counters() == expected
+        assert merged.release(rng=0).metadata.sketch_size == 8
 
     def test_from_sketch_propagates_k_to_mechanism(self):
         sketch = MisraGriesSketch.from_stream(24, zipf_stream(500, 50, rng=7))
@@ -169,4 +187,44 @@ def test_every_mechanism_constructible_via_pipeline():
         pipe = Pipeline(mechanism=name, k=16, epsilon=1.0, delta=1e-6,
                         universe_size=64, max_contribution=4, phi=0.02)
         assert pipe.mechanism_name == name
-        assert pipe.mechanism.consumes in ("sketch", "stream", "user_stream", "sketch_list")
+        assert pipe.mechanism.consumes in CONSUMES
+
+
+def test_sketch_list_merge_accepts_wire_payload_entries():
+    """add_sketch keeps decoded payloads as-is; merge must handle them."""
+    from repro.api import encode_counters
+
+    pipe = Pipeline(mechanism="merged", k=8, epsilon=1.0, delta=1e-6)
+    pipe.add_sketch(decode(encode_counters({1: 3.0, 2: 1.0}, k=8, stream_length=4)))
+    merged = pipe.merge({3: 2.0})
+    assert merged.counters() == {1: 3.0, 2: 1.0, 3: 2.0}
+    assert merged.stream_length == 4
+
+
+def test_sequential_fit_after_sharded_fit_raises_with_guidance():
+    pipe = Pipeline(sketch="misra_gries", mechanism="pmg", k=8,
+                    epsilon=1.0, delta=1e-6)
+    pipe.fit(np.arange(100, dtype=np.int64), workers=2)
+    with pytest.raises(SketchStateError, match="workers"):
+        pipe.fit(np.arange(10, dtype=np.int64))
+
+
+def test_sharded_fit_honors_spec_dict_k():
+    """The spec dict's k must drive the shard size, like the sequential fit."""
+    stream = np.asarray([v % 100 for v in range(2000)] + [0] * 200, dtype=np.int64)
+    pipe = Pipeline(sketch={"name": "misra_gries", "k": 128}, mechanism="pmg",
+                    epsilon=1.0, delta=1e-6)  # only the spec carries k
+    pipe.fit(stream, workers=2)
+    # k=128 > 100 distinct keys: nothing may be evicted by the shard merge.
+    assert len(pipe.counters()) == 100
+
+
+def test_sketch_list_merge_rejects_untrusted_strategy():
+    untrusted = Pipeline(mechanism={"name": "merged", "strategy": "untrusted"},
+                         k=8, epsilon=1.0, delta=1e-6).fit([1, 2, 3])
+    with pytest.raises(ParameterError, match="untrusted"):
+        untrusted.merge({4: 1.0})
+    trusted = Pipeline(mechanism="merged", k=8, epsilon=1.0, delta=1e-6).fit([1, 2])
+    with pytest.raises(ParameterError, match="untrusted"):
+        trusted.merge(Pipeline(mechanism={"name": "merged", "strategy": "untrusted"},
+                               k=8, epsilon=1.0, delta=1e-6).fit([5, 6]))

@@ -128,6 +128,38 @@ class TestVersioning:
             wire.decode({"format": 2, "kind": "counters", "key_encoding": "base91",
                          "keys": [], "values": []})
 
+    def test_unknown_version_error_names_supported_versions(self):
+        """The error must tell the user what the library *does* speak."""
+        with pytest.raises(SketchStateError) as excinfo:
+            wire.wire_version({"format": 3})
+        message = str(excinfo.value)
+        assert "format: 3" in message
+        assert "'format_version': 1" in message and "'format': 2" in message
+        with pytest.raises(SketchStateError, match="declares no wire version"):
+            wire.wire_version({"counters": {}})
+        with pytest.raises(SketchStateError) as excinfo:
+            wire.decode({"format": 99, "kind": "counters"})
+        assert "supported versions" in str(excinfo.value)
+
+    def test_load_payload_unknown_version_names_file_and_versions(self, tmp_path):
+        target = tmp_path / "future.sketch.json"
+        target.write_text(json.dumps({"format": 7, "kind": "counters",
+                                      "keys": [], "values": []}))
+        with pytest.raises(SketchStateError) as excinfo:
+            wire.load_payload(target)
+        message = str(excinfo.value)
+        assert str(target) in message, "the failing file path must be named"
+        assert "format: 7" in message
+        assert "supported versions" in message
+
+    def test_load_payload_versionless_file_names_path(self, tmp_path):
+        target = tmp_path / "not-a-sketch.json"
+        target.write_text(json.dumps({"counters": {"i:1": 2.0}}))
+        with pytest.raises(SketchStateError) as excinfo:
+            wire.load_payload(target)
+        assert str(target) in str(excinfo.value)
+        assert "declares no wire version" in str(excinfo.value)
+
 
 def test_save_sketch_rejects_non_restorable_types(tmp_path):
     """save_sketch/load_sketch stay symmetric: non-MG sketches are refused."""

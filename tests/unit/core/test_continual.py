@@ -133,3 +133,81 @@ class TestAccuracy:
         few_blocks = sum(error_with_block_size(4_000, seed) for seed in range(3))
         many_blocks = sum(error_with_block_size(250, seed) for seed in range(3))
         assert many_blocks >= few_blocks
+
+
+class TestContinualConfig:
+    def test_config_validates_eagerly(self):
+        from repro.core import ContinualConfig
+
+        with pytest.raises(ParameterError):
+            ContinualConfig(k=8, epsilon=1.0, delta=1e-6, block_size=0)
+        with pytest.raises(ParameterError):
+            ContinualConfig(k=8, epsilon=1.0, delta=1e-6, block_size=10,
+                            strategy="weekly")
+        with pytest.raises(ParameterError):
+            ContinualConfig(k=8, epsilon=-1.0, delta=1e-6, block_size=10)
+        with pytest.raises(ParameterError):
+            ContinualConfig(k=8, epsilon=1.0, delta=1e-6, block_size=10,
+                            max_blocks=-4)
+
+    def test_build_produces_equivalent_monitor(self):
+        from repro.core import ContinualConfig
+
+        config = ContinualConfig(k=8, epsilon=1.0, delta=1e-6, block_size=50,
+                                 strategy="binary_tree", max_blocks=16)
+        stream = zipf_stream(400, 60, rng=3)
+        built = config.build(rng=11).process_stream(stream)
+        direct = ContinualHeavyHitters(k=8, epsilon=1.0, delta=1e-6, block_size=50,
+                                       strategy="binary_tree", max_blocks=16,
+                                       rng=11).process_stream(stream)
+        assert built.histogram() == direct.histogram()
+
+
+class TestAsHistogram:
+    def test_as_histogram_matches_prefix_query(self):
+        monitor = ContinualHeavyHitters(k=8, epsilon=1.0, delta=1e-6,
+                                        block_size=100, rng=5)
+        monitor.process_stream(zipf_stream(650, 40, rng=4))
+        monitor.flush()
+        histogram = monitor.as_histogram()
+        assert histogram.as_dict() == monitor.histogram()
+        assert histogram.metadata.mechanism == "ContinualMG"
+        assert histogram.metadata.stream_length == 650
+        assert "blocks=7" in histogram.metadata.notes
+        assert "strategy=blocks" in histogram.metadata.notes
+
+    def test_as_histogram_reports_per_release_budget(self):
+        monitor = ContinualHeavyHitters(k=8, epsilon=1.0, delta=1e-6,
+                                        block_size=10, strategy="binary_tree",
+                                        max_blocks=16, rng=5)
+        monitor.process_stream(zipf_stream(100, 20, rng=6))
+        histogram = monitor.as_histogram()
+        assert histogram.metadata.epsilon == 1.0  # whole-timeline budget
+        assert "eps=0.2" in histogram.metadata.notes
+
+
+class TestRegistryIntegration:
+    def test_pipeline_release_matches_direct_monitor(self):
+        from repro.api import Pipeline
+
+        stream = zipf_stream(500, 40, rng=8)
+        via_pipeline = Pipeline(mechanism="continual", k=8, epsilon=1.0,
+                                delta=1e-6, block_size=100).fit(stream).release(rng=9)
+        direct = ContinualHeavyHitters(k=8, epsilon=1.0, delta=1e-6,
+                                       block_size=100, rng=9)
+        direct.process_stream(stream)
+        direct.flush()
+        assert via_pipeline.as_dict() == direct.as_histogram().as_dict()
+
+    def test_registry_validates_epoch_parameters(self):
+        from repro.api import make_mechanism
+
+        with pytest.raises(ParameterError):
+            make_mechanism({"name": "continual", "block_size": -5},
+                           epsilon=1.0, delta=1e-6, k=8)
+        with pytest.raises(ParameterError):
+            make_mechanism({"name": "continual", "strategy": "weekly"},
+                           epsilon=1.0, delta=1e-6, k=8)
+        with pytest.raises(ParameterError):
+            make_mechanism({"name": "continual", "max_blocks": 0},
+                           epsilon=1.0, delta=1e-6, k=8)
