@@ -32,7 +32,19 @@ Workload groups (select with ``run_bench.py --workloads``):
     The DP release of a large aggregated histogram: one bulk-noise
     mask-filter pass (:func:`repro.core.merging._noisy_threshold_filter`)
     against the frozen seed per-key loop preserved in
-    :mod:`repro.core._reference`.
+    :mod:`repro.core._reference` — plus a registry sweep: one
+    release-throughput row per registered mechanism
+    (``release_<name>`` workloads, every ``list_mechanisms()`` entry, no
+    floor; the cross-PR trajectory shows which mechanisms drift).
+
+``net_aggregate``
+    The live aggregation service (:mod:`repro.net`): the same ``m = 256``
+    sketch exports pushed over a localhost Unix socket by 4 concurrent
+    clients into an :class:`~repro.net.AggregatorServer` (per-session
+    ``StreamingMerger`` folds + ordinal combine + DP release) against the
+    offline framed-file fold of the same chunked exports.  Both produce the
+    bit-identical histogram (asserted); the ratio is the cost of moving the
+    bytes through real sockets and the asyncio control protocol.
 
 ``runner``
     An :class:`repro.analysis.ExperimentRunner` sweep executed sequentially
@@ -79,7 +91,8 @@ from repro.streams import uniform_stream, zipf_stream
 BENCH_PATH = _REPO_ROOT / "BENCH_sketch.json"
 
 #: All workload groups, in report order.
-WORKLOAD_GROUPS = ("sketch", "merge", "framed_merge", "release", "runner")
+WORKLOAD_GROUPS = ("sketch", "merge", "framed_merge", "net_aggregate",
+                   "release", "runner")
 
 #: The E11 workload parameters (benchmarks/bench_e11_performance.py).
 E11_N = 100_000
@@ -269,6 +282,83 @@ def _run_framed_merge_group(rows: List[Dict], quick: bool) -> None:
 
 
 # ---------------------------------------------------------------------------
+# net_aggregate group (ISSUE 5: the live socket service vs the offline fold)
+# ---------------------------------------------------------------------------
+
+def _run_net_aggregate_group(rows: List[Dict], quick: bool) -> None:
+    """m sketch exports over a localhost socket vs the offline framed fold.
+
+    The same chunked exports (4 framed chunks, one per client), the same
+    two-level fold (per-chunk ``StreamingMerger`` + ordinal combine), the
+    same seeded release — once folded straight off in-memory framed bytes,
+    once pushed through the full asyncio service (Unix socket, framed
+    control protocol, per-session folds, RELEASE round-trip).  The two
+    histograms are asserted bit-identical, so the ratio isolates transport
+    and protocol cost; the acceptance floor is >= 0.5x offline throughput.
+    """
+    import asyncio
+    import io
+    import tempfile
+
+    from repro.api.framing import (
+        FrameReader,
+        FrameWriter,
+        StreamingMerger,
+        combine_mergers,
+    )
+    from repro.api.wire import encode_counters
+    from repro.core.merging import PrivateMergedRelease
+    from repro.net import AggregatorClient, AggregatorServer
+
+    m, k, clients = MERGE_M, MERGE_K, 4
+    keys_list, values_list = _per_user_sketch_exports(
+        m, k, n_per_user=5_000 if quick else 20_000)
+    pairs = int(sum(keys.size for keys in keys_list))
+    chunk_bytes = []
+    for indices in np.array_split(np.arange(m), clients):
+        buffer = io.BytesIO()
+        with FrameWriter(buffer, k=k, frames=len(indices)) as writer:
+            for index in indices:
+                writer.write_payload(encode_counters(
+                    dict(zip(keys_list[index].tolist(),
+                             values_list[index].tolist())), k=k))
+        chunk_bytes.append(buffer.getvalue())
+
+    def _offline():
+        parts = [StreamingMerger(k).consume(FrameReader(io.BytesIO(blob)))
+                 for blob in chunk_bytes]
+        mechanism = PrivateMergedRelease(epsilon=1.0, delta=1e-6, k=k)
+        return combine_mergers(parts, k).release(mechanism, rng=7)
+
+    async def _over_socket():
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as sockdir:
+            server = AggregatorServer(epsilon=1.0, delta=1e-6, k=k)
+            async with await server.start(f"unix:{sockdir}/agg.sock"):
+
+                async def push(ordinal: int, blob: bytes) -> None:
+                    async with AggregatorClient(server.address, k=k,
+                                                ordinal=ordinal) as client:
+                        await client.push_raw(
+                            list(FrameReader(io.BytesIO(blob), raw=True)))
+
+                await asyncio.gather(*[push(ordinal, blob) for ordinal, blob
+                                       in enumerate(chunk_bytes)])
+                async with AggregatorClient(server.address) as client:
+                    return await client.request_release(seed=7)
+
+    def _networked():
+        return asyncio.run(_over_socket())
+
+    offline, networked = _offline(), _networked()
+    assert list(offline.as_dict().items()) == list(networked.as_dict().items())
+    rows.append(_measure(f"net_aggregate_m{m}", k, pairs, "reference_seed",
+                         _offline, repeats=3))
+    rows.append(_measure(f"net_aggregate_m{m}", k, pairs,
+                         f"optimized_socket_{clients}clients", _networked,
+                         repeats=3))
+
+
+# ---------------------------------------------------------------------------
 # release group (bulk noise + threshold filter over a large aggregate)
 # ---------------------------------------------------------------------------
 
@@ -288,6 +378,45 @@ def _run_release_group(rows: List[Dict], quick: bool) -> None:
                          lambda: _noisy_threshold_filter(
                              aggregate, scale, threshold, np.random.default_rng(3)),
                          repeats=3))
+    _run_registry_release_sweep(rows, quick)
+
+
+def _run_registry_release_sweep(rows: List[Dict], quick: bool) -> None:
+    """One release-throughput row per registered mechanism.
+
+    Every ``list_mechanisms()`` entry — the paper's releases and all
+    baselines — is constructed from one shared parameter grab-bag, fitted
+    with input matching its ``consumes`` tag, and timed over its private
+    release.  New mechanisms join the sweep automatically when registered;
+    the rows carry no floor (mechanisms differ by orders of magnitude by
+    design) but extend the cross-PR trajectory per mechanism.
+    """
+    from repro.api import Pipeline, list_mechanisms, mechanism_entry
+
+    n = 2_000 if quick else 5_000
+    universe, k = 512, 256
+    stream = zipf_stream(n, universe, exponent=1.2, rng=11, as_array=True)
+    stream_list = stream.tolist()
+    users = [frozenset(stream_list[index:index + 4])
+             for index in range(0, n, 4)]
+    params = dict(epsilon=1.0, delta=1e-6, k=k, universe_size=universe,
+                  max_contribution=4, phi=0.01, block_size=max(1, n // 4))
+    for name in sorted(list_mechanisms()):
+        consumes = mechanism_entry(name).consumes
+        pipeline = Pipeline(mechanism=name, **params)
+        if consumes == "user_stream":
+            pipeline.fit(users)
+            units = len(users)
+        elif consumes in ("stream", "checkpointed_stream"):
+            pipeline.fit(stream_list)
+            units = n
+        else:  # sketch / sketch_list mechanisms ride the batch fit
+            pipeline.fit(stream)
+            units = n
+        rows.append(_measure(f"release_{name}", k, units, "registry_release",
+                             lambda pipeline=pipeline: pipeline.release(
+                                 rng=np.random.default_rng(0)),
+                             repeats=3))
 
 
 # ---------------------------------------------------------------------------
@@ -317,6 +446,7 @@ _GROUP_RUNNERS = {
     "sketch": _run_sketch_group,
     "merge": _run_merge_group,
     "framed_merge": _run_framed_merge_group,
+    "net_aggregate": _run_net_aggregate_group,
     "release": _run_release_group,
     "runner": _run_runner_group,
 }

@@ -15,7 +15,8 @@ Usage::
 Exit status is non-zero if the acceptance-criteria speedups regress below
 their floors (>= 10x on the all-distinct k=1024 sketch workload, >= 3x on
 the E11 Zipf k=1024 workload, >= 10x on the m=256 k=1024 merge workload,
->= 8x on the framed streaming-merge workload, >= 3x on the trusted-sum
+>= 8x on the framed streaming-merge workload, >= 0.5x on the socket
+aggregation service vs the offline framed fold, >= 3x on the trusted-sum
 release workload), so the script can gate CI.
 ``--workloads`` lets the merge/release floors gate independently of the
 sketch floors: only floors whose workload group actually ran are enforced.
@@ -44,6 +45,8 @@ FLOORS = {
     "zipf_e11_k1024_batch": ("sketch", 3.0),
     "merge_m256_k1024_arrays": ("merge", 10.0),
     "framed_merge_m256_k1024_streaming": ("framed_merge", 8.0),
+    # The socket service may cost at most 2x the offline framed fold.
+    "net_aggregate_m256_k1024_socket_4clients": ("net_aggregate", 0.5),
     "release_trusted_sum_k1024_vectorized": ("release", 3.0),
 }
 

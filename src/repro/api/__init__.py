@@ -21,6 +21,7 @@ from .framing import (
     FrameReader,
     FrameWriter,
     StreamingMerger,
+    combine_mergers,
     iter_frames,
     merge_frames,
     write_frames,
@@ -68,6 +69,7 @@ __all__ = [
     "StreamingMerger",
     "WIRE_FORMAT_VERSION",
     "WirePayload",
+    "combine_mergers",
     "decode",
     "describe_pipeline",
     "encode_counters",

@@ -64,7 +64,7 @@ import json
 import struct
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Tuple, Union
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -90,6 +90,12 @@ MAX_FRAME_BYTES = 1 << 28
 
 #: First body byte of a binary columnar frame (JSON frames start with ``{``).
 BINARY_FRAME_TAG = 0x01
+
+#: First body byte of a *control* frame (``0x02 | UTF-8 JSON object``): the
+#: aggregation control protocol of :mod:`repro.net` (HELLO/PUSH/RELEASE/...)
+#: layered on this container format.  Payload-only streams (``repro pack``
+#: files) never carry control frames; :class:`FrameReader` rejects them.
+CONTROL_FRAME_TAG = 0x02
 
 #: Widest dense accumulator the incremental fold keeps (ids = key - low).
 #: Matches the dense-offset bound of the batch interner; streams over wider
@@ -127,6 +133,170 @@ def _read_exact(fileobj, count: int, what: str) -> bytes:
     return chunks[0] if len(chunks) == 1 else b"".join(chunks)
 
 
+# ---------------------------------------------------------------------------
+# Frame codecs (shared by the sync reader/writer and the async repro.net
+# channel — the byte layout lives here exactly once)
+# ---------------------------------------------------------------------------
+
+def stream_prefix() -> bytes:
+    """The 5-byte stream prefix: magic plus container version."""
+    return MAGIC + bytes([FRAMING_VERSION])
+
+
+def check_stream_prefix(prefix: bytes) -> None:
+    """Validate a 5-byte stream prefix, raising :class:`FramingError`."""
+    if prefix[:len(MAGIC)] != MAGIC:
+        raise FramingError(
+            f"bad magic {prefix[:len(MAGIC)]!r}; not a framed wire stream")
+    version = prefix[len(MAGIC)]
+    if version != FRAMING_VERSION:
+        raise FramingError(
+            f"unsupported framing version {version}; this reader speaks "
+            f"version {FRAMING_VERSION}")
+
+
+def encode_frame(body: bytes) -> bytes:
+    """Length-prefix one frame body (validates the plausibility bound)."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise FramingError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES={MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(body)) + body
+
+
+def encode_json_frame(payload: Mapping) -> bytes:
+    """One JSON frame (header or ``{``-tagged envelope), length prefix included."""
+    return encode_frame(json.dumps(payload, sort_keys=True).encode("utf-8"))
+
+
+def encode_control_frame(message: Mapping) -> bytes:
+    """One control frame (tag 0x02 + JSON body), length prefix included.
+
+    ``message`` must carry a string ``verb`` field — the control protocol's
+    dispatch key (see :mod:`repro.net.protocol`).
+    """
+    if not isinstance(message.get("verb"), str):
+        raise FramingError(
+            f"control frames must carry a string 'verb' field, got {message!r}")
+    body = json.dumps(message, sort_keys=True).encode("utf-8")
+    return encode_frame(bytes([CONTROL_FRAME_TAG]) + body)
+
+
+def decode_control_body(body: bytes) -> Dict[str, object]:
+    """Decode a control frame body (``0x02`` tag included) into its message."""
+    if body[:1] != bytes([CONTROL_FRAME_TAG]):
+        raise FramingError(
+            f"not a control frame (tag {body[:1]!r}, expected 0x02)")
+    message = FrameReader._parse_json_body(body[1:])
+    if not isinstance(message.get("verb"), str):
+        raise FramingError(
+            f"control frame carries no string 'verb' field: {message!r}")
+    return message
+
+
+def encode_payload_frame(payload: Union[Mapping, WirePayload],
+                         encoding: str = "binary") -> bytes:
+    """One payload frame (binary columnar when possible), length prefix included."""
+    if isinstance(payload, WirePayload):
+        payload = wire_module.encode_payload(payload)
+    if payload.get("format") != WIRE_FORMAT_VERSION:
+        raise FramingError(
+            f"frames must carry wire v2 envelopes (format: {WIRE_FORMAT_VERSION}), "
+            f"got format={payload.get('format')!r}")
+    if encoding == "binary" and payload.get("key_encoding") == "int":
+        return encode_frame(_binary_frame_body(payload))
+    return encode_json_frame(payload)
+
+
+def _binary_frame_body(payload: Mapping) -> bytes:
+    """The body of one integer-keyed binary columnar frame (tag 0x01)."""
+    keys = np.asarray(payload.get("keys", []), dtype="<i8")
+    values = np.asarray(payload.get("values", []), dtype="<f8")
+    if keys.size != values.size:
+        raise FramingError(
+            f"malformed columnar payload: {keys.size} keys vs {values.size} values")
+    header = {field: payload[field] for field in ("format", "kind", "k", "meta")
+              if field in payload}
+    header["key_encoding"] = "int"
+    header["count"] = int(keys.size)
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    return b"".join((bytes([BINARY_FRAME_TAG]), _LENGTH.pack(len(header_bytes)),
+                     header_bytes, keys.tobytes(), values.tobytes()))
+
+
+def decode_payload_body(body: bytes, what: str = "frame") -> WirePayload:
+    """Decode one payload frame body (JSON envelope or binary columnar)."""
+    if body[:1] == b"{":
+        payload = FrameReader._parse_json_body(body)
+        try:
+            return wire_module.decode(payload)
+        except Exception as error:
+            raise FramingError(
+                f"{what} is not a wire v2 envelope: {error}") from None
+    if body[:1] == bytes([BINARY_FRAME_TAG]):
+        return _decode_binary_body(body)
+    if body[:1] == bytes([CONTROL_FRAME_TAG]):
+        raise FramingError(
+            f"{what} is a control frame (tag 0x02); payload streams carry only "
+            "wire v2 envelopes — the aggregation control protocol lives in "
+            "repro.net")
+    raise FramingError(
+        f"unrecognized frame tag {body[:1]!r}; frames are JSON envelopes "
+        "('{'), binary columnar (0x01) or control (0x02)")
+
+
+def _decode_binary_body(body: bytes) -> WirePayload:
+    """Decode a binary columnar frame: two ``frombuffer`` views, no JSON keys."""
+    if len(body) < 5:
+        raise FramingError("binary frame too short for its header length")
+    (header_length,) = _LENGTH.unpack_from(body, 1)
+    if 5 + header_length > len(body):
+        raise FramingError("binary frame header overruns the frame body")
+    header = FrameReader._parse_json_body(body[5:5 + header_length])
+    kind = header.get("kind")
+    if header.get("format") != wire_module.WIRE_FORMAT_VERSION:
+        raise FramingError(
+            f"binary frame declares format {header.get('format')!r}, "
+            f"expected {wire_module.WIRE_FORMAT_VERSION}")
+    if kind not in wire_module._KINDS:
+        raise FramingError(f"unrecognized wire v2 kind {kind!r}")
+    count = header.get("count")
+    if not isinstance(count, int) or count < 0:
+        raise FramingError(f"binary frame declares a bad count {count!r}")
+    offset = 5 + header_length
+    if len(body) != offset + 16 * count:
+        raise FramingError(
+            f"binary frame carries {len(body) - offset} payload bytes; "
+            f"count={count} requires {16 * count}")
+    keys = np.asarray(np.frombuffer(body, dtype="<i8", count=count,
+                                    offset=offset), dtype=np.int64)
+    values = np.asarray(np.frombuffer(body, dtype="<f8", count=count,
+                                      offset=offset + 8 * count),
+                        dtype=np.float64)
+    k = header.get("k")
+    # Lazy keys: the aggregator hot path never materializes the Python list.
+    return WirePayload(kind=kind, keys=None, values=values,
+                       k=int(k) if k is not None else None,
+                       meta=dict(header.get("meta", {})), key_array=keys)
+
+
+def parse_header_body(body: Optional[bytes]) -> FrameHeader:
+    """Validate and decode the mandatory first (header) frame body."""
+    header = FrameReader._parse_json_body(body) if body is not None else None
+    if header is None or header.get("kind") != "frame_header":
+        raise FramingError("first frame must be a frame_header")
+    framing = header.get("framing")
+    if framing != FRAMING_VERSION:
+        raise FramingError(f"header declares framing version {framing!r}, "
+                           f"expected {FRAMING_VERSION}")
+    frames = header.get("frames")
+    if frames is not None and (not isinstance(frames, int) or frames < 0):
+        raise FramingError(f"header declares a bad frame count {frames!r}")
+    k = header.get("k")
+    return FrameHeader(framing=FRAMING_VERSION, frames=frames,
+                       k=int(k) if k is not None else None,
+                       meta=dict(header.get("meta") or {}))
+
+
 class FrameWriter:
     """Write a framed stream of wire-v2 envelopes to a binary file-like.
 
@@ -153,63 +323,23 @@ class FrameWriter:
         self.header = FrameHeader(framing=FRAMING_VERSION, frames=frames,
                                   k=int(k) if k is not None else None,
                                   meta=dict(meta or {}))
-        fileobj.write(MAGIC + bytes([FRAMING_VERSION]))
-        self._write_frame(self.header.as_dict())
+        fileobj.write(stream_prefix())
+        fileobj.write(encode_json_frame(self.header.as_dict()))
 
     @property
     def frames_written(self) -> int:
         """Number of payload frames written so far (header excluded)."""
         return self._written
 
-    def _write_frame(self, payload: Mapping) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        if len(body) > MAX_FRAME_BYTES:
-            raise FramingError(
-                f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES={MAX_FRAME_BYTES}")
-        self._fileobj.write(_LENGTH.pack(len(body)))
-        self._fileobj.write(body)
-
     def write_payload(self, payload: Union[Mapping, WirePayload]) -> None:
         """Append one wire-v2 envelope (dict or decoded payload) as a frame."""
         if self._closed:
             raise FramingError("writer is closed")
-        if isinstance(payload, WirePayload):
-            payload = wire_module.encode_payload(payload)
-        if payload.get("format") != WIRE_FORMAT_VERSION:
-            raise FramingError(
-                f"frames must carry wire v2 envelopes (format: {WIRE_FORMAT_VERSION}), "
-                f"got format={payload.get('format')!r}")
         if self._declared is not None and self._written >= self._declared:
             raise FramingError(
                 f"header declared {self._declared} frame(s); cannot write more")
-        if self._encoding == "binary" and payload.get("key_encoding") == "int":
-            self._write_binary_frame(payload)
-        else:
-            self._write_frame(payload)
+        self._fileobj.write(encode_payload_frame(payload, self._encoding))
         self._written += 1
-
-    def _write_binary_frame(self, payload: Mapping) -> None:
-        """One integer-keyed envelope as a binary columnar frame (tag 0x01)."""
-        keys = np.asarray(payload.get("keys", []), dtype="<i8")
-        values = np.asarray(payload.get("values", []), dtype="<f8")
-        if keys.size != values.size:
-            raise FramingError(
-                f"malformed columnar payload: {keys.size} keys vs {values.size} values")
-        header = {field: payload[field] for field in ("format", "kind", "k", "meta")
-                  if field in payload}
-        header["key_encoding"] = "int"
-        header["count"] = int(keys.size)
-        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
-        length = 5 + len(header_bytes) + keys.nbytes + values.nbytes
-        if length > MAX_FRAME_BYTES:
-            raise FramingError(
-                f"frame of {length} bytes exceeds MAX_FRAME_BYTES={MAX_FRAME_BYTES}")
-        self._fileobj.write(_LENGTH.pack(length))
-        self._fileobj.write(bytes([BINARY_FRAME_TAG]))
-        self._fileobj.write(_LENGTH.pack(len(header_bytes)))
-        self._fileobj.write(header_bytes)
-        self._fileobj.write(keys.tobytes())
-        self._fileobj.write(values.tobytes())
 
     def write_sketch(self, sketch) -> None:
         """Append one sketch export (any :class:`FrequencySketch`) as a frame."""
@@ -245,36 +375,20 @@ class FrameReader:
     Only ``fileobj.read(n)`` with explicit sizes is ever issued (one length
     prefix, then one frame body), so the reader works over non-seekable
     streams and never materializes more than a single frame.
+
+    ``raw=True`` yields the undecoded frame *bodies* (bytes) instead of
+    :class:`WirePayload` objects — the pass-through path of ``repro push``,
+    which forwards a packed file's frames to an aggregator verbatim without
+    decoding and re-encoding them.  Tags are still validated.
     """
 
-    def __init__(self, fileobj) -> None:
+    def __init__(self, fileobj, raw: bool = False) -> None:
         self._fileobj = fileobj
         self._delivered = 0
         self._exhausted = False
-        prefix = _read_exact(fileobj, len(MAGIC) + 1, "magic header")
-        if prefix[:len(MAGIC)] != MAGIC:
-            raise FramingError(
-                f"bad magic {prefix[:len(MAGIC)]!r}; not a framed wire stream")
-        version = prefix[len(MAGIC)]
-        if version != FRAMING_VERSION:
-            raise FramingError(
-                f"unsupported framing version {version}; this reader speaks "
-                f"version {FRAMING_VERSION}")
-        body = self._read_frame_bytes("header frame")
-        header = self._parse_json_body(body) if body is not None else None
-        if header is None or header.get("kind") != "frame_header":
-            raise FramingError("first frame must be a frame_header")
-        framing = header.get("framing")
-        if framing != FRAMING_VERSION:
-            raise FramingError(f"header declares framing version {framing!r}, "
-                               f"expected {FRAMING_VERSION}")
-        frames = header.get("frames")
-        if frames is not None and (not isinstance(frames, int) or frames < 0):
-            raise FramingError(f"header declares a bad frame count {frames!r}")
-        k = header.get("k")
-        self.header = FrameHeader(framing=FRAMING_VERSION, frames=frames,
-                                  k=int(k) if k is not None else None,
-                                  meta=dict(header.get("meta") or {}))
+        self._raw = raw
+        check_stream_prefix(_read_exact(fileobj, len(MAGIC) + 1, "magic header"))
+        self.header = parse_header_body(self._read_frame_bytes("header frame"))
 
     def _read_frame_bytes(self, what: str) -> Optional[bytes]:
         """The next frame body, or ``None`` at a clean end of stream."""
@@ -302,39 +416,6 @@ class FrameReader:
             raise FramingError(f"frame body must be a JSON object, got {type(payload)!r}")
         return payload
 
-    def _decode_binary_body(self, body: bytes) -> WirePayload:
-        """Decode a binary columnar frame: two ``frombuffer`` views, no JSON keys."""
-        if len(body) < 5:
-            raise FramingError("binary frame too short for its header length")
-        (header_length,) = _LENGTH.unpack_from(body, 1)
-        if 5 + header_length > len(body):
-            raise FramingError("binary frame header overruns the frame body")
-        header = self._parse_json_body(body[5:5 + header_length])
-        kind = header.get("kind")
-        if header.get("format") != wire_module.WIRE_FORMAT_VERSION:
-            raise FramingError(
-                f"binary frame declares format {header.get('format')!r}, "
-                f"expected {wire_module.WIRE_FORMAT_VERSION}")
-        if kind not in wire_module._KINDS:
-            raise FramingError(f"unrecognized wire v2 kind {kind!r}")
-        count = header.get("count")
-        if not isinstance(count, int) or count < 0:
-            raise FramingError(f"binary frame declares a bad count {count!r}")
-        offset = 5 + header_length
-        if len(body) != offset + 16 * count:
-            raise FramingError(
-                f"binary frame carries {len(body) - offset} payload bytes; "
-                f"count={count} requires {16 * count}")
-        keys = np.asarray(np.frombuffer(body, dtype="<i8", count=count,
-                                        offset=offset), dtype=np.int64)
-        values = np.asarray(np.frombuffer(body, dtype="<f8", count=count,
-                                          offset=offset + 8 * count),
-                            dtype=np.float64)
-        k = header.get("k")
-        return WirePayload(kind=kind, keys=keys.tolist(), values=values,
-                           k=int(k) if k is not None else None,
-                           meta=dict(header.get("meta", {})), key_array=keys)
-
     def __iter__(self) -> Iterator[WirePayload]:
         return self
 
@@ -355,19 +436,11 @@ class FrameReader:
                 f"stream carries more frames than the declared {declared} "
                 "(trailing garbage?)")
         self._delivered += 1
-        if body[:1] == b"{":
-            payload = self._parse_json_body(body)
-            try:
-                return wire_module.decode(payload)
-            except Exception as error:
-                raise FramingError(
-                    f"frame {self._delivered} is not a wire v2 envelope: "
-                    f"{error}") from None
-        if body[:1] == bytes([BINARY_FRAME_TAG]):
-            return self._decode_binary_body(body)
-        raise FramingError(
-            f"unrecognized frame tag {body[:1]!r}; frames are JSON envelopes "
-            "('{') or binary columnar (0x01)")
+        if self._raw:
+            if body[:1] not in (b"{", bytes([BINARY_FRAME_TAG])):
+                decode_payload_body(body, f"frame {self._delivered}")  # raises
+            return body
+        return decode_payload_body(body, f"frame {self._delivered}")
 
 
 class StreamingMerger:
@@ -618,6 +691,45 @@ class StreamingMerger:
             self.add(payload)
         return self
 
+    def absorb(self, other: "StreamingMerger") -> "StreamingMerger":
+        """Fold another merger's summary into this one as a single contribution.
+
+        This is the deterministic fan-in of the aggregation service and of
+        the multi-file ``repro merge --framed`` path: each source (framed
+        file, client session) folds its own frames through its own merger,
+        and the per-source summaries are absorbed in a canonical order.  The
+        Agarwal merge is not associative, so the two-level fold is a
+        *different* (equally valid, Section 7 tree-of-servers) aggregation
+        than the flat fold over all frames — which is why both the network
+        release and the offline CLI use exactly this method.  Frame and
+        stream-length accounting carries over, so release metadata reports
+        the true number of folded sketch exports.
+        """
+        if not isinstance(other, StreamingMerger):
+            raise ParameterError(
+                f"can only absorb another StreamingMerger, got {type(other)!r}")
+        if other._k != self._k:
+            raise ParameterError(
+                f"cannot absorb a merger folded at k={other._k} into one "
+                f"folded at k={self._k}")
+        if other._frames == 0:
+            return self
+        first = self._frames == 0
+        self._frames += other._frames
+        self._total_length += other._total_length
+        if other._acc_dict is None and self._acc_dict is None:
+            keys, values = other.merged_arrays()
+            self._add_columnar(keys, values, first=first)
+            return self
+        counters = other.merged()
+        acc = self._to_dict_mode()
+        if not acc and first:
+            self._acc_dict = (merge_misra_gries(counters, {}, self._k)
+                              if len(counters) > self._k else dict(counters))
+        else:
+            self._acc_dict = merge_many([acc, counters], self._k)
+        return self
+
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
@@ -722,6 +834,25 @@ def iter_frames(source) -> Iterator[WirePayload]:
         return
     with Path(source).open("rb") as fileobj:
         yield from FrameReader(fileobj)
+
+
+def combine_mergers(parts: Sequence[StreamingMerger], k: int) -> StreamingMerger:
+    """Combine per-source mergers into one summary, in the given order.
+
+    A single non-empty source passes through untouched — the two-level fold
+    of one source is bit-identical to its flat fold, so ``repro merge
+    --framed`` over one file (and a one-client aggregation session) keeps
+    exactly the historical flat-fold result.  Multiple sources are absorbed
+    in sequence order (the caller supplies the canonical ordering, e.g. CLI
+    argument order or client ordinals).
+    """
+    live = [part for part in parts if part.frames]
+    if len(live) == 1:
+        return live[0]
+    combined = StreamingMerger(k)
+    for part in live:
+        combined.absorb(part)
+    return combined
 
 
 def merge_frames(source, k: Optional[int] = None) -> StreamingMerger:

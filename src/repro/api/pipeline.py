@@ -84,6 +84,7 @@ class Pipeline:
         self._sketch_spec = sketch if sketch is not None else self._mechanism.default_sketch
         self._sketch: Optional[FrequencySketch] = None
         self._counters: Optional[Dict[Hashable, float]] = None  # merged state
+        self._merged_state = False  # counters came from merge()/fit(workers=N)
         self._buffer: List = []            # stream / user_stream mechanisms
         self._sketches: List = []          # sketch_list mechanisms
         self._stream_length = 0
@@ -262,6 +263,7 @@ class Pipeline:
             contributions.append(merged)
             self._sketch = None
             self._counters = merge_tree(contributions, size) if len(contributions) > 1 else merged
+            self._merged_state = True
         self._stream_length += int(batch.size)
         self._last_release = None
         return self
@@ -349,7 +351,31 @@ class Pipeline:
         return self._sketches
 
     def release(self, rng: Any = None, **context: Any) -> PrivateHistogram:
-        """Release the fitted state privately; caches the result for queries."""
+        """Release the fitted state privately; caches the result for queries.
+
+        Merged pipeline state (from :meth:`merge` or ``fit(workers=N)``)
+        carries the merged sensitivity structure (Corollary 18: up to ``k``
+        counters change by 1 between neighbours).  Single-stream mechanisms
+        (``pmg``, ``reduced``, ``pure_dp``) would silently release it with
+        their single-stream calibration, so they raise
+        :class:`~repro.exceptions.ParameterError` instead — release through
+        a merged-sensitivity mechanism (``merged``, or ``gshm`` with
+        ``l = k``), or pass ``allow_single_stream_calibration=True`` (here
+        or to the constructor) to accept the weaker guarantee knowingly.
+        """
+        allow = bool(context.pop(
+            "allow_single_stream_calibration",
+            self._params.get("allow_single_stream_calibration", False)))
+        if self._merged_state and self._mechanism.single_stream and not allow:
+            raise ParameterError(
+                f"mechanism {self.mechanism_name!r} is calibrated for a "
+                "single-stream sketch, but this pipeline holds a merged "
+                "summary (from merge() or fit(workers=N)) whose neighbours "
+                "can differ in up to k counters (Corollary 18) — the "
+                "single-stream noise under-protects it. Release through a "
+                "merged-sensitivity mechanism (mechanism='merged', or 'gshm' "
+                "with l = k), or pass allow_single_stream_calibration=True "
+                "to accept the miscalibrated release.")
         context.setdefault("k", self._params.get("k"))
         context.setdefault("stream_length", self._stream_length)
         if "phi" in self._params:
@@ -482,6 +508,7 @@ class Pipeline:
         result = Pipeline(sketch=self._sketch_spec, mechanism=self._mechanism_spec,
                           **self._params)
         result._counters = merged
+        result._merged_state = True
         result._stream_length = total_length
         return result
 
@@ -501,6 +528,49 @@ class Pipeline:
             return wire_module.encode_counters(self._counters, k=self._params.get("k"),
                                                stream_length=self._stream_length)
         raise SketchStateError("pipeline holds no fitted sketch state to export")
+
+    # ------------------------------------------------------------------
+    # Network conveniences (repro.net)
+    # ------------------------------------------------------------------
+
+    def _net_params(self) -> Dict[str, Any]:
+        """epsilon/delta/k for the aggregation service, read off this pipeline."""
+        impl = self._mechanism.impl
+        resolved = {}
+        for field in ("epsilon", "delta"):
+            value = self._params.get(field, getattr(impl, field, None))
+            if value is None:
+                raise ParameterError(
+                    f"the aggregation service needs {field}; pass it to the "
+                    f"Pipeline constructor")
+            resolved[field] = value
+        resolved["k"] = self._params.get("k", getattr(impl, "k", None))
+        return resolved
+
+    def serve(self, **overrides: Any):
+        """An :class:`~repro.net.AggregatorServer` configured like this pipeline.
+
+        Reads ``epsilon``/``delta``/``k`` off the pipeline parameters (k may
+        be ``None``: the server then adopts the first session's size).  The
+        server is *not* started — ``await server.start(address)`` (or use
+        ``repro serve`` on the command line).
+        """
+        from ..net import AggregatorServer
+
+        params = {**self._net_params(), **overrides}
+        return AggregatorServer(**params)
+
+    def connect(self, address: str, **overrides: Any):
+        """An :class:`~repro.net.AggregatorClient` for ``address``.
+
+        The client declares this pipeline's ``k``; use it as an async
+        context manager to push :meth:`to_wire` exports and request
+        releases.
+        """
+        from ..net import AggregatorClient
+
+        overrides.setdefault("k", self._params.get("k"))
+        return AggregatorClient(address, **overrides)
 
 
 def describe_pipeline(mechanism: MechanismSpec) -> Dict[str, Any]:

@@ -124,6 +124,13 @@ class MechanismAdapter:
     impl: Any
     _release: Callable[[Any, Any, Any, Dict[str, Any]], PrivateHistogram]
     default_sketch: str = "misra_gries"
+    #: True for mechanisms whose noise/threshold calibration assumes a
+    #: *single-stream* sketch (neighbouring inputs change one counter chain,
+    #: Lemma 4).  Releasing a merge()/sharded-fit summary — where up to ``k``
+    #: counters can change by 1 between neighbours (Corollary 18) — through
+    #: such a mechanism silently under-noises; the Pipeline facade refuses
+    #: unless ``allow_single_stream_calibration=True`` is passed.
+    single_stream: bool = False
 
     def release(self, fitted: Any, rng: Any = None, **context: Any) -> PrivateHistogram:
         """Release ``fitted`` (whatever :attr:`consumes` names) privately."""
@@ -345,7 +352,8 @@ def _make_pmg(epsilon: float = 1.0, delta: float = 1e-6, noise: str = "laplace",
 
     return MechanismAdapter(
         name="pmg", consumes="sketch", impl=impl, _release=release,
-        default_sketch="misra_gries_standard" if standard_sketch else "misra_gries")
+        default_sketch="misra_gries_standard" if standard_sketch else "misra_gries",
+        single_stream=True)
 
 
 @register_mechanism("pure_dp", consumes="sketch", aliases=("pure_dp_mg",),
@@ -362,7 +370,8 @@ def _make_pure_dp(epsilon: float = 1.0, universe_size: int = 1024,
         return mechanism.release(_as_counter_dict(payload), k=k, rng=rng,
                                  stream_length=length)
 
-    return MechanismAdapter(name="pure_dp", consumes="sketch", impl=impl, _release=release)
+    return MechanismAdapter(name="pure_dp", consumes="sketch", impl=impl,
+                            _release=release, single_stream=True)
 
 
 @register_mechanism("reduced", consumes="sketch", aliases=("approx_reduced",),
@@ -378,7 +387,8 @@ def _make_reduced(epsilon: float = 1.0, delta: float = 1e-6) -> MechanismAdapter
         return mechanism.release(_as_counter_dict(payload), k=k, rng=rng,
                                  stream_length=length)
 
-    return MechanismAdapter(name="reduced", consumes="sketch", impl=impl, _release=release)
+    return MechanismAdapter(name="reduced", consumes="sketch", impl=impl,
+                            _release=release, single_stream=True)
 
 
 @register_mechanism("gshm", consumes="sketch",

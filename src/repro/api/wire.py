@@ -35,7 +35,6 @@ Envelope kinds
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
@@ -96,7 +95,6 @@ def _encode_columns(counters: Mapping[Hashable, float]) -> Dict[str, object]:
             "values": values}
 
 
-@dataclass
 class WirePayload:
     """A decoded v2 envelope.
 
@@ -105,14 +103,48 @@ class WirePayload:
     ndarray (decoded with a single ``np.asarray`` call) so columnar consumers
     like :func:`~repro.sketches.merge.merge_many_arrays` can skip Python keys
     entirely; it is ``None`` for token-encoded payloads.
+
+    ``keys`` is **lazy** for integer payloads: a decoder that already has
+    ``key_array`` may pass ``keys=None`` and the Python key list is
+    materialized (one ``tolist()``) only if something actually reads it.
+    The aggregator hot path — binary frames into
+    :class:`~repro.api.framing.StreamingMerger` — therefore never touches a
+    Python key object.
     """
 
-    kind: str
-    keys: List[Hashable]
-    values: np.ndarray
-    k: Optional[int] = None
-    meta: Dict[str, object] = field(default_factory=dict)
-    key_array: Optional[np.ndarray] = None
+    __slots__ = ("kind", "values", "k", "meta", "key_array", "_keys")
+
+    def __init__(self, kind: str, keys: Optional[List[Hashable]],
+                 values: np.ndarray, k: Optional[int] = None,
+                 meta: Optional[Dict[str, object]] = None,
+                 key_array: Optional[np.ndarray] = None) -> None:
+        if keys is None and key_array is None:
+            raise ParameterError(
+                "WirePayload needs decoded keys (or a key_array to derive them from)")
+        self.kind = kind
+        self.values = values
+        self.k = k
+        self.meta = {} if meta is None else meta
+        self.key_array = key_array
+        self._keys = keys
+
+    @property
+    def keys(self) -> List[Hashable]:
+        """The decoded Python keys (materialized on first access)."""
+        if self._keys is None:
+            self._keys = self.key_array.tolist()
+        return self._keys
+
+    def __repr__(self) -> str:
+        return (f"WirePayload(kind={self.kind!r}, count={self.values.size}, "
+                f"k={self.k}, columnar={self.key_array is not None})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WirePayload):
+            return NotImplemented
+        return (self.kind == other.kind and self.keys == other.keys
+                and np.array_equal(self.values, other.values)
+                and self.k == other.k and self.meta == other.meta)
 
     @property
     def stream_length(self) -> int:

@@ -41,6 +41,17 @@ Monitor a stream continually (one private release per closed block)::
 
     repro release --mechanism continual --stream flows.txt --epsilon 1.0 \
         --delta 1e-6 -k 64 --block-size 1000
+
+Run the live aggregation service (``repro.net``): one server, any number of
+concurrent pushing clients, then a release request that returns the DP
+histogram over everything committed so far.  Give each pushing client a
+distinct ``--ordinal`` and the result is bit-identical to ``repro merge
+--framed`` over the same files with the same seed::
+
+    repro serve --listen 127.0.0.1:7788 --epsilon 1.0 --delta 1e-6 -k 256 &
+    repro push --to 127.0.0.1:7788 --ordinal 0 server1.frames
+    repro push --to 127.0.0.1:7788 --ordinal 1 server2.frames
+    repro request-release --to 127.0.0.1:7788 --seed 4 --out merged.hist.json
 """
 
 from __future__ import annotations
@@ -162,6 +173,54 @@ def build_parser() -> argparse.ArgumentParser:
     pack.add_argument("-k", type=int, default=None,
                       help="sketch size recorded in the stream header "
                            "(default: taken from the inputs when they agree)")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the asyncio aggregation server (repro.net)")
+    serve.add_argument("--listen", default="127.0.0.1:0",
+                       help="endpoint to bind: HOST:PORT (:0 for an ephemeral "
+                            "port) or unix:/path (default 127.0.0.1:0)")
+    serve.add_argument("--epsilon", type=float, required=True)
+    serve.add_argument("--delta", type=float, required=True)
+    serve.add_argument("-k", type=int, default=None,
+                       help="sketch size all sessions must agree on (default: "
+                            "adopt the first session's declared k)")
+    serve.add_argument("--releases", type=int, default=None,
+                       help="exit after serving this many releases (default: "
+                            "run until SIGINT/SIGTERM)")
+    serve.add_argument("--drain-timeout", type=float, default=5.0,
+                       help="seconds to wait for in-flight sessions on shutdown")
+    serve.add_argument("--ready-file", default=None,
+                       help="write the bound address to this file once listening "
+                            "(lets scripts discover an ephemeral port)")
+
+    push = subparsers.add_parser(
+        "push", help="push sketch exports to an aggregation server")
+    push.add_argument("inputs", nargs="+",
+                      help="framed streams (repro pack output) and/or sketch "
+                           "JSON files (v1 or v2)")
+    push.add_argument("--to", required=True, help="server endpoint "
+                                                  "(HOST:PORT or unix:/path)")
+    push.add_argument("--ordinal", type=int, default=None,
+                      help="this client's position in the canonical release "
+                           "order (distinct ordinals make releases "
+                           "bit-reproducible under concurrency)")
+    push.add_argument("-k", type=int, default=None,
+                      help="sketch size to declare (default: the inputs' k)")
+    push.add_argument("--timeout", type=float, default=30.0)
+    push.add_argument("--retries", type=int, default=5,
+                      help="connection attempts before giving up")
+
+    request = subparsers.add_parser(
+        "request-release",
+        help="ask an aggregation server for the DP histogram of everything "
+             "committed so far")
+    request.add_argument("--to", required=True, help="server endpoint")
+    request.add_argument("--seed", type=int, default=None)
+    request.add_argument("--timeout", type=float, default=30.0)
+    request.add_argument("--retries", type=int, default=5)
+    request.add_argument("--out", default=None,
+                         help="output histogram JSON (stdout if omitted)")
+    _add_format(request)
 
     heavy = subparsers.add_parser("heavy-hitters", help="query heavy hitters from a histogram")
     heavy.add_argument("--histogram", required=True, help="released histogram JSON file")
@@ -373,11 +432,15 @@ def _cmd_merge(args: argparse.Namespace) -> int:
 
 def _cmd_merge_framed(args: argparse.Namespace) -> int:
     # Streaming aggregation: fold each framed file one frame at a time
-    # through StreamingMerger — nothing beyond the current frame and the
-    # <= k-counter accumulator is ever resident.
+    # through its own StreamingMerger — nothing beyond the current frame and
+    # the <= k-counter accumulators is ever resident — then combine the
+    # per-file summaries in argument order.  This two-level fold is exactly
+    # what the aggregation server performs over its client sessions, so
+    # `repro serve` + N `repro push` clients + `repro request-release` is
+    # bit-identical to this command over the same files and seed.
     from pathlib import Path
 
-    from .api.framing import FrameReader, StreamingMerger
+    from .api.framing import FrameReader, StreamingMerger, combine_mergers
     from .core.merging import PrivateMergedRelease
 
     if MergeStrategy(args.strategy) is not MergeStrategy.TRUSTED_MERGED:
@@ -385,7 +448,7 @@ def _cmd_merge_framed(args: argparse.Namespace) -> int:
               f"strategy; {args.strategy!r} needs the buffered `repro merge`",
               file=sys.stderr)
         return 2
-    merger = None
+    parts = []
     k = args.k
     for path in args.sketches:
         with Path(path).open("rb") as fileobj:
@@ -405,9 +468,8 @@ def _cmd_merge_framed(args: argparse.Namespace) -> int:
                       f"is folding at k={k}; pass -k to override",
                       file=sys.stderr)
                 return 2
-            if merger is None:
-                merger = StreamingMerger(k)
-            merger.consume(reader)
+            parts.append(StreamingMerger(k).consume(reader))
+    merger = combine_mergers(parts, k)
     mechanism = PrivateMergedRelease(epsilon=args.epsilon, delta=args.delta, k=k,
                                      strategy=MergeStrategy.TRUSTED_MERGED)
     histogram = merger.release(mechanism, rng=args.seed)
@@ -426,6 +488,114 @@ def _cmd_pack(args: argparse.Namespace) -> int:
             return 2
     count = write_frames(args.out, payloads, k=k)
     print(f"packed {count} sketch export(s) (k={k}) -> {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+    from pathlib import Path
+
+    from .net import AggregatorServer
+
+    async def _serve() -> int:
+        server = AggregatorServer(epsilon=args.epsilon, delta=args.delta,
+                                  k=args.k, drain_timeout=args.drain_timeout,
+                                  max_releases=args.releases)
+        await server.start(args.listen)
+        if args.ready_file:
+            ready = Path(args.ready_file)
+            ready.parent.mkdir(parents=True, exist_ok=True)
+            ready.write_text(server.address + "\n", encoding="utf-8")
+        print(f"aggregation server listening on {server.address} "
+              f"(epsilon={args.epsilon}, delta={args.delta}, k={args.k})",
+              flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        waiters = [asyncio.ensure_future(stop.wait())]
+        if args.releases is not None:
+            waiters.append(asyncio.ensure_future(server.wait_release_limit()))
+        try:
+            await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for waiter in waiters:
+                waiter.cancel()
+            await server.aclose(drain=True)
+        stats = server.stats()
+        print(f"server drained: {stats['sessions_committed']} committed "
+              f"session(s), {stats['frames']} frame(s), "
+              f"{stats['releases']} release(s), "
+              f"{stats['sessions_rejected']} rejected", flush=True)
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_push(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from .api.framing import MAGIC, FrameReader
+    from .net import AggregatorClient
+
+    # Probe every input up front so the session can declare the k the
+    # exports actually use — the server then rejects a disagreeing
+    # aggregation at HELLO time instead of folding miscalibrated sketches.
+    inputs = []  # (path, is_framed, payload-or-None)
+    declared = set()
+    for path in map(Path, args.inputs):
+        with path.open("rb") as probe:
+            framed = probe.read(len(MAGIC)) == MAGIC
+        if framed:
+            with path.open("rb") as fileobj:
+                header_k = FrameReader(fileobj).header.k
+            if header_k is not None:
+                declared.add(header_k)
+            inputs.append((path, True, None))
+        else:
+            payload = load_payload(path)
+            if payload.k is not None:
+                declared.add(payload.k)
+            inputs.append((path, False, payload))
+    k = args.k
+    if k is None:
+        if len(declared) > 1:
+            print(f"error: inputs declare k={sorted(declared)}; pass -k",
+                  file=sys.stderr)
+            return 2
+        k = declared.pop() if declared else None
+
+    async def _push():
+        async with AggregatorClient(args.to, k=k, ordinal=args.ordinal,
+                                    timeout=args.timeout,
+                                    connect_retries=args.retries) as client:
+            total = 0
+            for path, framed, payload in inputs:
+                if framed:
+                    total += await client.push_file(path)
+                else:
+                    total += await client.push([payload])
+            return total, client.server_k
+
+    total, agreed = asyncio.run(_push())
+    print(f"pushed {total} sketch export(s) (k={agreed}) -> {args.to}")
+    return 0
+
+
+def _cmd_request_release(args: argparse.Namespace) -> int:
+    from .net import request_release
+
+    histogram = request_release(args.to, seed=args.seed, timeout=args.timeout,
+                                connect_retries=args.retries)
+    _emit_histogram(histogram, args.out, args.format)
     return 0
 
 
@@ -459,6 +629,9 @@ _HANDLERS = {
     "release": _cmd_release,
     "merge": _cmd_merge,
     "pack": _cmd_pack,
+    "serve": _cmd_serve,
+    "push": _cmd_push,
+    "request-release": _cmd_request_release,
     "heavy-hitters": _cmd_heavy_hitters,
     "evaluate": _cmd_evaluate,
 }

@@ -40,6 +40,37 @@ class FramingError(SketchStateError):
     """
 
 
+class ProtocolError(FramingError):
+    """A peer violated the aggregation control protocol of :mod:`repro.net`.
+
+    Raised when a framed connection carries an unexpected verb for the
+    session's state (e.g. a payload frame before HELLO), a malformed control
+    frame, or a declared-count violation inside a PUSH burst.  Subclasses
+    :class:`FramingError`: a protocol violation is a malformed stream.
+    """
+
+
+class NetworkError(ReproError, OSError):
+    """A network operation failed at the transport level.
+
+    Connect failures after all retries, operation timeouts and connections
+    dropped mid-exchange raise this (the aggregation *content* errors the
+    server reports explicitly raise :class:`RemoteError` instead).
+    """
+
+
+class RemoteError(NetworkError):
+    """The aggregation server answered with an ERROR control frame.
+
+    ``code`` carries the server's machine-readable reason (``k_mismatch``,
+    ``nothing_to_release``, ``bad_verb``, ...).
+    """
+
+    def __init__(self, message: str, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code
+
+
 class StreamFormatError(ReproError, ValueError):
     """A stream does not conform to the expected format.
 

@@ -1,0 +1,43 @@
+"""Async aggregation service: server/client tier over the framed wire protocol.
+
+The network subsystem of the paper's deployment story — ``m`` untrusted
+clients ship Misra-Gries sketch exports to one aggregator, which merges them
+as they arrive and publishes a differentially private histogram on request:
+
+* :mod:`repro.net.protocol` — the control protocol (HELLO/PUSH/RELEASE/STATS
+  verbs as tag-``0x02`` control frames layered on the PR-4 framed container)
+  and :class:`FrameChannel`, the bounded-read asyncio frame pump.
+* :mod:`repro.net.session` — the server-side session state machine
+  (AWAIT_HELLO → READY ⇄ PUSHING → COMMITTED | REJECTED).
+* :mod:`repro.net.server` — :class:`AggregatorServer`: concurrent sessions,
+  per-session :class:`~repro.api.framing.StreamingMerger` folds, k agreement,
+  fault containment, graceful drain.
+* :mod:`repro.net.client` — :class:`AggregatorClient` (async) plus the
+  synchronous one-shot helpers the ``repro push`` / ``repro request-release``
+  CLI subcommands use.
+
+A release triggered over the network is bit-identical (keys, values, dict
+order) to ``repro merge --framed`` over the same exports with the same seed:
+both fold each source through its own merger and combine the summaries with
+:func:`~repro.api.framing.combine_mergers` in canonical (ordinal) order.
+"""
+
+from .client import AggregatorClient, fetch_stats, push_file, request_release
+from .protocol import Address, FrameChannel, parse_address
+from .server import AggregatorServer, serve
+from .session import CommittedSession, Session, SessionState
+
+__all__ = [
+    "Address",
+    "AggregatorClient",
+    "AggregatorServer",
+    "CommittedSession",
+    "FrameChannel",
+    "Session",
+    "SessionState",
+    "fetch_stats",
+    "parse_address",
+    "push_file",
+    "request_release",
+    "serve",
+]

@@ -1,0 +1,315 @@
+"""`AggregatorClient`: connect/push/release against an aggregation server.
+
+The client side of the framed control protocol.  Async first —
+
+.. code-block:: python
+
+    async with AggregatorClient("127.0.0.1:7777", k=256, ordinal=0) as client:
+        await client.push(payloads)            # wire-v2 envelopes
+        histogram = await client.request_release(seed=0)
+
+— with synchronous one-shot helpers (:func:`push_file`,
+:func:`request_release`, :func:`fetch_stats`) for the CLI and scripts.
+``connect`` retries with linear backoff (servers take a beat to bind);
+every operation runs under a hard timeout and raises
+:class:`~repro.exceptions.NetworkError` instead of hanging.  ERROR frames
+from the server raise :class:`~repro.exceptions.RemoteError` with the
+server's machine-readable ``code``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+from ..api import framing
+from ..api.framing import FrameHeader, FrameReader
+from ..api.wire import WirePayload, payload_to_histogram
+from ..core.results import PrivateHistogram
+from ..exceptions import NetworkError, ProtocolError, RemoteError
+from ..sketches.base import FrequencySketch
+from .protocol import (
+    BYE,
+    HELLO,
+    OK,
+    PUSH,
+    RELEASE,
+    STATS,
+    Address,
+    FrameChannel,
+    open_channel,
+    parse_address,
+)
+
+Pushable = Union[Mapping, WirePayload, FrequencySketch]
+
+
+class AggregatorClient:
+    """One aggregation session against an :class:`AggregatorServer`.
+
+    Parameters
+    ----------
+    address:
+        ``"host:port"`` or ``"unix:/path"``.
+    k:
+        Sketch size this client's exports use (declared in HELLO; the server
+        rejects the session on disagreement).
+    ordinal:
+        This client's position in the canonical release order.  Give each
+        pushing client a distinct ordinal to make the released histogram
+        bit-reproducible regardless of network interleaving.
+    timeout:
+        Hard per-operation timeout in seconds.
+    connect_retries / retry_delay:
+        Connection attempts and the linear backoff base between them.
+    """
+
+    def __init__(self, address: Union[str, Address], *, k: Optional[int] = None,
+                 ordinal: Optional[int] = None, client_name: Optional[str] = None,
+                 timeout: float = 30.0, connect_retries: int = 5,
+                 retry_delay: float = 0.2) -> None:
+        self._address = parse_address(address)
+        self._k = k
+        self._ordinal = ordinal
+        self._client_name = client_name
+        self._timeout = timeout
+        self._connect_retries = max(1, int(connect_retries))
+        self._retry_delay = retry_delay
+        self._channel: Optional[FrameChannel] = None
+        self.server_k: Optional[int] = None
+        self.frames_pushed = 0
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+
+    async def __aenter__(self) -> "AggregatorClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close(bye=exc_type is None)
+
+    async def _guard(self, awaitable, what: str):
+        try:
+            return await asyncio.wait_for(awaitable, timeout=self._timeout)
+        except asyncio.TimeoutError:
+            await self._abort()
+            raise NetworkError(
+                f"{what} timed out after {self._timeout:.1f}s") from None
+        except (ConnectionError, EOFError) as error:
+            await self._abort()
+            raise NetworkError(f"{what} failed: {error}") from None
+        except RemoteError:
+            # The server rejected the session and is closing it; drop our
+            # side too so the error propagates without leaking a transport.
+            await self._abort()
+            raise
+
+    async def connect(self) -> "AggregatorClient":
+        """Connect (with retries), open the framed stream, shake hands."""
+        last: Optional[BaseException] = None
+        for attempt in range(self._connect_retries):
+            try:
+                self._channel = await asyncio.wait_for(
+                    open_channel(self._address), timeout=self._timeout)
+                break
+            except (ConnectionError, OSError, asyncio.TimeoutError) as error:
+                last = error
+                self._channel = None
+                if attempt + 1 < self._connect_retries:
+                    await asyncio.sleep(self._retry_delay * (attempt + 1))
+        if self._channel is None:
+            raise NetworkError(
+                f"could not connect to {self._address} after "
+                f"{self._connect_retries} attempt(s): {last}")
+        try:
+            return await self._guard(self._handshake(), "handshake")
+        except BaseException:
+            await self._abort()
+            raise
+
+    async def _handshake(self) -> "AggregatorClient":
+        header = FrameHeader(framing=framing.FRAMING_VERSION, frames=None,
+                             k=self._k, meta={})
+        await self._channel.send_prefix(header)
+        hello: Dict[str, object] = {}
+        if self._k is not None:
+            hello["k"] = int(self._k)
+        if self._ordinal is not None:
+            hello["ordinal"] = int(self._ordinal)
+        if self._client_name is not None:
+            hello["client"] = self._client_name
+        await self._channel.send_control(HELLO, **hello)
+        greeting = await self._channel.read_prefix()
+        self.server_k = greeting.k
+        ack = await self._expect_control(OK, re=HELLO)
+        agreed = ack.get("k")
+        if isinstance(agreed, int):
+            self.server_k = agreed
+        return self
+
+    async def close(self, bye: bool = True) -> None:
+        """End the session; ``bye=True`` waits for the commit ack."""
+        if self._channel is None:
+            return
+        if bye:
+            try:
+                await self._guard(self._say_bye(), "bye")
+            except NetworkError:
+                pass
+        await self._abort()
+
+    async def _say_bye(self) -> None:
+        await self._channel.send_control(BYE)
+        await self._expect_control(OK, re=BYE)
+
+    async def _abort(self) -> None:
+        if self._channel is not None:
+            channel, self._channel = self._channel, None
+            await channel.close()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def _require_channel(self) -> FrameChannel:
+        if self._channel is None:
+            raise NetworkError("client is not connected (use `async with` "
+                               "or call connect() first)")
+        return self._channel
+
+    async def _expect_control(self, verb: str, **expected) -> Dict[str, object]:
+        kind, value = await self._require_channel().next_event()
+        if kind == "eof":
+            raise NetworkError("server closed the connection mid-exchange")
+        if kind != "control":
+            raise ProtocolError(f"expected a control frame, got a {kind} frame")
+        got = value.get("verb")
+        if got == "error":
+            raise RemoteError(str(value.get("message", "server error")),
+                              code=str(value.get("code", "error")))
+        if got != verb or any(value.get(field) != wanted
+                              for field, wanted in expected.items()):
+            raise ProtocolError(f"expected {verb!r} {expected or ''}, got {value!r}")
+        return value
+
+    async def push(self, payloads: Iterable[Pushable]) -> int:
+        """Push sketch exports (envelope dicts, payloads or sketches)."""
+        from ..api import wire as wire_module
+
+        encoded: List[bytes] = []
+        for payload in payloads:
+            if isinstance(payload, FrequencySketch):
+                payload = wire_module.encode_sketch(payload)
+            encoded.append(framing.encode_payload_frame(payload))
+        return await self._guard(self._push_bodies(encoded), "push")
+
+    async def push_raw(self, frame_bodies: Iterable[bytes]) -> int:
+        """Push already-encoded payload frame bodies verbatim."""
+        encoded = [framing.encode_frame(body) for body in frame_bodies]
+        return await self._guard(self._push_bodies(encoded), "push")
+
+    async def _push_bodies(self, encoded: List[bytes]) -> int:
+        channel = self._require_channel()
+        await channel.send_control(PUSH, frames=len(encoded))
+        for frame in encoded:
+            await channel.send_bytes(frame)
+        ack = await self._expect_control(OK, re=PUSH, folded=len(encoded))
+        self.frames_pushed += len(encoded)
+        return int(ack.get("folded", len(encoded)))
+
+    async def push_file(self, source: Union[str, Path], burst: int = 64) -> int:
+        """Push every frame of a packed (``repro pack``) framed stream file.
+
+        Frames are forwarded verbatim (no decode/re-encode on the client) in
+        PUSH bursts of at most ``burst`` frames, so client memory stays at
+        ``burst`` frames regardless of the file size.
+        """
+        total = 0
+        with Path(source).open("rb") as fileobj:
+            reader = FrameReader(fileobj, raw=True)
+            if (self._k is not None and reader.header.k is not None
+                    and reader.header.k != self._k):
+                raise ProtocolError(
+                    f"{source} declares k={reader.header.k} but this session "
+                    f"runs at k={self._k}")
+            batch: List[bytes] = []
+            for body in reader:
+                batch.append(body)
+                if len(batch) >= burst:
+                    total += await self.push_raw(batch)
+                    batch = []
+            if batch:
+                total += await self.push_raw(batch)
+        return total
+
+    async def request_release(self, seed: Optional[int] = None) -> PrivateHistogram:
+        """Trigger the private release; returns the decoded histogram."""
+        return await self._guard(self._request_release(seed), "release")
+
+    async def _request_release(self, seed: Optional[int]) -> PrivateHistogram:
+        channel = self._require_channel()
+        await channel.send_control(RELEASE,
+                                   seed=int(seed) if seed is not None else None)
+        kind, value = await channel.next_event()
+        if kind == "eof":
+            raise NetworkError("server closed the connection mid-release")
+        if kind == "control":
+            if value.get("verb") == "error":
+                raise RemoteError(str(value.get("message", "release failed")),
+                                  code=str(value.get("code", "error")))
+            raise ProtocolError(f"expected the released histogram, got {value!r}")
+        return payload_to_histogram(value)
+
+    async def stats(self) -> Dict[str, object]:
+        """The server's aggregate counters (STATS verb)."""
+        return await self._guard(self._stats(), "stats")
+
+    async def _stats(self) -> Dict[str, object]:
+        channel = self._require_channel()
+        await channel.send_control(STATS)
+        reply = await self._expect_control(STATS)
+        return {field: value for field, value in reply.items() if field != "verb"}
+
+
+# ---------------------------------------------------------------------------
+# Synchronous one-shot helpers (the CLI entry points)
+# ---------------------------------------------------------------------------
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def push_file(address: Union[str, Address], source: Union[str, Path], *,
+              k: Optional[int] = None, ordinal: Optional[int] = None,
+              timeout: float = 30.0, connect_retries: int = 5) -> int:
+    """Connect, push one packed framed file, commit (bye), disconnect."""
+    async def _push() -> int:
+        async with AggregatorClient(address, k=k, ordinal=ordinal,
+                                    timeout=timeout,
+                                    connect_retries=connect_retries) as client:
+            return await client.push_file(source)
+    return _run(_push())
+
+
+def request_release(address: Union[str, Address], *, seed: Optional[int] = None,
+                    timeout: float = 30.0,
+                    connect_retries: int = 5) -> PrivateHistogram:
+    """Connect, trigger a release, return the decoded private histogram."""
+    async def _release() -> PrivateHistogram:
+        async with AggregatorClient(address, timeout=timeout,
+                                    connect_retries=connect_retries) as client:
+            return await client.request_release(seed=seed)
+    return _run(_release())
+
+
+def fetch_stats(address: Union[str, Address], *, timeout: float = 30.0,
+                connect_retries: int = 5) -> Dict[str, object]:
+    """Connect and fetch the server's aggregate counters."""
+    async def _stats() -> Dict[str, object]:
+        async with AggregatorClient(address, timeout=timeout,
+                                    connect_retries=connect_retries) as client:
+            return await client.stats()
+    return _run(_stats())

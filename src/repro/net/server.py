@@ -1,0 +1,243 @@
+"""`AggregatorServer`: the asyncio aggregation service.
+
+The deployment story of the paper — ``m`` untrusted clients ship Misra-Gries
+sketches to one aggregator that merges them and publishes one differentially
+private histogram — as a long-running network service.  Clients connect over
+TCP or a Unix-domain socket, speak the framed control protocol
+(:mod:`repro.net.protocol`), and each session's frames are folded into a
+per-session :class:`~repro.api.framing.StreamingMerger` as they arrive.
+
+Determinism: committed sessions are combined with
+:func:`~repro.api.framing.combine_mergers` in ``(ordinal, commit order)``
+order, exactly the fold ``repro merge --framed file-per-client`` performs —
+so a release triggered over the network is **bit-identical** (keys, values,
+dict order) to the offline CLI over the same exports with the same seed.
+
+Fault containment: a session that violates the protocol (bad magic, k
+mismatch, truncated frame, payload outside a push burst) is answered with an
+ERROR control frame, its partial state is discarded, and the connection is
+closed — the server keeps serving every other session.  ``aclose()`` stops
+accepting, drains in-flight sessions for ``drain_timeout`` seconds, then
+cancels stragglers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+from typing import Dict, List, Optional, Union
+
+from .._validation import check_delta, check_epsilon, check_positive_int
+from ..api.framing import StreamingMerger, combine_mergers
+from ..api.wire import encode_histogram
+from ..core.merging import MergeStrategy, PrivateMergedRelease
+from ..exceptions import ParameterError, RemoteError
+from .protocol import Address, DEFAULT_CHUNK_SIZE, FrameChannel, parse_address
+from .session import CommittedSession, Session
+
+
+class AggregatorServer:
+    """Accept concurrent client sessions and release their merged aggregate.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        Privacy budget of every release (trusted-merged strategy: Agarwal
+        merge + GSHM with ``l = k``, the streamable regime).
+    k:
+        Sketch size every session must agree on.  ``None`` adopts the first
+        session's declared ``k``; later disagreeing sessions are rejected.
+    drain_timeout:
+        Seconds :meth:`aclose` waits for in-flight sessions before
+        cancelling them.
+    chunk_size:
+        Per-``read()`` byte ceiling of every session channel (bounded reads;
+        TCP backpressure does the rest).
+    """
+
+    def __init__(self, epsilon: float, delta: float, k: Optional[int] = None,
+                 *, drain_timeout: float = 5.0,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 max_releases: Optional[int] = None) -> None:
+        check_epsilon(epsilon)
+        check_delta(delta)
+        if k is not None:
+            check_positive_int(k, "k")
+        if max_releases is not None:
+            check_positive_int(max_releases, "max_releases")
+        self.epsilon = epsilon
+        self.delta = delta
+        self._k = k
+        self._drain_timeout = drain_timeout
+        self._chunk_size = chunk_size
+        self._max_releases = max_releases
+        self._release_limit = asyncio.Event()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._address: Optional[Address] = None
+        self._bound: Optional[str] = None
+        self._tasks: set = set()
+        self._committed: List[CommittedSession] = []
+        self._commit_seq = 0
+        self._frames_seen = 0
+        self._length_seen = 0
+        self._releases = 0
+        self._rejected = 0
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self, address: Union[str, Address]) -> "AggregatorServer":
+        """Bind and start accepting (``host:port``, ``:0`` for an ephemeral
+        port, or ``unix:/path``)."""
+        if self._server is not None:
+            raise ParameterError("server already started")
+        self._address = parse_address(address)
+        if self._address.kind == "unix":
+            self._server = await asyncio.start_unix_server(
+                self._on_connect, path=self._address.path)
+            self._bound = f"unix:{self._address.path}"
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connect, host=self._address.host, port=self._address.port)
+            sockname = self._server.sockets[0].getsockname()
+            self._bound = f"{sockname[0]}:{sockname[1]}"
+        return self
+
+    @property
+    def address(self) -> str:
+        """The bound endpoint (actual port for ``:0`` requests)."""
+        if self._bound is None:
+            raise ParameterError("server not started yet")
+        return self._bound
+
+    @property
+    def k(self) -> Optional[int]:
+        return self._k
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (``repro serve`` runs this)."""
+        await self._server.serve_forever()
+
+    async def aclose(self, drain: bool = True) -> None:
+        """Stop accepting; drain in-flight sessions, then cancel stragglers."""
+        if self._server is None or self._closing:
+            return
+        self._closing = True
+        self._server.close()
+        with contextlib.suppress(Exception):
+            await self._server.wait_closed()
+        if drain and self._tasks:
+            done, pending = await asyncio.wait(
+                set(self._tasks), timeout=self._drain_timeout)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        elif self._tasks:
+            for task in set(self._tasks):
+                task.cancel()
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self._address is not None and self._address.kind == "unix":
+            with contextlib.suppress(OSError):
+                os.unlink(self._address.path)
+
+    async def __aenter__(self) -> "AggregatorServer":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose(drain=exc_type is None)
+
+    def _on_connect(self, reader: asyncio.StreamReader,
+                    writer: asyncio.StreamWriter) -> None:
+        channel = FrameChannel(reader, writer, chunk_size=self._chunk_size)
+        session = Session(self, channel)
+        task = asyncio.ensure_future(session.run())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    # ------------------------------------------------------------------
+    # Session callbacks
+    # ------------------------------------------------------------------
+
+    def adopt_k(self, declared: int) -> int:
+        """Adopt the first declared sketch size; return the agreed one."""
+        if self._k is None:
+            self._k = declared
+        return self._k
+
+    def note_frame(self, payload) -> None:
+        self._frames_seen += 1
+        self._length_seen += payload.stream_length
+
+    def note_rejected(self, session: Session, reason: str) -> None:
+        self._rejected += 1
+
+    def commit(self, session: Session) -> None:
+        """A session ended cleanly: its summary joins the release set."""
+        merger = session.take_merger()
+        if merger is None or not merger.frames:
+            return
+        self._commit_seq += 1
+        self._committed.append(CommittedSession(
+            seq=self._commit_seq, ordinal=session.ordinal,
+            client=session.client, merger=merger))
+
+    # ------------------------------------------------------------------
+    # Release and stats
+    # ------------------------------------------------------------------
+
+    def committed_mergers(self) -> List[StreamingMerger]:
+        """Committed session mergers in canonical release order."""
+        return [entry.merger
+                for entry in sorted(self._committed, key=lambda e: e.sort_key)]
+
+    def perform_release(self, seed: Optional[int]) -> Dict:
+        """Combine committed sessions and release; returns a v2 envelope.
+
+        Raises :class:`RemoteError` (reported to the requesting client as an
+        ERROR frame by the session loop) when nothing has been committed.
+        """
+        parts = self.committed_mergers()
+        if not parts or self._k is None:
+            raise RemoteError("no committed sketch exports to release yet",
+                              code="nothing_to_release")
+        combined = combine_mergers(parts, self._k)
+        mechanism = PrivateMergedRelease(
+            epsilon=self.epsilon, delta=self.delta, k=self._k,
+            strategy=MergeStrategy.TRUSTED_MERGED)
+        histogram = combined.release(mechanism, rng=seed)
+        self._releases += 1
+        return encode_histogram(histogram)
+
+    def note_release_sent(self) -> None:
+        """The reply left the session; arm the ``--releases N`` exit event."""
+        if self._max_releases is not None and self._releases >= self._max_releases:
+            self._release_limit.set()
+
+    async def wait_release_limit(self) -> None:
+        """Block until ``max_releases`` releases have been served and sent."""
+        await self._release_limit.wait()
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate counters (the STATS verb's reply fields)."""
+        return {
+            "k": self._k,
+            "sessions_active": len(self._tasks),
+            "sessions_committed": len(self._committed),
+            "sessions_rejected": self._rejected,
+            "frames": self._frames_seen,
+            "stream_length": self._length_seen,
+            "releases": self._releases,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+        }
+
+
+async def serve(address: Union[str, Address], epsilon: float, delta: float,
+                k: Optional[int] = None, **kwargs) -> AggregatorServer:
+    """Start an :class:`AggregatorServer` bound to ``address``."""
+    server = AggregatorServer(epsilon=epsilon, delta=delta, k=k, **kwargs)
+    return await server.start(address)

@@ -1,0 +1,239 @@
+"""Server-side session state machine for the aggregation service.
+
+One :class:`Session` drives one client connection through the state machine
+documented in DESIGN.md:
+
+.. code-block:: text
+
+    AWAIT_HELLO --hello--> READY --push(n)--> PUSHING --n frames--> READY
+    READY --release/stats--> READY        (replies in-line)
+    READY --bye / clean EOF--> COMMITTED  (summary enters the release set)
+    any state --protocol violation / k mismatch / truncated frame-->
+        REJECTED                          (summary discarded, server stays up)
+
+A session's frames are folded into its own
+:class:`~repro.api.framing.StreamingMerger` *as they arrive*; nothing beyond
+the current frame and the ``<= k``-counter accumulator is buffered.  The
+summary joins the server's committed set only on a clean end (``bye`` verb
+or EOF from ``READY``), so a client that dies mid-push contributes nothing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..api.framing import FrameHeader, StreamingMerger
+from ..exceptions import FramingError, ProtocolError, ReproError
+from .protocol import BYE, ERROR, HELLO, OK, PUSH, RELEASE, STATS, FrameChannel
+
+
+class SessionState(enum.Enum):
+    AWAIT_HELLO = "await_hello"
+    READY = "ready"
+    PUSHING = "pushing"
+    COMMITTED = "committed"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class CommittedSession:
+    """A cleanly finished session's contribution to the release set."""
+
+    seq: int                      # commit order (tie-breaker)
+    ordinal: Optional[int]        # client-declared canonical position
+    client: Optional[str]
+    merger: StreamingMerger
+
+    @property
+    def sort_key(self):
+        # Explicit ordinals first (in ordinal order), then commit order.
+        if self.ordinal is not None:
+            return (0, self.ordinal, self.seq)
+        return (1, 0, self.seq)
+
+
+class Session:
+    """One client connection: HELLO handshake, pushes, queries, clean end."""
+
+    def __init__(self, server, channel: FrameChannel) -> None:
+        self._server = server
+        self._channel = channel
+        self.state = SessionState.AWAIT_HELLO
+        self.ordinal: Optional[int] = None
+        self.client: Optional[str] = None
+        self._merger: Optional[StreamingMerger] = None
+
+    @property
+    def frames(self) -> int:
+        return self._merger.frames if self._merger is not None else 0
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    async def run(self) -> None:
+        """Drive the connection to completion; never raises into the server."""
+        try:
+            header = await self._channel.read_prefix()
+            # Greet before validating, so any rejection reaches the client as
+            # a well-formed (prefix + error frame) stream it can parse.
+            greeting = FrameHeader(framing=header.framing, frames=None,
+                                   k=self._server.k,
+                                   meta={"service": "repro-aggregator"})
+            await self._channel.send_prefix(greeting)
+            self._check_k(header.k, source="stream header")
+            while self.state not in (SessionState.COMMITTED, SessionState.REJECTED):
+                kind, value = await self._channel.next_event()
+                if kind == "eof":
+                    self._finish_on_eof()
+                    break
+                if kind != "control":
+                    raise ProtocolError(
+                        "payload frame outside a push burst; announce frames "
+                        "with a push control frame first")
+                await self._dispatch(value)
+        except ReproError as error:
+            await self._reject(error)
+        except (ConnectionError, OSError, EOFError) as error:
+            self.state = SessionState.REJECTED
+            self._server.note_rejected(self, f"connection lost: {error}")
+        finally:
+            await self._channel.close()
+
+    async def _dispatch(self, message: dict) -> None:
+        verb = message.get("verb")
+        if self.state is SessionState.AWAIT_HELLO:
+            if verb != HELLO:
+                raise ProtocolError(f"first verb must be {HELLO!r}, got {verb!r}")
+            await self._handle_hello(message)
+            return
+        if verb == PUSH:
+            await self._handle_push(message)
+        elif verb == RELEASE:
+            await self._handle_release(message)
+        elif verb == STATS:
+            await self._channel.send_control(STATS, **self._server.stats())
+        elif verb == BYE:
+            committed_frames = self.frames  # _commit hands the merger off
+            self._commit()
+            await self._channel.send_control(OK, re=BYE, frames=committed_frames)
+        elif verb == HELLO:
+            raise ProtocolError("duplicate hello on an open session")
+        else:
+            raise ProtocolError(f"unknown verb {verb!r}")
+
+    # ------------------------------------------------------------------
+    # Verb handlers
+    # ------------------------------------------------------------------
+
+    async def _handle_hello(self, message: dict) -> None:
+        self._check_k(message.get("k"), source="hello")
+        ordinal = message.get("ordinal")
+        if ordinal is not None and not isinstance(ordinal, int):
+            raise ProtocolError(f"hello ordinal must be an integer, got {ordinal!r}")
+        self.ordinal = ordinal
+        client = message.get("client")
+        self.client = str(client) if client is not None else None
+        self.state = SessionState.READY
+        await self._channel.send_control(OK, re=HELLO, k=self._server.k)
+
+    async def _handle_push(self, message: dict) -> None:
+        declared = message.get("frames")
+        if not isinstance(declared, int) or declared < 0:
+            raise ProtocolError(f"push must declare a frame count, got {declared!r}")
+        if self._server.k is None:
+            raise ProtocolError(
+                "no sketch size agreed yet: start the server with -k or "
+                "declare k in this session's hello")
+        if self._merger is None:
+            self._merger = StreamingMerger(self._server.k)
+        self.state = SessionState.PUSHING
+        for index in range(declared):
+            kind, value = await self._channel.next_event()
+            if kind == "eof":
+                raise FramingError(
+                    f"stream ended {declared - index} frame(s) into a "
+                    f"declared burst of {declared}")
+            if kind != "payload":
+                raise ProtocolError(
+                    f"expected payload frame {index + 1}/{declared} of the "
+                    f"push burst, got a control frame")
+            if value.k is not None and value.k != self._server.k:
+                error = ProtocolError(
+                    f"frame {index + 1} exports a k={value.k} sketch; this "
+                    f"aggregation runs at k={self._server.k} and merging "
+                    "disagreeing sketch sizes would miscalibrate the release")
+                error.code = "k_mismatch"
+                raise error
+            self._merger.add(value)
+            self._server.note_frame(value)
+        self.state = SessionState.READY
+        await self._channel.send_control(OK, re=PUSH, folded=declared,
+                                         frames=self.frames)
+
+    async def _handle_release(self, message: dict) -> None:
+        seed = message.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ProtocolError(f"release seed must be an integer, got {seed!r}")
+        envelope = self._server.perform_release(seed)
+        await self._channel.send_payload(envelope)
+        self._server.note_release_sent()
+
+    # ------------------------------------------------------------------
+    # Endings
+    # ------------------------------------------------------------------
+
+    def _finish_on_eof(self) -> None:
+        if self.state is SessionState.AWAIT_HELLO:
+            # Probe/empty connection: nothing to commit, nothing to reject.
+            self.state = SessionState.REJECTED
+            return
+        self._commit()
+
+    def _commit(self) -> None:
+        self.state = SessionState.COMMITTED
+        if self._merger is not None and self._merger.frames:
+            self._server.commit(self)
+            self._merger = None
+
+    async def _reject(self, error: ReproError) -> None:
+        self.state = SessionState.REJECTED
+        self._server.note_rejected(self, str(error))
+        code = "protocol" if isinstance(error, ProtocolError) else \
+            type(error).__name__.replace("Error", "").lower() or "error"
+        if getattr(error, "code", None):
+            code = error.code
+        try:
+            await self._channel.send_control(ERROR, code=code, message=str(error))
+            # Read out whatever the client had in flight before closing, so
+            # the close is graceful and the ERROR frame is not destroyed by
+            # a TCP reset triggered by unread inbound data.
+            self._channel.write_eof()
+            await asyncio.wait_for(self._channel.drain_incoming(), timeout=1.0)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _check_k(self, declared, source: str) -> None:
+        if declared is None:
+            return
+        if not isinstance(declared, int) or declared <= 0:
+            raise ProtocolError(f"{source} declares a bad sketch size {declared!r}")
+        agreed = self._server.adopt_k(declared)
+        if agreed != declared:
+            error = ProtocolError(
+                f"{source} declares k={declared} but this aggregation runs "
+                f"at k={agreed}; all sessions must agree on one sketch size")
+            error.code = "k_mismatch"
+            raise error
+
+    def take_merger(self) -> StreamingMerger:
+        merger = self._merger
+        self._merger = None
+        return merger

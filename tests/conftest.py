@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import signal
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
@@ -14,6 +16,34 @@ from repro.streams import zipf_stream
 settings.register_profile("repro", derandomize=True,
                           suppress_health_check=[HealthCheck.too_slow])
 settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True)
+def _net_watchdog(request):
+    """Hard per-test timeout for socket tests (the ``net`` marker).
+
+    A hung socket must fail the test, not wedge the whole workflow: tests
+    marked ``@pytest.mark.net`` get a SIGALRM-based wall-clock limit
+    (default 60s, override with ``@pytest.mark.net(seconds=N)``) that raises
+    straight through any blocked read.  No third-party timeout plugin needed.
+    """
+    marker = request.node.get_closest_marker("net")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = float(marker.kwargs.get("seconds", 60.0))
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"net test exceeded its hard {seconds:.0f}s wall-clock limit")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

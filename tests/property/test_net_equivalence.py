@@ -1,0 +1,115 @@
+"""Property: the networked release is bit-identical to the offline framed fold.
+
+The aggregation service folds each client session through its own
+:class:`~repro.api.framing.StreamingMerger` and combines the summaries in
+ordinal order; ``repro merge --framed`` over one framed file per client does
+exactly the same (per-file fold, argument-order combine).  For the same
+exports, the same split into N clients and the same seeded rng, the released
+histograms must match bit for bit — keys, values and dict order — for N in
+{1, 2, 4}, regardless of how the concurrent pushes interleave on the wire.
+
+The offline comparator here is the library path the CLI calls
+(per-file ``StreamingMerger`` + :func:`~repro.api.framing.combine_mergers`
++ :meth:`~repro.api.framing.StreamingMerger.release`); the CLI-binary
+equivalence on top of it is covered by
+``tests/integration/test_net_aggregation.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api.framing import (
+    FrameReader,
+    FrameWriter,
+    StreamingMerger,
+    combine_mergers,
+)
+from repro.api.wire import encode_counters
+from repro.core.merging import MergeStrategy, PrivateMergedRelease
+from repro.net import AggregatorClient, AggregatorServer
+
+pytestmark = pytest.mark.net(seconds=240)
+
+_KEYS = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+_VALUES = st.one_of(
+    st.integers(min_value=0, max_value=10 ** 6).map(float),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False))
+_COUNTERS = st.dictionaries(_KEYS, _VALUES, min_size=0, max_size=12)
+_EXPORT_LISTS = st.lists(_COUNTERS, min_size=1, max_size=8)
+
+
+def _chunks(items, n):
+    """Split ``items`` into n contiguous chunks (some possibly empty)."""
+    size, extra = divmod(len(items), n)
+    chunks, start = [], 0
+    for index in range(n):
+        stop = start + size + (1 if index < extra else 0)
+        chunks.append(items[start:stop])
+        start = stop
+    return chunks
+
+
+def _offline_release(chunked_exports, k, seed):
+    """The `repro merge --framed` fold: per-file merger, ordered combine."""
+    parts = []
+    for chunk in chunked_exports:
+        buffer = io.BytesIO()
+        with FrameWriter(buffer, k=k, frames=len(chunk)) as writer:
+            for envelope in chunk:
+                writer.write_payload(envelope)
+        parts.append(StreamingMerger(k).consume(FrameReader(io.BytesIO(buffer.getvalue()))))
+    merger = combine_mergers(parts, k)
+    mechanism = PrivateMergedRelease(epsilon=1.0, delta=1e-6, k=k,
+                                     strategy=MergeStrategy.TRUSTED_MERGED)
+    return merger.release(mechanism, rng=seed)
+
+
+async def _network_release(chunked_exports, k, seed):
+    """N concurrent pushing clients + one release client, in-process server."""
+    async with await AggregatorServer(epsilon=1.0, delta=1e-6,
+                                      k=k).start("127.0.0.1:0") as server:
+
+        async def push_chunk(ordinal, chunk):
+            if not chunk:
+                return
+            async with AggregatorClient(server.address, k=k,
+                                        ordinal=ordinal) as client:
+                await client.push(chunk)
+
+        await asyncio.gather(*[push_chunk(ordinal, chunk)
+                               for ordinal, chunk in enumerate(chunked_exports)])
+        async with AggregatorClient(server.address) as client:
+            return await client.request_release(seed=seed)
+
+
+@given(counters_list=_EXPORT_LISTS, k=st.integers(min_value=1, max_value=16),
+       seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_network_release_bit_identical_for_n_clients(counters_list, k, seed):
+    exports = [encode_counters(counters, k=k, stream_length=37 * index)
+               for index, counters in enumerate(counters_list)]
+    for clients in (1, 2, 4):
+        chunked = _chunks(exports, clients)
+        offline = _offline_release(chunked, k, seed)
+        networked = asyncio.run(_network_release(chunked, k, seed))
+        assert list(networked.as_dict().items()) == list(offline.as_dict().items())
+        assert networked.metadata.stream_length == offline.metadata.stream_length
+        assert networked.metadata.notes == offline.metadata.notes
+
+
+@given(counters_list=st.lists(
+    st.dictionaries(st.text(min_size=1, max_size=4), _VALUES, max_size=8),
+    min_size=1, max_size=6), k=st.integers(min_value=1, max_value=8))
+@settings(max_examples=10, deadline=None)
+def test_network_release_matches_offline_for_token_keys(counters_list, k):
+    """String-keyed exports drop both folds to dict mode — still identical."""
+    exports = [encode_counters(counters, k=k) for counters in counters_list]
+    chunked = _chunks(exports, 2)
+    offline = _offline_release(chunked, k, seed=9)
+    networked = asyncio.run(_network_release(chunked, k, seed=9))
+    assert list(networked.as_dict().items()) == list(offline.as_dict().items())

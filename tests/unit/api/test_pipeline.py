@@ -86,7 +86,12 @@ class TestMerge:
         merged = left.merge(right)
         assert merged.counters() == merge_many([left.counters(), right.counters()], 32)
         assert merged.stream_length == 4_000
-        assert merged.release(rng=0).metadata.mechanism == "PMG"
+        # pmg is single-stream calibrated: merged state must not release
+        # silently (Corollary 18 sensitivity), only with the explicit opt-in.
+        with pytest.raises(ParameterError, match="merged-sensitivity"):
+            merged.release(rng=0)
+        histogram = merged.release(rng=0, allow_single_stream_calibration=True)
+        assert histogram.metadata.mechanism == "PMG"
 
     def test_merge_wire_payloads_columnar(self):
         stream = zipf_stream(4_000, 300, rng=5, as_array=True)
