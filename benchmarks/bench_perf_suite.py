@@ -46,21 +46,39 @@ Workload groups (select with ``run_bench.py --workloads``):
     bit-identical histogram (asserted); the ratio is the cost of moving the
     bytes through real sockets and the asyncio control protocol.
 
+``kernels``
+    The compiled kernel tier (:mod:`repro.kernels`) against the vectorized
+    python engines it replaces, on the two interpreter-bound hot loops: the
+    E11 Zipf stream through ``update_batch`` at the small-``k`` regime
+    (``k = 64``, where per-chunk python overhead dominates the vectorized
+    path) and the interned columnar merge fold
+    (:func:`repro.sketches.merge._fold_interned`, the stage behind
+    ``merge_many_arrays``) at ``m = 256`` / ``k = 1024``.  Both backends
+    produce bit-identical results (asserted before timing), so every ratio
+    is pure engine speed.  The compiled rows are skipped — and their floors
+    waived — when no compiled provider (numba or a C compiler) is present.
+
 ``runner``
     An :class:`repro.analysis.ExperimentRunner` sweep executed sequentially
     and with ``workers=2`` process-level parallelism (recorded for the
     trajectory; no floor — the win depends on core count).
 
 Each invocation appends one JSON record to ``BENCH_sketch.json`` at the repo
-root so the performance trajectory is preserved across PRs.  Run it with::
+root so the performance trajectory is preserved across PRs.  Every record
+carries a ``kernels`` stanza (resolved backend, provider availability, numba
+version) so trajectory comparisons know which engine produced each row.
+Run it with::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--workloads ...]
 
 The record includes the speedup ratios the acceptance criteria track:
 ``all_distinct_k1024_batch`` (>= 10x), ``zipf_e11_k1024_batch`` (>= 3x),
 ``merge_m256_k1024_arrays`` (>= 10x),
-``framed_merge_m256_k1024_streaming`` (>= 8x) and
-``release_trusted_sum_k1024_vectorized`` (>= 3x).
+``framed_merge_m256_k1024_streaming`` (>= 8x),
+``release_trusted_sum_k1024_vectorized`` (>= 3x),
+``kernels_update_zipf_k64_compiled_batch`` (>= 8x over the seed),
+``kernels_update_zipf_k64_compiled_vs_python`` (>= 3x) and
+``kernels_fold_m256_k1024_compiled_vs_python`` (>= 2x).
 """
 
 from __future__ import annotations
@@ -92,7 +110,7 @@ BENCH_PATH = _REPO_ROOT / "BENCH_sketch.json"
 
 #: All workload groups, in report order.
 WORKLOAD_GROUPS = ("sketch", "merge", "framed_merge", "net_aggregate",
-                   "release", "runner")
+                   "release", "kernels", "runner")
 
 #: The E11 workload parameters (benchmarks/bench_e11_performance.py).
 E11_N = 100_000
@@ -420,6 +438,96 @@ def _run_registry_release_sweep(rows: List[Dict], quick: bool) -> None:
 
 
 # ---------------------------------------------------------------------------
+# kernels group (ISSUE 6: the compiled tier against the python engines)
+# ---------------------------------------------------------------------------
+
+def _kernel_tier_info() -> Dict:
+    """The ``kernels`` stanza recorded with every run: which backend the hot
+    paths resolved to, which providers were available, and the numba version
+    (``None`` when numba is absent and the C provider — or pure python — is
+    serving)."""
+    from repro import kernels as kernel_tier
+
+    info = kernel_tier.kernel_info()
+    return {
+        "available": kernel_tier.available(),
+        "backend": info["backend"],
+        "numba": info["numba_version"],
+        "providers": {name: provider["available"]
+                      for name, provider in info["providers"].items()},
+    }
+
+
+def _run_kernels_group(rows: List[Dict], quick: bool) -> None:
+    """The compiled kernel tier against the vectorized python engines.
+
+    Both backends are bit-identical (same counters, same float bits, same
+    dict order — asserted here before any clock starts), so the ratios are
+    pure engine speed.  Update rows run the E11 Zipf stream at ``k = 64``:
+    the small-``k`` regime is where the vectorized python path is weakest
+    (its per-chunk overhead is amortized over fewer stored keys) and where
+    the seed's per-element dict loop was slowest, hence the >= 8x-over-seed
+    floor.  Fold rows time the post-interning fold stage
+    (:func:`repro.sketches.merge._fold_interned`) on columnar input — the
+    stage the compiled kernel replaces — with the shared ``np.unique``
+    interning kept out of both measurements.
+    """
+    from repro import kernels as kernel_tier
+    from repro.sketches import merge as merge_module
+
+    compiled = kernel_tier.available()
+
+    # -- update_batch on the E11 Zipf stream at small k ----------------------
+    k = 64
+    n_ref = 5_000 if quick else 20_000
+    zipf = zipf_stream(E11_N // 4 if quick else E11_N, E11_UNIVERSE,
+                       exponent=E11_EXPONENT, rng=E11_RNG, as_array=True)
+    zipf_ref = zipf.tolist()[:n_ref]
+    rows.append(_measure("kernels_update_zipf", k, n_ref, "reference_seed",
+                         lambda: ReferenceMisraGries.from_stream(k, zipf_ref)))
+    rows.append(_measure("kernels_update_zipf", k, len(zipf),
+                         "optimized_python_batch",
+                         lambda: MisraGriesSketch(k, backend="python")
+                         .update_batch(zipf), repeats=3))
+    if compiled:
+        expected = MisraGriesSketch(k, backend="python").update_batch(zipf)
+        got = MisraGriesSketch(k, backend="compiled").update_batch(zipf)
+        assert got.counters() == expected.counters()
+        assert list(got.counters()) == list(expected.counters())
+        rows.append(_measure("kernels_update_zipf", k, len(zipf),
+                             "optimized_compiled_batch",
+                             lambda: MisraGriesSketch(k, backend="compiled")
+                             .update_batch(zipf), repeats=3))
+
+    # -- the interned fold behind merge_many_arrays at m=256, k=1024 ---------
+    m, size = MERGE_M, MERGE_K
+    keys_list, values_list = _per_user_sketch_exports(
+        m, size, n_per_user=5_000 if quick else 20_000)
+    flat_keys = np.concatenate(keys_list)
+    flat_values = np.concatenate(values_list).astype(np.float64)
+    lengths = [keys.size for keys in keys_list]
+    domain_keys, flat_ids = np.unique(flat_keys, return_inverse=True)
+    domain = int(domain_keys.size)
+    pairs = int(flat_keys.size)
+
+    def _fold(backend):
+        return merge_module._fold_interned(flat_ids, flat_values, lengths,
+                                           domain, size, backend=backend)
+
+    rows.append(_measure(f"kernels_fold_m{m}", size, pairs,
+                         "optimized_python_fold",
+                         lambda: _fold("python"), repeats=3))
+    if compiled:
+        py_active, py_acc = _fold("python")
+        cc_active, cc_acc = _fold("compiled")
+        assert np.array_equal(py_active, cc_active)
+        assert np.array_equal(py_acc[py_active], cc_acc[cc_active])
+        rows.append(_measure(f"kernels_fold_m{m}", size, pairs,
+                             "optimized_compiled_fold",
+                             lambda: _fold("compiled"), repeats=3))
+
+
+# ---------------------------------------------------------------------------
 # runner group (process-parallel sweep execution)
 # ---------------------------------------------------------------------------
 
@@ -448,6 +556,7 @@ _GROUP_RUNNERS = {
     "framed_merge": _run_framed_merge_group,
     "net_aggregate": _run_net_aggregate_group,
     "release": _run_release_group,
+    "kernels": _run_kernels_group,
     "runner": _run_runner_group,
 }
 
@@ -469,6 +578,7 @@ def run_suite(quick: bool = False,
         "python": platform.python_version(),
         "quick": quick,
         "workloads": [name for name in WORKLOAD_GROUPS if name in selected],
+        "kernels": _kernel_tier_info(),
         "results": rows,
         "speedups": _speedups(rows),
     }
@@ -483,7 +593,10 @@ def _sequential(sketch, elements: List[int]):
 
 
 def _speedups(rows: List[Dict]) -> Dict[str, float]:
-    """Optimized-vs-reference throughput ratios per workload/k."""
+    """Optimized-vs-reference throughput ratios per workload/k, plus
+    compiled-vs-python ratios wherever a workload measured the same mode
+    under both backends (``optimized_python_<x>`` / ``optimized_compiled_<x>``
+    row pairs from the ``kernels`` group)."""
     by_key: Dict = {}
     for row in rows:
         by_key[(row["workload"], row["k"], row["mode"])] = row["elems_per_sec"]
@@ -495,6 +608,12 @@ def _speedups(rows: List[Dict]) -> Dict[str, float]:
         if reference:
             speedups[f"{workload}_k{k}_{mode.replace('optimized_', '')}"] = round(
                 rate / reference, 2)
+        if mode.startswith("optimized_compiled_"):
+            python_rate = by_key.get((workload, k, mode.replace(
+                "optimized_compiled_", "optimized_python_")))
+            if python_rate:
+                speedups[f"{workload}_k{k}_compiled_vs_python"] = round(
+                    rate / python_rate, 2)
     return speedups
 
 

@@ -13,8 +13,12 @@ This package is the single addressable surface over the library:
 * :mod:`repro.api.framing` — length-prefixed chunked framing over the v2
   envelopes: ``m`` sketch exports in one binary stream, decoded and merged
   one frame at a time (:class:`StreamingMerger`) without buffering the file.
+
+:func:`kernel_info` (re-exported from :mod:`repro.kernels`) reports which
+compiled kernel backend the hot paths resolved to, if any.
 """
 
+from ..kernels import kernel_info
 from .framing import (
     FRAMING_VERSION,
     FrameHeader,
@@ -77,6 +81,7 @@ __all__ = [
     "encode_payload",
     "encode_sketch",
     "iter_frames",
+    "kernel_info",
     "list_mechanisms",
     "list_sketches",
     "load_payload",

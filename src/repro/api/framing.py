@@ -68,8 +68,10 @@ from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Sequen
 
 import numpy as np
 
+from .. import kernels as _kernels
 from .._validation import check_positive_int
 from ..core.merging import PrivateMergedRelease
+from ..kernels import _engine as _scan
 from ..core.results import PrivateHistogram
 from ..dp.rng import RandomState
 from ..exceptions import FramingError, ParameterError, SketchStateError
@@ -245,12 +247,28 @@ def decode_payload_body(body: bytes, what: str = "frame") -> WirePayload:
 
 
 def _decode_binary_body(body: bytes) -> WirePayload:
-    """Decode a binary columnar frame: two ``frombuffer`` views, no JSON keys."""
+    """Decode a binary columnar frame: two ``frombuffer`` views, no JSON keys.
+
+    The JSON header of a canonical frame (the only kind our writers emit) is
+    parsed by the compiled ``scan_binary_header`` kernel when one is
+    available — a single pass over the bytes with no per-frame dict or
+    string churn.  The scanner accepts exactly the canonical
+    ``json.dumps(..., sort_keys=True)`` grammar; any deviation falls back to
+    ``json.loads`` below, so malformed or foreign frames keep byte-exact
+    python error behaviour.
+    """
     if len(body) < 5:
         raise FramingError("binary frame too short for its header length")
     (header_length,) = _LENGTH.unpack_from(body, 1)
     if 5 + header_length > len(body):
         raise FramingError("binary frame header overruns the frame body")
+    kernel = _kernels.get_kernel("scan_binary_header")
+    if kernel is not None:
+        scanned = np.zeros(_scan.SCAN_OUT_SLOTS, dtype=np.int64)
+        header_bytes = np.frombuffer(body, dtype=np.uint8, count=header_length,
+                                     offset=5)
+        if kernel(np.ascontiguousarray(header_bytes), scanned) == _scan.SCAN_OK:
+            return _binary_payload_from_scan(body, header_length, scanned)
     header = FrameReader._parse_json_body(body[5:5 + header_length])
     kind = header.get("kind")
     if header.get("format") != wire_module.WIRE_FORMAT_VERSION:
@@ -277,6 +295,60 @@ def _decode_binary_body(body: bytes) -> WirePayload:
     return WirePayload(kind=kind, keys=None, values=values,
                        k=int(k) if k is not None else None,
                        meta=dict(header.get("meta", {})), key_array=keys)
+
+
+def _binary_payload_from_scan(body: bytes, header_length: int,
+                              scanned: np.ndarray) -> WirePayload:
+    """Build a :class:`WirePayload` from a kernel-scanned canonical header.
+
+    Replays the validation sequence of the ``json.loads`` path above in the
+    same order with the same messages, and assembles ``meta`` in canonical
+    (sorted) key order — which is the text order of a canonical header, so
+    the resulting payload is indistinguishable from the fallback path's.
+    """
+    declared = int(scanned[_scan.SCAN_FORMAT]) \
+        if scanned[_scan.SCAN_HAS_FORMAT] else None
+    if declared != wire_module.WIRE_FORMAT_VERSION:
+        raise FramingError(
+            f"binary frame declares format {declared!r}, "
+            f"expected {wire_module.WIRE_FORMAT_VERSION}")
+    kind_length = int(scanned[_scan.SCAN_KIND_LEN])
+    if kind_length >= 0:
+        kind_start = 5 + int(scanned[_scan.SCAN_KIND_START])
+        kind = body[kind_start:kind_start + kind_length].decode("ascii")
+    else:
+        kind = None
+    if kind not in wire_module._KINDS:
+        raise FramingError(f"unrecognized wire v2 kind {kind!r}")
+    count = int(scanned[_scan.SCAN_COUNT]) \
+        if scanned[_scan.SCAN_HAS_COUNT] else None
+    if count is None or count < 0:
+        raise FramingError(f"binary frame declares a bad count {count!r}")
+    offset = 5 + header_length
+    if len(body) != offset + 16 * count:
+        raise FramingError(
+            f"binary frame carries {len(body) - offset} payload bytes; "
+            f"count={count} requires {16 * count}")
+    keys = np.asarray(np.frombuffer(body, dtype="<i8", count=count,
+                                    offset=offset), dtype=np.int64)
+    values = np.asarray(np.frombuffer(body, dtype="<f8", count=count,
+                                      offset=offset + 8 * count),
+                        dtype=np.float64)
+    meta: Dict[str, object] = {}
+    if scanned[_scan.SCAN_HAS_META]:
+        if scanned[_scan.SCAN_HAS_DECREMENT_ROUNDS]:
+            meta["decrement_rounds"] = int(scanned[_scan.SCAN_DECREMENT_ROUNDS])
+        sketch_length = int(scanned[_scan.SCAN_SKETCH_LEN])
+        if sketch_length >= 0:
+            sketch_start = 5 + int(scanned[_scan.SCAN_SKETCH_START])
+            meta["sketch"] = body[sketch_start:sketch_start
+                                  + sketch_length].decode("ascii")
+        if scanned[_scan.SCAN_HAS_STREAM_LENGTH]:
+            meta["stream_length"] = int(scanned[_scan.SCAN_STREAM_LENGTH])
+    return WirePayload(kind=kind, keys=None, values=values,
+                       k=int(scanned[_scan.SCAN_K])
+                       if scanned[_scan.SCAN_HAS_K] else None,
+                       meta=meta, key_array=keys)
 
 
 def parse_header_body(body: Optional[bytes]) -> FrameHeader:

@@ -149,8 +149,19 @@ class Pipeline:
     #: Misra-Gries family.
     _SHARDABLE_SKETCHES = ("misra_gries", "mg")
 
+    #: Minimum stream elements per shard before ``fit(stream, workers=N)``
+    #: fans out to worker processes.  Sketching is tens of nanoseconds per
+    #: element while a process pool costs milliseconds to spin up, so a
+    #: shard needs roughly this many elements before a worker pays for
+    #: itself; shorter streams are sharded less (``num_shards =
+    #: min(workers, size // 65536)``) and a single-shard fit runs in
+    #: process with no pool at all, producing the exact result the pool
+    #: would have.
+    _MIN_SHARD_ELEMENTS = 65536
+
     def fit(self, stream: Iterable[Hashable],
-            workers: Optional[int] = None) -> "Pipeline":
+            workers: Optional[int] = None,
+            min_shard_elements: Optional[int] = None) -> "Pipeline":
         """Process one stream; returns ``self`` for chaining.
 
         Integer ndarray (and int-list) streams dispatch to the vectorized
@@ -160,11 +171,18 @@ class Pipeline:
 
         ``workers=N`` (N > 1) shards an integer ndarray stream into ``N``
         contiguous slices, sketches each slice in its own process
-        (:func:`repro.core.merging.sketch_streams`) and tree-reduces the
-        shard sketches with :func:`~repro.sketches.merge.merge_tree`.  The
+        (:func:`repro.core.merging.sketch_and_merge_shards`) and
+        tree-reduces the shard sketches with
+        :func:`~repro.sketches.merge.merge_tree`.  The
         result is a size-``k`` merged summary that satisfies the same
         Misra-Gries guarantee (estimates within ``n/(k+1)``, Lemma 29) as
-        the sequential fit — the individual counter values differ.  Only the
+        the sequential fit — the individual counter values differ.  The
+        shard sketches travel through shared memory (zero-copy columnar
+        exports, no pickling), and short streams use fewer shards than
+        ``workers``: each shard must carry at least
+        ``min_shard_elements`` (default :attr:`_MIN_SHARD_ELEMENTS`)
+        elements, and a fit that collapses to one shard runs in-process
+        with no pool, producing the bit-identical summary.  Only the
         ``misra_gries`` sketch spec and sketch/sketch_list mechanisms
         support sharding; stream-consuming mechanisms must see the raw
         elements and reject ``workers``.  A sharded fit leaves the pipeline
@@ -190,8 +208,10 @@ class Pipeline:
                 raise ParameterError(
                     f"{self.mechanism_name!r} consumes the raw stream; "
                     "sharded fit only applies to sketch-building pipelines")
+            if min_shard_elements is not None:
+                check_positive_int(min_shard_elements, "min_shard_elements")
             if workers > 1:
-                return self._fit_sharded(stream, workers)
+                return self._fit_sharded(stream, workers, min_shard_elements)
         if consumes == "sketch":
             sketch = self._ensure_sketch()
             before = sketch.stream_length
@@ -223,9 +243,11 @@ class Pipeline:
             size = getattr(self._mechanism.impl, "k", None)
         return size if size is not None else 64
 
-    def _fit_sharded(self, stream, workers: int) -> "Pipeline":
+    def _fit_sharded(self, stream, workers: int,
+                     min_shard_elements: Optional[int] = None) -> "Pipeline":
         """Shard → parallel sketch → ``merge_tree`` fan-in (see :meth:`fit`)."""
-        from ..core.merging import sketch_streams
+        from ..core.merging import sketch_and_merge_shards
+        from ..sketches.misra_gries import MisraGriesSketch
 
         consumes = self._mechanism.consumes
         if consumes == "sketch_list":
@@ -249,9 +271,19 @@ class Pipeline:
             size = make_sketch(self._sketch_spec, **self._params).size
         else:
             size = self._sketch_list_k()
-        shards = [shard for shard in np.array_split(batch, workers) if shard.size]
-        sketches = sketch_streams(shards, size, workers=workers)
-        merged = merge_tree([sketch.counters() for sketch in sketches], size)
+        # Cutover: a process fan-out only pays off when every shard carries
+        # enough elements (see _MIN_SHARD_ELEMENTS); short streams collapse
+        # to fewer shards, and a single shard is sketched in-process with no
+        # pool — the summary is identical either way.
+        per_shard = (min_shard_elements if min_shard_elements is not None
+                     else self._MIN_SHARD_ELEMENTS)
+        num_shards = min(workers, max(1, int(batch.size) // per_shard))
+        if num_shards <= 1 or batch.size <= 1:
+            counters = MisraGriesSketch.from_stream(size, batch).counters()
+            merged = merge_tree([counters], size)
+        else:
+            merged = sketch_and_merge_shards(batch, size, num_shards,
+                                             workers=workers)
         if consumes == "sketch_list":
             self._sketches.append(merged)
         else:

@@ -94,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     listing = subparsers.add_parser("list",
                                     help="list registered mechanisms and sketches")
     listing.add_argument("--what", choices=["mechanisms", "sketches", "all"], default="all")
+    listing.add_argument("--backends", action="store_true",
+                         help="report the compiled kernel backends (what "
+                              "REPRO_KERNELS / backend='auto' resolves to)")
 
     generate = subparsers.add_parser("generate", help="generate a synthetic stream")
     generate.add_argument("--dataset", choices=list_datasets() + ["zipf", "uniform"],
@@ -241,6 +244,27 @@ def build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    if getattr(args, "backends", False):
+        from .kernels import kernel_info
+
+        info = kernel_info()
+        rows = []
+        for name, provider in info["providers"].items():
+            rows.append({
+                "provider": name,
+                "available": "yes" if provider["available"] else "no",
+                "detail": (", ".join(provider["kernels"]) if provider["available"]
+                           else (provider["error"] or "unavailable")),
+            })
+        rows.append({"provider": "python", "available": "yes",
+                     "detail": "pure-python engines (always available)"})
+        print(format_table(rows, title="compiled kernel providers"))
+        print()
+        env = f" (REPRO_KERNELS={info['env']})" if info["env"] else ""
+        print(f"resolved backend: {info['backend']}{env}")
+        for kernel, backend in info["kernels"].items():
+            print(f"  {kernel}: {backend}")
+        return 0
     if args.what in ("mechanisms", "all"):
         rows = []
         for name, description in list_mechanisms().items():

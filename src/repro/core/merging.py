@@ -29,7 +29,8 @@ from __future__ import annotations
 import enum
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Union
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -39,7 +40,14 @@ from ..dp.rng import RandomState, ensure_rng
 from ..dp.thresholds import stability_histogram_threshold
 from ..exceptions import ParameterError
 from ..sketches.base import FrequencySketch
-from ..sketches.merge import merge_many, merge_many_arrays, merge_misra_gries, sum_counters
+from ..sketches.merge import (
+    merge_many,
+    merge_many_arrays,
+    merge_misra_gries,
+    merge_tree,
+    merge_tree_arrays,
+    sum_counters,
+)
 from ..sketches.misra_gries import MisraGriesSketch
 from .gshm import GaussianSparseHistogram
 from .private_misra_gries import PrivateMisraGries
@@ -92,6 +100,168 @@ def sketch_streams(streams: Sequence, k: int,
             futures = [pool.submit(_sketch_one_stream, size, stream) for stream in streams]
             return [future.result() for future in futures]
     return [MisraGriesSketch.from_stream(size, stream) for stream in streams]
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy sharded sketching over shared memory
+# ---------------------------------------------------------------------------
+#
+# ``sketch_streams`` ships every shard to its worker as a pickled ndarray and
+# gets a pickled sketch object back — two full serializations per shard.  The
+# shared-memory fan-out below eliminates both: the input batch lives in one
+# SharedMemory segment the workers view with ``np.frombuffer``, and each
+# worker writes its sketch's columnar export ``[count][keys[k]][values[k]]``
+# into its own fixed-size slot of an output segment.  The parent then folds
+# the slots with :func:`~repro.sketches.merge.merge_tree_arrays` directly on
+# the shared buffer — the sketch state is never pickled and never copied.
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    On Python <= 3.12 ``SharedMemory(name=...)`` registers the segment with
+    the *attaching* process's resource tracker, which either double-books it
+    (fork: the tracker is shared with the creating parent) or unlinks the
+    parent's segment when the worker exits (spawn: the worker has its own
+    tracker).  The parent owns both segments and unlinks them itself, so
+    workers must attach untracked; newer Pythons expose ``track=False`` for
+    exactly this.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _sketch_shard_to_slot(input_name: str, output_name: str, k: int,
+                          start: int, stop: int, slot: int) -> int:
+    """Worker: sketch ``batch[start:stop]`` and export columns to its slot."""
+    in_shm = _attach_untracked(input_name)
+    out_shm = _attach_untracked(output_name)
+    try:
+        chunk = np.frombuffer(in_shm.buf, dtype=np.int64, count=stop - start,
+                              offset=8 * start)
+        counters = MisraGriesSketch.from_stream(k, chunk).counters()
+        count = len(counters)
+        base = slot * _shard_slot_bytes(k)
+        header = np.frombuffer(out_shm.buf, dtype=np.int64, count=1, offset=base)
+        keys = np.frombuffer(out_shm.buf, dtype=np.int64, count=count,
+                             offset=base + 8)
+        values = np.frombuffer(out_shm.buf, dtype=np.float64, count=count,
+                               offset=base + 8 + 8 * k)
+        keys[:] = np.fromiter(counters.keys(), dtype=np.int64, count=count)
+        values[:] = np.fromiter(counters.values(), dtype=np.float64, count=count)
+        header[0] = count
+        # Views must die before close(), or close() raises BufferError.
+        del chunk, header, keys, values
+        return count
+    finally:
+        in_shm.close()
+        out_shm.close()
+
+
+def _shard_slot_bytes(k: int) -> int:
+    """Bytes of one shard's output slot: count + k keys + k values."""
+    return 8 + 16 * k
+
+
+def _close_unlink(shm: shared_memory.SharedMemory, unlink: bool) -> None:
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - leaked view; unlink still works
+        pass
+    if unlink:
+        try:
+            shm.unlink()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def _shard_bounds(total: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous non-empty ``(start, stop)`` spans, as ``np.array_split``."""
+    base, extra = divmod(total, num_shards)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(num_shards):
+        size = base + (1 if index < extra else 0)
+        if size:
+            bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def sketch_shards_shared(batch: np.ndarray, k: int, num_shards: int,
+                         workers: Optional[int] = None) -> Dict[int, float]:
+    """Sketch contiguous shards of one integer batch over shared memory.
+
+    Splits ``batch`` exactly like ``np.array_split`` into ``num_shards``
+    contiguous shards, sketches each in its own process reading straight from
+    a shared input segment, and tree-folds the columnar shard exports with
+    :func:`~repro.sketches.merge.merge_tree_arrays` over views of the shared
+    output segment.  The merged dict is bit-identical to the pickled
+    ``sketch_streams`` + ``merge_tree`` fan-out on the same shards.
+    """
+    size = check_positive_int(k, "k")
+    check_positive_int(num_shards, "num_shards")
+    batch = np.ascontiguousarray(batch, dtype=np.int64)
+    if batch.size == 0:
+        return {}
+    bounds = _shard_bounds(batch.size, num_shards)
+    slot_bytes = _shard_slot_bytes(size)
+    input_shm = shared_memory.SharedMemory(create=True, size=batch.nbytes)
+    output_shm = shared_memory.SharedMemory(create=True,
+                                            size=slot_bytes * len(bounds))
+    try:
+        np.frombuffer(input_shm.buf, dtype=np.int64, count=batch.size)[:] = batch
+        max_workers = workers if workers is not None else len(bounds)
+        with ProcessPoolExecutor(max_workers=min(max_workers, len(bounds))) as pool:
+            futures = [
+                pool.submit(_sketch_shard_to_slot, input_shm.name,
+                            output_shm.name, size, start, stop, slot)
+                for slot, (start, stop) in enumerate(bounds)]
+            counts = [future.result() for future in futures]
+        keys_list = []
+        values_list = []
+        for slot, count in enumerate(counts):
+            base = slot * slot_bytes
+            keys_list.append(np.frombuffer(output_shm.buf, dtype=np.int64,
+                                           count=count, offset=base + 8))
+            values_list.append(np.frombuffer(output_shm.buf, dtype=np.float64,
+                                             count=count,
+                                             offset=base + 8 + 8 * size))
+        # merge_tree_arrays materializes plain python keys/values, so nothing
+        # in the result references the shared buffers.
+        merged = merge_tree_arrays(keys_list, values_list, size)
+        del keys_list, values_list
+        return merged
+    finally:
+        _close_unlink(input_shm, unlink=True)
+        _close_unlink(output_shm, unlink=True)
+
+
+def sketch_and_merge_shards(batch: np.ndarray, k: int, num_shards: int,
+                            workers: Optional[int] = None) -> Dict[int, float]:
+    """Shard one integer batch, sketch the shards in parallel, merge.
+
+    The zero-copy :func:`sketch_shards_shared` path handles every int64-safe
+    batch; uint64 batches with keys beyond ``2**63 - 1`` (which int64 shard
+    views would corrupt) and environments without working shared memory fall
+    back to the pickled :func:`sketch_streams` fan-out.  Both paths return
+    the identical merged dict.
+    """
+    size = check_positive_int(k, "k")
+    int64_safe = not (batch.dtype.kind == "u" and batch.size
+                      and int(batch.max()) > np.iinfo(np.int64).max)
+    if int64_safe:
+        try:
+            return sketch_shards_shared(batch, size, num_shards, workers=workers)
+        except OSError:  # pragma: no cover - no usable /dev/shm
+            pass
+    shards = [shard for shard in np.array_split(batch, num_shards) if shard.size]
+    sketches = sketch_streams(shards, size, workers=workers)
+    return merge_tree([sketch.counters() for sketch in sketches], size)
 
 
 def _noisy_threshold_filter(aggregate: Mapping[Hashable, float], scale: float,

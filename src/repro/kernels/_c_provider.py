@@ -1,0 +1,177 @@
+"""Compiled kernel provider backed by the system C toolchain.
+
+Builds :data:`repro.kernels._c_src.C_SOURCE` once into a shared object with
+``cc -O2 -fPIC -shared`` (no extra dependencies — just a working C compiler)
+and loads it through :mod:`ctypes`.  The binary is cached under
+``$REPRO_KERNELS_CACHE`` (default ``~/.cache/repro-kernels``) keyed on a hash
+of the source text, so editing the C invalidates stale builds and concurrent
+processes converge on one file via an atomic rename.
+
+The provider degrades to *unavailable* — never an import error — when no
+compiler exists, the build fails, or the cache directory cannot be written;
+:func:`error` keeps the reason for ``kernel_info()``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Dict, Optional
+
+import numpy as np
+
+from ._c_src import C_SOURCE, SOURCE_VERSION
+
+PROVIDER_NAME = "cc"
+
+_lib = None
+_kernels: Optional[Dict] = None
+_error: Optional[str] = None
+_loaded = False
+
+_I64 = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_F64 = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+_U8 = np.ctypeslib.ndpointer(dtype=np.uint8, flags="C_CONTIGUOUS")
+
+
+def cache_dir() -> str:
+    """The build-cache directory (``REPRO_KERNELS_CACHE`` overrides)."""
+    override = os.environ.get("REPRO_KERNELS_CACHE")
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-kernels")
+
+
+def _find_compiler() -> Optional[str]:
+    override = os.environ.get("REPRO_KERNELS_CC")
+    if override:
+        return override if shutil.which(override) else None
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _source_tag() -> str:
+    digest = hashlib.sha256(
+        f"v{SOURCE_VERSION}:".encode() + C_SOURCE.encode()).hexdigest()
+    return digest[:16]
+
+
+def shared_object_path() -> str:
+    return os.path.join(cache_dir(), f"repro_kernels_{_source_tag()}.so")
+
+
+def _build_shared_object() -> str:
+    """Compile the C source into the cache; returns the .so path."""
+    target = shared_object_path()
+    if os.path.exists(target):
+        return target
+    compiler = _find_compiler()
+    if compiler is None:
+        raise RuntimeError("no C compiler found (tried $REPRO_KERNELS_CC, cc, gcc, clang)")
+    directory = cache_dir()
+    os.makedirs(directory, exist_ok=True)
+    fd, c_path = tempfile.mkstemp(suffix=".c", dir=directory)
+    so_tmp = c_path[:-2] + ".so"
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(C_SOURCE)
+        result = subprocess.run(
+            [compiler, "-O2", "-fPIC", "-shared", "-o", so_tmp, c_path],
+            capture_output=True, text=True, timeout=120)
+        if result.returncode != 0:
+            raise RuntimeError(
+                f"{compiler} failed ({result.returncode}): {result.stderr.strip()[:500]}")
+        # Atomic publish: concurrent builders race benignly to the same name.
+        os.replace(so_tmp, target)
+    finally:
+        for leftover in (c_path, so_tmp):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+    return target
+
+
+def _bind(lib) -> Dict:
+    lib.repro_mg_update.restype = ctypes.c_int64
+    lib.repro_mg_update.argtypes = [_I64, _I64, _I64, _I64, _I64,
+                                    ctypes.c_int64, _I64, ctypes.c_int64]
+    lib.repro_fold_interned.restype = ctypes.c_int64
+    lib.repro_fold_interned.argtypes = [_I64, _F64, _I64, ctypes.c_int64,
+                                        ctypes.c_int64, _F64, _I64, _I64,
+                                        _F64, _I64, _I64]
+    lib.repro_scan_header.restype = ctypes.c_int64
+    lib.repro_scan_header.argtypes = [_U8, ctypes.c_int64, _I64]
+
+    def mg_update(keys, dummy, stored, ins_seq, io, chunk):
+        status = lib.repro_mg_update(keys, dummy, stored, ins_seq, io,
+                                     keys.shape[0], chunk, chunk.shape[0])
+        if status == 2:
+            raise MemoryError("repro_mg_update: allocation failed")
+        return int(status)
+
+    def fold_interned(flat_ids, flat_values, lengths, size, acc, active,
+                      scratch_ids, scratch_vals, zero_live):
+        out_n = np.zeros(1, dtype=np.int64)
+        lib.repro_fold_interned(flat_ids, flat_values, lengths,
+                                lengths.shape[0], size, acc, active,
+                                scratch_ids, scratch_vals, zero_live, out_n)
+        return int(out_n[0])
+
+    def scan_binary_header(buf, out):
+        return int(lib.repro_scan_header(buf, buf.shape[0], out))
+
+    return {"mg_update": mg_update, "fold_interned": fold_interned,
+            "scan_binary_header": scan_binary_header}
+
+
+def load() -> Optional[Dict]:
+    """Kernel table for this provider, or ``None`` (reason in :func:`error`)."""
+    global _lib, _kernels, _error, _loaded
+    if _loaded:
+        return _kernels
+    _loaded = True
+    try:
+        path = _build_shared_object()
+        _lib = ctypes.CDLL(path)
+        _kernels = _bind(_lib)
+    except Exception as exc:  # degrade to unavailable, keep the reason
+        _error = f"{type(exc).__name__}: {exc}"
+        _kernels = None
+    return _kernels
+
+
+def available() -> bool:
+    return load() is not None
+
+
+def error() -> Optional[str]:
+    load()
+    return _error
+
+
+def info() -> Dict:
+    table = load()
+    return {
+        "name": PROVIDER_NAME,
+        "available": table is not None,
+        "error": _error,
+        "kernels": sorted(table) if table else [],
+        "artifact": shared_object_path() if table is not None else None,
+    }
+
+
+def reset_for_tests() -> None:
+    """Forget the load result so tests can flip cache/compiler env vars."""
+    global _lib, _kernels, _error, _loaded
+    _lib = None
+    _kernels = None
+    _error = None
+    _loaded = False

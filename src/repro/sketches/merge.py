@@ -37,6 +37,7 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, 
 
 import numpy as np
 
+from .. import kernels as _kernels
 from .._validation import check_positive_int
 from ..exceptions import ParameterError, SketchStateError
 from .base import FrequencySketch
@@ -204,9 +205,49 @@ def _raise_negative(views: Sequence[Mapping[Hashable, float]]) -> None:
 # ---------------------------------------------------------------------------
 
 def _fold_interned(flat_ids: np.ndarray, flat_values: np.ndarray,
-                   lengths: Sequence[int], domain: int,
-                   size: int) -> Tuple[np.ndarray, np.ndarray]:
+                   lengths: Sequence[int], domain: int, size: int,
+                   backend: Optional[str] = None) -> Tuple[np.ndarray, np.ndarray]:
     """Left fold of the Agarwal merge over interned (id, value) sketches.
+
+    Dispatches to the compiled ``fold_interned`` kernel
+    (:mod:`repro.kernels`) when one is available — the kernel is a scalar
+    replica of :func:`_fold_interned_python` producing bit-identical output
+    — and otherwise (or for NaN-valued counters, where the kernel's
+    quickselect would disagree with ``np.partition``'s NaN ordering) runs
+    the vectorized python fold.
+    """
+    if domain and flat_ids.size:
+        kernel = _kernels.get_kernel("fold_interned", backend)
+        if kernel is not None and not np.isnan(flat_values).any():
+            return _fold_interned_kernel(
+                kernel, flat_ids, flat_values, lengths, domain, size)
+    return _fold_interned_python(flat_ids, flat_values, lengths, domain, size)
+
+
+def _fold_interned_kernel(kernel, flat_ids: np.ndarray, flat_values: np.ndarray,
+                          lengths: Sequence[int], domain: int,
+                          size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Run the compiled fold kernel; allocates its fixed-size work buffers."""
+    lengths_array = np.ascontiguousarray(np.asarray(lengths, dtype=np.int64))
+    ids = np.ascontiguousarray(flat_ids, dtype=np.int64)
+    values = np.ascontiguousarray(flat_values, dtype=np.float64)
+    acc = np.zeros(domain, dtype=np.float64)
+    # The live set never exceeds ``size`` counters; scratch holds one step's
+    # combined (live + fresh) ids, bounded by ``size + max(lengths)``.
+    active = np.empty(size + 1, dtype=np.int64)
+    scratch_cap = size + int(lengths_array.max()) + 1
+    scratch_ids = np.empty(scratch_cap, dtype=np.int64)
+    scratch_values = np.empty(scratch_cap, dtype=np.float64)
+    zero_live = np.empty(size + 1, dtype=np.int64)
+    count = kernel(ids, values, lengths_array, size, acc, active,
+                   scratch_ids, scratch_values, zero_live)
+    return active[:count], acc
+
+
+def _fold_interned_python(flat_ids: np.ndarray, flat_values: np.ndarray,
+                          lengths: Sequence[int], domain: int,
+                          size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized left fold of the Agarwal merge over interned sketches.
 
     The accumulator is one dense float array over the id space with the
     invariant ``acc[id] > 0 iff id is a live counter``; each fold step is a
@@ -299,7 +340,8 @@ def _fold_interned(flat_ids: np.ndarray, flat_values: np.ndarray,
     return active, acc
 
 
-def merge_many(sketches: Sequence[SketchLike], k: int) -> Dict[Hashable, float]:
+def merge_many(sketches: Sequence[SketchLike], k: int,
+               backend: Optional[str] = None) -> Dict[Hashable, float]:
     """Fold :func:`merge_misra_gries` over a sequence of sketches, vectorized.
 
     The error guarantee holds for any merge order; the fold matches the
@@ -314,6 +356,10 @@ def merge_many(sketches: Sequence[SketchLike], k: int) -> Dict[Hashable, float]:
     deserialized straight off the aggregator's wire protocol) should go
     through :func:`merge_many_arrays`, which skips the per-object dict
     traversal entirely.
+
+    ``backend`` selects the fold engine (see :mod:`repro.kernels`); the
+    default ``None`` means ``auto`` — a compiled kernel when available,
+    the vectorized python fold otherwise, with identical results either way.
     """
     size = check_positive_int(k, "k")
     if not sketches:
@@ -333,13 +379,15 @@ def merge_many(sketches: Sequence[SketchLike], k: int) -> Dict[Hashable, float]:
         dtype=np.float64, count=total)
     if total and bool(np.min(flat_values) < 0):
         _raise_negative(views)
-    active, acc = _fold_interned(flat_ids, flat_values, lengths, domain, size)
+    active, acc = _fold_interned(flat_ids, flat_values, lengths, domain, size,
+                                 backend=backend)
     return dict(zip(_resolve_keys(active, resolver), acc[active].tolist()))
 
 
 def merge_many_arrays(keys_list: Sequence[np.ndarray],
                       values_list: Sequence[np.ndarray],
-                      k: int) -> Dict[int, float]:
+                      k: int,
+                      backend: Optional[str] = None) -> Dict[int, float]:
     """Columnar :func:`merge_many`: sketches as parallel (keys, values) arrays.
 
     This is the aggregator's wire path for the distributed setting of
@@ -395,17 +443,20 @@ def merge_many_arrays(keys_list: Sequence[np.ndarray],
         # corrupt keys beyond 2**53; take the exact dict route instead.
         return merge_many(
             [dict(zip(keys.tolist(), values.tolist()))
-             for keys, values in zip(key_arrays, value_arrays)], size)
+             for keys, values in zip(key_arrays, value_arrays)], size,
+            backend=backend)
     flat_values = np.concatenate([array for array in value_arrays if array.size])
     if flat_values.size and bool(np.min(flat_values) < 0):
         offender = flat_keys[np.flatnonzero(flat_values < 0)[0]]
         raise SketchStateError(f"negative counter for {offender!r} cannot be merged")
     flat_ids, domain, resolver = _intern_int_keys(flat_keys)
-    active, acc = _fold_interned(flat_ids, flat_values, lengths, domain, size)
+    active, acc = _fold_interned(flat_ids, flat_values, lengths, domain, size,
+                                 backend=backend)
     return dict(zip(_resolve_keys(active, resolver), acc[active].tolist()))
 
 
-def merge_tree(sketches: Sequence[SketchLike], k: int) -> Dict[Hashable, float]:
+def merge_tree(sketches: Sequence[SketchLike], k: int,
+               backend: Optional[str] = None) -> Dict[Hashable, float]:
     """Merge as a balanced pairwise tree instead of a left fold.
 
     Lemma 29 holds for *any* merge order, so the tree result carries the same
@@ -422,7 +473,8 @@ def merge_tree(sketches: Sequence[SketchLike], k: int) -> Dict[Hashable, float]:
     while len(level) > 1:
         next_level: List[Dict[Hashable, float]] = []
         for index in range(0, len(level) - 1, 2):
-            next_level.append(merge_many([level[index], level[index + 1]], size))
+            next_level.append(merge_many([level[index], level[index + 1]], size,
+                                         backend=backend))
         if len(level) % 2:
             next_level.append(level[-1])
         level = next_level
@@ -430,6 +482,40 @@ def merge_tree(sketches: Sequence[SketchLike], k: int) -> Dict[Hashable, float]:
     if len(result) > size:
         result = merge_misra_gries(result, {}, size)
     return result
+
+
+def merge_tree_arrays(keys_list: Sequence[np.ndarray],
+                      values_list: Sequence[np.ndarray],
+                      k: int,
+                      backend: Optional[str] = None) -> Dict[int, float]:
+    """Columnar :func:`merge_tree`: sketches as parallel (keys, values) arrays.
+
+    The zero-copy sharded fit path hands the parent process one
+    ``(keys, values)`` array pair per shard, viewed directly over shared
+    memory; this entry point runs the first (widest) tree round on those
+    views through :func:`merge_many_arrays` — no per-key dict is ever built
+    from the raw shard exports — and finishes the remaining rounds on the
+    ``<= k``-counter intermediates.  The result equals
+    ``merge_tree([dict(zip(ks, vs)), ...], k)`` exactly, dict order included.
+    """
+    size = check_positive_int(k, "k")
+    if len(keys_list) != len(values_list):
+        raise ParameterError(
+            f"got {len(keys_list)} key arrays but {len(values_list)} value arrays")
+    if not keys_list:
+        return {}
+    next_level: List[Dict[Hashable, float]] = []
+    for index in range(0, len(keys_list) - 1, 2):
+        next_level.append(merge_many_arrays(
+            [keys_list[index], keys_list[index + 1]],
+            [values_list[index], values_list[index + 1]], size,
+            backend=backend))
+    if len(keys_list) % 2:
+        carry = np.asarray(keys_list[-1])
+        next_level.append(dict(zip(carry.tolist(),
+                                   np.asarray(values_list[-1],
+                                              dtype=np.float64).tolist())))
+    return merge_tree(next_level, size, backend=backend)
 
 
 def sum_counters(sketches: Iterable[SketchLike]) -> Dict[Hashable, float]:

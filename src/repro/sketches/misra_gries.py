@@ -43,6 +43,7 @@ from typing import Dict, Hashable, Iterable, List, Set, Tuple
 
 import numpy as np
 
+from .. import kernels as _kernels
 from .._validation import check_positive_int
 from ..exceptions import ParameterError, SketchStateError
 from ._ordering import DummyKey, eviction_order
@@ -66,6 +67,14 @@ class MisraGriesSketch(FrequencySketch):
         Number of counters.  The sketch guarantees
         ``estimate(x) in [f(x) - n/(k+1), f(x)]`` for every element ``x``
         where ``n`` is the stream length (Fact 7).
+    backend:
+        Kernel backend for :meth:`update_batch`: ``"auto"`` (default) uses a
+        compiled kernel when one is available, ``"python"`` forces the pure
+        NumPy/python engine, ``"compiled"``/``"numba"``/``"cc"`` require a
+        specific provider (raising
+        :class:`~repro.exceptions.ParameterError` when absent).  The
+        ``REPRO_KERNELS`` environment variable overrides this value.  Every
+        backend produces bit-identical sketch state.
 
     Examples
     --------
@@ -76,8 +85,14 @@ class MisraGriesSketch(FrequencySketch):
     True
     """
 
-    def __init__(self, k: int) -> None:
+    def __init__(self, k: int, backend: str = "auto") -> None:
         self._k = check_positive_int(k, "k")
+        self._backend = _kernels.validate_backend(backend)
+        if self._backend not in ("auto", "python"):
+            # Fail at construction, not first update, when an explicitly
+            # requested provider cannot be honoured (the env override can
+            # still redirect the request at update time).
+            _kernels.resolve_backend(self._backend)
         # Lazy decrement offset: the counter of a key is `stored - base`.
         self._base = 0
         self._stored: Dict[Hashable, int] = {DummyKey(i): 0 for i in range(1, self._k + 1)}
@@ -136,9 +151,20 @@ class MisraGriesSketch(FrequencySketch):
         if array.dtype.kind not in "iu":
             raise ParameterError(
                 f"update_batch expects an integer array, got dtype {array.dtype}")
+        if self._kernel_batch(array):
+            return self
         for start in range(0, len(array), _BATCH_CHUNK):
             self._apply_chunk(array[start:start + _BATCH_CHUNK])
         return self
+
+    @property
+    def backend(self) -> str:
+        """The requested kernel backend (``REPRO_KERNELS`` may override)."""
+        return self._backend
+
+    def resolved_backend(self) -> str:
+        """The backend :meth:`update_batch` resolves to right now."""
+        return _kernels.backend_name(self._backend)
 
     def estimate(self, element: Hashable) -> float:
         """Estimated frequency of ``element`` (0 for unstored elements)."""
@@ -266,6 +292,110 @@ class MisraGriesSketch(FrequencySketch):
                            for index, key in enumerate(zeros)]
         heapq.heapify(self._zero_heap)
         self._heap_seq = len(self._zero_heap)
+
+    # ------------------------------------------------------------------
+    # Compiled kernel engine
+    # ------------------------------------------------------------------
+
+    def _kernel_batch(self, array: np.ndarray) -> bool:
+        """Run one ``update_batch`` call through a compiled kernel.
+
+        Returns ``False`` (leaving the state untouched) whenever the call
+        cannot take the native path — no compiled provider, a key universe
+        the int64 state cannot represent, or non-integer stored values from
+        a deserialized sketch — so the python engine handles it instead.
+        The kernel replays Branches 1-3 element by element, which is
+        bit-identical to the chunked python path (itself property-tested
+        equal to the sequential engine).
+        """
+        kernel = _kernels.get_kernel("mg_update", self._backend)
+        if kernel is None:
+            return False
+        chunk = self._as_int64_chunk(array)
+        if chunk is None:
+            return False
+        state = self._export_kernel_state()
+        if state is None:
+            return False
+        keys, dummy, stored, ins_seq, io = state
+        status = kernel(keys, dummy, stored, ins_seq, io, chunk)
+        if status != 0:
+            raise SketchStateError("zero-key heap exhausted; sketch state is corrupt")
+        self._import_kernel_state(keys, dummy, stored, ins_seq, io, int(array.size))
+        return True
+
+    @staticmethod
+    def _as_int64_chunk(array: np.ndarray) -> "np.ndarray | None":
+        """``array`` as a contiguous int64 view/copy, or ``None`` if lossy."""
+        if array.dtype == np.int64:
+            return np.ascontiguousarray(array)
+        if array.dtype.kind == "i":
+            return array.astype(np.int64)
+        # Unsigned: uint64 values beyond int64 range must stay in python.
+        if array.dtype.itemsize == 8 and array.size and int(array.max()) > 2**63 - 1:
+            return None
+        return array.astype(np.int64)
+
+    def _export_kernel_state(self):
+        """Sketch state as the kernel's parallel int64 arrays, or ``None``.
+
+        Only pure ``int``-keyed, ``int``-valued state qualifies; anything
+        else (string keys from sequential updates, float counters from
+        ``_restore_state``, numpy scalar keys) falls back to the python
+        engine, preserving exact key objects and semantics.
+        """
+        k = self._k
+        keys = np.empty(k, dtype=np.int64)
+        dummy = np.zeros(k, dtype=np.int64)
+        stored = np.empty(k, dtype=np.int64)
+        index = 0
+        for key, value in self._stored.items():
+            if type(value) is not int:
+                return None
+            if type(key) is int:
+                if not (-(2**63) <= key < 2**63):
+                    return None
+                keys[index] = key
+            elif isinstance(key, DummyKey):
+                dummy[index] = 1
+                keys[index] = key.index
+            else:
+                return None
+            stored[index] = value
+            index += 1
+        ins_seq = np.arange(k, dtype=np.int64)
+        io = np.array([self._base, self._decrement_rounds, k], dtype=np.int64)
+        return keys, dummy, stored, ins_seq, io
+
+    def _import_kernel_state(self, keys, dummy, stored, ins_seq, io, n: int) -> None:
+        """Rebuild the dict/bucket/heap state from the kernel arrays.
+
+        ``ins_seq`` reproduces dict insertion order exactly: surviving slots
+        keep their original position, evicted slots re-append in eviction
+        order — the same order the python engine's ``del``/insert pairs
+        produce.
+        """
+        order = np.argsort(ins_seq).tolist()
+        key_list = keys.tolist()
+        dummy_list = dummy.tolist()
+        value_list = stored.tolist()
+        stored_dict = {}
+        buckets = {}
+        for slot in order:
+            key = DummyKey(key_list[slot]) if dummy_list[slot] else key_list[slot]
+            value = value_list[slot]
+            stored_dict[key] = value
+            bucket = buckets.get(value)
+            if bucket is None:
+                buckets[value] = {key}
+            else:
+                bucket.add(key)
+        self._stored = stored_dict
+        self._buckets = buckets
+        self._base = int(io[0])
+        self._decrement_rounds = int(io[1])
+        self._compact_heap()
+        self._stream_length += n
 
     # ------------------------------------------------------------------
     # Vectorized engine

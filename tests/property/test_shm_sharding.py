@@ -1,0 +1,135 @@
+"""Property: zero-copy shared-memory sharding is bit-identical to the
+pickled-sketch path it replaced.
+
+``sketch_shards_shared`` moves the batch and the per-shard counter exports
+through ``multiprocessing.shared_memory`` segments instead of pickling
+sketches back from the pool; ``sketch_and_merge_shards`` wraps it with the
+legacy ``sketch_streams`` + ``merge_tree`` fallback for key universes the
+int64 columnar slots cannot carry.  Both must return *exactly* the summary
+the legacy path returns — same keys, same float bits, same dict order — for
+every shard count, and ``Pipeline.fit(stream, workers=N)`` must collapse to
+the sequential fit (bit-identical, no pool) below its shard-size cutover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import Pipeline
+from repro.core.merging import (
+    _shard_bounds,
+    sketch_and_merge_shards,
+    sketch_shards_shared,
+)
+from repro.exceptions import ParameterError
+from repro.sketches import MisraGriesSketch
+from repro.sketches.merge import merge_tree
+
+_STREAMS = st.lists(st.integers(min_value=-(2**62), max_value=2**62)
+                    | st.integers(min_value=0, max_value=30),
+                    min_size=1, max_size=600)
+
+
+def _legacy_reference(batch, k, num_shards):
+    """The pre-shared-memory result: per-shard sketches, merge_tree fan-in.
+
+    Computed in-process — the legacy pool only moved pickles, so the pooled
+    result is by construction identical to this.
+    """
+    shards = [shard for shard in np.array_split(batch, num_shards)
+              if shard.size]
+    counters = [MisraGriesSketch.from_stream(k, shard).counters()
+                for shard in shards]
+    return merge_tree(counters, k)
+
+
+@given(stream=_STREAMS, k=st.integers(1, 32))
+@settings(max_examples=10, deadline=None)
+def test_shared_memory_sharding_matches_legacy_bit_for_bit(stream, k):
+    batch = np.asarray(stream, dtype=np.int64)
+    for num_shards in (1, 2, 4):
+        expected = _legacy_reference(batch, k, num_shards)
+        merged = sketch_shards_shared(batch, k, num_shards)
+        assert merged == expected
+        assert list(merged) == list(expected)
+        assert all(type(value) is float for value in merged.values())
+
+
+@given(stream=_STREAMS, k=st.integers(1, 32))
+@settings(max_examples=10, deadline=None)
+def test_dispatcher_matches_legacy_across_dtypes(stream, k):
+    for dtype in (np.int64, np.int32, np.uint64):
+        batch = np.abs(np.asarray(stream, dtype=np.int64)).astype(dtype)
+        expected = _legacy_reference(batch, k, 2)
+        merged = sketch_and_merge_shards(batch, k, 2)
+        assert merged == expected and list(merged) == list(expected)
+
+
+def test_uint64_overflow_takes_the_legacy_path():
+    """Keys beyond int64 cannot ride the columnar slots; the dispatcher must
+    fall back to the pickled-sketch transfer and still agree with it."""
+    batch = np.array([2**63 + 5, 2**63 + 5, 7, 7, 7, 2**64 - 1],
+                     dtype=np.uint64)
+    expected = _legacy_reference(batch, 4, 2)
+    merged = sketch_and_merge_shards(batch, 4, 2)
+    assert merged == expected and list(merged) == list(expected)
+    assert 2**63 + 5 in merged
+
+
+def test_shard_bounds_replicate_array_split():
+    for total in (1, 2, 5, 7, 100, 101, 1023):
+        for num_shards in (1, 2, 3, 4, 8):
+            batch = np.arange(total)
+            expected = [(int(shard[0]), int(shard[-1]) + 1)
+                        for shard in np.array_split(batch, num_shards)
+                        if shard.size]
+            assert _shard_bounds(total, num_shards) == expected
+
+
+# ---------------------------------------------------------------------------
+# Pipeline cutover (workers=N on short streams stays sequential)
+# ---------------------------------------------------------------------------
+
+def _pipe(k=16):
+    return Pipeline(sketch="misra_gries", mechanism="pmg", k=k,
+                    epsilon=1.0, delta=1e-6)
+
+
+def test_short_stream_collapses_to_the_sequential_fit():
+    """Below the cutover the sharded fit is the sequential fit: bit-identical
+    summary, no process pool involved."""
+    stream = np.arange(1000, dtype=np.int64) % 37
+    assert len(stream) < Pipeline._MIN_SHARD_ELEMENTS
+    sequential = _pipe().fit(stream)
+    sharded = _pipe().fit(stream, workers=4)
+    assert sharded.counters() == sequential.counters()
+    assert list(sharded.counters()) == list(sequential.counters())
+
+
+def test_min_shard_elements_override_forces_real_sharding():
+    stream = np.arange(1000, dtype=np.int64) % 37
+    pipe = _pipe()
+    pipe.fit(stream, workers=4, min_shard_elements=250)
+    expected = _legacy_reference(stream, 16, 4)
+    assert pipe.counters() == expected
+    assert list(pipe.counters()) == list(expected)
+
+
+def test_shard_count_scales_with_stream_length():
+    """workers=4 with ~2.5 shards' worth of elements uses 2 shards, matching
+    the legacy 2-shard reference (not the 4-shard one)."""
+    stream = np.arange(500, dtype=np.int64) % 23
+    pipe = _pipe()
+    pipe.fit(stream, workers=4, min_shard_elements=200)
+    assert pipe.counters() == _legacy_reference(stream, 16, 2)
+    assert pipe.counters() != _legacy_reference(stream, 16, 4)
+
+
+def test_min_shard_elements_rejects_invalid_values():
+    stream = np.arange(100, dtype=np.int64)
+    with pytest.raises(ParameterError):
+        _pipe().fit(stream, workers=2, min_shard_elements=0)
+    with pytest.raises(ParameterError):
+        _pipe().fit(stream, workers=2, min_shard_elements=-5)

@@ -15,12 +15,19 @@ promises.  Each mechanism must:
 
 The ``repro list`` CLI output is asserted to match the parametrized set, so
 the table users see and the set this suite locks down cannot drift apart.
+
+The whole suite runs **twice** — once with ``REPRO_KERNELS=python`` and once
+with ``REPRO_KERNELS=compiled`` (skipped when no compiled provider exists) —
+so every registry entry honours the identical contract on both kernel
+backends.  The env var is the strongest override the tier has, so this
+exercises exactly what a deploy pinning a backend would run.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro import kernels
 from repro.api import Pipeline, describe_pipeline, list_mechanisms, list_sketches
 from repro.api.registry import (
     CONSUMES,
@@ -47,6 +54,15 @@ UNIVERSE = 32
 
 MECHANISMS = sorted(list_mechanisms())
 SKETCHES = sorted(list_sketches())
+
+
+@pytest.fixture(autouse=True, params=["python", "compiled"])
+def kernel_backend(request, monkeypatch):
+    """Run every conformance test under both kernel backends."""
+    if request.param == "compiled" and not kernels.available():
+        pytest.skip("no compiled kernel provider in this environment")
+    monkeypatch.setenv(kernels.ENV_VAR, request.param)
+    return request.param
 
 
 def _flat_stream():
@@ -157,6 +173,19 @@ def test_sketch_spec_round_trip_and_uniform_interface(name):
 def test_sketch_rejects_unknown_spec_parameter(name):
     with pytest.raises(ParameterError, match="does not accept"):
         make_sketch({"name": name, "definitely_not_a_parameter": 1}, k=16)
+
+
+def test_misra_gries_spec_accepts_backend_parameter(kernel_backend):
+    sketch = make_sketch({"name": "misra_gries", "backend": kernel_backend},
+                         k=16)
+    sketch.update_all(_flat_stream())
+    assert sketch.backend == kernel_backend
+    assert sketch.resolved_backend() in ("python",) + kernels._PROVIDER_ORDER
+
+
+def test_misra_gries_spec_rejects_unknown_backend():
+    with pytest.raises(ParameterError, match="backend must be one of"):
+        make_sketch({"name": "misra_gries", "backend": "fortran"}, k=16)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,150 @@
+"""Backend selection contract of :mod:`repro.kernels`.
+
+``validate_backend`` normalization, ``resolve_backend`` precedence (the
+``REPRO_KERNELS`` environment variable beats every in-code request and is
+read at call time), the explicit-request-unavailable → ``ParameterError``
+rule, the ``auto`` → python fallback with its warn-once semantics, and the
+``kernel_info()`` report shape.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import kernels
+from repro.exceptions import ParameterError
+from repro.kernels import _numba_provider
+
+
+@pytest.fixture(autouse=True)
+def _isolated_tier(monkeypatch):
+    """Each test sees a fresh tier: no env override, cold warn-once flag."""
+    monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+    kernels.reset_for_tests()
+    yield
+    kernels.reset_for_tests()
+
+
+# ---------------------------------------------------------------------------
+# validate_backend
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", kernels.BACKENDS)
+def test_every_documented_backend_validates(backend):
+    assert kernels.validate_backend(backend) == backend
+
+
+def test_off_is_an_alias_of_python():
+    assert kernels.validate_backend("off") == "python"
+
+
+@pytest.mark.parametrize("value", ["AUTO", "  python ", "Compiled"])
+def test_validation_normalizes_case_and_whitespace(value):
+    assert kernels.validate_backend(value) in kernels.BACKENDS
+
+
+@pytest.mark.parametrize("value", ["fortran", "", 7, None])
+def test_unknown_backends_raise_parameter_error(value):
+    with pytest.raises(ParameterError, match="backend must be one of"):
+        kernels.validate_backend(value)
+
+
+# ---------------------------------------------------------------------------
+# resolve_backend
+# ---------------------------------------------------------------------------
+
+def test_python_request_resolves_to_python():
+    assert kernels.resolve_backend("python") == "python"
+
+
+def test_auto_resolves_to_a_provider_or_python():
+    assert kernels.resolve_backend(None) in ("python",) + kernels._PROVIDER_ORDER
+
+
+def test_explicit_numba_without_numba_raises():
+    if _numba_provider.available():  # pragma: no cover - numba-present lane
+        pytest.skip("numba is installed in this environment")
+    with pytest.raises(ParameterError, match="numba"):
+        kernels.resolve_backend("numba")
+
+
+def test_env_var_overrides_explicit_request(monkeypatch):
+    monkeypatch.setenv(kernels.ENV_VAR, "python")
+    assert kernels.resolve_backend("compiled") == "python"
+    assert kernels.get_kernel("mg_update", "compiled") is None
+
+
+def test_env_var_is_read_at_call_time(monkeypatch):
+    before = kernels.backend_name()
+    monkeypatch.setenv(kernels.ENV_VAR, "off")
+    assert kernels.resolve_backend(None) == "python"
+    monkeypatch.delenv(kernels.ENV_VAR)
+    assert kernels.backend_name() == before
+
+
+def test_invalid_env_value_raises(monkeypatch):
+    monkeypatch.setenv(kernels.ENV_VAR, "fortran")
+    with pytest.raises(ParameterError, match="backend must be one of"):
+        kernels.resolve_backend(None)
+
+
+def test_compiled_with_no_providers_raises(monkeypatch):
+    monkeypatch.setattr(kernels._numba_provider, "available", lambda: False)
+    monkeypatch.setattr(kernels._c_provider, "available", lambda: False)
+    with pytest.raises(ParameterError, match="no provider is available"):
+        kernels.resolve_backend("compiled")
+
+
+def test_auto_with_no_providers_warns_exactly_once(monkeypatch):
+    monkeypatch.setattr(kernels._numba_provider, "available", lambda: False)
+    monkeypatch.setattr(kernels._c_provider, "available", lambda: False)
+    with pytest.warns(kernels.KernelFallbackWarning):
+        assert kernels.resolve_backend(None) == "python"
+    # The second resolution is silent: one warning per process.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert kernels.resolve_backend(None) == "python"
+        assert kernels.get_kernel("mg_update") is None
+    assert not kernels.available()
+
+
+# ---------------------------------------------------------------------------
+# get_kernel / backend_name / kernel_info
+# ---------------------------------------------------------------------------
+
+def test_get_kernel_python_is_none_for_every_kernel():
+    for name in kernels.KERNEL_NAMES:
+        assert kernels.get_kernel(name, "python") is None
+
+
+def test_get_kernel_returns_callables_when_available():
+    if not kernels.available():  # pragma: no cover - toolchain-free lane
+        pytest.skip("no compiled provider in this environment")
+    for name in kernels.KERNEL_NAMES:
+        assert callable(kernels.get_kernel(name, "compiled"))
+
+
+def test_backend_name_never_raises(monkeypatch):
+    monkeypatch.setattr(kernels._numba_provider, "available", lambda: False)
+    monkeypatch.setattr(kernels._c_provider, "available", lambda: False)
+    assert kernels.backend_name("compiled") == "python"
+
+
+def test_kernel_info_shape():
+    info = kernels.kernel_info()
+    assert set(info) == {"backend", "env", "error", "providers", "kernels",
+                         "numba_version"}
+    assert set(info["providers"]) == set(kernels._PROVIDER_ORDER)
+    assert set(info["kernels"]) == set(kernels.KERNEL_NAMES)
+    for provider in info["providers"].values():
+        assert {"name", "available", "error", "kernels"} <= set(provider)
+
+
+def test_kernel_info_reports_env_override(monkeypatch):
+    monkeypatch.setenv(kernels.ENV_VAR, "python")
+    info = kernels.kernel_info()
+    assert info["env"] == "python"
+    assert info["backend"] == "python"
+    assert all(backend == "python" for backend in info["kernels"].values())

@@ -1,0 +1,80 @@
+"""The on-demand C build: caching, compiler override, graceful degradation.
+
+These tests only exercise build *plumbing* (the kernels' numerical behavior
+is locked down by the parity property suite).  They are skipped wholesale
+when the host has no C toolchain — the provider then simply reports
+unavailable, which ``test_backend_resolution`` already covers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import kernels
+from repro.kernels import _c_provider
+
+pytestmark = pytest.mark.skipif(
+    _c_provider._find_compiler() is None,
+    reason="no C compiler on this host")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_provider(monkeypatch):
+    monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+    kernels.reset_for_tests()
+    yield
+    kernels.reset_for_tests()
+
+
+def test_build_and_load_in_a_fresh_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS_CACHE", str(tmp_path))
+    _c_provider.reset_for_tests()
+    table = _c_provider.load()
+    assert table is not None and set(table) == set(kernels.KERNEL_NAMES)
+    artifact = _c_provider.shared_object_path()
+    assert os.path.dirname(artifact) == str(tmp_path)
+    assert os.path.exists(artifact)
+    # No stray .c / .so temp files survive the build.
+    leftovers = [name for name in os.listdir(tmp_path)
+                 if name != os.path.basename(artifact)]
+    assert leftovers == []
+
+
+def test_second_load_reuses_the_cached_artifact(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS_CACHE", str(tmp_path))
+    _c_provider.reset_for_tests()
+    assert _c_provider.available()
+    artifact = _c_provider.shared_object_path()
+    stamp = os.stat(artifact).st_mtime_ns
+    _c_provider.reset_for_tests()
+    assert _c_provider.available()
+    assert os.stat(artifact).st_mtime_ns == stamp  # reused, not rebuilt
+
+
+def test_artifact_name_is_keyed_on_source_hash():
+    name = os.path.basename(_c_provider.shared_object_path())
+    assert name == f"repro_kernels_{_c_provider._source_tag()}.so"
+    assert len(_c_provider._source_tag()) == 16
+
+
+def test_bogus_compiler_degrades_to_unavailable(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS_CACHE", str(tmp_path))
+    monkeypatch.setenv("REPRO_KERNELS_CC", "definitely-not-a-compiler")
+    _c_provider.reset_for_tests()
+    assert not _c_provider.available()
+    assert "no C compiler" in (_c_provider.error() or "")
+    info = _c_provider.info()
+    assert info["available"] is False and info["kernels"] == []
+
+
+def test_recovers_after_compiler_env_is_fixed(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS_CACHE", str(tmp_path))
+    monkeypatch.setenv("REPRO_KERNELS_CC", "definitely-not-a-compiler")
+    _c_provider.reset_for_tests()
+    assert not _c_provider.available()
+    monkeypatch.delenv("REPRO_KERNELS_CC")
+    _c_provider.reset_for_tests()
+    assert _c_provider.available()
+    assert _c_provider.error() is None

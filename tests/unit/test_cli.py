@@ -96,3 +96,24 @@ class TestPipeline:
         assert main(["sketch", "--stream", str(tmp_path / "missing.txt"), "-k", "4",
                      "--out", str(tmp_path / "x.json")]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestListBackends:
+    def test_backends_listing_reports_the_kernel_tier(self, capsys):
+        from repro import kernels
+
+        assert main(["list", "--backends"]) == 0
+        output = capsys.readouterr().out
+        info = kernels.kernel_info()
+        assert f"resolved backend: {info['backend']}" in output
+        for provider in ("numba", "cc", "python"):
+            assert provider in output
+        for kernel in kernels.KERNEL_NAMES:
+            assert kernel in output
+
+    def test_backends_listing_honours_the_env_override(self, monkeypatch, capsys):
+        from repro import kernels
+
+        monkeypatch.setenv(kernels.ENV_VAR, "python")
+        assert main(["list", "--backends"]) == 0
+        assert "resolved backend: python" in capsys.readouterr().out
