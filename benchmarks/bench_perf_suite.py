@@ -46,6 +46,17 @@ Workload groups (select with ``run_bench.py --workloads``):
     bit-identical histogram (asserted); the ratio is the cost of moving the
     bytes through real sockets and the asyncio control protocol.
 
+``durability``
+    The cost of crash safety: the ``net_aggregate`` push workload (``m =
+    256`` size-``k = 1024`` exports, 4 concurrent Unix-socket clients) run
+    against a plain in-memory server and against one with the write-ahead
+    log enabled (``--wal-dir``: per-session spools, fsync-per-burst commits,
+    sqlite checkpoint ledger).  Both runs release bit-identically (asserted),
+    and one WAL run is additionally recovered by a fresh server on the same
+    wal dir to prove the durable state releases identically too.  The
+    acceptance floor is WAL-on >= 0.5x WAL-off throughput; the record gains
+    a ``durability`` stanza (backend, fsync, spool bytes, recovery check).
+
 ``kernels``
     The compiled kernel tier (:mod:`repro.kernels`) against the vectorized
     python engines it replaces, on the two interpreter-bound hot loops: the
@@ -76,6 +87,7 @@ The record includes the speedup ratios the acceptance criteria track:
 ``merge_m256_k1024_arrays`` (>= 10x),
 ``framed_merge_m256_k1024_streaming`` (>= 8x),
 ``release_trusted_sum_k1024_vectorized`` (>= 3x),
+``durability_m256_k1024_wal_sqlite_4clients`` (>= 0.5x WAL-off),
 ``kernels_update_zipf_k64_compiled_batch`` (>= 8x over the seed),
 ``kernels_update_zipf_k64_compiled_vs_python`` (>= 3x) and
 ``kernels_fold_m256_k1024_compiled_vs_python`` (>= 2x).
@@ -110,7 +122,7 @@ BENCH_PATH = _REPO_ROOT / "BENCH_sketch.json"
 
 #: All workload groups, in report order.
 WORKLOAD_GROUPS = ("sketch", "merge", "framed_merge", "net_aggregate",
-                   "release", "kernels", "runner")
+                   "durability", "release", "kernels", "runner")
 
 #: The E11 workload parameters (benchmarks/bench_e11_performance.py).
 E11_N = 100_000
@@ -377,6 +389,106 @@ def _run_net_aggregate_group(rows: List[Dict], quick: bool) -> None:
 
 
 # ---------------------------------------------------------------------------
+# durability group (ISSUE 7: the WAL-backed service vs the in-memory service)
+# ---------------------------------------------------------------------------
+
+def _run_durability_group(rows: List[Dict], quick: bool) -> Optional[Dict]:
+    """The push workload with and without the write-ahead log.
+
+    Same exports, same 4-client Unix-socket push cycle, same seeded release
+    — once on a plain in-memory server (the ``reference_seed`` mode here:
+    durability off is the baseline the floor is measured against), once with
+    ``wal_dir`` set, so every accepted frame is spooled verbatim and every
+    burst is fsync-committed to the sqlite ledger before its ACK.  The two
+    releases are asserted bit-identical, and a fresh server recovering the
+    WAL run's directory must release identically again — the throughput
+    ratio is therefore the pure price of crash safety (floor: >= 0.5x).
+    Returns the record's ``durability`` stanza.
+    """
+    import asyncio
+    import io
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.api.framing import FrameReader, FrameWriter
+    from repro.api.wire import encode_counters
+    from repro.net import AggregatorClient, AggregatorServer
+
+    m, k, clients = MERGE_M, MERGE_K, 4
+    keys_list, values_list = _per_user_sketch_exports(
+        m, k, n_per_user=5_000 if quick else 20_000)
+    pairs = int(sum(keys.size for keys in keys_list))
+    chunks = []
+    for indices in np.array_split(np.arange(m), clients):
+        buffer = io.BytesIO()
+        with FrameWriter(buffer, k=k, frames=len(indices)) as writer:
+            for index in indices:
+                writer.write_payload(encode_counters(
+                    dict(zip(keys_list[index].tolist(),
+                             values_list[index].tolist())), k=k))
+        buffer.seek(0)
+        chunks.append(list(FrameReader(buffer, raw=True)))
+
+    async def _push_cycle(wal_dir):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as sockdir:
+            server = AggregatorServer(epsilon=1.0, delta=1e-6, k=k,
+                                      wal_dir=wal_dir)
+            async with await server.start(f"unix:{sockdir}/agg.sock"):
+
+                async def push(ordinal: int, bodies) -> None:
+                    async with AggregatorClient(server.address, k=k,
+                                                ordinal=ordinal) as client:
+                        await client.push_raw(bodies)
+
+                await asyncio.gather(*[push(ordinal, bodies) for ordinal,
+                                       bodies in enumerate(chunks)])
+                async with AggregatorClient(server.address) as client:
+                    return await client.request_release(seed=7)
+
+    async def _recovered_release(wal_dir):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as sockdir:
+            server = AggregatorServer(epsilon=1.0, delta=1e-6, k=k,
+                                      wal_dir=wal_dir)
+            async with await server.start(f"unix:{sockdir}/agg.sock"):
+                async with AggregatorClient(server.address) as client:
+                    return await client.request_release(seed=7)
+
+    def _wal_off():
+        return asyncio.run(_push_cycle(None))
+
+    def _wal_on():
+        with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as wal:
+            return asyncio.run(_push_cycle(wal))
+
+    # Identity + recovery sanity before any clock starts.
+    baseline = _wal_off()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as wal:
+        durable = asyncio.run(_push_cycle(wal))
+        recovered = asyncio.run(_recovered_release(wal))
+        wal_bytes = sum(path.stat().st_size
+                        for path in _Path(wal).glob("*.spool"))
+    assert list(baseline.as_dict().items()) == list(durable.as_dict().items())
+    recovery_identical = (
+        list(durable.as_dict().items()) == list(recovered.as_dict().items())
+        and durable.metadata.as_dict() == recovered.metadata.as_dict())
+    assert recovery_identical
+
+    rows.append(_measure(f"durability_m{m}", k, pairs, "reference_seed",
+                         _wal_off, repeats=3))
+    rows.append(_measure(f"durability_m{m}", k, pairs,
+                         f"optimized_wal_sqlite_{clients}clients", _wal_on,
+                         repeats=3))
+    return {"durability": {
+        "store_backend": "sqlite",
+        "fsync": True,
+        "clients": clients,
+        "frames": m,
+        "spool_bytes": int(wal_bytes),
+        "recovered_release_identical": recovery_identical,
+    }}
+
+
+# ---------------------------------------------------------------------------
 # release group (bulk noise + threshold filter over a large aggregate)
 # ---------------------------------------------------------------------------
 
@@ -555,6 +667,7 @@ _GROUP_RUNNERS = {
     "merge": _run_merge_group,
     "framed_merge": _run_framed_merge_group,
     "net_aggregate": _run_net_aggregate_group,
+    "durability": _run_durability_group,
     "release": _run_release_group,
     "kernels": _run_kernels_group,
     "runner": _run_runner_group,
@@ -570,15 +683,21 @@ def run_suite(quick: bool = False,
         raise ValueError(f"unknown workload group(s) {unknown}; "
                          f"choose from {WORKLOAD_GROUPS}")
     rows: List[Dict] = []
+    stanzas: Dict[str, Dict] = {}
     for name in WORKLOAD_GROUPS:
         if name in selected:
-            _GROUP_RUNNERS[name](rows, quick)
+            extra = _GROUP_RUNNERS[name](rows, quick)
+            if extra:
+                # Group runners may return extra record stanzas (e.g. the
+                # durability group's WAL/recovery summary).
+                stanzas.update(extra)
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "quick": quick,
         "workloads": [name for name in WORKLOAD_GROUPS if name in selected],
         "kernels": _kernel_tier_info(),
+        **stanzas,
         "results": rows,
         "speedups": _speedups(rows),
     }

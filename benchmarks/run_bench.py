@@ -16,8 +16,8 @@ Exit status is non-zero if the acceptance-criteria speedups regress below
 their floors (>= 10x on the all-distinct k=1024 sketch workload, >= 3x on
 the E11 Zipf k=1024 workload, >= 10x on the m=256 k=1024 merge workload,
 >= 8x on the framed streaming-merge workload, >= 0.5x on the socket
-aggregation service vs the offline framed fold, >= 3x on the trusted-sum
-release workload, and — when a compiled kernel provider is present — >= 8x
+aggregation service vs the offline framed fold, >= 0.5x on the WAL-backed
+service vs the in-memory one, >= 3x on the trusted-sum release workload, and — when a compiled kernel provider is present — >= 8x
 over the seed plus >= 3x over the vectorized python batch path on the zipf
 k=64 update workload and >= 2x on the m=256 k=1024 columnar merge fold), so
 the script can gate CI.
@@ -52,6 +52,8 @@ FLOORS = {
     "framed_merge_m256_k1024_streaming": ("framed_merge", 8.0),
     # The socket service may cost at most 2x the offline framed fold.
     "net_aggregate_m256_k1024_socket_4clients": ("net_aggregate", 0.5),
+    # Crash safety (WAL spools + fsync commits) may cost at most 2x.
+    "durability_m256_k1024_wal_sqlite_4clients": ("durability", 0.5),
     "release_trusted_sum_k1024_vectorized": ("release", 3.0),
     "kernels_update_zipf_k64_compiled_batch": ("kernels", 8.0),
     "kernels_update_zipf_k64_compiled_vs_python": ("kernels", 3.0),

@@ -515,6 +515,63 @@ class FrameReader:
         return decode_payload_body(body, f"frame {self._delivered}")
 
 
+# ---------------------------------------------------------------------------
+# Verbatim re-emit helpers (the WAL spool path: repro.net.wal appends the
+# exact bytes of every accepted PUSH frame and replays them on recovery)
+# ---------------------------------------------------------------------------
+
+def write_stream_header(fileobj, k: Optional[int] = None,
+                        meta: Optional[Mapping[str, object]] = None) -> int:
+    """Open a framed stream on ``fileobj``: magic prefix plus header frame.
+
+    Returns the number of bytes written.  Unlike :class:`FrameWriter` this
+    leaves the stream open-ended (no declared frame count) and hands back no
+    writer object — the append-only shape a write-ahead spool needs, where
+    frames are re-emitted verbatim with :func:`append_frame`.
+    """
+    prefix = stream_prefix()
+    header = encode_json_frame(FrameHeader(framing=FRAMING_VERSION, k=k,
+                                           meta=dict(meta or {})).as_dict())
+    fileobj.write(prefix)
+    fileobj.write(header)
+    return len(prefix) + len(header)
+
+
+def append_frame(fileobj, body: bytes) -> int:
+    """Re-emit one frame body verbatim (length prefix added, tag preserved).
+
+    Returns the number of bytes written, so callers tracking a committed
+    byte watermark can advance it without a ``tell()`` on the file object.
+    """
+    data = encode_frame(body)
+    fileobj.write(data)
+    return len(data)
+
+
+def replay_raw_frames(fileobj, count: int, what: str = "spool") -> Iterator[bytes]:
+    """Yield exactly ``count`` verbatim frame bodies from a framed stream.
+
+    The stream prefix and header frame are consumed first; iteration stops
+    after ``count`` bodies without touching any bytes beyond them (so an
+    uncommitted spool tail past the committed watermark is never read, let
+    alone folded).  A stream that ends before ``count`` bodies raises
+    :class:`FramingError` — the ledger said those frames were durable.
+    """
+    reader = FrameReader(fileobj, raw=True)
+    delivered = 0
+    for body in reader:
+        if delivered >= count:
+            return
+        yield body
+        delivered += 1
+        if delivered == count:
+            return
+    if delivered < count:
+        raise FramingError(
+            f"{what} ends after {delivered} frame(s); the checkpoint ledger "
+            f"committed {count}")
+
+
 class StreamingMerger:
     """Fold framed sketch exports into one Agarwal-merged summary incrementally.
 

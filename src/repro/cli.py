@@ -195,6 +195,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--ready-file", default=None,
                        help="write the bound address to this file once listening "
                             "(lets scripts discover an ephemeral port)")
+    serve.add_argument("--wal-dir", default=None,
+                       help="write-ahead log directory: accepted frames are "
+                            "spooled + fsynced before they are acked, and a "
+                            "restart on the same directory replays committed "
+                            "sessions bit-identically")
+    serve.add_argument("--read-timeout", type=float, default=30.0,
+                       help="per-read seconds before a stalling (slow-loris) "
+                            "peer is rejected; 0 disables (default 30)")
 
     push = subparsers.add_parser(
         "push", help="push sketch exports to an aggregation server")
@@ -212,6 +220,32 @@ def build_parser() -> argparse.ArgumentParser:
     push.add_argument("--timeout", type=float, default=30.0)
     push.add_argument("--retries", type=int, default=5,
                       help="connection attempts before giving up")
+    push.add_argument("--resume", action="store_true",
+                      help="survive crashes: retry the whole push with "
+                           "jittered backoff, resuming from the committed "
+                           "frame count a --wal-dir server reports (needs "
+                           "--ordinal and a single framed input)")
+    push.add_argument("--max-elapsed", type=float, default=60.0,
+                      help="total retry budget in seconds for --resume "
+                           "(default 60)")
+
+    wal = subparsers.add_parser(
+        "wal", help="inspect or replay an aggregation write-ahead log")
+    wal_sub = wal.add_subparsers(dest="wal_command", required=True)
+    wal_inspect = wal_sub.add_parser(
+        "inspect", help="list the sessions a --wal-dir holds")
+    wal_inspect.add_argument("wal_dir", help="the server's --wal-dir")
+    wal_replay = wal_sub.add_parser(
+        "replay",
+        help="release the committed sessions of a --wal-dir offline "
+             "(bit-identical to what a restarted server would release)")
+    wal_replay.add_argument("wal_dir", help="the server's --wal-dir")
+    wal_replay.add_argument("--epsilon", type=float, required=True)
+    wal_replay.add_argument("--delta", type=float, required=True)
+    wal_replay.add_argument("--seed", type=int, default=None)
+    wal_replay.add_argument("--out", default=None,
+                            help="output histogram JSON (stdout if omitted)")
+    _add_format(wal_replay)
 
     request = subparsers.add_parser(
         "request-release",
@@ -523,9 +557,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .net import AggregatorServer
 
     async def _serve() -> int:
+        read_timeout = args.read_timeout if args.read_timeout > 0 else None
         server = AggregatorServer(epsilon=args.epsilon, delta=args.delta,
                                   k=args.k, drain_timeout=args.drain_timeout,
-                                  max_releases=args.releases)
+                                  max_releases=args.releases,
+                                  wal_dir=args.wal_dir,
+                                  read_timeout=read_timeout)
         await server.start(args.listen)
         if args.ready_file:
             ready = Path(args.ready_file)
@@ -597,6 +634,25 @@ def _cmd_push(args: argparse.Namespace) -> int:
             return 2
         k = declared.pop() if declared else None
 
+    if args.resume:
+        from .net import push_file_resilient
+
+        if args.ordinal is None:
+            print("error: --resume needs --ordinal (the durable session "
+                  "identity the server resumes by)", file=sys.stderr)
+            return 2
+        if len(inputs) != 1 or not inputs[0][1]:
+            print("error: --resume pushes exactly one framed (repro pack) "
+                  "input", file=sys.stderr)
+            return 2
+        total = push_file_resilient(args.to, inputs[0][0], ordinal=args.ordinal,
+                                    k=k, timeout=args.timeout,
+                                    connect_retries=args.retries,
+                                    max_elapsed=args.max_elapsed)
+        print(f"pushed {total} sketch export(s) (k={k}) -> {args.to} "
+              "(durably committed)")
+        return 0
+
     async def _push():
         async with AggregatorClient(args.to, k=k, ordinal=args.ordinal,
                                     timeout=args.timeout,
@@ -611,6 +667,53 @@ def _cmd_push(args: argparse.Namespace) -> int:
 
     total, agreed = asyncio.run(_push())
     print(f"pushed {total} sketch export(s) (k={agreed}) -> {args.to}")
+    return 0
+
+
+def _cmd_wal(args: argparse.Namespace) -> int:
+    from .api.wire import payload_to_histogram
+    from .exceptions import RemoteError
+    from .net import SessionWal
+    from .net.server import AggregatorServer
+
+    if args.wal_command == "inspect":
+        wal = SessionWal(args.wal_dir)
+        try:
+            records = wal.store.records()
+            if not records:
+                print(f"{args.wal_dir}: no sessions recorded")
+                return 0
+            print(f"{args.wal_dir}: {len(records)} session(s)")
+            for record in records:
+                spool = wal.spool_path(record)
+                size = spool.stat().st_size if spool.exists() else 0
+                state = (f"committed seq={record.commit_seq}"
+                         if record.commit_seq is not None else "open")
+                tail = size - record.committed_bytes
+                print(f"  {record.session_id}: ordinal={record.ordinal} "
+                      f"client={record.client or '-'} k={record.k} "
+                      f"frames={record.committed_frames} "
+                      f"bytes={record.committed_bytes} {state} "
+                      f"spool={record.spool}"
+                      + (f" (+{tail}B uncommitted tail)" if tail > 0 else ""))
+            return 0
+        finally:
+            wal.close()
+
+    # replay: run the exact recovery + release path a restarted server uses,
+    # minus the socket — guaranteeing bit-identical output by construction.
+    server = AggregatorServer(epsilon=args.epsilon, delta=args.delta,
+                              wal_dir=args.wal_dir)
+    try:
+        server._recover_from_wal()
+        envelope = server.perform_release(args.seed)
+    except RemoteError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        server.wal.close()
+    histogram = payload_to_histogram(envelope)
+    _emit_histogram(histogram, args.out, args.format)
     return 0
 
 
@@ -655,6 +758,7 @@ _HANDLERS = {
     "pack": _cmd_pack,
     "serve": _cmd_serve,
     "push": _cmd_push,
+    "wal": _cmd_wal,
     "request-release": _cmd_request_release,
     "heavy-hitters": _cmd_heavy_hitters,
     "evaluate": _cmd_evaluate,

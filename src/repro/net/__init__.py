@@ -14,30 +14,55 @@ as they arrive and publishes a differentially private histogram on request:
   fault containment, graceful drain.
 * :mod:`repro.net.client` — :class:`AggregatorClient` (async) plus the
   synchronous one-shot helpers the ``repro push`` / ``repro request-release``
-  CLI subcommands use.
+  CLI subcommands use, including the crash-surviving
+  :func:`push_file_resilient`.
+* :mod:`repro.net.wal` — the durability layer: per-session write-ahead
+  spools of verbatim PUSH frames, burst-fsync commits, replay-on-restart.
+* :mod:`repro.net.store` — the pluggable checkpoint ledger behind the WAL
+  (sqlite first; the interface is redis-shaped so another backend is one
+  module).
+* :mod:`repro.net.backoff` — jittered, budget-capped retry delays.
 
 A release triggered over the network is bit-identical (keys, values, dict
 order) to ``repro merge --framed`` over the same exports with the same seed:
 both fold each source through its own merger and combine the summaries with
-:func:`~repro.api.framing.combine_mergers` in canonical (ordinal) order.
+:func:`~repro.api.framing.combine_mergers` in canonical (ordinal) order —
+and, with ``repro serve --wal-dir``, that identity survives kill -9 at any
+byte of the conversation: committed sessions replay from their spools in
+recorded commit order.
 """
 
-from .client import AggregatorClient, fetch_stats, push_file, request_release
+from .backoff import Backoff
+from .client import (AggregatorClient, fetch_stats, push_file,
+                     push_file_resilient, request_release)
 from .protocol import Address, FrameChannel, parse_address
 from .server import AggregatorServer, serve
 from .session import CommittedSession, Session, SessionState
+from .store import (CheckpointStore, MemoryCheckpointStore, SessionRecord,
+                    SqliteCheckpointStore, open_store)
+from .wal import SessionJournal, SessionWal, WalRecovery
 
 __all__ = [
     "Address",
     "AggregatorClient",
     "AggregatorServer",
+    "Backoff",
+    "CheckpointStore",
     "CommittedSession",
     "FrameChannel",
+    "MemoryCheckpointStore",
     "Session",
+    "SessionJournal",
+    "SessionRecord",
     "SessionState",
+    "SessionWal",
+    "SqliteCheckpointStore",
+    "WalRecovery",
     "fetch_stats",
+    "open_store",
     "parse_address",
     "push_file",
+    "push_file_resilient",
     "request_release",
     "serve",
 ]

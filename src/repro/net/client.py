@@ -9,12 +9,20 @@ The client side of the framed control protocol.  Async first —
         histogram = await client.request_release(seed=0)
 
 — with synchronous one-shot helpers (:func:`push_file`,
-:func:`request_release`, :func:`fetch_stats`) for the CLI and scripts.
-``connect`` retries with linear backoff (servers take a beat to bind);
+:func:`request_release`, :func:`fetch_stats`, :func:`push_file_resilient`)
+for the CLI and scripts.  ``connect`` retries with jittered exponential
+backoff under an optional max-elapsed budget (:mod:`repro.net.backoff`);
 every operation runs under a hard timeout and raises
 :class:`~repro.exceptions.NetworkError` instead of hanging.  ERROR frames
 from the server raise :class:`~repro.exceptions.RemoteError` with the
 server's machine-readable ``code``.
+
+Idempotent resume: against a server running a write-ahead log, the HELLO
+ack reports how many of this ordinal's frames are already fsync-durable
+(``self.committed``); :meth:`AggregatorClient.push_file` skips that many
+frames, so a client that reconnects after a crash — its own or the
+server's — pushes each frame exactly once.  :func:`push_file_resilient`
+wraps the whole connect/resume/push/bye cycle in a backoff retry loop.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from ..api.wire import WirePayload, payload_to_histogram
 from ..core.results import PrivateHistogram
 from ..exceptions import NetworkError, ProtocolError, RemoteError
 from ..sketches.base import FrequencySketch
+from .backoff import Backoff
 from .protocol import (
     BYE,
     HELLO,
@@ -61,14 +70,17 @@ class AggregatorClient:
         bit-reproducible regardless of network interleaving.
     timeout:
         Hard per-operation timeout in seconds.
-    connect_retries / retry_delay:
-        Connection attempts and the linear backoff base between them.
+    connect_retries / retry_delay / retry_jitter / retry_max_elapsed:
+        Connection attempts, the backoff base between them (delays grow
+        exponentially from it, stretched by up to ``retry_jitter`` relative
+        jitter), and an optional wall-clock budget across all attempts.
     """
 
     def __init__(self, address: Union[str, Address], *, k: Optional[int] = None,
                  ordinal: Optional[int] = None, client_name: Optional[str] = None,
                  timeout: float = 30.0, connect_retries: int = 5,
-                 retry_delay: float = 0.2) -> None:
+                 retry_delay: float = 0.2, retry_jitter: float = 0.1,
+                 retry_max_elapsed: Optional[float] = None) -> None:
         self._address = parse_address(address)
         self._k = k
         self._ordinal = ordinal
@@ -76,9 +88,17 @@ class AggregatorClient:
         self._timeout = timeout
         self._connect_retries = max(1, int(connect_retries))
         self._retry_delay = retry_delay
+        self._retry_jitter = retry_jitter
+        self._retry_max_elapsed = retry_max_elapsed
         self._channel: Optional[FrameChannel] = None
         self.server_k: Optional[int] = None
         self.frames_pushed = 0
+        #: Frames the server already holds durably for this ordinal (WAL
+        #: resume; reported by the HELLO ack, 0 otherwise).
+        self.committed = 0
+        #: True when the server says this ordinal's session already ended
+        #: cleanly — there is nothing left to push.
+        self.session_complete = False
 
     # ------------------------------------------------------------------
     # Connection lifecycle
@@ -110,7 +130,11 @@ class AggregatorClient:
     async def connect(self) -> "AggregatorClient":
         """Connect (with retries), open the framed stream, shake hands."""
         last: Optional[BaseException] = None
+        backoff = Backoff(base=self._retry_delay, jitter=self._retry_jitter,
+                          max_elapsed=self._retry_max_elapsed)
+        attempts = 0
         for attempt in range(self._connect_retries):
+            attempts = attempt + 1
             try:
                 self._channel = await asyncio.wait_for(
                     open_channel(self._address), timeout=self._timeout)
@@ -118,12 +142,16 @@ class AggregatorClient:
             except (ConnectionError, OSError, asyncio.TimeoutError) as error:
                 last = error
                 self._channel = None
-                if attempt + 1 < self._connect_retries:
-                    await asyncio.sleep(self._retry_delay * (attempt + 1))
+                if attempt + 1 >= self._connect_retries:
+                    break
+                delay = backoff.next_delay()
+                if delay is None:
+                    break  # max-elapsed retry budget exhausted
+                await asyncio.sleep(delay)
         if self._channel is None:
             raise NetworkError(
                 f"could not connect to {self._address} after "
-                f"{self._connect_retries} attempt(s): {last}")
+                f"{attempts} attempt(s) ({backoff.elapsed:.1f}s): {last}")
         try:
             return await self._guard(self._handshake(), "handshake")
         except BaseException:
@@ -148,6 +176,9 @@ class AggregatorClient:
         agreed = ack.get("k")
         if isinstance(agreed, int):
             self.server_k = agreed
+        committed = ack.get("committed")
+        self.committed = committed if isinstance(committed, int) else 0
+        self.session_complete = bool(ack.get("complete", False))
         return self
 
     async def close(self, bye: bool = True) -> None:
@@ -159,6 +190,16 @@ class AggregatorClient:
                 await self._guard(self._say_bye(), "bye")
             except NetworkError:
                 pass
+        await self._abort()
+
+    async def bye(self) -> None:
+        """End the session, *requiring* the commit ack (raises on failure).
+
+        Unlike ``close(bye=True)``, which swallows a lost ack, this is the
+        strict form resilient pushers need: until the ack arrives the
+        session is not durably committed and the push must be retried.
+        """
+        await self._guard(self._say_bye(), "bye")
         await self._abort()
 
     async def _say_bye(self) -> None:
@@ -220,13 +261,25 @@ class AggregatorClient:
         self.frames_pushed += len(encoded)
         return int(ack.get("folded", len(encoded)))
 
-    async def push_file(self, source: Union[str, Path], burst: int = 64) -> int:
+    async def push_file(self, source: Union[str, Path], burst: int = 64,
+                        skip: Optional[int] = None,
+                        throttle: float = 0.0) -> int:
         """Push every frame of a packed (``repro pack``) framed stream file.
 
         Frames are forwarded verbatim (no decode/re-encode on the client) in
         PUSH bursts of at most ``burst`` frames, so client memory stays at
         ``burst`` frames regardless of the file size.
+
+        ``skip`` leading frames are read but not pushed; it defaults to
+        ``self.committed`` — the durable frame count a WAL-backed server
+        reported in the HELLO ack — which is exactly the idempotent-resume
+        rule: frames the server already holds are never pushed twice.
+        ``throttle`` sleeps that many seconds between bursts (rate limiting;
+        the chaos harness uses it to widen crash windows).  Returns the
+        number of frames actually pushed (skipped frames excluded).
         """
+        if skip is None:
+            skip = self.committed
         total = 0
         with Path(source).open("rb") as fileobj:
             reader = FrameReader(fileobj, raw=True)
@@ -235,12 +288,18 @@ class AggregatorClient:
                 raise ProtocolError(
                     f"{source} declares k={reader.header.k} but this session "
                     f"runs at k={self._k}")
+            remaining_skip = max(0, int(skip))
             batch: List[bytes] = []
             for body in reader:
+                if remaining_skip:
+                    remaining_skip -= 1
+                    continue
                 batch.append(body)
                 if len(batch) >= burst:
                     total += await self.push_raw(batch)
                     batch = []
+                    if throttle:
+                        await asyncio.sleep(throttle)
             if batch:
                 total += await self.push_raw(batch)
         return total
@@ -291,6 +350,65 @@ def push_file(address: Union[str, Address], source: Union[str, Path], *,
                                     timeout=timeout,
                                     connect_retries=connect_retries) as client:
             return await client.push_file(source)
+    return _run(_push())
+
+
+def push_file_resilient(address: Union[str, Address],
+                        source: Union[str, Path], *,
+                        ordinal: int, k: Optional[int] = None,
+                        client_name: Optional[str] = None,
+                        timeout: float = 30.0, connect_retries: int = 5,
+                        retry_delay: float = 0.2, retry_jitter: float = 0.5,
+                        max_elapsed: float = 60.0, burst: int = 64,
+                        throttle: float = 0.0) -> int:
+    """Push one packed file until it is durably committed, surviving crashes.
+
+    The whole connect / resume / push / bye cycle runs in a jittered-backoff
+    retry loop with a ``max_elapsed`` budget.  Each reconnect re-HELLOs with
+    ``ordinal`` (hence the mandatory ordinal: it is the durable session
+    identity a WAL-backed server resumes by); the server's committed count
+    makes every retry skip exactly the frames that are already durable, so
+    across any number of crashes each frame is pushed once.  Returns the
+    total number of frames pushed by this call (0 when the session had
+    already completed).  Transport failures and ``ordinal_active`` races
+    retry; any other server rejection (k mismatch, protocol error) raises
+    immediately.
+    """
+    async def _push() -> int:
+        backoff = Backoff(base=retry_delay, jitter=retry_jitter,
+                          max_elapsed=max_elapsed)
+        total = 0
+        while True:
+            client = AggregatorClient(
+                address, k=k, ordinal=ordinal, client_name=client_name,
+                timeout=timeout, connect_retries=connect_retries,
+                retry_delay=retry_delay, retry_jitter=retry_jitter)
+            try:
+                await client.connect()
+                if not client.session_complete:
+                    total += await client.push_file(source, burst=burst,
+                                                    throttle=throttle)
+                    await client.bye()
+                else:
+                    await client.close(bye=False)
+                return total
+            except RemoteError as error:
+                # The previous connection's server-side session may not have
+                # unwound yet; that race heals on its own — anything else is
+                # a real rejection.
+                if error.code != "ordinal_active":
+                    raise
+                last = error
+            except NetworkError as error:
+                last = error
+            finally:
+                await client.close(bye=False)
+            delay = backoff.next_delay()
+            if delay is None:
+                raise NetworkError(
+                    f"push of {source} not durably committed within the "
+                    f"{max_elapsed:.1f}s retry budget: {last}") from None
+            await asyncio.sleep(delay)
     return _run(_push())
 
 

@@ -14,7 +14,10 @@ verb      direction  meaning
 hello     c -> s     open a session; fields: ``k`` (sketch size, optional
                      if the server already knows its k), ``ordinal``
                      (optional int: this client's position in the canonical
-                     release order), ``client`` (optional display name)
+                     release order — and, when the server runs a write-ahead
+                     log, the session's durable identity: re-HELLOing with
+                     the same ordinal resumes the spooled session), ``client``
+                     (optional display name)
 push      c -> s     announce ``frames`` payload frames, which follow
                      immediately; the server folds each into the session's
                      :class:`~repro.api.framing.StreamingMerger` on arrival
@@ -27,9 +30,17 @@ stats     c -> s     ask for aggregate counters; answered with a ``stats``
 bye       c -> s     commit the session and close (a clean EOF after HELLO
                      commits too; ``bye`` additionally gets an ``ok`` ack
                      so the client *knows* its frames were committed)
-ok        s -> c     positive acknowledgement; ``re`` names the acked verb
+ok        s -> c     positive acknowledgement; ``re`` names the acked verb.
+                     With a write-ahead log the ``re: hello`` ack also
+                     carries ``committed`` (frames already durable for this
+                     ordinal — the client skips that many on resume instead
+                     of double-pushing) and ``complete`` (true when the
+                     session already ended cleanly; further pushes are
+                     rejected), and a ``re: push`` ack is sent only after
+                     the burst is fsync-durable
 error     s -> c     the session is rejected; ``code`` is machine-readable
                      (``k_mismatch``, ``bad_verb``, ``nothing_to_release``,
+                     ``timeout``, ``ordinal_active``, ``session_complete``,
                      ...), ``message`` human-readable.  The server closes
                      the connection but keeps serving other sessions
 stats     s -> c     the ``stats`` reply
@@ -204,19 +215,25 @@ class FrameChannel:
                 f"MAX_FRAME_BYTES={framing.MAX_FRAME_BYTES}")
         return await self._read_exact(length, what)
 
-    async def next_event(self) -> Tuple[str, object]:
+    async def next_event(self, include_body: bool = False) -> Tuple:
         """The next frame as ``(kind, value)``.
 
         ``("control", message_dict)`` for control frames, ``("payload",
         WirePayload)`` for envelope frames, ``("eof", None)`` at a clean end
         of stream.  Malformed frames raise :class:`FramingError`.
+
+        ``include_body=True`` appends the verbatim frame body (``None`` at
+        EOF) as a third element — the write-ahead log spools those exact
+        bytes, tag preserved, before the payload is folded.
         """
         body = await self._read_frame_bytes("frame")
         if body is None:
-            return "eof", None
-        if body[:1] == bytes([framing.CONTROL_FRAME_TAG]):
-            return "control", framing.decode_control_body(body)
-        return "payload", framing.decode_payload_body(body)
+            event: Tuple = ("eof", None)
+        elif body[:1] == bytes([framing.CONTROL_FRAME_TAG]):
+            event = ("control", framing.decode_control_body(body))
+        else:
+            event = ("payload", framing.decode_payload_body(body))
+        return event + (body,) if include_body else event
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -28,13 +28,17 @@ import contextlib
 import os
 from typing import Dict, List, Optional, Union
 
+from pathlib import Path
+
 from .._validation import check_delta, check_epsilon, check_positive_int
 from ..api.framing import StreamingMerger, combine_mergers
 from ..api.wire import encode_histogram
 from ..core.merging import MergeStrategy, PrivateMergedRelease
-from ..exceptions import ParameterError, RemoteError
+from ..exceptions import ParameterError, ProtocolError, RemoteError
 from .protocol import Address, DEFAULT_CHUNK_SIZE, FrameChannel, parse_address
 from .session import CommittedSession, Session
+from .store import CheckpointStore
+from .wal import SessionWal
 
 
 class AggregatorServer:
@@ -54,24 +58,47 @@ class AggregatorServer:
     chunk_size:
         Per-``read()`` byte ceiling of every session channel (bounded reads;
         TCP backpressure does the rest).
+    wal_dir:
+        Directory for the write-ahead log (:mod:`repro.net.wal`).  When set,
+        every accepted PUSH frame is spooled verbatim before it is folded,
+        PUSH acks imply fsync-durability, committed sessions are replayed
+        bit-identically on restart, and clients resume by ordinal.
+    store:
+        Checkpoint-store override for the WAL (defaults to sqlite inside
+        ``wal_dir``); ignored without ``wal_dir``.
+    read_timeout:
+        Per-read wall-clock bound (seconds) on every session socket read —
+        a peer that cannot produce a complete frame in time (slow-loris) is
+        rejected with an ERROR frame.  ``None`` disables the bound.
     """
 
     def __init__(self, epsilon: float, delta: float, k: Optional[int] = None,
                  *, drain_timeout: float = 5.0,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
-                 max_releases: Optional[int] = None) -> None:
+                 max_releases: Optional[int] = None,
+                 wal_dir: Optional[Union[str, Path]] = None,
+                 store: Optional[CheckpointStore] = None,
+                 read_timeout: Optional[float] = 30.0) -> None:
         check_epsilon(epsilon)
         check_delta(delta)
         if k is not None:
             check_positive_int(k, "k")
         if max_releases is not None:
             check_positive_int(max_releases, "max_releases")
+        if read_timeout is not None and read_timeout <= 0:
+            raise ParameterError(
+                f"read_timeout must be positive seconds or None, got {read_timeout!r}")
         self.epsilon = epsilon
         self.delta = delta
         self._k = k
         self._drain_timeout = drain_timeout
         self._chunk_size = chunk_size
         self._max_releases = max_releases
+        self._wal = SessionWal(wal_dir, store=store) if wal_dir is not None else None
+        self._read_timeout = read_timeout
+        self._recovered = False
+        self._active_ordinals: set = set()
+        self._resumed_noted: set = set()
         self._release_limit = asyncio.Event()
         self._server: Optional[asyncio.AbstractServer] = None
         self._address: Optional[Address] = None
@@ -94,6 +121,8 @@ class AggregatorServer:
         port, or ``unix:/path``)."""
         if self._server is not None:
             raise ParameterError("server already started")
+        if self._wal is not None and not self._recovered:
+            self._recover_from_wal()
         self._address = parse_address(address)
         if self._address.kind == "unix":
             self._server = await asyncio.start_unix_server(
@@ -116,6 +145,38 @@ class AggregatorServer:
     @property
     def k(self) -> Optional[int]:
         return self._k
+
+    @property
+    def wal(self) -> Optional[SessionWal]:
+        """The write-ahead log, or ``None`` when running memoryless."""
+        return self._wal
+
+    @property
+    def read_timeout(self) -> Optional[float]:
+        return self._read_timeout
+
+    def _recover_from_wal(self) -> None:
+        """Replay the WAL: committed sessions rejoin the release set.
+
+        Runs once, before the socket binds, so the first release after a
+        restart already covers everything durable.  Open (uncommitted)
+        records stay on disk and are replayed lazily when their client
+        resumes by ordinal.
+        """
+        self._recovered = True
+        recovery = self._wal.recover()
+        if recovery.k is not None:
+            if self._k is None:
+                self._k = recovery.k
+            elif self._k != recovery.k:
+                raise ParameterError(
+                    f"wal dir holds sessions at k={recovery.k} but the "
+                    f"server was started with -k {self._k}")
+        for entry in recovery.committed:
+            self._committed.append(entry)
+            self._frames_seen += entry.merger.frames
+            self._length_seen += entry.merger.total_stream_length
+        self._commit_seq = max(self._commit_seq, recovery.max_seq)
 
     async def serve_forever(self) -> None:
         """Serve until cancelled (``repro serve`` runs this)."""
@@ -143,6 +204,9 @@ class AggregatorServer:
         if self._address is not None and self._address.kind == "unix":
             with contextlib.suppress(OSError):
                 os.unlink(self._address.path)
+        if self._wal is not None:
+            with contextlib.suppress(Exception):
+                self._wal.close()
 
     async def __aenter__(self) -> "AggregatorServer":
         return self
@@ -172,15 +236,52 @@ class AggregatorServer:
         self._frames_seen += 1
         self._length_seen += payload.stream_length
 
+    def note_resumed(self, session_id: str, merger: StreamingMerger) -> None:
+        """Count a resumed session's replayed frames once per identity."""
+        if session_id in self._resumed_noted:
+            return
+        self._resumed_noted.add(session_id)
+        self._frames_seen += merger.frames
+        self._length_seen += merger.total_stream_length
+
     def note_rejected(self, session: Session, reason: str) -> None:
         self._rejected += 1
+
+    def claim_ordinal(self, ordinal: Optional[int]) -> bool:
+        """Reserve an ordinal for one live session (WAL sessions only).
+
+        The ordinal is the durable session identity, so two live sessions
+        sharing one would interleave appends into one spool; the second
+        HELLO is rejected with ``ordinal_active``.
+        """
+        if ordinal is None:
+            return False
+        if ordinal in self._active_ordinals:
+            error = ProtocolError(
+                f"ordinal {ordinal} already has a live session; resume is "
+                "only possible after the previous connection is gone")
+            error.code = "ordinal_active"
+            raise error
+        self._active_ordinals.add(ordinal)
+        return True
+
+    def release_ordinal(self, ordinal: Optional[int]) -> None:
+        self._active_ordinals.discard(ordinal)
 
     def commit(self, session: Session) -> None:
         """A session ended cleanly: its summary joins the release set."""
         merger = session.take_merger()
+        journal = session.take_journal()
         if merger is None or not merger.frames:
+            if journal is not None:
+                journal.close()
             return
         self._commit_seq += 1
+        if journal is not None:
+            # fsync-on-commit session record: the commit seq becomes durable
+            # before the BYE ack, so a restart replays this session in the
+            # exact commit order the live run used.
+            journal.mark_committed(self._commit_seq)
         self._committed.append(CommittedSession(
             seq=self._commit_seq, ordinal=session.ordinal,
             client=session.client, merger=merger))

@@ -16,6 +16,14 @@ A session's frames are folded into its own
 the current frame and the ``<= k``-counter accumulator is buffered.  The
 summary joins the server's committed set only on a clean end (``bye`` verb
 or EOF from ``READY``), so a client that dies mid-push contributes nothing.
+
+With a write-ahead log (``repro serve --wal-dir``) each accepted frame's
+verbatim bytes are spooled *before* the fold, the whole burst is made
+durable (spool fsync + checkpoint record) *before* the PUSH ack, and a
+re-HELLO with the same ordinal resumes the spooled session: the ack reports
+the committed frame count so the client skips already-durable frames.  Every
+read is additionally bounded by the server's per-read timeout, so a peer
+dribbling bytes (slow-loris) is rejected instead of pinning a session open.
 """
 
 from __future__ import annotations
@@ -65,6 +73,8 @@ class Session:
         self.ordinal: Optional[int] = None
         self.client: Optional[str] = None
         self._merger: Optional[StreamingMerger] = None
+        self._journal = None          # SessionJournal when the server has a WAL
+        self._claimed_ordinal = False
 
     @property
     def frames(self) -> int:
@@ -74,10 +84,25 @@ class Session:
     # Main loop
     # ------------------------------------------------------------------
 
+    async def _timed(self, awaitable, what: str):
+        """Bound one read by the server's per-read timeout (slow-loris guard)."""
+        timeout = self._server.read_timeout
+        if timeout is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(awaitable, timeout)
+        except asyncio.TimeoutError:
+            error = ProtocolError(
+                f"no complete {what} within {timeout:g}s; peer is stalling "
+                "(slow-loris?) and the session is rejected")
+            error.code = "timeout"
+            raise error from None
+
     async def run(self) -> None:
         """Drive the connection to completion; never raises into the server."""
         try:
-            header = await self._channel.read_prefix()
+            header = await self._timed(self._channel.read_prefix(),
+                                       "stream header")
             # Greet before validating, so any rejection reaches the client as
             # a well-formed (prefix + error frame) stream it can parse.
             greeting = FrameHeader(framing=header.framing, frames=None,
@@ -86,7 +111,8 @@ class Session:
             await self._channel.send_prefix(greeting)
             self._check_k(header.k, source="stream header")
             while self.state not in (SessionState.COMMITTED, SessionState.REJECTED):
-                kind, value = await self._channel.next_event()
+                kind, value = await self._timed(self._channel.next_event(),
+                                                "control frame")
                 if kind == "eof":
                     self._finish_on_eof()
                     break
@@ -101,6 +127,11 @@ class Session:
             self.state = SessionState.REJECTED
             self._server.note_rejected(self, f"connection lost: {error}")
         finally:
+            if self._claimed_ordinal:
+                self._server.release_ordinal(self.ordinal)
+                self._claimed_ordinal = False
+            if self._journal is not None:
+                self._journal.close()
             await self._channel.close()
 
     async def _dispatch(self, message: dict) -> None:
@@ -137,8 +168,21 @@ class Session:
         self.ordinal = ordinal
         client = message.get("client")
         self.client = str(client) if client is not None else None
+        ack = {"k": self._server.k}
+        if self._server.wal is not None:
+            self._claimed_ordinal = self._server.claim_ordinal(self.ordinal)
+            self._journal = self._server.wal.attach(self.ordinal, self.client,
+                                                    self._server.k)
+            ack["committed"] = self._journal.committed_frames
+            if self._journal.complete:
+                ack["complete"] = True
+            elif self._journal.merger is not None:
+                # Resumed session: adopt the replayed committed prefix.
+                self._merger = self._journal.merger
+                self._server.note_resumed(self._journal.record.session_id,
+                                          self._merger)
         self.state = SessionState.READY
-        await self._channel.send_control(OK, re=HELLO, k=self._server.k)
+        await self._channel.send_control(OK, re=HELLO, **ack)
 
     async def _handle_push(self, message: dict) -> None:
         declared = message.get("frames")
@@ -148,11 +192,21 @@ class Session:
             raise ProtocolError(
                 "no sketch size agreed yet: start the server with -k or "
                 "declare k in this session's hello")
+        if self._journal is not None:
+            if self._journal.complete:
+                error = ProtocolError(
+                    "session already committed cleanly; pushing more frames "
+                    "would fold them twice — use a fresh ordinal")
+                error.code = "session_complete"
+                raise error
+            self._journal.ensure_k(self._server.k)
         if self._merger is None:
             self._merger = StreamingMerger(self._server.k)
         self.state = SessionState.PUSHING
         for index in range(declared):
-            kind, value = await self._channel.next_event()
+            kind, value, body = await self._timed(
+                self._channel.next_event(include_body=True),
+                f"payload frame {index + 1}/{declared}")
             if kind == "eof":
                 raise FramingError(
                     f"stream ended {declared - index} frame(s) into a "
@@ -168,8 +222,14 @@ class Session:
                     "disagreeing sketch sizes would miscalibrate the release")
                 error.code = "k_mismatch"
                 raise error
+            if self._journal is not None:
+                # Write-ahead: the verbatim bytes hit the spool before the fold.
+                self._journal.append(body)
             self._merger.add(value)
             self._server.note_frame(value)
+        if self._journal is not None:
+            # Durability barrier: fsync spool + checkpoint record, then ack.
+            self._journal.commit()
         self.state = SessionState.READY
         await self._channel.send_control(OK, re=PUSH, folded=declared,
                                          frames=self.frames)
@@ -237,3 +297,8 @@ class Session:
         merger = self._merger
         self._merger = None
         return merger
+
+    def take_journal(self):
+        journal = self._journal
+        self._journal = None
+        return journal

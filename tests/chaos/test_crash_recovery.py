@@ -1,0 +1,206 @@
+"""Crash injection: SIGKILL the aggregation server, restart, release.
+
+The acceptance property of the durability layer, end to end: a `repro serve
+--wal-dir` subprocess is killed with SIGKILL at randomized wall-clock points
+(which land anywhere in the protocol — between frames, mid-frame, mid-fsync)
+while N resilient clients are pushing; it is restarted on the same wal dir;
+and after the dust settles the released histogram must be bit-identical —
+keys, values, dict order, metadata notes — to the offline ``repro merge
+--framed`` release over the same files with the same seed.  The clients use
+:func:`repro.net.push_file_resilient`, so every crash also exercises the
+idempotent resume path (re-HELLO, committed-count skip, re-push of unACKed
+tails).
+"""
+
+import json
+import os
+import pathlib
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.net import push_file_resilient
+
+pytestmark = [pytest.mark.chaos, pytest.mark.net(seconds=240)]
+
+K = 24
+FRAMES_PER_CLIENT = 6
+EPSILON, DELTA = "1.0", "1e-6"
+
+
+@pytest.fixture
+def packed_files(tmp_path):
+    """Framed multi-frame files, one per client, over distinct Zipf streams."""
+    files = []
+    for client in range(4):
+        sketches = []
+        for part in range(FRAMES_PER_CLIENT):
+            seed = 100 + client * FRAMES_PER_CLIENT + part
+            stream = tmp_path / f"s{client}-{part}.txt"
+            sketch = tmp_path / f"s{client}-{part}.json"
+            assert main(["generate", "--dataset", "zipf", "-n", "3000",
+                         "--universe", "300", "--seed", str(seed),
+                         "--out", str(stream)]) == 0
+            assert main(["sketch", "--stream", str(stream), "-k", str(K),
+                         "--out", str(sketch)]) == 0
+            sketches.append(str(sketch))
+        frames = tmp_path / f"client{client}.frames"
+        assert main(["pack", "--out", str(frames), *sketches]) == 0
+        files.append(frames)
+    return files
+
+
+class ServerHarness:
+    """Start / SIGKILL / restart one `repro serve --wal-dir` subprocess."""
+
+    def __init__(self, tmp_path, wal_dir):
+        # Unix socket: the address survives restarts (no ephemeral port
+        # reassignment), and the path stays under the ~100-char limit.
+        self._sockdir = tempfile.mkdtemp(prefix="repro-chaos-")
+        self._socket = f"{self._sockdir}/agg.sock"
+        self.address = f"unix:{self._socket}"
+        self._tmp = tmp_path
+        self._wal_dir = wal_dir
+        self._process = None
+        self._generation = 0
+
+    def start(self):
+        self._generation += 1
+        ready = self._tmp / f"ready-{self._generation}.addr"
+        if os.path.exists(self._socket):
+            os.unlink(self._socket)  # SIGKILL leaves the bound socket behind
+        self._process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--listen", self.address, "--epsilon", EPSILON,
+             "--delta", DELTA, "-k", str(K),
+             "--wal-dir", str(self._wal_dir),
+             "--ready-file", str(ready)],
+            env={**os.environ, "PYTHONPATH": str(
+                pathlib.Path(__file__).resolve().parents[2] / "src")},
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            if ready.exists() and ready.read_text().strip():
+                return self
+            if self._process.poll() is not None:
+                raise AssertionError(
+                    f"serve (gen {self._generation}) died during startup: "
+                    f"{self._process.stderr.read()}")
+            time.sleep(0.05)
+        raise AssertionError("serve never wrote its ready file")
+
+    def kill_9(self):
+        os.kill(self._process.pid, signal.SIGKILL)
+        self._process.wait(timeout=30)
+
+    def terminate(self):
+        if self._process is not None and self._process.poll() is None:
+            self._process.terminate()
+            try:
+                self._process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self._process.kill()
+                self._process.wait(timeout=30)
+
+
+def _load(path):
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def _offline_release(tmp_path, files, seed):
+    out = tmp_path / "offline.hist.json"
+    assert main(["merge", "--framed", "--epsilon", EPSILON, "--delta", DELTA,
+                 "--seed", str(seed), "--out", str(out),
+                 *[str(path) for path in files]]) == 0
+    return _load(out)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("clients", [1, 2, 4])
+def test_sigkill_mid_push_release_is_bit_identical(packed_files, tmp_path,
+                                                   clients):
+    files = packed_files[:clients]
+    rng = random.Random(1000 + clients)  # per-scenario randomized kill points
+    harness = ServerHarness(tmp_path, tmp_path / "wal").start()
+    errors = []
+
+    def push(ordinal):
+        try:
+            # burst=1 + throttle widens the crash window: every frame is its
+            # own PUSH burst with its own fsync commit.
+            push_file_resilient(harness.address, files[ordinal],
+                                ordinal=ordinal, k=K, timeout=10.0,
+                                connect_retries=20, retry_delay=0.1,
+                                retry_jitter=0.5, max_elapsed=120.0,
+                                burst=1, throttle=0.03)
+        except Exception as error:  # surfaced after the joins
+            errors.append((ordinal, error))
+
+    threads = [threading.Thread(target=push, args=(ordinal,))
+               for ordinal in range(clients)]
+    try:
+        for thread in threads:
+            thread.start()
+        # Two SIGKILLs at randomized points while the pushes are in flight.
+        for _ in range(2):
+            time.sleep(rng.uniform(0.05, 0.45))
+            harness.kill_9()
+            harness.start()
+        for thread in threads:
+            thread.join(timeout=180)
+            assert not thread.is_alive(), "a pushing client wedged"
+        assert errors == [], f"client pushes failed: {errors}"
+
+        net_out = tmp_path / "net.hist.json"
+        seed = 21
+        assert main(["request-release", "--to", harness.address,
+                     "--seed", str(seed), "--out", str(net_out)]) == 0
+    finally:
+        harness.terminate()
+
+    networked = _load(net_out)
+    offline = _offline_release(tmp_path, files, seed)
+    assert networked["keys"] == offline["keys"]
+    assert networked["values"] == offline["values"]
+    assert networked["meta"] == offline["meta"]
+
+    # The WAL tools agree with the live release: inspect exits cleanly and
+    # an offline replay of the wal dir reproduces the histogram bit-exactly.
+    assert main(["wal", "inspect", str(tmp_path / "wal")]) == 0
+    replay_out = tmp_path / "replay.hist.json"
+    assert main(["wal", "replay", str(tmp_path / "wal"),
+                 "--epsilon", EPSILON, "--delta", DELTA,
+                 "--seed", str(seed), "--out", str(replay_out)]) == 0
+    assert _load(replay_out) == networked
+
+
+@pytest.mark.slow
+def test_sigkill_between_all_commits_and_release(packed_files, tmp_path):
+    """Kill only after every client committed: recovery must reconstruct the
+    full committed set with zero live sessions to lean on."""
+    files = packed_files[:2]
+    harness = ServerHarness(tmp_path, tmp_path / "wal").start()
+    try:
+        for ordinal, path in enumerate(files):
+            pushed = push_file_resilient(harness.address, path,
+                                         ordinal=ordinal, k=K,
+                                         max_elapsed=60.0)
+            assert pushed == FRAMES_PER_CLIENT
+        harness.kill_9()
+        harness.start()
+
+        net_out = tmp_path / "net.hist.json"
+        assert main(["request-release", "--to", harness.address,
+                     "--seed", "5", "--out", str(net_out)]) == 0
+    finally:
+        harness.terminate()
+    networked = _load(net_out)
+    offline = _offline_release(tmp_path, files, seed=5)
+    assert networked == offline  # the whole JSON document, bit for bit

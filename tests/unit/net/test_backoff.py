@@ -1,0 +1,127 @@
+"""Unit tests for the jittered, budget-capped backoff policy.
+
+Everything runs on an injected fake clock and a scripted rng — no real
+sleeps, no wall-clock dependence: the tests advance time exactly as a retry
+loop would (each handed-out delay is "slept" by bumping the fake clock).
+"""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.net.backoff import Backoff
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+
+
+def _backoff(clock, **kwargs):
+    kwargs.setdefault("rng", lambda: 0.0)  # jitter off unless scripted
+    return Backoff(clock=clock, **kwargs)
+
+
+class TestDelaySchedule:
+    def test_delays_grow_exponentially_from_base(self):
+        backoff = _backoff(FakeClock(), base=0.1, factor=2.0, max_delay=100.0,
+                           jitter=0.0)
+        assert [backoff.next_delay() for _ in range(4)] == [
+            pytest.approx(0.1), pytest.approx(0.2),
+            pytest.approx(0.4), pytest.approx(0.8)]
+        assert backoff.attempts == 4
+
+    def test_max_delay_caps_the_schedule(self):
+        backoff = _backoff(FakeClock(), base=1.0, factor=10.0, max_delay=5.0,
+                           jitter=0.0)
+        assert backoff.next_delay() == pytest.approx(1.0)
+        assert backoff.next_delay() == pytest.approx(5.0)  # 10.0 capped
+        assert backoff.next_delay() == pytest.approx(5.0)  # stays capped
+
+    def test_jitter_only_stretches_never_shrinks(self):
+        """base is a floor: jitter multiplies by 1 + jitter*U, U in [0, 1)."""
+        draws = iter([0.0, 0.999, 0.5])
+        backoff = Backoff(base=2.0, factor=1.0, max_delay=10.0, jitter=0.5,
+                          clock=FakeClock(), rng=lambda: next(draws))
+        low = backoff.next_delay()
+        high = backoff.next_delay()
+        mid = backoff.next_delay()
+        assert low == pytest.approx(2.0)          # U=0 -> exactly base
+        assert high == pytest.approx(2.0 * 1.4995)
+        assert mid == pytest.approx(2.0 * 1.25)
+        for delay in (low, high, mid):
+            assert 2.0 <= delay <= 2.0 * 1.5      # floor and ceiling
+
+    def test_zero_jitter_is_deterministic(self):
+        first = _backoff(FakeClock(), base=0.3, jitter=0.0)
+        second = _backoff(FakeClock(), base=0.3, jitter=0.0)
+        assert [first.next_delay() for _ in range(5)] == \
+               [second.next_delay() for _ in range(5)]
+
+
+class TestMaxElapsedBudget:
+    def test_budget_exhaustion_returns_none(self):
+        clock = FakeClock()
+        backoff = _backoff(clock, base=1.0, factor=1.0, max_delay=1.0,
+                           jitter=0.0, max_elapsed=3.5)
+        slept = 0.0
+        while True:
+            delay = backoff.next_delay()
+            if delay is None:
+                break
+            clock.sleep(delay)
+            slept += delay
+        # 1s + 1s + 1s, then the 4th delay is clamped to the remaining 0.5s,
+        # then the budget is spent.
+        assert slept == pytest.approx(3.5)
+        assert backoff.attempts == 4
+
+    def test_delay_never_overshoots_remaining_budget(self):
+        clock = FakeClock()
+        backoff = _backoff(clock, base=10.0, max_delay=10.0, jitter=0.0,
+                           max_elapsed=4.0)
+        delay = backoff.next_delay()
+        assert delay == pytest.approx(4.0)  # clamped from 10 to the budget
+        clock.sleep(delay)
+        assert backoff.next_delay() is None
+
+    def test_elapsed_time_outside_sleeps_counts_against_budget(self):
+        """Connect attempts take time too; the budget is wall-clock, not
+        sleep-clock."""
+        clock = FakeClock()
+        backoff = _backoff(clock, base=0.1, jitter=0.0, max_elapsed=5.0)
+        clock.sleep(6.0)  # a slow failed connect burned the whole budget
+        assert backoff.next_delay() is None
+        assert backoff.elapsed == pytest.approx(6.0)
+
+    def test_no_budget_means_unbounded_attempts(self):
+        clock = FakeClock()
+        backoff = _backoff(clock, base=0.1, max_delay=0.1, jitter=0.0,
+                           max_elapsed=None)
+        for _ in range(1000):
+            delay = backoff.next_delay()
+            assert delay is not None
+            clock.sleep(delay)
+        assert backoff.attempts == 1000
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"base": 0.0},
+        {"base": -1.0},
+        {"factor": 0.5},
+        {"base": 2.0, "max_delay": 1.0},
+        {"jitter": -0.1},
+        {"max_elapsed": 0.0},
+        {"max_elapsed": -3.0},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            Backoff(**kwargs)

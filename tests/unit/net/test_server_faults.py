@@ -367,3 +367,83 @@ class TestLifecycle:
         with pytest.raises(NetworkError, match="attempt"):
             _run(AggregatorClient("127.0.0.1:1", timeout=0.5, connect_retries=2,
                                   retry_delay=0.01).connect())
+
+
+class TestSlowLoris:
+    """Per-read timeout: a byte-dribbling peer is rejected, not serviced."""
+
+    def test_dribbler_times_out_while_healthy_session_commits(self):
+        async def scenario():
+            async with await _started_server(read_timeout=0.3) as server:
+                channel = await _raw_channel(server)
+                await channel.send_control("hello", k=K, ordinal=9)
+                await channel.read_prefix()
+                await channel.next_event()  # ok re=hello
+                await channel.send_control("push", frames=1)
+                frame = framing.encode_payload_frame(_export({6: 600.0}))
+
+                async def dribble():
+                    # One byte per 0.15s against a 0.3s per-read timeout: the
+                    # frame can never complete before the watchdog fires.
+                    try:
+                        for offset in range(8):
+                            await channel.send_bytes(frame[offset:offset + 1])
+                            await asyncio.sleep(0.15)
+                    except (ConnectionError, OSError):
+                        pass  # server already cut us off
+
+                async def healthy():
+                    # A well-behaved concurrent session, slower than the
+                    # dribbler's timeout window, must commit unaffected.
+                    await asyncio.sleep(0.1)
+                    async with AggregatorClient(server.address, k=K,
+                                                ordinal=0) as client:
+                        await client.push([_export({1: 4000.0})])
+
+                dribbler = asyncio.ensure_future(dribble())
+                (kind, value), _ = await asyncio.gather(
+                    channel.next_event(), healthy())
+                dribbler.cancel()
+                await channel.close()
+                histogram = await _healthy_roundtrip(server)
+                return kind, value, server.stats(), histogram
+        kind, value, stats, histogram = _run(scenario())
+        assert kind == "control" and value["verb"] == "error"
+        assert value["code"] == "timeout"
+        assert "slow-loris" in value["message"]
+        assert stats["sessions_rejected"] == 1
+        assert 6 not in histogram       # the dribbled frame was never folded
+        assert 1 in histogram           # the healthy session's data is there
+
+    def test_silent_connection_is_reaped(self):
+        async def scenario():
+            async with await _started_server(read_timeout=0.2) as server:
+                reader, writer = await asyncio.open_connection(
+                    *server.address.split(":"))
+                # Say nothing at all: the stream-header read must time out
+                # and the server must close the transport.
+                leftovers = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+                histogram = await _healthy_roundtrip(server)
+                return leftovers, server.stats(), histogram
+        leftovers, stats, histogram = _run(scenario())
+        assert leftovers is not None    # EOF reached, no hang
+        assert stats["sessions_rejected"] == 1
+        assert 1 in histogram
+
+    def test_read_timeout_none_disables_the_watchdog(self):
+        async def scenario():
+            async with await _started_server(read_timeout=None) as server:
+                channel = await _raw_channel(server)
+                await channel.send_control("hello", k=K, ordinal=9)
+                await channel.read_prefix()
+                await channel.next_event()
+                await asyncio.sleep(0.4)  # longer than any default test pace
+                await channel.send_control("push", frames=1)
+                await channel.send_payload(_export({6: 600.0}))
+                kind, value = await channel.next_event()
+                await channel.close()
+                return kind, value
+        kind, value = _run(scenario())
+        assert kind == "control" and value["verb"] == "ok"
