@@ -122,7 +122,7 @@ BENCH_PATH = _REPO_ROOT / "BENCH_sketch.json"
 
 #: All workload groups, in report order.
 WORKLOAD_GROUPS = ("sketch", "merge", "framed_merge", "net_aggregate",
-                   "durability", "release", "kernels", "runner")
+                   "durability", "relay", "release", "kernels", "runner")
 
 #: The E11 workload parameters (benchmarks/bench_e11_performance.py).
 E11_N = 100_000
@@ -489,6 +489,104 @@ def _run_durability_group(rows: List[Dict], quick: bool) -> Optional[Dict]:
 
 
 # ---------------------------------------------------------------------------
+# relay group (ISSUE 8: aggregator-of-aggregators scale-out)
+# ---------------------------------------------------------------------------
+
+def _run_relay_group(rows: List[Dict], quick: bool) -> None:
+    """A 2-leaves x 4-clients relay tree vs one flat 8-client server.
+
+    The same 8 chunked per-user exports, the same seeded release — once
+    pushed straight at a flat aggregation server by 8 clients
+    (``reference_seed``: the single-tier service is the baseline the floor
+    is measured against), once through two relay leaves that each fold 4
+    client sessions and forward per-origin-session summary frames to the
+    root on release.  The two histograms are asserted bit-identical before
+    any clock starts, so the ratio isolates the cost of the extra hop
+    (summary re-encode, leaf-to-root push, proxied RELEASE); the acceptance
+    floor is >= 0.7x flat throughput.
+    """
+    import asyncio
+    import io
+    import tempfile
+
+    from repro.api.framing import FrameReader, FrameWriter
+    from repro.api.wire import encode_counters
+    from repro.net import AggregatorClient, AggregatorServer
+    from repro.net.relay import RelayAggregatorServer
+
+    m, k, clients, leaves = MERGE_M, MERGE_K, 8, 2
+    per_leaf = clients // leaves
+    keys_list, values_list = _per_user_sketch_exports(
+        m, k, n_per_user=5_000 if quick else 20_000)
+    pairs = int(sum(keys.size for keys in keys_list))
+    chunks = []
+    for indices in np.array_split(np.arange(m), clients):
+        buffer = io.BytesIO()
+        with FrameWriter(buffer, k=k, frames=len(indices)) as writer:
+            for index in indices:
+                writer.write_payload(encode_counters(
+                    dict(zip(keys_list[index].tolist(),
+                             values_list[index].tolist())), k=k))
+        buffer.seek(0)
+        chunks.append(list(FrameReader(buffer, raw=True)))
+
+    async def _push(address: str, ordinal: int, bodies) -> None:
+        async with AggregatorClient(address, k=k, ordinal=ordinal) as client:
+            await client.push_raw(bodies)
+
+    async def _flat_cycle():
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as sockdir:
+            server = AggregatorServer(epsilon=1.0, delta=1e-6, k=k)
+            async with await server.start(f"unix:{sockdir}/flat.sock"):
+                await asyncio.gather(*[
+                    _push(server.address, ordinal, bodies)
+                    for ordinal, bodies in enumerate(chunks)])
+                async with AggregatorClient(server.address) as client:
+                    return await client.request_release(seed=7)
+
+    async def _relay_cycle():
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as sockdir:
+            root = AggregatorServer(epsilon=1.0, delta=1e-6, k=k,
+                                    accept_relays=True)
+            async with await root.start(f"unix:{sockdir}/root.sock"):
+                relays = [RelayAggregatorServer(
+                    epsilon=1.0, delta=1e-6, k=k, upstream=root.address,
+                    relay_ordinal=leaf) for leaf in range(leaves)]
+                started = [await relay.start(f"unix:{sockdir}/leaf{leaf}.sock")
+                           for leaf, relay in enumerate(relays)]
+                try:
+                    # Leaf-major client placement: global ordinal order over
+                    # the tree matches the flat server's release order, so
+                    # the releases are bit-identical.
+                    await asyncio.gather(*[
+                        _push(relays[ordinal // per_leaf].address, ordinal,
+                              bodies)
+                        for ordinal, bodies in enumerate(chunks)])
+                    for relay in relays[:-1]:
+                        await relay.forward_flush()
+                    async with AggregatorClient(relays[-1].address) as client:
+                        return await client.request_release(seed=7)
+                finally:
+                    for relay in started:
+                        await relay.aclose()
+
+    def _flat():
+        return asyncio.run(_flat_cycle())
+
+    def _relayed():
+        return asyncio.run(_relay_cycle())
+
+    flat, relayed = _flat(), _relayed()
+    assert list(flat.as_dict().items()) == list(relayed.as_dict().items())
+    assert flat.metadata.as_dict() == relayed.metadata.as_dict()
+    rows.append(_measure(f"relay_m{m}", k, pairs, "reference_seed",
+                         _flat, repeats=3))
+    rows.append(_measure(f"relay_m{m}", k, pairs,
+                         f"optimized_relay_{leaves}x{per_leaf}", _relayed,
+                         repeats=3))
+
+
+# ---------------------------------------------------------------------------
 # release group (bulk noise + threshold filter over a large aggregate)
 # ---------------------------------------------------------------------------
 
@@ -668,6 +766,7 @@ _GROUP_RUNNERS = {
     "framed_merge": _run_framed_merge_group,
     "net_aggregate": _run_net_aggregate_group,
     "durability": _run_durability_group,
+    "relay": _run_relay_group,
     "release": _run_release_group,
     "kernels": _run_kernels_group,
     "runner": _run_runner_group,

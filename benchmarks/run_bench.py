@@ -17,7 +17,8 @@ their floors (>= 10x on the all-distinct k=1024 sketch workload, >= 3x on
 the E11 Zipf k=1024 workload, >= 10x on the m=256 k=1024 merge workload,
 >= 8x on the framed streaming-merge workload, >= 0.5x on the socket
 aggregation service vs the offline framed fold, >= 0.5x on the WAL-backed
-service vs the in-memory one, >= 3x on the trusted-sum release workload, and — when a compiled kernel provider is present — >= 8x
+service vs the in-memory one, >= 0.7x on the 2x4 relay tree vs the flat
+8-client server, >= 3x on the trusted-sum release workload, and — when a compiled kernel provider is present — >= 8x
 over the seed plus >= 3x over the vectorized python batch path on the zipf
 k=64 update workload and >= 2x on the m=256 k=1024 columnar merge fold), so
 the script can gate CI.
@@ -54,6 +55,9 @@ FLOORS = {
     "net_aggregate_m256_k1024_socket_4clients": ("net_aggregate", 0.5),
     # Crash safety (WAL spools + fsync commits) may cost at most 2x.
     "durability_m256_k1024_wal_sqlite_4clients": ("durability", 0.5),
+    # The 2-leaves x 4-clients relay tree vs one flat 8-client server: the
+    # extra hop may cost at most ~1.4x the flat service.
+    "relay_m256_k1024_relay_2x4": ("relay", 0.7),
     "release_trusted_sum_k1024_vectorized": ("release", 3.0),
     "kernels_update_zipf_k64_compiled_batch": ("kernels", 8.0),
     "kernels_update_zipf_k64_compiled_vs_python": ("kernels", 3.0),

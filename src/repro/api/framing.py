@@ -198,6 +198,13 @@ def decode_control_body(body: bytes) -> Dict[str, object]:
 def encode_payload_frame(payload: Union[Mapping, WirePayload],
                          encoding: str = "binary") -> bytes:
     """One payload frame (binary columnar when possible), length prefix included."""
+    return encode_frame(payload_frame_body(payload, encoding=encoding))
+
+
+def payload_frame_body(payload: Union[Mapping, WirePayload],
+                       encoding: str = "binary") -> bytes:
+    """One payload frame *body* (no length prefix) — what ``push_raw`` and
+    :func:`append_frame` consume verbatim."""
     if isinstance(payload, WirePayload):
         payload = wire_module.encode_payload(payload)
     if payload.get("format") != WIRE_FORMAT_VERSION:
@@ -205,8 +212,8 @@ def encode_payload_frame(payload: Union[Mapping, WirePayload],
             f"frames must carry wire v2 envelopes (format: {WIRE_FORMAT_VERSION}), "
             f"got format={payload.get('format')!r}")
     if encoding == "binary" and payload.get("key_encoding") == "int":
-        return encode_frame(_binary_frame_body(payload))
-    return encode_json_frame(payload)
+        return _binary_frame_body(payload)
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
 
 
 def _binary_frame_body(payload: Mapping) -> bytes:
@@ -814,6 +821,32 @@ class StreamingMerger:
             self._acc_dict = merge_many([acc, counters], self._k)
         return self
 
+    def add_summary(self, payload: Union[WirePayload, Mapping]) -> "StreamingMerger":
+        """Fold one relay *summary* frame, adopting its origin accounting.
+
+        A summary frame (:func:`summary_payload`) is the merged state of a
+        whole origin session re-encoded as one envelope — a fixed point of
+        the fold, so adding it to a fresh merger reproduces the origin
+        session's summary bit-identically.  The envelope's
+        ``meta["relay"]["frames"]`` records how many sketch exports the
+        origin folded; that count (not 1) is what release metadata must
+        report, so it is carried into this merger's frame accounting.
+        """
+        if isinstance(payload, Mapping):
+            payload = wire_module.decode(payload)
+        relay = payload.meta.get(RELAY_META_KEY)
+        origin_frames = 1
+        if isinstance(relay, Mapping):
+            declared = relay.get("frames")
+            if not isinstance(declared, int) or declared < 1:
+                raise FramingError(
+                    f"relay summary frame declares a bad origin frame count "
+                    f"{declared!r}")
+            origin_frames = declared
+        self.add(payload)
+        self._frames += origin_frames - 1
+        return self
+
     def consume(self, frames: Iterable[Union[WirePayload, Mapping]]) -> "StreamingMerger":
         """Fold every frame of an iterable (e.g. a :class:`FrameReader`)."""
         for payload in frames:
@@ -963,6 +996,32 @@ def iter_frames(source) -> Iterator[WirePayload]:
         return
     with Path(source).open("rb") as fileobj:
         yield from FrameReader(fileobj)
+
+
+#: Envelope ``meta`` key a relay summary frame carries its origin
+#: accounting under (``{"frames": <origin sketch exports>}``).
+RELAY_META_KEY = "relay"
+
+
+def summary_payload(merger: StreamingMerger) -> Dict[str, object]:
+    """Encode a merger's summary as one relay forward frame (v2 envelope).
+
+    The envelope is a *fixed point* of the fold: its counters are the
+    merger's merged state in seed dict order, its ``stream_length`` is the
+    origin total, and folding it as the sole frame of a fresh merger (via
+    :meth:`StreamingMerger.add_summary`) reproduces the origin summary
+    bit-identically — dense first step with ``<= k`` entries is the
+    identity assignment.  ``meta["relay"]["frames"]`` carries the origin
+    frame count so downstream release metadata still reports the true
+    number of folded sketch exports.
+    """
+    if merger.frames == 0:
+        raise ParameterError("merger folded no frames; nothing to summarize")
+    envelope = wire_module.encode_counters(
+        merger.merged(), k=merger._k,
+        stream_length=merger.total_stream_length)
+    envelope["meta"][RELAY_META_KEY] = {"frames": merger.frames}
+    return envelope
 
 
 def combine_mergers(parts: Sequence[StreamingMerger], k: int) -> StreamingMerger:

@@ -52,6 +52,20 @@ distinct ``--ordinal`` and the result is bit-identical to ``repro merge
     repro push --to 127.0.0.1:7788 --ordinal 0 server1.frames
     repro push --to 127.0.0.1:7788 --ordinal 1 server2.frames
     repro request-release --to 127.0.0.1:7788 --seed 4 --out merged.hist.json
+
+Scale out with a relay tree (``repro.net.relay``): leaves accept clients and
+forward committed sessions to a root started with ``--accept-relays``; a
+release through any leaf is bit-identical to the flat single-server run::
+
+    repro serve --listen 127.0.0.1:7788 --epsilon 1.0 --delta 1e-6 -k 256 \
+        --accept-relays &
+    repro relay --listen 127.0.0.1:7789 --upstream 127.0.0.1:7788 \
+        --epsilon 1.0 --delta 1e-6 -k 256 --ordinal 0 &
+    repro push --to 127.0.0.1:7789 --ordinal 0 server1.frames
+    repro request-release --to 127.0.0.1:7789 --seed 4
+
+``repro stats ADDRESS`` pretty-prints any server's live counters (sessions,
+committed frames, fold rate, and — for relays — the upstream forward state).
 """
 
 from __future__ import annotations
@@ -203,6 +217,64 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--read-timeout", type=float, default=30.0,
                        help="per-read seconds before a stalling (slow-loris) "
                             "peer is rejected; 0 disables (default 30)")
+    serve.add_argument("--accept-relays", action="store_true",
+                       help="accept role=relay sessions (leaf aggregators "
+                            "forwarding per-origin-session summary frames); "
+                            "required to act as a relay tree's root")
+
+    relay = subparsers.add_parser(
+        "relay",
+        help="run a leaf aggregator that forwards committed sessions to an "
+             "upstream root (repro.net.relay)")
+    relay.add_argument("--listen", default="127.0.0.1:0",
+                       help="endpoint to bind: HOST:PORT (:0 for an ephemeral "
+                            "port) or unix:/path (default 127.0.0.1:0)")
+    relay.add_argument("--upstream", required=True,
+                       help="the root aggregator's endpoint (must run with "
+                            "--accept-relays)")
+    relay.add_argument("--epsilon", type=float, required=True)
+    relay.add_argument("--delta", type=float, required=True)
+    relay.add_argument("-k", type=int, default=None,
+                       help="sketch size all sessions must agree on (default: "
+                            "adopt the first session's declared k)")
+    relay.add_argument("--ordinal", type=int, default=0,
+                       help="this leaf's position among its siblings; it "
+                            "prefixes every forwarded session's root ordinal, "
+                            "so give each leaf a distinct one (default 0)")
+    relay.add_argument("--forward-on", choices=("commit", "release"),
+                       default="release",
+                       help="when to push committed sessions upstream: "
+                            "eagerly as each commits, or lazily when a "
+                            "release is requested (default release)")
+    relay.add_argument("--releases", type=int, default=None,
+                       help="exit after proxying this many releases (default: "
+                            "run until SIGINT/SIGTERM)")
+    relay.add_argument("--drain-timeout", type=float, default=5.0,
+                       help="seconds to wait for in-flight sessions on shutdown")
+    relay.add_argument("--ready-file", default=None,
+                       help="write the bound address to this file once listening")
+    relay.add_argument("--wal-dir", default=None,
+                       help="write-ahead log directory; also holds the "
+                            "durable forward queue (wal-dir/forward), so a "
+                            "leaf crash mid-forward re-pushes on restart — "
+                            "crash safety needs a --wal-dir on both tiers")
+    relay.add_argument("--read-timeout", type=float, default=30.0,
+                       help="per-read seconds before a stalling (slow-loris) "
+                            "peer is rejected; 0 disables (default 30)")
+    relay.add_argument("--accept-relays", action="store_true",
+                       help="also accept role=relay sessions, making this a "
+                            "mid-tier of a deeper relay chain")
+    relay.add_argument("--forward-max-elapsed", type=float, default=60.0,
+                       help="total retry budget in seconds for each upstream "
+                            "forward (default 60)")
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="fetch and pretty-print an aggregation server's STATS counters")
+    stats.add_argument("address", help="server endpoint (HOST:PORT or unix:/path)")
+    stats.add_argument("--timeout", type=float, default=30.0)
+    stats.add_argument("--retries", type=int, default=5,
+                       help="connection attempts before giving up")
 
     push = subparsers.add_parser(
         "push", help="push sketch exports to an aggregation server")
@@ -549,26 +621,20 @@ def _cmd_pack(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _serve_loop(args: argparse.Namespace, make_server, banner: str) -> int:
+    """Shared serve/relay driver: bind, announce, wait, drain, report."""
     import asyncio
     import signal
     from pathlib import Path
 
-    from .net import AggregatorServer
-
     async def _serve() -> int:
-        read_timeout = args.read_timeout if args.read_timeout > 0 else None
-        server = AggregatorServer(epsilon=args.epsilon, delta=args.delta,
-                                  k=args.k, drain_timeout=args.drain_timeout,
-                                  max_releases=args.releases,
-                                  wal_dir=args.wal_dir,
-                                  read_timeout=read_timeout)
+        server = make_server()
         await server.start(args.listen)
         if args.ready_file:
             ready = Path(args.ready_file)
             ready.parent.mkdir(parents=True, exist_ok=True)
             ready.write_text(server.address + "\n", encoding="utf-8")
-        print(f"aggregation server listening on {server.address} "
+        print(f"{banner} listening on {server.address} "
               f"(epsilon={args.epsilon}, delta={args.delta}, k={args.k})",
               flush=True)
         stop = asyncio.Event()
@@ -598,6 +664,99 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return asyncio.run(_serve())
     except KeyboardInterrupt:
         return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .net import AggregatorServer
+
+    def make_server():
+        read_timeout = args.read_timeout if args.read_timeout > 0 else None
+        return AggregatorServer(epsilon=args.epsilon, delta=args.delta,
+                                k=args.k, drain_timeout=args.drain_timeout,
+                                max_releases=args.releases,
+                                wal_dir=args.wal_dir,
+                                read_timeout=read_timeout,
+                                accept_relays=args.accept_relays)
+
+    return _serve_loop(args, make_server, "aggregation server")
+
+
+def _cmd_relay(args: argparse.Namespace) -> int:
+    from .net import RelayAggregatorServer
+
+    def make_server():
+        read_timeout = args.read_timeout if args.read_timeout > 0 else None
+        return RelayAggregatorServer(epsilon=args.epsilon, delta=args.delta,
+                                     k=args.k, upstream=args.upstream,
+                                     relay_ordinal=args.ordinal,
+                                     forward_on=args.forward_on,
+                                     forward_max_elapsed=args.forward_max_elapsed,
+                                     drain_timeout=args.drain_timeout,
+                                     max_releases=args.releases,
+                                     wal_dir=args.wal_dir,
+                                     read_timeout=read_timeout,
+                                     accept_relays=args.accept_relays)
+
+    return _serve_loop(args, make_server,
+                       f"relay leaf {args.ordinal} (upstream {args.upstream})")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .net import fetch_stats
+
+    stats = fetch_stats(args.address, timeout=args.timeout,
+                        connect_retries=args.retries)
+    uptime = stats.get("uptime")
+    frames = stats.get("frames", 0)
+    throughput = (f"{frames / uptime:.1f}/s"
+                  if isinstance(uptime, (int, float)) and uptime > 0 else "-")
+    overview = [{
+        "role": stats.get("role", "aggregator"),
+        "k": stats.get("k"),
+        "epsilon": stats.get("epsilon"),
+        "delta": stats.get("delta"),
+        "accept relays": "yes" if stats.get("accept_relays") else "no",
+        "uptime (s)": (f"{uptime:.1f}"
+                       if isinstance(uptime, (int, float)) else "-"),
+        "fold rate": throughput,
+    }]
+    print(format_table(overview, title=f"aggregator at {args.address}"))
+    print()
+    totals = [{
+        "sessions active": stats.get("sessions_active", 0),
+        "committed": stats.get("sessions_committed", 0),
+        "rejected": stats.get("sessions_rejected", 0),
+        "frames": frames,
+        "stream length": stats.get("stream_length", 0),
+        "releases": stats.get("releases", 0),
+    }]
+    print(format_table(totals, title="totals"))
+    sessions = stats.get("sessions") or []
+    if sessions:
+        print()
+        rows = [{
+            "ordinal": "-" if entry.get("ordinal") is None else entry["ordinal"],
+            "client": entry.get("client") or "-",
+            "frames": entry.get("frames", 0),
+            "commit seq": entry.get("seq"),
+        } for entry in sessions]
+        print(format_table(rows, title="committed sessions (release order)"))
+    forward = stats.get("forward")
+    if isinstance(forward, dict):
+        print()
+        backoff = forward.get("last_backoff")
+        rows = [{
+            "upstream": forward.get("upstream", "-"),
+            "policy": forward.get("policy", "-"),
+            "leaf ordinal": forward.get("relay_ordinal", "-"),
+            "queued": forward.get("queued", 0),
+            "acked": forward.get("acked", 0),
+            "last backoff": (f"{backoff:.2f}s"
+                             if isinstance(backoff, (int, float)) else "-"),
+            "error": forward.get("error") or "-",
+        }]
+        print(format_table(rows, title="upstream forward state"))
+    return 0
 
 
 def _cmd_push(args: argparse.Namespace) -> int:
@@ -757,6 +916,8 @@ _HANDLERS = {
     "merge": _cmd_merge,
     "pack": _cmd_pack,
     "serve": _cmd_serve,
+    "relay": _cmd_relay,
+    "stats": _cmd_stats,
     "push": _cmd_push,
     "wal": _cmd_wal,
     "request-release": _cmd_request_release,

@@ -21,7 +21,14 @@ as they arrive and publishes a differentially private histogram on request:
 * :mod:`repro.net.store` — the pluggable checkpoint ledger behind the WAL
   (sqlite first; the interface is redis-shaped so another backend is one
   module).
-* :mod:`repro.net.backoff` — jittered, budget-capped retry delays.
+* :mod:`repro.net.backoff` — jittered, budget-capped retry delays and
+  :func:`retry_async`, the one retry loop every resilient code path drives.
+* :mod:`repro.net.relay` — :class:`RelayAggregatorServer`: the
+  aggregator-of-aggregators tier.  A leaf accepts normal client sessions
+  and forwards each committed session's summary upstream (one fixed-point
+  summary frame per origin session, durable forward queue, idempotent
+  resume), so an ``N leaves x M clients`` tree releases bit-identically to
+  one flat server over the same ``N*M`` sessions.
 
 A release triggered over the network is bit-identical (keys, values, dict
 order) to ``repro merge --framed`` over the same exports with the same seed:
@@ -32,10 +39,12 @@ byte of the conversation: committed sessions replay from their spools in
 recorded commit order.
 """
 
-from .backoff import Backoff
+from .backoff import Backoff, retry_async
 from .client import (AggregatorClient, fetch_stats, push_file,
-                     push_file_resilient, request_release)
+                     push_file_resilient, request_release,
+                     transient_push_error)
 from .protocol import Address, FrameChannel, parse_address
+from .relay import RelayAggregatorServer, serve_relay
 from .server import AggregatorServer, serve
 from .session import CommittedSession, Session, SessionState
 from .store import (CheckpointStore, MemoryCheckpointStore, SessionRecord,
@@ -51,6 +60,7 @@ __all__ = [
     "CommittedSession",
     "FrameChannel",
     "MemoryCheckpointStore",
+    "RelayAggregatorServer",
     "Session",
     "SessionJournal",
     "SessionRecord",
@@ -64,5 +74,8 @@ __all__ = [
     "push_file",
     "push_file_resilient",
     "request_release",
+    "retry_async",
     "serve",
+    "serve_relay",
+    "transient_push_error",
 ]

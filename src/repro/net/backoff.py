@@ -12,13 +12,14 @@ testable with a fake clock — no real sleeps in the tests.
 
 from __future__ import annotations
 
+import asyncio
 import random as _random
 import time
-from typing import Callable, Optional
+from typing import Awaitable, Callable, Optional, Tuple, Type, Union
 
 from ..exceptions import ParameterError
 
-__all__ = ["Backoff"]
+__all__ = ["Backoff", "retry_async"]
 
 
 class Backoff:
@@ -61,11 +62,17 @@ class Backoff:
         self._rng = rng
         self._started = clock()
         self._attempt = 0
+        self._last_delay: Optional[float] = None
 
     @property
     def attempts(self) -> int:
         """How many delays have been handed out."""
         return self._attempt
+
+    @property
+    def last_delay(self) -> Optional[float]:
+        """The most recent delay handed out, or ``None`` before the first."""
+        return self._last_delay
 
     @property
     def elapsed(self) -> float:
@@ -83,4 +90,50 @@ class Backoff:
         self._attempt += 1
         if self._max_elapsed is not None:
             delay = min(delay, remaining)
+        self._last_delay = delay
         return delay
+
+
+Retryable = Union[Tuple[Type[BaseException], ...],
+                  Callable[[BaseException], bool]]
+
+
+async def retry_async(attempt: Callable[[], Awaitable],
+                      *, backoff: Backoff,
+                      retryable: Retryable,
+                      max_attempts: Optional[int] = None,
+                      give_up: Callable[[Optional[BaseException], int, Backoff],
+                                        BaseException],
+                      sleep: Callable[[float], Awaitable] = asyncio.sleep) -> object:
+    """Run ``attempt`` until it succeeds, retrying transient failures.
+
+    This is the one retry loop of the net tier: ``AggregatorClient.connect``,
+    :func:`~repro.net.client.push_file_resilient` and the relay's upstream
+    forwarder all drive it with their own ``backoff`` policy.  ``retryable``
+    classifies an exception as transient — either a tuple of exception types
+    or a predicate; anything else propagates immediately.  The loop gives up
+    when ``max_attempts`` attempts have failed or when the backoff's
+    ``max_elapsed`` budget is spent (no sleep is taken after the final
+    attempt), raising whatever ``give_up(last_error, attempts, backoff)``
+    builds.  ``sleep`` is injectable so the fake-clock suite runs with zero
+    real sleeps.
+    """
+    attempts = 0
+    last: Optional[BaseException] = None
+    while True:
+        attempts += 1
+        try:
+            return await attempt()
+        except BaseException as error:
+            transient = (isinstance(error, retryable)
+                         if isinstance(retryable, tuple) else retryable(error))
+            if not transient:
+                raise
+            last = error
+        if max_attempts is not None and attempts >= max_attempts:
+            break
+        delay = backoff.next_delay()
+        if delay is None:
+            break  # max-elapsed retry budget exhausted
+        await sleep(delay)
+    raise give_up(last, attempts, backoff) from None

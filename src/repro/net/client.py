@@ -37,7 +37,7 @@ from ..api.wire import WirePayload, payload_to_histogram
 from ..core.results import PrivateHistogram
 from ..exceptions import NetworkError, ProtocolError, RemoteError
 from ..sketches.base import FrequencySketch
-from .backoff import Backoff
+from .backoff import Backoff, retry_async
 from .protocol import (
     BYE,
     HELLO,
@@ -68,6 +68,10 @@ class AggregatorClient:
         This client's position in the canonical release order.  Give each
         pushing client a distinct ordinal to make the released histogram
         bit-reproducible regardless of network interleaving.
+    role:
+        Declared in HELLO when set.  ``"relay"`` marks this session's frames
+        as relay *summary* frames (one per origin session, folded into their
+        own release parts by a server started with ``accept_relays``).
     timeout:
         Hard per-operation timeout in seconds.
     connect_retries / retry_delay / retry_jitter / retry_max_elapsed:
@@ -78,6 +82,7 @@ class AggregatorClient:
 
     def __init__(self, address: Union[str, Address], *, k: Optional[int] = None,
                  ordinal: Optional[int] = None, client_name: Optional[str] = None,
+                 role: Optional[str] = None,
                  timeout: float = 30.0, connect_retries: int = 5,
                  retry_delay: float = 0.2, retry_jitter: float = 0.1,
                  retry_max_elapsed: Optional[float] = None) -> None:
@@ -85,6 +90,7 @@ class AggregatorClient:
         self._k = k
         self._ordinal = ordinal
         self._client_name = client_name
+        self._role = role
         self._timeout = timeout
         self._connect_retries = max(1, int(connect_retries))
         self._retry_delay = retry_delay
@@ -129,29 +135,22 @@ class AggregatorClient:
 
     async def connect(self) -> "AggregatorClient":
         """Connect (with retries), open the framed stream, shake hands."""
-        last: Optional[BaseException] = None
         backoff = Backoff(base=self._retry_delay, jitter=self._retry_jitter,
                           max_elapsed=self._retry_max_elapsed)
-        attempts = 0
-        for attempt in range(self._connect_retries):
-            attempts = attempt + 1
-            try:
-                self._channel = await asyncio.wait_for(
-                    open_channel(self._address), timeout=self._timeout)
-                break
-            except (ConnectionError, OSError, asyncio.TimeoutError) as error:
-                last = error
-                self._channel = None
-                if attempt + 1 >= self._connect_retries:
-                    break
-                delay = backoff.next_delay()
-                if delay is None:
-                    break  # max-elapsed retry budget exhausted
-                await asyncio.sleep(delay)
-        if self._channel is None:
-            raise NetworkError(
+
+        async def _open() -> FrameChannel:
+            return await asyncio.wait_for(
+                open_channel(self._address), timeout=self._timeout)
+
+        def _give_up(last, attempts, policy) -> NetworkError:
+            return NetworkError(
                 f"could not connect to {self._address} after "
-                f"{attempts} attempt(s) ({backoff.elapsed:.1f}s): {last}")
+                f"{attempts} attempt(s) ({policy.elapsed:.1f}s): {last}")
+
+        self._channel = await retry_async(
+            _open, backoff=backoff,
+            retryable=(ConnectionError, OSError, asyncio.TimeoutError),
+            max_attempts=self._connect_retries, give_up=_give_up)
         try:
             return await self._guard(self._handshake(), "handshake")
         except BaseException:
@@ -169,6 +168,8 @@ class AggregatorClient:
             hello["ordinal"] = int(self._ordinal)
         if self._client_name is not None:
             hello["client"] = self._client_name
+        if self._role is not None:
+            hello["role"] = self._role
         await self._channel.send_control(HELLO, **hello)
         greeting = await self._channel.read_prefix()
         self.server_k = greeting.k
@@ -306,9 +307,19 @@ class AggregatorClient:
 
     async def request_release(self, seed: Optional[int] = None) -> PrivateHistogram:
         """Trigger the private release; returns the decoded histogram."""
+        return payload_to_histogram(await self.request_release_payload(seed))
+
+    async def request_release_payload(self,
+                                      seed: Optional[int] = None) -> WirePayload:
+        """Trigger the private release; returns the raw released payload.
+
+        Relays proxy a downstream RELEASE through this form so the envelope
+        they hand back is the root's released payload re-encoded bit-exactly,
+        not a decode/re-encode round trip through ``PrivateHistogram``.
+        """
         return await self._guard(self._request_release(seed), "release")
 
-    async def _request_release(self, seed: Optional[int]) -> PrivateHistogram:
+    async def _request_release(self, seed: Optional[int]) -> WirePayload:
         channel = self._require_channel()
         await channel.send_control(RELEASE,
                                    seed=int(seed) if seed is not None else None)
@@ -320,7 +331,7 @@ class AggregatorClient:
                 raise RemoteError(str(value.get("message", "release failed")),
                                   code=str(value.get("code", "error")))
             raise ProtocolError(f"expected the released histogram, got {value!r}")
-        return payload_to_histogram(value)
+        return value
 
     async def stats(self) -> Dict[str, object]:
         """The server's aggregate counters (STATS verb)."""
@@ -353,6 +364,19 @@ def push_file(address: Union[str, Address], source: Union[str, Path], *,
     return _run(_push())
 
 
+def transient_push_error(error: BaseException) -> bool:
+    """Whether a resilient push cycle should retry after this failure.
+
+    Transport failures heal on reconnect, and an ``ordinal_active``
+    rejection means the previous connection's server-side session has not
+    unwound yet — a race that heals on its own.  Any other server rejection
+    (k mismatch, protocol violation) is permanent and must propagate.
+    """
+    if isinstance(error, RemoteError):
+        return error.code == "ordinal_active"
+    return isinstance(error, NetworkError)
+
+
 def push_file_resilient(address: Union[str, Address],
                         source: Union[str, Path], *,
                         ordinal: int, k: Optional[int] = None,
@@ -378,7 +402,9 @@ def push_file_resilient(address: Union[str, Address],
         backoff = Backoff(base=retry_delay, jitter=retry_jitter,
                           max_elapsed=max_elapsed)
         total = 0
-        while True:
+
+        async def _cycle() -> int:
+            nonlocal total
             client = AggregatorClient(
                 address, k=k, ordinal=ordinal, client_name=client_name,
                 timeout=timeout, connect_retries=connect_retries,
@@ -389,26 +415,18 @@ def push_file_resilient(address: Union[str, Address],
                     total += await client.push_file(source, burst=burst,
                                                     throttle=throttle)
                     await client.bye()
-                else:
-                    await client.close(bye=False)
                 return total
-            except RemoteError as error:
-                # The previous connection's server-side session may not have
-                # unwound yet; that race heals on its own — anything else is
-                # a real rejection.
-                if error.code != "ordinal_active":
-                    raise
-                last = error
-            except NetworkError as error:
-                last = error
             finally:
                 await client.close(bye=False)
-            delay = backoff.next_delay()
-            if delay is None:
-                raise NetworkError(
-                    f"push of {source} not durably committed within the "
-                    f"{max_elapsed:.1f}s retry budget: {last}") from None
-            await asyncio.sleep(delay)
+
+        def _give_up(last, attempts, policy) -> NetworkError:
+            return NetworkError(
+                f"push of {source} not durably committed within the "
+                f"{max_elapsed:.1f}s retry budget: {last}")
+
+        return await retry_async(_cycle, backoff=backoff,
+                                 retryable=transient_push_error,
+                                 give_up=_give_up)
     return _run(_push())
 
 

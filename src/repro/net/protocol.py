@@ -17,7 +17,14 @@ hello     c -> s     open a session; fields: ``k`` (sketch size, optional
                      release order — and, when the server runs a write-ahead
                      log, the session's durable identity: re-HELLOing with
                      the same ordinal resumes the spooled session), ``client``
-                     (optional display name)
+                     (optional display name), ``role`` (optional;
+                     ``"relay"`` marks each pushed frame as one downstream
+                     origin session's summary, folded into its own release
+                     part — only accepted by servers started with
+                     ``accept_relays``, else rejected with
+                     ``relay_not_accepted``; a WAL resume that disagrees
+                     with the spooled role is rejected with
+                     ``role_mismatch``)
 push      c -> s     announce ``frames`` payload frames, which follow
                      immediately; the server folds each into the session's
                      :class:`~repro.api.framing.StreamingMerger` on arrival
@@ -41,7 +48,8 @@ ok        s -> c     positive acknowledgement; ``re`` names the acked verb.
 error     s -> c     the session is rejected; ``code`` is machine-readable
                      (``k_mismatch``, ``bad_verb``, ``nothing_to_release``,
                      ``timeout``, ``ordinal_active``, ``session_complete``,
-                     ...), ``message`` human-readable.  The server closes
+                     ``relay_not_accepted``, ``role_mismatch``, ...),
+                     ``message`` human-readable.  The server closes
                      the connection but keeps serving other sessions
 stats     s -> c     the ``stats`` reply
 ========  =========  =====================================================

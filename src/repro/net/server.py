@@ -26,6 +26,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import os
+import time
 from typing import Dict, List, Optional, Union
 
 from pathlib import Path
@@ -70,6 +71,13 @@ class AggregatorServer:
         Per-read wall-clock bound (seconds) on every session socket read —
         a peer that cannot produce a complete frame in time (slow-loris) is
         rejected with an ERROR frame.  ``None`` disables the bound.
+    accept_relays:
+        Accept sessions that HELLO with ``role=relay`` (leaf aggregators
+        forwarding per-origin-session summary frames).  Each relay frame
+        folds into its own release part, so the combine at release time is
+        bit-identical to a flat server over the origin sessions.  Off by
+        default: a relay summary folded as a plain frame would silently
+        change release metadata, so relays must be opted into.
     """
 
     def __init__(self, epsilon: float, delta: float, k: Optional[int] = None,
@@ -78,7 +86,8 @@ class AggregatorServer:
                  max_releases: Optional[int] = None,
                  wal_dir: Optional[Union[str, Path]] = None,
                  store: Optional[CheckpointStore] = None,
-                 read_timeout: Optional[float] = 30.0) -> None:
+                 read_timeout: Optional[float] = 30.0,
+                 accept_relays: bool = False) -> None:
         check_epsilon(epsilon)
         check_delta(delta)
         if k is not None:
@@ -96,6 +105,8 @@ class AggregatorServer:
         self._max_releases = max_releases
         self._wal = SessionWal(wal_dir, store=store) if wal_dir is not None else None
         self._read_timeout = read_timeout
+        self.accept_relays = accept_relays
+        self._started_at: Optional[float] = None
         self._recovered = False
         self._active_ordinals: set = set()
         self._resumed_noted: set = set()
@@ -133,6 +144,7 @@ class AggregatorServer:
                 self._on_connect, host=self._address.host, port=self._address.port)
             sockname = self._server.sockets[0].getsockname()
             self._bound = f"{sockname[0]}:{sockname[1]}"
+        self._started_at = time.monotonic()
         return self
 
     @property
@@ -174,8 +186,8 @@ class AggregatorServer:
                     f"server was started with -k {self._k}")
         for entry in recovery.committed:
             self._committed.append(entry)
-            self._frames_seen += entry.merger.frames
-            self._length_seen += entry.merger.total_stream_length
+            self._frames_seen += entry.frames
+            self._length_seen += entry.stream_length
         self._commit_seq = max(self._commit_seq, recovery.max_seq)
 
     async def serve_forever(self) -> None:
@@ -232,17 +244,20 @@ class AggregatorServer:
             self._k = declared
         return self._k
 
-    def note_frame(self, payload) -> None:
-        self._frames_seen += 1
+    def note_frame(self, payload, frames: int = 1) -> None:
+        """Count one accepted frame (relay summaries count their origin
+        exports, so root stats agree with the flat server's)."""
+        self._frames_seen += frames
         self._length_seen += payload.stream_length
 
-    def note_resumed(self, session_id: str, merger: StreamingMerger) -> None:
+    def note_resumed(self, session_id: str, frames: int,
+                     stream_length: int) -> None:
         """Count a resumed session's replayed frames once per identity."""
         if session_id in self._resumed_noted:
             return
         self._resumed_noted.add(session_id)
-        self._frames_seen += merger.frames
-        self._length_seen += merger.total_stream_length
+        self._frames_seen += frames
+        self._length_seen += stream_length
 
     def note_rejected(self, session: Session, reason: str) -> None:
         self._rejected += 1
@@ -271,8 +286,9 @@ class AggregatorServer:
     def commit(self, session: Session) -> None:
         """A session ended cleanly: its summary joins the release set."""
         merger = session.take_merger()
+        parts = session.take_parts()
         journal = session.take_journal()
-        if merger is None or not merger.frames:
+        if (merger is None or not merger.frames) and not parts:
             if journal is not None:
                 journal.close()
             return
@@ -282,18 +298,32 @@ class AggregatorServer:
             # before the BYE ack, so a restart replays this session in the
             # exact commit order the live run used.
             journal.mark_committed(self._commit_seq)
-        self._committed.append(CommittedSession(
+        entry = CommittedSession(
             seq=self._commit_seq, ordinal=session.ordinal,
-            client=session.client, merger=merger))
+            client=session.client,
+            merger=merger if not parts else None, parts=parts)
+        self._committed.append(entry)
+        self.note_committed(entry)
+
+    def note_committed(self, entry: CommittedSession) -> None:
+        """Hook: a session just joined the release set (relay forwards here)."""
 
     # ------------------------------------------------------------------
     # Release and stats
     # ------------------------------------------------------------------
 
     def committed_mergers(self) -> List[StreamingMerger]:
-        """Committed session mergers in canonical release order."""
-        return [entry.merger
-                for entry in sorted(self._committed, key=lambda e: e.sort_key)]
+        """Committed release parts in canonical order.
+
+        Sessions sort by ``(ordinal, commit order)``; a relay session then
+        contributes its per-origin-session parts in push order, so the flat
+        list is exactly the part sequence a flat server over the origin
+        sessions would combine.
+        """
+        parts: List[StreamingMerger] = []
+        for entry in sorted(self._committed, key=lambda e: e.sort_key):
+            parts.extend(entry.mergers)
+        return parts
 
     def perform_release(self, seed: Optional[int]) -> Dict:
         """Combine committed sessions and release; returns a v2 envelope.
@@ -313,6 +343,11 @@ class AggregatorServer:
         self._releases += 1
         return encode_histogram(histogram)
 
+    async def handle_release(self, seed: Optional[int]) -> Dict:
+        """Serve one RELEASE verb.  A relay overrides this to flush its
+        forward queue upstream and proxy the release to the root."""
+        return self.perform_release(seed)
+
     def note_release_sent(self) -> None:
         """The reply left the session; arm the ``--releases N`` exit event."""
         if self._max_releases is not None and self._releases >= self._max_releases:
@@ -323,17 +358,33 @@ class AggregatorServer:
         await self._release_limit.wait()
 
     def stats(self) -> Dict[str, object]:
-        """Aggregate counters (the STATS verb's reply fields)."""
+        """Aggregate counters (the STATS verb's reply fields).
+
+        Besides the totals, ``sessions`` lists every committed session
+        (ordinal, client, origin frame count, commit seq) in canonical
+        release order, and ``uptime`` is the seconds since the socket bound
+        — `repro stats` derives the fold throughput from it.  Relays extend
+        this with a ``forward`` stanza (see ``RelayAggregatorServer``).
+        """
+        uptime = (time.monotonic() - self._started_at
+                  if self._started_at is not None else None)
         return {
             "k": self._k,
+            "role": "aggregator",
+            "accept_relays": self.accept_relays,
             "sessions_active": len(self._tasks),
             "sessions_committed": len(self._committed),
             "sessions_rejected": self._rejected,
+            "sessions": [
+                {"ordinal": entry.ordinal, "client": entry.client,
+                 "frames": entry.frames, "seq": entry.seq}
+                for entry in sorted(self._committed, key=lambda e: e.sort_key)],
             "frames": self._frames_seen,
             "stream_length": self._length_seen,
             "releases": self._releases,
             "epsilon": self.epsilon,
             "delta": self.delta,
+            "uptime": uptime,
         }
 
 

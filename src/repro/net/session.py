@@ -31,11 +31,18 @@ from __future__ import annotations
 import asyncio
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..api.framing import FrameHeader, StreamingMerger
 from ..exceptions import FramingError, ProtocolError, ReproError
 from .protocol import BYE, ERROR, HELLO, OK, PUSH, RELEASE, STATS, FrameChannel
+
+#: HELLO ``role`` values a server understands.  ``client`` (the default)
+#: folds all pushed frames into one per-session merger; ``relay`` marks each
+#: pushed frame as the summary of one downstream origin session, folded into
+#: its *own* release part so the root's combine sees exactly the same part
+#: sequence a flat server would.
+SESSION_ROLES = ("client", "relay")
 
 
 class SessionState(enum.Enum):
@@ -48,12 +55,18 @@ class SessionState(enum.Enum):
 
 @dataclass(frozen=True)
 class CommittedSession:
-    """A cleanly finished session's contribution to the release set."""
+    """A cleanly finished session's contribution to the release set.
+
+    A plain client session contributes one ``merger``; a relay session
+    contributes ``parts`` — one single-summary merger per downstream origin
+    session, in push (= spool) order — and ``merger`` is ``None``.
+    """
 
     seq: int                      # commit order (tie-breaker)
     ordinal: Optional[int]        # client-declared canonical position
     client: Optional[str]
-    merger: StreamingMerger
+    merger: Optional[StreamingMerger]
+    parts: Tuple[StreamingMerger, ...] = ()
 
     @property
     def sort_key(self):
@@ -61,6 +74,22 @@ class CommittedSession:
         if self.ordinal is not None:
             return (0, self.ordinal, self.seq)
         return (1, 0, self.seq)
+
+    @property
+    def mergers(self) -> List[StreamingMerger]:
+        """The release parts this session contributes, in canonical order."""
+        if self.parts:
+            return list(self.parts)
+        return [self.merger] if self.merger is not None else []
+
+    @property
+    def frames(self) -> int:
+        """Origin sketch exports covered (relay parts carry origin counts)."""
+        return sum(merger.frames for merger in self.mergers)
+
+    @property
+    def stream_length(self) -> int:
+        return sum(merger.total_stream_length for merger in self.mergers)
 
 
 class Session:
@@ -72,12 +101,17 @@ class Session:
         self.state = SessionState.AWAIT_HELLO
         self.ordinal: Optional[int] = None
         self.client: Optional[str] = None
+        self.role: str = "client"
         self._merger: Optional[StreamingMerger] = None
+        self._parts: List[StreamingMerger] = []   # relay sessions only
         self._journal = None          # SessionJournal when the server has a WAL
         self._claimed_ordinal = False
 
     @property
     def frames(self) -> int:
+        """Frames folded so far, in pushed-frame units (relay: summaries)."""
+        if self.role == "relay":
+            return len(self._parts)
         return self._merger.frames if self._merger is not None else 0
 
     # ------------------------------------------------------------------
@@ -168,19 +202,43 @@ class Session:
         self.ordinal = ordinal
         client = message.get("client")
         self.client = str(client) if client is not None else None
+        role = message.get("role")
+        if role is not None:
+            if role not in SESSION_ROLES:
+                raise ProtocolError(
+                    f"hello declares an unknown role {role!r}; known roles "
+                    f"are {SESSION_ROLES}")
+            if role == "relay" and not self._server.accept_relays:
+                error = ProtocolError(
+                    "this aggregator does not accept relay sessions; start "
+                    "it with --accept-relays to act as an upstream root")
+                error.code = "relay_not_accepted"
+                raise error
+            self.role = role
         ack = {"k": self._server.k}
         if self._server.wal is not None:
             self._claimed_ordinal = self._server.claim_ordinal(self.ordinal)
             self._journal = self._server.wal.attach(self.ordinal, self.client,
-                                                    self._server.k)
+                                                    self._server.k,
+                                                    role=self.role)
             ack["committed"] = self._journal.committed_frames
             if self._journal.complete:
                 ack["complete"] = True
+            elif self._journal.parts:
+                # Resumed relay session: adopt the replayed summary parts.
+                self._parts = list(self._journal.parts)
+                self._server.note_resumed(
+                    self._journal.record.session_id,
+                    frames=sum(part.frames for part in self._parts),
+                    stream_length=sum(part.total_stream_length
+                                      for part in self._parts))
             elif self._journal.merger is not None:
                 # Resumed session: adopt the replayed committed prefix.
                 self._merger = self._journal.merger
-                self._server.note_resumed(self._journal.record.session_id,
-                                          self._merger)
+                self._server.note_resumed(
+                    self._journal.record.session_id,
+                    frames=self._merger.frames,
+                    stream_length=self._merger.total_stream_length)
         self.state = SessionState.READY
         await self._channel.send_control(OK, re=HELLO, **ack)
 
@@ -200,7 +258,7 @@ class Session:
                 error.code = "session_complete"
                 raise error
             self._journal.ensure_k(self._server.k)
-        if self._merger is None:
+        if self._merger is None and self.role != "relay":
             self._merger = StreamingMerger(self._server.k)
         self.state = SessionState.PUSHING
         for index in range(declared):
@@ -225,8 +283,16 @@ class Session:
             if self._journal is not None:
                 # Write-ahead: the verbatim bytes hit the spool before the fold.
                 self._journal.append(body)
-            self._merger.add(value)
-            self._server.note_frame(value)
+            if self.role == "relay":
+                # Each relay frame is one origin session's summary: it folds
+                # into its own release part so the combine at release time
+                # sees the same part sequence a flat server would.
+                part = StreamingMerger(self._server.k).add_summary(value)
+                self._parts.append(part)
+                self._server.note_frame(value, frames=part.frames)
+            else:
+                self._merger.add(value)
+                self._server.note_frame(value)
         if self._journal is not None:
             # Durability barrier: fsync spool + checkpoint record, then ack.
             self._journal.commit()
@@ -238,7 +304,7 @@ class Session:
         seed = message.get("seed")
         if seed is not None and not isinstance(seed, int):
             raise ProtocolError(f"release seed must be an integer, got {seed!r}")
-        envelope = self._server.perform_release(seed)
+        envelope = await self._server.handle_release(seed)
         await self._channel.send_payload(envelope)
         self._server.note_release_sent()
 
@@ -255,9 +321,10 @@ class Session:
 
     def _commit(self) -> None:
         self.state = SessionState.COMMITTED
-        if self._merger is not None and self._merger.frames:
+        if (self._merger is not None and self._merger.frames) or self._parts:
             self._server.commit(self)
             self._merger = None
+            self._parts = []
 
     async def _reject(self, error: ReproError) -> None:
         self.state = SessionState.REJECTED
@@ -293,10 +360,15 @@ class Session:
             error.code = "k_mismatch"
             raise error
 
-    def take_merger(self) -> StreamingMerger:
+    def take_merger(self) -> Optional[StreamingMerger]:
         merger = self._merger
         self._merger = None
         return merger
+
+    def take_parts(self) -> Tuple[StreamingMerger, ...]:
+        parts = tuple(self._parts)
+        self._parts = []
+        return parts
 
     def take_journal(self):
         journal = self._journal

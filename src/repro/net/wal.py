@@ -38,10 +38,11 @@ import os
 import uuid
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
-from ..api.framing import (StreamingMerger, append_frame, decode_payload_body,
-                           replay_raw_frames, write_stream_header)
+from ..api.framing import (FrameReader, StreamingMerger, append_frame,
+                           decode_payload_body, replay_raw_frames,
+                           write_stream_header)
 from ..exceptions import FramingError, ParameterError, ProtocolError
 from .session import CommittedSession
 from .store import CheckpointStore, SessionRecord, SqliteCheckpointStore
@@ -87,10 +88,14 @@ class SessionJournal:
     def __init__(self, wal: "SessionWal", record: SessionRecord, *,
                  fileobj=None, offset: int = 0, frames: int = 0,
                  merger: Optional[StreamingMerger] = None,
+                 parts: Tuple[StreamingMerger, ...] = (),
                  complete: bool = False, durable: bool = False) -> None:
         self._wal = wal
         self.record = record
         self.merger = merger
+        #: Replayed relay summary parts (one per spooled summary frame);
+        #: empty for plain client sessions.
+        self.parts = parts
         self.complete = complete
         self._file = fileobj
         self._offset = offset
@@ -224,10 +229,17 @@ class SessionWal:
             if record.commit_seq is None:
                 recovery.open_records.append(record)
                 continue
-            recovery.committed.append(CommittedSession(
-                seq=record.commit_seq, ordinal=record.ordinal,
-                client=record.client or None,
-                merger=self.replay_merger(record)))
+            if self.spool_role(record) == "relay":
+                entry = CommittedSession(
+                    seq=record.commit_seq, ordinal=record.ordinal,
+                    client=record.client or None, merger=None,
+                    parts=tuple(self.replay_parts(record)))
+            else:
+                entry = CommittedSession(
+                    seq=record.commit_seq, ordinal=record.ordinal,
+                    client=record.client or None,
+                    merger=self.replay_merger(record))
+            recovery.committed.append(entry)
             recovery.max_seq = max(recovery.max_seq, record.commit_seq)
         return recovery
 
@@ -242,6 +254,44 @@ class SessionWal:
             return
         if path.stat().st_size > record.committed_bytes:
             os.truncate(path, record.committed_bytes)
+
+    def spool_role(self, record: SessionRecord) -> Optional[str]:
+        """The session role its spool header recorded (``None`` = client).
+
+        The fixed 8-column ledger schema stays untouched: the role rides in
+        the spool's framed stream header ``meta``, written once at attach
+        time, so old spools (no role key) replay exactly as before.
+        """
+        path = self.spool_path(record)
+        if not path.exists():
+            return None
+        with path.open("rb") as fileobj:
+            meta = FrameReader(fileobj, raw=True).header.meta
+        role = meta.get("role")
+        return role if isinstance(role, str) else None
+
+    def replay_parts(self, record: SessionRecord) -> List[StreamingMerger]:
+        """Replay a relay spool's committed prefix into per-frame parts.
+
+        Each spooled summary frame becomes its own single-summary merger
+        (carrying the origin session's frame/stream-length accounting), in
+        spool order — bit-identical to the parts the live relay session
+        held.
+        """
+        if record.k is None:
+            raise FramingError(
+                f"session {record.session_id} committed frames but recorded "
+                "no sketch size; ledger is corrupt")
+        parts: List[StreamingMerger] = []
+        if not record.committed_frames:
+            return parts
+        with open(self.spool_path(record), "rb") as spool:
+            for index, body in enumerate(
+                    replay_raw_frames(spool, record.committed_frames,
+                                      what=f"spool {record.spool}")):
+                payload = decode_payload_body(body, f"spool frame {index + 1}")
+                parts.append(StreamingMerger(record.k).add_summary(payload))
+        return parts
 
     def replay_merger(self, record: SessionRecord) -> StreamingMerger:
         """Fold the committed prefix of a spool into a fresh merger.
@@ -269,7 +319,7 @@ class SessionWal:
     # ------------------------------------------------------------------
 
     def attach(self, ordinal: Optional[int], client: Optional[str],
-               k: Optional[int]) -> SessionJournal:
+               k: Optional[int], role: str = "client") -> SessionJournal:
         """Open (or resume) the journal for one session.
 
         Ordinal sessions are durable identities: an existing open record is
@@ -277,7 +327,9 @@ class SessionWal:
         record yields a ``complete=True`` journal whose committed count the
         HELLO ACK reports, and any further push is rejected.  Sessions with
         no ordinal get a throwaway identity — durable once committed, but
-        not resumable.
+        not resumable.  ``role="relay"`` is stamped into the spool header so
+        recovery replays the spooled summary frames into per-origin parts
+        instead of one flat fold.
         """
         if ordinal is not None:
             session_id = f"ord:{ordinal}"
@@ -291,16 +343,19 @@ class SessionWal:
         if record is not None and record.commit_seq is not None:
             return SessionJournal(self, record, complete=True, durable=True)
         if record is not None:
-            return self._resume(record, k)
+            return self._resume(record, k, role)
         record = SessionRecord(session_id=session_id, ordinal=ordinal,
                                client=client or "", k=k, spool=spool)
         fileobj = open(self.spool_path(record), "wb")
-        offset = write_stream_header(fileobj, k=k,
-                                     meta={"wal_session": session_id})
+        meta = {"wal_session": session_id}
+        if role != "client":
+            meta["role"] = role
+        offset = write_stream_header(fileobj, k=k, meta=meta)
         fileobj.flush()
         return SessionJournal(self, record, fileobj=fileobj, offset=offset)
 
-    def _resume(self, record: SessionRecord, k: Optional[int]) -> SessionJournal:
+    def _resume(self, record: SessionRecord, k: Optional[int],
+                role: str = "client") -> SessionJournal:
         if k is not None and record.k is not None and k != record.k:
             error = ProtocolError(
                 f"session {record.session_id} resumed with k={k} but was "
@@ -313,7 +368,24 @@ class SessionWal:
             # Open record whose spool vanished with nothing committed:
             # start the session over from scratch.
             self.store.delete(record.session_id)
-            return self.attach(record.ordinal, record.client or None, k)
+            return self.attach(record.ordinal, record.client or None, k,
+                               role=role)
+        spooled_role = self.spool_role(record) or "client"
+        if role != spooled_role:
+            error = ProtocolError(
+                f"session {record.session_id} was spooled with "
+                f"role={spooled_role} but resumes with role={role}; one "
+                "durable identity, one role")
+            error.code = "role_mismatch"
+            raise error
+        if spooled_role == "relay":
+            parts = (tuple(self.replay_parts(record))
+                     if record.committed_frames else ())
+            fileobj = open(path, "ab")
+            return SessionJournal(self, record, fileobj=fileobj,
+                                  offset=record.committed_bytes,
+                                  frames=record.committed_frames,
+                                  parts=parts, durable=True)
         merger = (self.replay_merger(record)
                   if record.committed_frames else None)
         fileobj = open(path, "ab")

@@ -1,0 +1,198 @@
+"""Crash injection for the relay tier: SIGKILL a leaf mid-forward.
+
+The acceptance property of the scale-out leg: a ``repro relay --wal-dir``
+leaf (eager ``--forward-on commit`` policy, so upstream pushes are in
+flight while clients are still pushing) is SIGKILLed at randomized
+wall-clock points and restarted on the same wal dir; the resilient clients
+resume against the restarted leaf; and the release requested through the
+leaf must be bit-identical — keys, values, dict order, metadata — to the
+offline ``repro merge --framed`` fold over the same files.
+
+Every kill exercises the full durability chain: the leaf's session WAL
+(client resume), the durable forward queue (staged batches re-push after
+restart), and the root's WAL (the committed-count skip that makes the
+re-push idempotent — crash safety needs a WAL on *both* tiers).
+"""
+
+import json
+import os
+import pathlib
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.net import push_file_resilient
+
+pytestmark = [pytest.mark.chaos, pytest.mark.net(seconds=240)]
+
+K = 24
+CLIENTS = 2
+FRAMES_PER_CLIENT = 6
+EPSILON, DELTA = "1.0", "1e-6"
+
+
+@pytest.fixture
+def packed_files(tmp_path):
+    """Framed multi-frame files, one per client, over distinct Zipf streams."""
+    files = []
+    for client in range(CLIENTS):
+        sketches = []
+        for part in range(FRAMES_PER_CLIENT):
+            seed = 700 + client * FRAMES_PER_CLIENT + part
+            stream = tmp_path / f"s{client}-{part}.txt"
+            sketch = tmp_path / f"s{client}-{part}.json"
+            assert main(["generate", "--dataset", "zipf", "-n", "3000",
+                         "--universe", "300", "--seed", str(seed),
+                         "--out", str(stream)]) == 0
+            assert main(["sketch", "--stream", str(stream), "-k", str(K),
+                         "--out", str(sketch)]) == 0
+            sketches.append(str(sketch))
+        frames = tmp_path / f"client{client}.frames"
+        assert main(["pack", "--out", str(frames), *sketches]) == 0
+        files.append(frames)
+    return files
+
+
+class Harness:
+    """Start / SIGKILL / restart one repro CLI server subprocess."""
+
+    def __init__(self, tmp_path, name, argv):
+        self._sockdir = tempfile.mkdtemp(prefix=f"repro-relay-{name}-")
+        self._socket = f"{self._sockdir}/{name}.sock"
+        self.address = f"unix:{self._socket}"
+        self._tmp = tmp_path
+        self._name = name
+        self._argv = argv
+        self._process = None
+        self._generation = 0
+
+    def start(self):
+        self._generation += 1
+        ready = self._tmp / f"{self._name}-ready-{self._generation}.addr"
+        if os.path.exists(self._socket):
+            os.unlink(self._socket)  # SIGKILL leaves the bound socket behind
+        self._process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", *self._argv,
+             "--listen", self.address, "--ready-file", str(ready)],
+            env={**os.environ, "PYTHONPATH": str(
+                pathlib.Path(__file__).resolve().parents[2] / "src")},
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            if ready.exists() and ready.read_text().strip():
+                return self
+            if self._process.poll() is not None:
+                raise AssertionError(
+                    f"{self._name} (gen {self._generation}) died during "
+                    f"startup: {self._process.stderr.read()}")
+            time.sleep(0.05)
+        raise AssertionError(f"{self._name} never wrote its ready file")
+
+    def kill_9(self):
+        os.kill(self._process.pid, signal.SIGKILL)
+        self._process.wait(timeout=30)
+
+    def terminate(self):
+        if self._process is not None and self._process.poll() is None:
+            self._process.terminate()
+            try:
+                self._process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self._process.kill()
+                self._process.wait(timeout=30)
+
+
+def _load(path):
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def _offline_release(tmp_path, files, seed):
+    out = tmp_path / "offline.hist.json"
+    assert main(["merge", "--framed", "--epsilon", EPSILON, "--delta", DELTA,
+                 "--seed", str(seed), "--out", str(out),
+                 *[str(path) for path in files]]) == 0
+    return _load(out)
+
+
+@pytest.mark.slow
+def test_sigkill_leaf_mid_forward_release_is_bit_identical(packed_files,
+                                                           tmp_path):
+    rng = random.Random(4242)
+    root = Harness(tmp_path, "root",
+                   ["serve", "--epsilon", EPSILON, "--delta", DELTA,
+                    "-k", str(K), "--accept-relays",
+                    "--wal-dir", str(tmp_path / "rootwal")])
+    leaf = Harness(tmp_path, "leaf",
+                   ["relay", "--epsilon", EPSILON, "--delta", DELTA,
+                    "-k", str(K), "--upstream", root.address,
+                    "--ordinal", "0", "--forward-on", "commit",
+                    "--wal-dir", str(tmp_path / "leafwal")])
+    root.start()
+    leaf.start()
+    errors = []
+
+    def push(ordinal):
+        try:
+            # burst=1 + throttle: every frame is its own fsynced commit, so
+            # the kills land between durable points, and the eager forwards
+            # interleave with the pushes.
+            push_file_resilient(leaf.address, packed_files[ordinal],
+                                ordinal=ordinal, k=K, timeout=10.0,
+                                connect_retries=20, retry_delay=0.1,
+                                retry_jitter=0.5, max_elapsed=120.0,
+                                burst=1, throttle=0.03)
+        except Exception as error:  # surfaced after the joins
+            errors.append((ordinal, error))
+
+    threads = [threading.Thread(target=push, args=(ordinal,))
+               for ordinal in range(CLIENTS)]
+    try:
+        for thread in threads:
+            thread.start()
+        # Two SIGKILLs of the *leaf* at randomized points while client
+        # pushes and eager upstream forwards are both in flight.
+        for _ in range(2):
+            time.sleep(rng.uniform(0.05, 0.45))
+            leaf.kill_9()
+            leaf.start()
+        for thread in threads:
+            thread.join(timeout=180)
+            assert not thread.is_alive(), "a pushing client wedged"
+        assert errors == [], f"client pushes failed: {errors}"
+
+        # One more kill after all commits: whatever forwards were still
+        # unacked must re-push from the durable queue on restart, and the
+        # root's WAL must dedupe anything already folded.
+        leaf.kill_9()
+        leaf.start()
+
+        net_out = tmp_path / "net.hist.json"
+        seed = 33
+        assert main(["request-release", "--to", leaf.address,
+                     "--seed", str(seed), "--out", str(net_out)]) == 0
+        assert main(["stats", leaf.address]) == 0
+        assert main(["stats", root.address]) == 0
+    finally:
+        leaf.terminate()
+        root.terminate()
+
+    networked = _load(net_out)
+    offline = _offline_release(tmp_path, packed_files, seed)
+    assert networked["keys"] == offline["keys"]
+    assert networked["values"] == offline["values"]
+    assert networked["meta"] == offline["meta"]
+
+    # The root's WAL replays the forwarded summary frames offline into the
+    # same release (the relay spool role survives on disk).
+    replay_out = tmp_path / "replay.hist.json"
+    assert main(["wal", "replay", str(tmp_path / "rootwal"),
+                 "--epsilon", EPSILON, "--delta", DELTA,
+                 "--seed", str(seed), "--out", str(replay_out)]) == 0
+    assert _load(replay_out) == networked

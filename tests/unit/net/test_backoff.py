@@ -5,10 +5,12 @@ sleeps, no wall-clock dependence: the tests advance time exactly as a retry
 loop would (each handed-out delay is "slept" by bumping the fake clock).
 """
 
+import asyncio
+
 import pytest
 
-from repro.exceptions import ParameterError
-from repro.net.backoff import Backoff
+from repro.exceptions import NetworkError, ParameterError
+from repro.net.backoff import Backoff, retry_async
 
 
 class FakeClock:
@@ -110,6 +112,91 @@ class TestMaxElapsedBudget:
             assert delay is not None
             clock.sleep(delay)
         assert backoff.attempts == 1000
+
+
+class TestRetryAsync:
+    """The shared retry loop (client connect, resilient push, relay forward)
+    on a fake clock and a fake sleep — zero real waiting."""
+
+    def _run_loop(self, attempt, *, max_attempts=None, max_elapsed=None,
+                  retryable=(NetworkError,)):
+        clock = FakeClock()
+        backoff = _backoff(clock, base=0.1, factor=2.0, max_delay=5.0,
+                           jitter=0.0, max_elapsed=max_elapsed)
+        slept = []
+
+        async def fake_sleep(seconds):
+            slept.append(seconds)
+            clock.sleep(seconds)
+
+        def give_up(last, attempts, policy):
+            error = NetworkError(
+                f"gave up after {attempts} attempt(s): {last}")
+            error.attempts = attempts
+            return error
+
+        async def runner():
+            return await retry_async(attempt, backoff=backoff,
+                                     retryable=retryable,
+                                     max_attempts=max_attempts,
+                                     give_up=give_up, sleep=fake_sleep)
+        return asyncio.run(runner()), slept
+
+    def test_success_after_transient_failures(self):
+        calls = []
+
+        async def attempt():
+            calls.append(1)
+            if len(calls) < 3:
+                raise NetworkError("transient")
+            return "done"
+
+        result, slept = self._run_loop(attempt)
+        assert result == "done"
+        assert len(calls) == 3
+        assert slept == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_non_retryable_error_propagates_immediately(self):
+        async def attempt():
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError):
+            self._run_loop(attempt)
+
+    def test_predicate_retryable_classification(self):
+        attempts = []
+
+        async def attempt():
+            attempts.append(1)
+            error = NetworkError("nope")
+            error.flag = len(attempts) > 1
+            raise error
+
+        def only_first(error):
+            return not getattr(error, "flag", False)
+
+        with pytest.raises(NetworkError) as caught:
+            self._run_loop(attempt, retryable=only_first)
+        # Second failure is classified permanent: no give_up wrapper.
+        assert "gave up" not in str(caught.value)
+        assert len(attempts) == 2
+
+    def test_max_attempts_exhaustion_raises_give_up(self):
+        async def attempt():
+            raise NetworkError("still down")
+
+        with pytest.raises(NetworkError) as caught:
+            self._run_loop(attempt, max_attempts=4)
+        assert caught.value.attempts == 4
+        assert "still down" in str(caught.value)
+
+    def test_budget_exhaustion_raises_give_up_without_final_sleep(self):
+        async def attempt():
+            raise NetworkError("still down")
+
+        with pytest.raises(NetworkError):
+            self._run_loop(attempt, max_elapsed=0.5)
+        # No sleep is ever taken once the budget says None.
 
 
 class TestValidation:
