@@ -35,7 +35,13 @@ Workload groups (select with ``run_bench.py --workloads``):
     :mod:`repro.core._reference` — plus a registry sweep: one
     release-throughput row per registered mechanism
     (``release_<name>`` workloads, every ``list_mechanisms()`` entry, no
-    floor; the cross-PR trajectory shows which mechanisms drift).
+    floor; the cross-PR trajectory shows which mechanisms drift) — plus the
+    served-release cycle (``release_served_auth``): ``m = 64`` size-``k =
+    256`` exports pushed over a Unix socket and released, once on an open
+    server (the baseline) and once with token auth required on every
+    session.  Both cycles release bit-identically (asserted); the floor is
+    auth-on >= 0.9x auth-off throughput, so requiring tokens stays in the
+    noise.
 
 ``net_aggregate``
     The live aggregation service (:mod:`repro.net`): the same ``m = 256``
@@ -87,6 +93,7 @@ The record includes the speedup ratios the acceptance criteria track:
 ``merge_m256_k1024_arrays`` (>= 10x),
 ``framed_merge_m256_k1024_streaming`` (>= 8x),
 ``release_trusted_sum_k1024_vectorized`` (>= 3x),
+``release_served_auth_k256_auth_on`` (>= 0.9x auth-off),
 ``durability_m256_k1024_wal_sqlite_4clients`` (>= 0.5x WAL-off),
 ``kernels_update_zipf_k64_compiled_batch`` (>= 8x over the seed),
 ``kernels_update_zipf_k64_compiled_vs_python`` (>= 3x) and
@@ -645,6 +652,77 @@ def _run_registry_release_sweep(rows: List[Dict], quick: bool) -> None:
                              lambda pipeline=pipeline: pipeline.release(
                                  rng=np.random.default_rng(0)),
                              repeats=3))
+    _run_auth_release_bench(rows, quick)
+
+
+def _run_auth_release_bench(rows: List[Dict], quick: bool) -> None:
+    """The served-release cycle with and without token auth.
+
+    Same exports, same Unix-socket push + RELEASE round-trip — once on an
+    open server (the ``reference_seed`` baseline here: auth off), once with
+    ``auth_token`` required and every client presenting it.  The released
+    histograms are asserted bit-identical, so the ratio is the pure price
+    of the HELLO token check (one ``hmac.compare_digest`` per session); the
+    acceptance floor is auth-on >= 0.9x auth-off throughput.
+    """
+    import asyncio
+    import io
+    import tempfile
+
+    from repro.api.framing import FrameReader, FrameWriter
+    from repro.api.wire import encode_counters
+    from repro.net import AggregatorClient, AggregatorServer
+
+    m, k, clients, token = 64, 256, 4, "bench-token"
+    keys_list, values_list = _per_user_sketch_exports(
+        m, k, n_per_user=2_000 if quick else 5_000)
+    pairs = int(sum(keys.size for keys in keys_list))
+    chunk_bytes = []
+    for indices in np.array_split(np.arange(m), clients):
+        buffer = io.BytesIO()
+        with FrameWriter(buffer, k=k, frames=len(indices)) as writer:
+            for index in indices:
+                writer.write_payload(encode_counters(
+                    dict(zip(keys_list[index].tolist(),
+                             values_list[index].tolist())), k=k))
+        chunk_bytes.append(buffer.getvalue())
+
+    async def _serve_cycle(auth: bool):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as sockdir:
+            server = AggregatorServer(epsilon=1.0, delta=1e-6, k=k,
+                                      auth_token=token if auth else None)
+            client_token = token if auth else None
+            async with await server.start(f"unix:{sockdir}/agg.sock"):
+
+                async def push(ordinal: int, blob: bytes) -> None:
+                    async with AggregatorClient(
+                            server.address, k=k, ordinal=ordinal,
+                            auth_token=client_token) as client:
+                        await client.push_raw(
+                            list(FrameReader(io.BytesIO(blob), raw=True)))
+
+                await asyncio.gather(*[push(ordinal, blob) for ordinal, blob
+                                       in enumerate(chunk_bytes)])
+                async with AggregatorClient(server.address,
+                                            auth_token=client_token) as client:
+                    return await client.request_release(seed=7)
+
+    def _open_cycle():
+        return asyncio.run(_serve_cycle(False))
+
+    def _auth_cycle():
+        return asyncio.run(_serve_cycle(True))
+
+    open_release, auth_release = _open_cycle(), _auth_cycle()
+    assert (list(open_release.as_dict().items())
+            == list(auth_release.as_dict().items()))
+    # Best-of-5: the whole cycle (server startup, 5 sessions, release) runs
+    # in milliseconds, so scheduler noise straddles the 0.9x floor at lower
+    # repeat counts even though the token check itself is nanoseconds.
+    rows.append(_measure("release_served_auth", k, pairs, "reference_seed",
+                         _open_cycle, repeats=5))
+    rows.append(_measure("release_served_auth", k, pairs, "optimized_auth_on",
+                         _auth_cycle, repeats=5))
 
 
 # ---------------------------------------------------------------------------

@@ -18,7 +18,8 @@ the E11 Zipf k=1024 workload, >= 10x on the m=256 k=1024 merge workload,
 >= 8x on the framed streaming-merge workload, >= 0.5x on the socket
 aggregation service vs the offline framed fold, >= 0.5x on the WAL-backed
 service vs the in-memory one, >= 0.7x on the 2x4 relay tree vs the flat
-8-client server, >= 3x on the trusted-sum release workload, and — when a compiled kernel provider is present — >= 8x
+8-client server, >= 3x on the trusted-sum release workload, >= 0.9x on the
+auth-on served-release cycle vs the open server, and — when a compiled kernel provider is present — >= 8x
 over the seed plus >= 3x over the vectorized python batch path on the zipf
 k=64 update workload and >= 2x on the m=256 k=1024 columnar merge fold), so
 the script can gate CI.
@@ -59,6 +60,9 @@ FLOORS = {
     # extra hop may cost at most ~1.4x the flat service.
     "relay_m256_k1024_relay_2x4": ("relay", 0.7),
     "release_trusted_sum_k1024_vectorized": ("release", 3.0),
+    # Requiring session tokens (one hmac.compare_digest at HELLO) must stay
+    # in the noise: auth-on serving may cost at most ~1.1x the open server.
+    "release_served_auth_k256_auth_on": ("release", 0.9),
     "kernels_update_zipf_k64_compiled_batch": ("kernels", 8.0),
     "kernels_update_zipf_k64_compiled_vs_python": ("kernels", 3.0),
     "kernels_fold_m256_k1024_compiled_vs_python": ("kernels", 2.0),

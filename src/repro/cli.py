@@ -99,6 +99,37 @@ def _add_format(parser: argparse.ArgumentParser) -> None:
                         help="wire format for output files (default v2, columnar)")
 
 
+def _add_hardening_flags(parser: argparse.ArgumentParser) -> None:
+    """Multi-tenant hardening flags shared by `serve` and `relay`."""
+    parser.add_argument("--budget-epsilon", type=float, default=None,
+                        help="total epsilon budget across releases; the first "
+                             "RELEASE whose composed spend would exceed it is "
+                             "refused with a budget_exhausted error (with "
+                             "--wal-dir the spend survives kill -9)")
+    parser.add_argument("--budget-delta", type=float, default=None,
+                        help="total delta budget across releases (default: "
+                             "unconstrained — only the epsilon budget and "
+                             "the vacuous delta >= 1 line bind)")
+    parser.add_argument("--composition", choices=("basic", "advanced"),
+                        default="basic",
+                        help="how release spends compose against the budget: "
+                             "basic (epsilons/deltas add) or advanced "
+                             "(Dwork & Roth Thm 3.20; needs a budget with "
+                             "delta > 0) (default basic)")
+    parser.add_argument("--auth-token", default=None,
+                        help="require this session token in every HELLO "
+                             "(client and relay roles); sessions without it "
+                             "are rejected with auth_failed")
+    parser.add_argument("--max-session-frames", type=int, default=None,
+                        help="per-session quota on pushed frames; exceeding "
+                             "it rejects only that session (quota_exceeded)")
+    parser.add_argument("--max-session-bytes", type=int, default=None,
+                        help="per-session quota on pushed payload bytes")
+    parser.add_argument("--max-session-sketches", type=int, default=None,
+                        help="per-session quota on origin sketch exports (a "
+                             "relay summary counts its origin exports)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(prog="repro",
@@ -221,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="accept role=relay sessions (leaf aggregators "
                             "forwarding per-origin-session summary frames); "
                             "required to act as a relay tree's root")
+    _add_hardening_flags(serve)
 
     relay = subparsers.add_parser(
         "relay",
@@ -267,6 +299,12 @@ def build_parser() -> argparse.ArgumentParser:
     relay.add_argument("--forward-max-elapsed", type=float, default=60.0,
                        help="total retry budget in seconds for each upstream "
                             "forward (default 60)")
+    _add_hardening_flags(relay)
+    relay.add_argument("--upstream-token", default=None,
+                       help="session token this leaf presents to the upstream "
+                            "in every forward/release HELLO (required when "
+                            "the root runs --auth-token; the leaf-to-root "
+                            "hop is a trust boundary)")
 
     stats = subparsers.add_parser(
         "stats",
@@ -275,6 +313,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--timeout", type=float, default=30.0)
     stats.add_argument("--retries", type=int, default=5,
                        help="connection attempts before giving up")
+    stats.add_argument("--token", default=None,
+                       help="session token (required when the server runs "
+                            "--auth-token)")
 
     push = subparsers.add_parser(
         "push", help="push sketch exports to an aggregation server")
@@ -300,6 +341,9 @@ def build_parser() -> argparse.ArgumentParser:
     push.add_argument("--max-elapsed", type=float, default=60.0,
                       help="total retry budget in seconds for --resume "
                            "(default 60)")
+    push.add_argument("--token", default=None,
+                      help="session token (required when the server runs "
+                           "--auth-token)")
 
     wal = subparsers.add_parser(
         "wal", help="inspect or replay an aggregation write-ahead log")
@@ -327,6 +371,9 @@ def build_parser() -> argparse.ArgumentParser:
     request.add_argument("--seed", type=int, default=None)
     request.add_argument("--timeout", type=float, default=30.0)
     request.add_argument("--retries", type=int, default=5)
+    request.add_argument("--token", default=None,
+                         help="session token (required when the server runs "
+                              "--auth-token)")
     request.add_argument("--out", default=None,
                          help="output histogram JSON (stdout if omitted)")
     _add_format(request)
@@ -666,8 +713,48 @@ def _serve_loop(args: argparse.Namespace, make_server, banner: str) -> int:
         return 0
 
 
+def _hardening_kwargs(args: argparse.Namespace) -> Optional[Dict[str, Any]]:
+    """Budget/auth/quota server kwargs from the shared hardening flags.
+
+    Returns ``None`` (after printing the error) on inconsistent flags.
+    """
+    from .dp.accounting import PrivacyParams
+
+    budget = None
+    if args.budget_epsilon is not None:
+        # Epsilon-only budget: leave the delta dimension unconstrained
+        # (just below the vacuous line) instead of 0.0, which would refuse
+        # even the first approximate-DP release.
+        delta = (args.budget_delta if args.budget_delta is not None
+                 else 1.0 - 1e-12)
+        budget = PrivacyParams(epsilon=args.budget_epsilon, delta=delta)
+    elif args.budget_delta is not None:
+        print("error: --budget-delta needs --budget-epsilon", file=sys.stderr)
+        return None
+    if args.composition == "advanced" and (
+            args.budget_delta is None or args.budget_delta <= 0):
+        # An implicit near-1 delta would hand the advanced bound a junk
+        # delta' slack of ~0.5, so advanced demands the real number.
+        print("error: --composition advanced needs an explicit "
+              "--budget-delta > 0 (the delta' slack defaults to half of it)",
+              file=sys.stderr)
+        return None
+    return {
+        "budget": budget,
+        "composition": args.composition,
+        "auth_token": args.auth_token,
+        "max_session_frames": args.max_session_frames,
+        "max_session_bytes": args.max_session_bytes,
+        "max_session_sketches": args.max_session_sketches,
+    }
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .net import AggregatorServer
+
+    hardening = _hardening_kwargs(args)
+    if hardening is None:
+        return 2
 
     def make_server():
         read_timeout = args.read_timeout if args.read_timeout > 0 else None
@@ -676,13 +763,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                 max_releases=args.releases,
                                 wal_dir=args.wal_dir,
                                 read_timeout=read_timeout,
-                                accept_relays=args.accept_relays)
+                                accept_relays=args.accept_relays,
+                                **hardening)
 
     return _serve_loop(args, make_server, "aggregation server")
 
 
 def _cmd_relay(args: argparse.Namespace) -> int:
     from .net import RelayAggregatorServer
+
+    hardening = _hardening_kwargs(args)
+    if hardening is None:
+        return 2
 
     def make_server():
         read_timeout = args.read_timeout if args.read_timeout > 0 else None
@@ -691,11 +783,13 @@ def _cmd_relay(args: argparse.Namespace) -> int:
                                      relay_ordinal=args.ordinal,
                                      forward_on=args.forward_on,
                                      forward_max_elapsed=args.forward_max_elapsed,
+                                     upstream_token=args.upstream_token,
                                      drain_timeout=args.drain_timeout,
                                      max_releases=args.releases,
                                      wal_dir=args.wal_dir,
                                      read_timeout=read_timeout,
-                                     accept_relays=args.accept_relays)
+                                     accept_relays=args.accept_relays,
+                                     **hardening)
 
     return _serve_loop(args, make_server,
                        f"relay leaf {args.ordinal} (upstream {args.upstream})")
@@ -704,18 +798,21 @@ def _cmd_relay(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .net import fetch_stats
 
-    stats = fetch_stats(args.address, timeout=args.timeout,
-                        connect_retries=args.retries)
+    stats = fetch_stats(args.address, auth_token=args.token,
+                        timeout=args.timeout, connect_retries=args.retries)
     uptime = stats.get("uptime")
     frames = stats.get("frames", 0)
     throughput = (f"{frames / uptime:.1f}/s"
                   if isinstance(uptime, (int, float)) and uptime > 0 else "-")
+    privacy = stats.get("privacy") or {}
+    per_release = privacy.get("per_release") or {}
     overview = [{
         "role": stats.get("role", "aggregator"),
         "k": stats.get("k"),
-        "epsilon": stats.get("epsilon"),
-        "delta": stats.get("delta"),
+        "epsilon/release": per_release.get("epsilon"),
+        "delta/release": per_release.get("delta"),
         "accept relays": "yes" if stats.get("accept_relays") else "no",
+        "auth": "token" if stats.get("auth_required") else "open",
         "uptime (s)": (f"{uptime:.1f}"
                        if isinstance(uptime, (int, float)) else "-"),
         "fold rate": throughput,
@@ -731,6 +828,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         "releases": stats.get("releases", 0),
     }]
     print(format_table(totals, title="totals"))
+    if privacy:
+        def _pair(stanza):
+            if not isinstance(stanza, dict):
+                return "-"
+            eps, delta = stanza.get("epsilon"), stanza.get("delta")
+            eps = "inf" if eps is None else f"{eps:.6g}"
+            delta = "inf" if delta is None else f"{delta:.6g}"
+            return f"({eps}, {delta})"
+
+        spent = privacy.get("spent") or {}
+        budget_row = {
+            "composition": privacy.get("composition", "-"),
+            "releases charged": privacy.get("releases_charged", 0),
+            "spent (eps, delta)": ("vacuous" if spent.get("vacuous")
+                                   else _pair(spent)),
+            "budget (eps, delta)": (_pair(privacy.get("budget"))
+                                    if privacy.get("budget") else "none"),
+            "remaining": (_pair(privacy.get("remaining"))
+                          if privacy.get("budget") else "-"),
+            "exhausted": "yes" if privacy.get("exhausted") else "no",
+        }
+        print()
+        print(format_table([budget_row], title="privacy budget"))
     sessions = stats.get("sessions") or []
     if sessions:
         print()
@@ -805,7 +925,8 @@ def _cmd_push(args: argparse.Namespace) -> int:
                   "input", file=sys.stderr)
             return 2
         total = push_file_resilient(args.to, inputs[0][0], ordinal=args.ordinal,
-                                    k=k, timeout=args.timeout,
+                                    k=k, auth_token=args.token,
+                                    timeout=args.timeout,
                                     connect_retries=args.retries,
                                     max_elapsed=args.max_elapsed)
         print(f"pushed {total} sketch export(s) (k={k}) -> {args.to} "
@@ -814,6 +935,7 @@ def _cmd_push(args: argparse.Namespace) -> int:
 
     async def _push():
         async with AggregatorClient(args.to, k=k, ordinal=args.ordinal,
+                                    auth_token=args.token,
                                     timeout=args.timeout,
                                     connect_retries=args.retries) as client:
             total = 0
@@ -836,13 +958,23 @@ def _cmd_wal(args: argparse.Namespace) -> int:
     from .net.server import AggregatorServer
 
     if args.wal_command == "inspect":
+        from .net import is_reserved_record
+
         wal = SessionWal(args.wal_dir)
         try:
             records = wal.store.records()
-            if not records:
+            reserved = [r for r in records if is_reserved_record(r)]
+            records = [r for r in records if not is_reserved_record(r)]
+            if not records and not reserved:
                 print(f"{args.wal_dir}: no sessions recorded")
                 return 0
             print(f"{args.wal_dir}: {len(records)} session(s)")
+            for record in reserved:
+                # The privacy accountant's spend row: releases charged under
+                # the recorded composition mode, no spool.
+                print(f"  {record.session_id}: "
+                      f"{record.committed_frames} release(s) charged "
+                      f"(composition={record.client or '-'})")
             for record in records:
                 spool = wal.spool_path(record)
                 size = spool.stat().st_size if spool.exists() else 0
@@ -879,7 +1011,8 @@ def _cmd_wal(args: argparse.Namespace) -> int:
 def _cmd_request_release(args: argparse.Namespace) -> int:
     from .net import request_release
 
-    histogram = request_release(args.to, seed=args.seed, timeout=args.timeout,
+    histogram = request_release(args.to, seed=args.seed,
+                                auth_token=args.token, timeout=args.timeout,
                                 connect_retries=args.retries)
     _emit_histogram(histogram, args.out, args.format)
     return 0

@@ -13,6 +13,7 @@ from .accounting import (
     group_privacy,
     user_level_parameters,
 )
+from ..exceptions import VacuousGuaranteeError
 from .distributions import (
     gaussian_quantile,
     gaussian_survival,
@@ -57,6 +58,7 @@ __all__ = [
     "NoiseMechanism",
     "PrivacyParams",
     "RandomState",
+    "VacuousGuaranteeError",
     "compose_adaptive",
     "compose_basic",
     "counter_difference",

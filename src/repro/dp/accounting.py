@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from .._validation import check_delta, check_epsilon, check_positive_int
-from ..exceptions import PrivacyParameterError
+from ..exceptions import PrivacyParameterError, VacuousGuaranteeError
 
 
 @dataclass(frozen=True)
@@ -57,7 +57,11 @@ def compose_basic(params: Iterable[PrivacyParams]) -> PrivacyParams:
         count += 1
     if count == 0:
         raise PrivacyParameterError("compose_basic requires at least one guarantee")
-    total_delta = min(total_delta, 1.0 - 1e-15)
+    if total_delta >= 1.0:
+        raise VacuousGuaranteeError(
+            f"basic composition of {count} guarantees gives "
+            f"delta={total_delta:.6g} >= 1: a vacuous guarantee",
+            epsilon=total_epsilon, delta=total_delta)
     return PrivacyParams(epsilon=total_epsilon, delta=total_delta)
 
 
@@ -68,13 +72,29 @@ def compose_adaptive(epsilon: float, delta: float, rounds: int,
     Running ``rounds`` adaptive (epsilon, delta)-DP mechanisms satisfies
     ``(epsilon', rounds*delta + delta_prime)``-DP with
     ``epsilon' = sqrt(2 rounds ln(1/delta')) epsilon + rounds epsilon (e^epsilon - 1)``.
+
+    Raises :class:`VacuousGuaranteeError` when the composed delta reaches 1,
+    or when ``e^epsilon`` overflows the float range (an epsilon too large to
+    represent is no usable guarantee either).
     """
     eps = check_epsilon(epsilon)
     d = check_delta(delta, allow_zero=True)
     dp = check_delta(delta_prime)
     k = check_positive_int(rounds, "rounds")
-    eps_total = math.sqrt(2.0 * k * math.log(1.0 / dp)) * eps + k * eps * (math.exp(eps) - 1.0)
-    delta_total = min(k * d + dp, 1.0 - 1e-15)
+    delta_total = k * d + dp
+    if delta_total >= 1.0:
+        raise VacuousGuaranteeError(
+            f"advanced composition over {k} rounds gives "
+            f"delta={delta_total:.6g} >= 1: a vacuous guarantee",
+            epsilon=math.inf, delta=delta_total)
+    try:
+        eps_total = (math.sqrt(2.0 * k * math.log(1.0 / dp)) * eps
+                     + k * eps * (math.exp(eps) - 1.0))
+    except OverflowError:
+        raise VacuousGuaranteeError(
+            f"advanced composition over {k} rounds at epsilon={eps:.6g} "
+            f"overflows the float range: no representable guarantee",
+            epsilon=math.inf, delta=delta_total) from None
     return PrivacyParams(epsilon=eps_total, delta=delta_total)
 
 
@@ -84,10 +104,26 @@ def group_privacy(params: PrivacyParams, group_size: int) -> PrivacyParams:
     If a mechanism is (epsilon, delta)-DP for streams differing in one
     element, it is (m*epsilon, m*e^(m*epsilon)*delta)-DP for streams differing
     in up to ``m = group_size`` elements.
+
+    Pure DP stays pure (``delta == 0`` maps to exactly ``(m*epsilon, 0)``
+    regardless of how large ``m*epsilon`` grows).  For approximate DP the
+    group delta blows up as ``e^(m*epsilon)``; once it reaches 1 — including
+    when ``e^(m*epsilon)`` overflows the float range — the result is a
+    vacuous guarantee and :class:`VacuousGuaranteeError` is raised.
     """
     m = check_positive_int(group_size, "group_size")
     epsilon = m * params.epsilon
-    delta = min(m * math.exp(m * params.epsilon) * params.delta, 1.0 - 1e-15)
+    if params.delta == 0.0:
+        return PrivacyParams(epsilon=epsilon, delta=0.0)
+    try:
+        delta = m * math.exp(m * params.epsilon) * params.delta
+    except OverflowError:
+        delta = math.inf
+    if delta >= 1.0:
+        raise VacuousGuaranteeError(
+            f"group privacy at group_size={m} gives delta={delta:.6g} >= 1: "
+            f"a vacuous guarantee",
+            epsilon=epsilon, delta=delta)
     return PrivacyParams(epsilon=epsilon, delta=delta)
 
 

@@ -21,6 +21,23 @@ class PrivacyParameterError(ParameterError):
     """A privacy parameter (epsilon, delta, sensitivity) is invalid."""
 
 
+class VacuousGuaranteeError(PrivacyParameterError):
+    """A composed privacy guarantee is vacuous (``delta >= 1``).
+
+    Raised by the composition helpers in :mod:`repro.dp.accounting` instead
+    of silently clamping the composed delta below one: a guarantee with
+    ``delta >= 1`` permits publishing the raw input and must never be
+    reported as a valid (epsilon, delta) pair.  ``epsilon`` and ``delta``
+    carry the composed values that crossed the line (``delta`` may be
+    ``math.inf`` when the computation overflowed).
+    """
+
+    def __init__(self, message: str, *, epsilon: float, delta: float) -> None:
+        super().__init__(message)
+        self.epsilon = epsilon
+        self.delta = delta
+
+
 class SketchStateError(ReproError, RuntimeError):
     """A sketch is used in a way incompatible with its current state.
 

@@ -23,6 +23,13 @@ as they arrive and publishes a differentially private histogram on request:
   module).
 * :mod:`repro.net.backoff` — jittered, budget-capped retry delays and
   :func:`retry_async`, the one retry loop every resilient code path drives.
+* :mod:`repro.net.budget` — :class:`BudgetAccountant`: server-side privacy
+  budget accounting.  Every RELEASE charges the per-release (epsilon, delta)
+  under basic or advanced composition; once a configured budget would be
+  exceeded the release is refused with ``budget_exhausted``, and the charged
+  count persists through the WAL checkpoint store so kill -9 cannot reset
+  the budget.  Token auth at HELLO (``auth_token``) and per-session
+  frame/byte/sketch quotas harden the same session plumbing.
 * :mod:`repro.net.relay` — :class:`RelayAggregatorServer`: the
   aggregator-of-aggregators tier.  A leaf accepts normal client sessions
   and forwards each committed session's summary upstream (one fixed-point
@@ -40,6 +47,7 @@ recorded commit order.
 """
 
 from .backoff import Backoff, retry_async
+from .budget import BudgetAccountant, BudgetSpend
 from .client import (AggregatorClient, fetch_stats, push_file,
                      push_file_resilient, request_release,
                      transient_push_error)
@@ -47,15 +55,19 @@ from .protocol import Address, FrameChannel, parse_address
 from .relay import RelayAggregatorServer, serve_relay
 from .server import AggregatorServer, serve
 from .session import CommittedSession, Session, SessionState
-from .store import (CheckpointStore, MemoryCheckpointStore, SessionRecord,
-                    SqliteCheckpointStore, open_store)
+from .store import (BUDGET_SESSION_ID, CheckpointStore, MemoryCheckpointStore,
+                    SessionRecord, SqliteCheckpointStore, is_reserved_record,
+                    open_store)
 from .wal import SessionJournal, SessionWal, WalRecovery
 
 __all__ = [
     "Address",
     "AggregatorClient",
     "AggregatorServer",
+    "BUDGET_SESSION_ID",
     "Backoff",
+    "BudgetAccountant",
+    "BudgetSpend",
     "CheckpointStore",
     "CommittedSession",
     "FrameChannel",
@@ -69,6 +81,7 @@ __all__ = [
     "SqliteCheckpointStore",
     "WalRecovery",
     "fetch_stats",
+    "is_reserved_record",
     "open_store",
     "parse_address",
     "push_file",

@@ -72,6 +72,11 @@ class AggregatorClient:
         Declared in HELLO when set.  ``"relay"`` marks this session's frames
         as relay *summary* frames (one per origin session, folded into their
         own release parts by a server started with ``accept_relays``).
+    auth_token:
+        Shared session token sent as the HELLO ``token`` field.  Required
+        (for every role — a relay leaf authenticates to its root like any
+        client) when the server was started with ``--auth-token``; a
+        missing or wrong token is rejected with an ``auth_failed`` ERROR.
     timeout:
         Hard per-operation timeout in seconds.
     connect_retries / retry_delay / retry_jitter / retry_max_elapsed:
@@ -82,7 +87,7 @@ class AggregatorClient:
 
     def __init__(self, address: Union[str, Address], *, k: Optional[int] = None,
                  ordinal: Optional[int] = None, client_name: Optional[str] = None,
-                 role: Optional[str] = None,
+                 role: Optional[str] = None, auth_token: Optional[str] = None,
                  timeout: float = 30.0, connect_retries: int = 5,
                  retry_delay: float = 0.2, retry_jitter: float = 0.1,
                  retry_max_elapsed: Optional[float] = None) -> None:
@@ -91,6 +96,7 @@ class AggregatorClient:
         self._ordinal = ordinal
         self._client_name = client_name
         self._role = role
+        self._auth_token = auth_token
         self._timeout = timeout
         self._connect_retries = max(1, int(connect_retries))
         self._retry_delay = retry_delay
@@ -170,6 +176,8 @@ class AggregatorClient:
             hello["client"] = self._client_name
         if self._role is not None:
             hello["role"] = self._role
+        if self._auth_token is not None:
+            hello["token"] = self._auth_token
         await self._channel.send_control(HELLO, **hello)
         greeting = await self._channel.read_prefix()
         self.server_k = greeting.k
@@ -354,11 +362,12 @@ def _run(coroutine):
 
 def push_file(address: Union[str, Address], source: Union[str, Path], *,
               k: Optional[int] = None, ordinal: Optional[int] = None,
+              auth_token: Optional[str] = None,
               timeout: float = 30.0, connect_retries: int = 5) -> int:
     """Connect, push one packed framed file, commit (bye), disconnect."""
     async def _push() -> int:
         async with AggregatorClient(address, k=k, ordinal=ordinal,
-                                    timeout=timeout,
+                                    auth_token=auth_token, timeout=timeout,
                                     connect_retries=connect_retries) as client:
             return await client.push_file(source)
     return _run(_push())
@@ -381,6 +390,7 @@ def push_file_resilient(address: Union[str, Address],
                         source: Union[str, Path], *,
                         ordinal: int, k: Optional[int] = None,
                         client_name: Optional[str] = None,
+                        auth_token: Optional[str] = None,
                         timeout: float = 30.0, connect_retries: int = 5,
                         retry_delay: float = 0.2, retry_jitter: float = 0.5,
                         max_elapsed: float = 60.0, burst: int = 64,
@@ -407,6 +417,7 @@ def push_file_resilient(address: Union[str, Address],
             nonlocal total
             client = AggregatorClient(
                 address, k=k, ordinal=ordinal, client_name=client_name,
+                auth_token=auth_token,
                 timeout=timeout, connect_retries=connect_retries,
                 retry_delay=retry_delay, retry_jitter=retry_jitter)
             try:
@@ -431,21 +442,24 @@ def push_file_resilient(address: Union[str, Address],
 
 
 def request_release(address: Union[str, Address], *, seed: Optional[int] = None,
-                    timeout: float = 30.0,
+                    auth_token: Optional[str] = None, timeout: float = 30.0,
                     connect_retries: int = 5) -> PrivateHistogram:
     """Connect, trigger a release, return the decoded private histogram."""
     async def _release() -> PrivateHistogram:
-        async with AggregatorClient(address, timeout=timeout,
+        async with AggregatorClient(address, auth_token=auth_token,
+                                    timeout=timeout,
                                     connect_retries=connect_retries) as client:
             return await client.request_release(seed=seed)
     return _run(_release())
 
 
-def fetch_stats(address: Union[str, Address], *, timeout: float = 30.0,
+def fetch_stats(address: Union[str, Address], *, auth_token: Optional[str] = None,
+                timeout: float = 30.0,
                 connect_retries: int = 5) -> Dict[str, object]:
     """Connect and fetch the server's aggregate counters."""
     async def _stats() -> Dict[str, object]:
-        async with AggregatorClient(address, timeout=timeout,
+        async with AggregatorClient(address, auth_token=auth_token,
+                                    timeout=timeout,
                                     connect_retries=connect_retries) as client:
             return await client.stats()
     return _run(_stats())

@@ -24,7 +24,11 @@ hello     c -> s     open a session; fields: ``k`` (sketch size, optional
                      ``accept_relays``, else rejected with
                      ``relay_not_accepted``; a WAL resume that disagrees
                      with the spooled role is rejected with
-                     ``role_mismatch``)
+                     ``role_mismatch``), and ``token`` (shared session
+                     secret; mandatory for every role — client and relay
+                     alike — when the server runs ``--auth-token``, checked
+                     in constant time before any server state is touched;
+                     missing/wrong tokens are rejected with ``auth_failed``)
 push      c -> s     announce ``frames`` payload frames, which follow
                      immediately; the server folds each into the session's
                      :class:`~repro.api.framing.StreamingMerger` on arrival
@@ -48,7 +52,12 @@ ok        s -> c     positive acknowledgement; ``re`` names the acked verb.
 error     s -> c     the session is rejected; ``code`` is machine-readable
                      (``k_mismatch``, ``bad_verb``, ``nothing_to_release``,
                      ``timeout``, ``ordinal_active``, ``session_complete``,
-                     ``relay_not_accepted``, ``role_mismatch``, ...),
+                     ``relay_not_accepted``, ``role_mismatch``,
+                     ``auth_failed``, ``quota_exceeded``,
+                     ``budget_exhausted`` — the privacy accountant refuses a
+                     RELEASE whose composed spend would exceed the
+                     configured budget —
+                     ``pure_dp_release_unsupported``, ...),
                      ``message`` human-readable.  The server closes
                      the connection but keeps serving other sessions
 stats     s -> c     the ``stats`` reply

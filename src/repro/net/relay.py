@@ -110,6 +110,19 @@ class RelayAggregatorServer(AggregatorServer):
     forward_max_elapsed:
         Per-operation timeout and backoff policy of the upstream pushes
         (same semantics as :func:`~repro.net.client.push_file_resilient`).
+    upstream_token:
+        Session token this leaf presents to the upstream in every HELLO
+        (forward pushes *and* proxied releases).  The leaf-to-root hop is a
+        trust boundary: when the root runs ``--auth-token``, every leaf
+        needs the matching ``--upstream-token`` or its forwards are
+        rejected with ``auth_failed``.  Independent of the leaf's own
+        ``auth_token`` (what *its* clients must present).
+
+    Privacy accounting across the tier: a relay proxies RELEASE upstream
+    (:meth:`handle_release` never calls :meth:`perform_release`), so a
+    release requested through any leaf charges exactly one budget — the
+    root's — exactly once.  The leaf's own accountant only meters releases
+    the leaf itself would compute locally, which a relay never does.
     """
 
     def __init__(self, epsilon: float, delta: float, k: Optional[int] = None,
@@ -119,6 +132,7 @@ class RelayAggregatorServer(AggregatorServer):
                  forward_retry_delay: float = 0.2,
                  forward_retry_jitter: float = 0.5,
                  forward_max_elapsed: float = 60.0,
+                 upstream_token: Optional[str] = None,
                  **kwargs) -> None:
         if forward_on not in FORWARD_POLICIES:
             raise ParameterError(
@@ -135,6 +149,7 @@ class RelayAggregatorServer(AggregatorServer):
         self._forward_retry_delay = forward_retry_delay
         self._forward_retry_jitter = forward_retry_jitter
         self._forward_max_elapsed = forward_max_elapsed
+        self._upstream_token = upstream_token
         self._forward_dir: Optional[Path] = (
             Path(wal_dir) / "forward" if wal_dir is not None else None)
         self._forward_lock = asyncio.Lock()
@@ -316,6 +331,7 @@ class RelayAggregatorServer(AggregatorServer):
             client = AggregatorClient(
                 self._upstream, k=self._k, ordinal=batch.root_ordinal,
                 client_name=f"relay-{self._relay_ordinal}", role="relay",
+                auth_token=self._upstream_token,
                 timeout=self._forward_timeout, connect_retries=1)
             try:
                 await client.connect()
@@ -371,6 +387,7 @@ class RelayAggregatorServer(AggregatorServer):
         """
         await self.forward_flush()
         client = AggregatorClient(self._upstream,
+                                  auth_token=self._upstream_token,
                                   timeout=self._forward_timeout,
                                   retry_delay=self._forward_retry_delay,
                                   retry_jitter=self._forward_retry_jitter)

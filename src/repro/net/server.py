@@ -31,11 +31,15 @@ from typing import Dict, List, Optional, Union
 
 from pathlib import Path
 
+import hmac
+
 from .._validation import check_delta, check_epsilon, check_positive_int
 from ..api.framing import StreamingMerger, combine_mergers
 from ..api.wire import encode_histogram
 from ..core.merging import MergeStrategy, PrivateMergedRelease
+from ..dp.accounting import PrivacyParams
 from ..exceptions import ParameterError, ProtocolError, RemoteError
+from .budget import BudgetAccountant
 from .protocol import Address, DEFAULT_CHUNK_SIZE, FrameChannel, parse_address
 from .session import CommittedSession, Session
 from .store import CheckpointStore
@@ -78,6 +82,29 @@ class AggregatorServer:
         bit-identical to a flat server over the origin sessions.  Off by
         default: a relay summary folded as a plain frame would silently
         change release metadata, so relays must be opted into.
+    budget, composition, delta_slack:
+        Privacy budget accounting (:mod:`repro.net.budget`).  ``budget``
+        (a :class:`~repro.dp.accounting.PrivacyParams`) caps the cumulative
+        spend composed across releases under ``composition`` (``"basic"``
+        or ``"advanced"``, Dwork & Roth Thm 3.20 with slack
+        ``delta_slack``, default half the budget delta); once the next
+        release would exceed it, RELEASE is refused with a
+        ``budget_exhausted`` ERROR.  Without a budget the accountant still
+        meters the honest cumulative spend for STATS.  With ``wal_dir`` the
+        charged release count persists through the checkpoint store, so a
+        kill -9 restart cannot reset the budget.
+    auth_token:
+        Shared-secret session token.  When set, every HELLO — client *and*
+        relay role; the leaf-to-root hop is a trust boundary — must carry a
+        matching ``token`` field or the session is rejected with an
+        ``auth_failed`` ERROR before any state is touched.
+    max_session_frames, max_session_bytes, max_session_sketches:
+        Per-session quotas (frames pushed, payload bytes pushed, origin
+        sketch exports — for plain clients sketches == frames, a relay
+        summary counts its origin exports).  A push that would cross a
+        quota is rejected with a ``quota_exceeded`` ERROR containing only
+        the offending session; the over-quota frame is neither spooled nor
+        folded.  Resumed sessions count their already-committed state.
     """
 
     def __init__(self, epsilon: float, delta: float, k: Optional[int] = None,
@@ -87,9 +114,19 @@ class AggregatorServer:
                  wal_dir: Optional[Union[str, Path]] = None,
                  store: Optional[CheckpointStore] = None,
                  read_timeout: Optional[float] = 30.0,
-                 accept_relays: bool = False) -> None:
+                 accept_relays: bool = False,
+                 budget: Optional[PrivacyParams] = None,
+                 composition: str = "basic",
+                 delta_slack: Optional[float] = None,
+                 auth_token: Optional[str] = None,
+                 max_session_frames: Optional[int] = None,
+                 max_session_bytes: Optional[int] = None,
+                 max_session_sketches: Optional[int] = None) -> None:
         check_epsilon(epsilon)
-        check_delta(delta)
+        # delta == 0 is a valid configuration: PrivacyParams and the pure_dp
+        # mechanism support pure epsilon-DP (the trusted-merged *release*
+        # path still needs delta > 0 and says so at release time).
+        check_delta(delta, allow_zero=True)
         if k is not None:
             check_positive_int(k, "k")
         if max_releases is not None:
@@ -97,6 +134,14 @@ class AggregatorServer:
         if read_timeout is not None and read_timeout <= 0:
             raise ParameterError(
                 f"read_timeout must be positive seconds or None, got {read_timeout!r}")
+        if auth_token is not None and (not isinstance(auth_token, str)
+                                       or not auth_token):
+            raise ParameterError("auth_token must be a non-empty string or None")
+        for name, value in (("max_session_frames", max_session_frames),
+                            ("max_session_bytes", max_session_bytes),
+                            ("max_session_sketches", max_session_sketches)):
+            if value is not None:
+                check_positive_int(value, name)
         self.epsilon = epsilon
         self.delta = delta
         self._k = k
@@ -106,6 +151,14 @@ class AggregatorServer:
         self._wal = SessionWal(wal_dir, store=store) if wal_dir is not None else None
         self._read_timeout = read_timeout
         self.accept_relays = accept_relays
+        self._auth_token = auth_token
+        self.max_session_frames = max_session_frames
+        self.max_session_bytes = max_session_bytes
+        self.max_session_sketches = max_session_sketches
+        self.accountant = BudgetAccountant(
+            PrivacyParams(epsilon=epsilon, delta=delta),
+            budget=budget, composition=composition, delta_slack=delta_slack,
+            store=self._wal.store if self._wal is not None else None)
         self._started_at: Optional[float] = None
         self._recovered = False
         self._active_ordinals: set = set()
@@ -238,6 +291,20 @@ class AggregatorServer:
     # Session callbacks
     # ------------------------------------------------------------------
 
+    @property
+    def requires_auth(self) -> bool:
+        """True when HELLO must carry the shared session token."""
+        return self._auth_token is not None
+
+    def check_auth(self, token: object) -> bool:
+        """Constant-time comparison of a HELLO ``token`` field."""
+        if self._auth_token is None:
+            return True
+        if not isinstance(token, str):
+            return False
+        return hmac.compare_digest(token.encode("utf-8"),
+                                   self._auth_token.encode("utf-8"))
+
     def adopt_k(self, declared: int) -> int:
         """Adopt the first declared sketch size; return the agreed one."""
         if self._k is None:
@@ -329,12 +396,29 @@ class AggregatorServer:
         """Combine committed sessions and release; returns a v2 envelope.
 
         Raises :class:`RemoteError` (reported to the requesting client as an
-        ERROR frame by the session loop) when nothing has been committed.
+        ERROR frame by the session loop) when nothing has been committed,
+        when the privacy budget is exhausted (``budget_exhausted``), or when
+        the server runs pure DP (``delta == 0``: the trusted-merged GSHM
+        release needs ``delta > 0``).
+
+        Charge ordering: the accountant charges — and durably persists the
+        new release count — *before* the histogram is computed, so a crash
+        between charge and reply costs at most one unconsumed charge and
+        can never under-count spend.  The charge never touches the release
+        RNG: an admitted release is bit-identical to an unaccounted
+        server's.
         """
         parts = self.committed_mergers()
         if not parts or self._k is None:
             raise RemoteError("no committed sketch exports to release yet",
                               code="nothing_to_release")
+        if self.delta == 0.0:
+            raise RemoteError(
+                "this server runs pure DP (delta=0) and the trusted-merged "
+                "release mechanism (GSHM) requires delta > 0; release "
+                "offline with a pure-DP mechanism instead",
+                code="pure_dp_release_unsupported")
+        self.accountant.charge()
         combined = combine_mergers(parts, self._k)
         mechanism = PrivateMergedRelease(
             epsilon=self.epsilon, delta=self.delta, k=self._k,
@@ -365,6 +449,12 @@ class AggregatorServer:
         release order, and ``uptime`` is the seconds since the socket bound
         — `repro stats` derives the fold throughput from it.  Relays extend
         this with a ``forward`` stanza (see ``RelayAggregatorServer``).
+
+        The old top-level ``epsilon``/``delta`` keys are gone: they read as
+        a *total* guarantee but were per-release parameters.  The
+        ``privacy`` stanza replaces them with the honest breakdown —
+        ``per_release``, the cumulative ``spent`` under the configured
+        composition, and ``remaining``/``budget`` when a budget is set.
         """
         uptime = (time.monotonic() - self._started_at
                   if self._started_at is not None else None)
@@ -372,6 +462,12 @@ class AggregatorServer:
             "k": self._k,
             "role": "aggregator",
             "accept_relays": self.accept_relays,
+            "auth_required": self.requires_auth,
+            "quota": {
+                "max_session_frames": self.max_session_frames,
+                "max_session_bytes": self.max_session_bytes,
+                "max_session_sketches": self.max_session_sketches,
+            },
             "sessions_active": len(self._tasks),
             "sessions_committed": len(self._committed),
             "sessions_rejected": self._rejected,
@@ -382,8 +478,7 @@ class AggregatorServer:
             "frames": self._frames_seen,
             "stream_length": self._length_seen,
             "releases": self._releases,
-            "epsilon": self.epsilon,
-            "delta": self.delta,
+            "privacy": self.accountant.as_stats(),
             "uptime": uptime,
         }
 

@@ -24,6 +24,14 @@ re-HELLO with the same ordinal resumes the spooled session: the ack reports
 the committed frame count so the client skips already-durable frames.  Every
 read is additionally bounded by the server's per-read timeout, so a peer
 dribbling bytes (slow-loris) is rejected instead of pinning a session open.
+
+Multi-tenant hardening: when the server carries an ``auth_token``, the HELLO
+must present a matching ``token`` field (checked in constant time, *before*
+any ordinal claim, WAL attach or k adoption) or the session is rejected with
+an ``auth_failed`` ERROR.  Per-session quotas on frames, payload bytes and
+origin sketch exports are charged per accepted frame — before the spool
+append and the fold, so an over-quota frame leaves no trace — and a
+violation rejects only the offending session (``quota_exceeded``).
 """
 
 from __future__ import annotations
@@ -106,6 +114,10 @@ class Session:
         self._parts: List[StreamingMerger] = []   # relay sessions only
         self._journal = None          # SessionJournal when the server has a WAL
         self._claimed_ordinal = False
+        self._pending_header_k: Optional[int] = None
+        self._quota_frames = 0
+        self._quota_bytes = 0
+        self._quota_sketches = 0
 
     @property
     def frames(self) -> int:
@@ -143,7 +155,13 @@ class Session:
                                    k=self._server.k,
                                    meta={"service": "repro-aggregator"})
             await self._channel.send_prefix(greeting)
-            self._check_k(header.k, source="stream header")
+            if self._server.requires_auth:
+                # k adoption mutates server state; an unauthenticated peer
+                # must not influence it, so the header's k is only validated
+                # after the HELLO token passes.
+                self._pending_header_k = header.k
+            else:
+                self._check_k(header.k, source="stream header")
             while self.state not in (SessionState.COMMITTED, SessionState.REJECTED):
                 kind, value = await self._timed(self._channel.next_event(),
                                                 "control frame")
@@ -195,6 +213,17 @@ class Session:
     # ------------------------------------------------------------------
 
     async def _handle_hello(self, message: dict) -> None:
+        token = message.get("token")
+        if not self._server.check_auth(token):
+            error = ProtocolError(
+                "this aggregator requires a session token; pass the server's "
+                "--auth-token in the hello" if token is None else
+                "hello session token rejected")
+            error.code = "auth_failed"
+            raise error
+        if self._pending_header_k is not None:
+            self._check_k(self._pending_header_k, source="stream header")
+            self._pending_header_k = None
         self._check_k(message.get("k"), source="hello")
         ordinal = message.get("ordinal")
         if ordinal is not None and not isinstance(ordinal, int):
@@ -232,6 +261,8 @@ class Session:
                     frames=sum(part.frames for part in self._parts),
                     stream_length=sum(part.total_stream_length
                                       for part in self._parts))
+                self._seed_quota_from_resume(
+                    sketches=sum(part.frames for part in self._parts))
             elif self._journal.merger is not None:
                 # Resumed session: adopt the replayed committed prefix.
                 self._merger = self._journal.merger
@@ -239,6 +270,7 @@ class Session:
                     self._journal.record.session_id,
                     frames=self._merger.frames,
                     stream_length=self._merger.total_stream_length)
+                self._seed_quota_from_resume(sketches=self._merger.frames)
         self.state = SessionState.READY
         await self._channel.send_control(OK, re=HELLO, **ack)
 
@@ -258,6 +290,12 @@ class Session:
                 error.code = "session_complete"
                 raise error
             self._journal.ensure_k(self._server.k)
+        limit = self._server.max_session_frames
+        if limit is not None and self._quota_frames + declared > limit:
+            # The declared burst alone busts the frame quota: refuse it up
+            # front, before a single body is spooled or folded.
+            raise self._quota_error("frames", limit,
+                                    self._quota_frames + declared)
         if self._merger is None and self.role != "relay":
             self._merger = StreamingMerger(self._server.k)
         self.state = SessionState.PUSHING
@@ -280,14 +318,21 @@ class Session:
                     "disagreeing sketch sizes would miscalibrate the release")
                 error.code = "k_mismatch"
                 raise error
-            if self._journal is not None:
-                # Write-ahead: the verbatim bytes hit the spool before the fold.
-                self._journal.append(body)
             if self.role == "relay":
                 # Each relay frame is one origin session's summary: it folds
                 # into its own release part so the combine at release time
                 # sees the same part sequence a flat server would.
                 part = StreamingMerger(self._server.k).add_summary(value)
+            else:
+                part = None
+            # Quota charge precedes the spool append and the fold: an
+            # over-quota frame is rejected without leaving any trace.
+            self._charge_quota(len(body),
+                               part.frames if part is not None else 1)
+            if self._journal is not None:
+                # Write-ahead: the verbatim bytes hit the spool before the fold.
+                self._journal.append(body)
+            if part is not None:
                 self._parts.append(part)
                 self._server.note_frame(value, frames=part.frames)
             else:
@@ -346,6 +391,42 @@ class Session:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+
+    def _seed_quota_from_resume(self, sketches: int) -> None:
+        """Count a resumed session's committed state against its quotas.
+
+        ``committed_bytes`` is the spool watermark (header + frame prefixes
+        included), a slight over-count of the raw payload bytes — the
+        conservative direction for a quota.
+        """
+        self._quota_frames = self._journal.committed_frames
+        self._quota_bytes = self._journal.record.committed_bytes
+        self._quota_sketches = sketches
+
+    def _quota_error(self, which: str, limit: int, would_be: int) -> ProtocolError:
+        error = ProtocolError(
+            f"session {which} quota exceeded ({would_be} > {limit}); this "
+            "session is rejected, other sessions are unaffected")
+        error.code = "quota_exceeded"
+        return error
+
+    def _charge_quota(self, nbytes: int, sketches: int) -> None:
+        self._quota_frames += 1
+        self._quota_bytes += nbytes
+        self._quota_sketches += sketches
+        server = self._server
+        if (server.max_session_frames is not None
+                and self._quota_frames > server.max_session_frames):
+            raise self._quota_error("frames", server.max_session_frames,
+                                    self._quota_frames)
+        if (server.max_session_bytes is not None
+                and self._quota_bytes > server.max_session_bytes):
+            raise self._quota_error("bytes", server.max_session_bytes,
+                                    self._quota_bytes)
+        if (server.max_session_sketches is not None
+                and self._quota_sketches > server.max_session_sketches):
+            raise self._quota_error("sketches", server.max_session_sketches,
+                                    self._quota_sketches)
 
     def _check_k(self, declared, source: str) -> None:
         if declared is None:

@@ -34,7 +34,25 @@ __all__ = [
     "SqliteCheckpointStore",
     "MemoryCheckpointStore",
     "open_store",
+    "RESERVED_SESSION_PREFIX",
+    "BUDGET_SESSION_ID",
+    "is_reserved_record",
 ]
+
+#: Session ids starting with this prefix are server-internal ledger rows,
+#: not aggregation sessions: WAL recovery must skip them (they own no spool)
+#: and display tooling should render them separately.
+RESERVED_SESSION_PREFIX = "::"
+
+#: The reserved record the privacy accountant persists its cumulative spend
+#: under (:mod:`repro.net.budget`): ``committed_frames`` holds the number of
+#: releases charged, ``client`` the composition mode, ``spool`` is empty.
+BUDGET_SESSION_ID = RESERVED_SESSION_PREFIX + "privacy-budget"
+
+
+def is_reserved_record(record: "SessionRecord") -> bool:
+    """True when ``record`` is a server-internal ledger row, not a session."""
+    return record.session_id.startswith(RESERVED_SESSION_PREFIX)
 
 
 @dataclass(frozen=True)

@@ -45,7 +45,8 @@ from ..api.framing import (FrameReader, StreamingMerger, append_frame,
                            write_stream_header)
 from ..exceptions import FramingError, ParameterError, ProtocolError
 from .session import CommittedSession
-from .store import CheckpointStore, SessionRecord, SqliteCheckpointStore
+from .store import (CheckpointStore, SessionRecord, SqliteCheckpointStore,
+                    is_reserved_record)
 
 __all__ = ["SessionWal", "SessionJournal", "WalRecovery"]
 
@@ -210,7 +211,11 @@ class SessionWal:
         files with no ledger record hold only uncommitted frames by
         construction and are deleted.
         """
-        records = list(self.store.scan())
+        # Reserved ledger rows (e.g. the privacy-budget spend record) own no
+        # spool and are not sessions: they must not be truncated, replayed or
+        # counted towards the single-k check.
+        records = [record for record in self.store.scan()
+                   if not is_reserved_record(record)]
         known = {record.spool for record in records}
         for stray in self.wal_dir.glob(f"*{_SPOOL_SUFFIX}"):
             if stray.name not in known:

@@ -1,0 +1,179 @@
+"""Crash injection for the privacy budget: SIGKILL cannot reset the spend.
+
+A ``repro serve --budget-epsilon --wal-dir`` subprocess is killed with
+SIGKILL after serving releases and restarted on the same wal dir.  The
+acceptance property: the restarted server resumes from the persisted spend —
+never a reset (which would hand out free releases) and never a double-charge
+(which would refuse releases the budget still covers).  The charge protocol
+persists the new count through the fsync-backed checkpoint store *before*
+the histogram is computed, so a kill anywhere between charge and reply costs
+at most one unconsumed charge; WAL replay on restart re-folds sessions but
+never re-runs releases, so the count can only move when a release is served.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import RemoteError
+from repro.net import fetch_stats, push_file_resilient, request_release
+
+pytestmark = [pytest.mark.chaos, pytest.mark.net(seconds=240)]
+
+K = 16
+EPSILON, DELTA = "1.0", "1e-6"
+BUDGET_EPSILON = "3.0"  # three releases at epsilon 1.0 each
+
+
+class BudgetServerHarness:
+    """Start / SIGKILL / restart one budgeted `repro serve` subprocess."""
+
+    def __init__(self, tmp_path, wal_dir):
+        self._sockdir = tempfile.mkdtemp(prefix="repro-budget-chaos-")
+        self._socket = f"{self._sockdir}/agg.sock"
+        self.address = f"unix:{self._socket}"
+        self._tmp = tmp_path
+        self._wal_dir = wal_dir
+        self._process = None
+        self._generation = 0
+
+    def start(self):
+        self._generation += 1
+        ready = self._tmp / f"ready-{self._generation}.addr"
+        if os.path.exists(self._socket):
+            os.unlink(self._socket)
+        self._process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--listen", self.address, "--epsilon", EPSILON,
+             "--delta", DELTA, "-k", str(K),
+             "--wal-dir", str(self._wal_dir),
+             "--budget-epsilon", BUDGET_EPSILON,
+             "--ready-file", str(ready)],
+            env={**os.environ, "PYTHONPATH": str(
+                pathlib.Path(__file__).resolve().parents[2] / "src")},
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            if ready.exists() and ready.read_text().strip():
+                return self
+            if self._process.poll() is not None:
+                raise AssertionError(
+                    f"serve (gen {self._generation}) died during startup: "
+                    f"{self._process.stderr.read()}")
+            time.sleep(0.05)
+        raise AssertionError("serve never wrote its ready file")
+
+    def kill_9(self):
+        os.kill(self._process.pid, signal.SIGKILL)
+        self._process.wait(timeout=30)
+
+    def terminate(self):
+        if self._process is not None and self._process.poll() is None:
+            self._process.terminate()
+            try:
+                self._process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self._process.kill()
+                self._process.wait(timeout=30)
+
+
+@pytest.fixture
+def packed_file(tmp_path):
+    stream = tmp_path / "stream.txt"
+    sketch = tmp_path / "sketch.json"
+    frames = tmp_path / "client.frames"
+    assert main(["generate", "--dataset", "zipf", "-n", "3000",
+                 "--universe", "300", "--seed", "7",
+                 "--out", str(stream)]) == 0
+    assert main(["sketch", "--stream", str(stream), "-k", str(K),
+                 "--out", str(sketch)]) == 0
+    assert main(["pack", "--out", str(frames), str(sketch)]) == 0
+    return frames
+
+
+def _charged(address):
+    return fetch_stats(address)["privacy"]["releases_charged"]
+
+
+@pytest.mark.slow
+def test_sigkill_preserves_spend_and_budget_line(packed_file, tmp_path):
+    wal_dir = tmp_path / "wal"
+    harness = BudgetServerHarness(tmp_path, wal_dir).start()
+    try:
+        pushed = push_file_resilient(harness.address, packed_file,
+                                     ordinal=0, k=K, max_elapsed=60.0)
+        assert pushed == 1
+
+        # Release 1 of 3, then SIGKILL + restart on the same wal dir.
+        first = request_release(harness.address, seed=11)
+        harness.kill_9()
+        harness.start()
+
+        # Not reset (would be 0) and not double-charged (would be 2).
+        assert _charged(harness.address) == 1
+
+        # The remaining budget still covers exactly two more releases, and
+        # the replayed session releases the same bits as before the crash.
+        second = request_release(harness.address, seed=11)
+        assert list(second.items()) == list(first.items())
+        harness.kill_9()
+        harness.start()
+        assert _charged(harness.address) == 2
+        request_release(harness.address, seed=12)
+
+        # Release 4 crosses the epsilon budget: machine-readable refusal,
+        # and the refusal itself must not move the persisted count.
+        with pytest.raises(RemoteError) as caught:
+            request_release(harness.address, seed=13)
+        assert caught.value.code == "budget_exhausted"
+        stats = fetch_stats(harness.address)
+        assert stats["privacy"]["releases_charged"] == 3
+        assert stats["privacy"]["exhausted"] is True
+
+        # One more kill cycle: the exhausted state is durable too.
+        harness.kill_9()
+        harness.start()
+        with pytest.raises(RemoteError) as caught:
+            request_release(harness.address, seed=14)
+        assert caught.value.code == "budget_exhausted"
+        assert _charged(harness.address) == 3
+    finally:
+        harness.terminate()
+
+    # The wal inspect tool renders the budget row without touching spools.
+    assert main(["wal", "inspect", str(wal_dir)]) == 0
+
+
+@pytest.mark.slow
+def test_refused_release_leaves_server_and_wal_serviceable(packed_file,
+                                                          tmp_path):
+    """After exhaustion the server still commits new sessions and serves
+    STATS, and `repro stats` renders the budget table."""
+    wal_dir = tmp_path / "wal"
+    harness = BudgetServerHarness(tmp_path, wal_dir).start()
+    try:
+        push_file_resilient(harness.address, packed_file, ordinal=0, k=K,
+                            max_elapsed=60.0)
+        for seed in (1, 2, 3):
+            request_release(harness.address, seed=seed)
+        with pytest.raises(RemoteError):
+            request_release(harness.address, seed=4)
+        # New session on the exhausted server: still accepted and durable.
+        pushed = push_file_resilient(harness.address, packed_file, ordinal=1,
+                                     k=K, max_elapsed=60.0)
+        assert pushed == 1
+        stats = fetch_stats(harness.address)
+        assert stats["sessions_committed"] == 2
+        assert stats["privacy"]["releases_charged"] == 3
+        assert stats["privacy"]["remaining"] == {"epsilon": 0.0, "delta": 0.0}
+        # The `repro stats` table renders the budget stanza without error.
+        assert main(["stats", harness.address]) == 0
+    finally:
+        harness.terminate()

@@ -1,0 +1,104 @@
+"""Property: the budget accountant is a gate, never a mechanism.
+
+An under-budget RELEASE on a budgeted (or auth-guarded, or quota-limited)
+server must be **bit-identical** — keys, values, dict order and metadata —
+to the release an unaccounted server produces over the same exports with the
+same seed.  The accountant charges before the histogram is computed but
+never touches the release RNG; if it ever did (say, by drawing from a shared
+generator to decide a tie-break), this suite would catch it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api.wire import encode_counters
+from repro.dp.accounting import PrivacyParams
+from repro.net import AggregatorClient, AggregatorServer
+
+pytestmark = pytest.mark.net(seconds=240)
+
+EPSILON, DELTA = 1.0, 1e-6
+TOKEN = "property-token"
+
+_KEYS = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+_VALUES = st.one_of(
+    st.integers(min_value=0, max_value=10 ** 6).map(float),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False))
+_COUNTERS = st.dictionaries(_KEYS, _VALUES, min_size=0, max_size=10)
+_EXPORT_LISTS = st.lists(_COUNTERS, min_size=1, max_size=6)
+
+
+async def _serve_and_release(exports, k, seed, releases=1, token=None,
+                             **server_kwargs):
+    """Push ``exports`` as one session each, then request ``releases``
+    releases; returns the list of released histograms."""
+    server = AggregatorServer(epsilon=EPSILON, delta=DELTA, k=k,
+                              **server_kwargs)
+    async with await server.start("127.0.0.1:0"):
+        for ordinal, envelope in enumerate(exports):
+            async with AggregatorClient(server.address, k=k, ordinal=ordinal,
+                                        auth_token=token) as client:
+                await client.push([envelope])
+        histograms = []
+        async with AggregatorClient(server.address, auth_token=token) as client:
+            for _ in range(releases):
+                histograms.append(await client.request_release(seed=seed))
+        return histograms
+
+
+def _identical(left, right):
+    assert list(left.as_dict().items()) == list(right.as_dict().items())
+    assert left.metadata.as_dict() == right.metadata.as_dict()
+
+
+@given(counters_list=_EXPORT_LISTS, k=st.integers(min_value=1, max_value=16),
+       seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_budgeted_release_bit_identical_to_unaccounted(counters_list, k, seed):
+    exports = [encode_counters(counters, k=k, stream_length=23 * index)
+               for index, counters in enumerate(counters_list)]
+    plain = asyncio.run(_serve_and_release(exports, k, seed))[0]
+    budgeted = asyncio.run(_serve_and_release(
+        exports, k, seed,
+        budget=PrivacyParams(epsilon=10 * EPSILON, delta=1.0 - 1e-9)))[0]
+    _identical(budgeted, plain)
+
+
+@given(counters_list=_EXPORT_LISTS, k=st.integers(min_value=1, max_value=16),
+       seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_hardened_release_bit_identical_to_open(counters_list, k, seed):
+    """Auth + quotas + an advanced-composition budget all on at once still
+    release the exact bits the open server does."""
+    exports = [encode_counters(counters, k=k, stream_length=23 * index)
+               for index, counters in enumerate(counters_list)]
+    plain = asyncio.run(_serve_and_release(exports, k, seed))[0]
+    hardened = asyncio.run(_serve_and_release(
+        exports, k, seed, token=TOKEN, auth_token=TOKEN,
+        budget=PrivacyParams(epsilon=100 * EPSILON, delta=1e-2),
+        composition="advanced",
+        max_session_frames=10, max_session_bytes=1 << 20,
+        max_session_sketches=10))[0]
+    _identical(hardened, plain)
+
+
+@given(counters_list=_EXPORT_LISTS, k=st.integers(min_value=1, max_value=12),
+       seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(max_examples=8, deadline=None)
+def test_every_admitted_release_matches_not_just_the_first(counters_list, k,
+                                                           seed):
+    """Charging release n must not perturb release n+1: the whole admitted
+    sequence matches the unaccounted server's, and the release after the
+    budget line is refused without changing anything already served."""
+    exports = [encode_counters(counters, k=k, stream_length=23 * index)
+               for index, counters in enumerate(counters_list)]
+    plain = asyncio.run(_serve_and_release(exports, k, seed, releases=3))
+    budgeted = asyncio.run(_serve_and_release(
+        exports, k, seed, releases=3,
+        budget=PrivacyParams(epsilon=3 * EPSILON, delta=1.0 - 1e-9)))
+    for left, right in zip(budgeted, plain):
+        _identical(left, right)

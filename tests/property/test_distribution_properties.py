@@ -19,6 +19,7 @@ from repro.dp.thresholds import (
     stability_histogram_threshold,
 )
 from repro.dp.accounting import group_privacy, user_level_parameters, PrivacyParams
+from repro.exceptions import VacuousGuaranteeError
 
 scales = st.floats(min_value=0.05, max_value=50.0, allow_nan=False, allow_infinity=False)
 reals = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
@@ -98,8 +99,20 @@ def test_lemma20_roundtrip_never_exceeds_target(epsilon, delta, m):
 @given(epsilon=epsilons, delta=st.floats(min_value=1e-12, max_value=0.99), m=st.integers(min_value=1, max_value=32))
 @settings(max_examples=200, deadline=None)
 def test_group_privacy_monotone_in_group_size(epsilon, delta, m):
+    """Both Lemma 19 parameters grow with the group size.  Group deltas at
+    or past 1.0 now surface as VacuousGuaranteeError instead of a silent
+    clamp, so vacuity itself must be monotone: once a group size is
+    vacuous, every larger one is too."""
     base = PrivacyParams(epsilon, min(delta, 0.5))
-    smaller = group_privacy(base, m)
-    larger = group_privacy(base, m + 1)
+    try:
+        smaller = group_privacy(base, m)
+    except VacuousGuaranteeError:
+        with pytest.raises(VacuousGuaranteeError):
+            group_privacy(base, m + 1)
+        return
+    try:
+        larger = group_privacy(base, m + 1)
+    except VacuousGuaranteeError:
+        return  # delta crossed the 1.0 line going up: monotone by definition
     assert larger.epsilon >= smaller.epsilon
     assert larger.delta >= smaller.delta - 1e-15

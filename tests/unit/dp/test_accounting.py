@@ -13,7 +13,7 @@ from repro.dp.accounting import (
     user_level_parameters,
     verify_group_privacy_roundtrip,
 )
-from repro.exceptions import PrivacyParameterError
+from repro.exceptions import PrivacyParameterError, VacuousGuaranteeError
 
 
 class TestPrivacyParams:
@@ -40,9 +40,20 @@ class TestBasicComposition:
         with pytest.raises(PrivacyParameterError):
             compose_basic([])
 
-    def test_delta_capped_below_one(self):
-        total = compose_basic([PrivacyParams(1.0, 0.4)] * 5)
-        assert total.delta < 1.0
+    def test_vacuous_delta_raises(self):
+        # delta summing to >= 1 is a vacuous guarantee — an explicit error,
+        # not a silent clamp just below 1.0 (the old behavior).
+        with pytest.raises(VacuousGuaranteeError) as excinfo:
+            compose_basic([PrivacyParams(1.0, 0.4)] * 5)
+        assert excinfo.value.delta == pytest.approx(2.0)
+        assert excinfo.value.epsilon == pytest.approx(5.0)
+        assert isinstance(excinfo.value, PrivacyParameterError)
+
+    def test_zero_delta_compose_stays_pure(self):
+        total = compose_basic([PrivacyParams(0.5, 0.0)] * 4)
+        assert total.epsilon == pytest.approx(2.0)
+        assert total.delta == 0.0
+        assert total.is_pure
 
 
 class TestAdvancedComposition:
@@ -56,6 +67,27 @@ class TestAdvancedComposition:
     def test_delta_accumulates(self):
         result = compose_adaptive(0.1, 1e-8, 10, delta_prime=1e-6)
         assert result.delta == pytest.approx(10 * 1e-8 + 1e-6)
+
+    def test_single_round_worse_than_basic(self):
+        # For k=1 the advanced bound pays the sqrt(2 ln(1/d')) term plus
+        # eps(e^eps - 1) for nothing — basic composition is strictly
+        # tighter for a single round.  The accountant relies on this being
+        # a real (not pathological) trade-off.
+        epsilon, delta = 0.5, 1e-8
+        advanced = compose_adaptive(epsilon, delta, 1, delta_prime=1e-6)
+        basic = compose_basic([PrivacyParams(epsilon, delta)])
+        assert advanced.epsilon > basic.epsilon
+        assert advanced.delta > basic.delta
+
+    def test_vacuous_delta_prime_raises(self):
+        with pytest.raises(VacuousGuaranteeError):
+            compose_adaptive(0.1, 0.3, 4, delta_prime=0.5)
+
+    def test_huge_epsilon_overflow_raises_vacuous(self):
+        # e^eps overflows float64 around eps ~ 710; the bound is then
+        # meaningless, which must surface as vacuous, not OverflowError.
+        with pytest.raises(VacuousGuaranteeError):
+            compose_adaptive(1000.0, 1e-9, 2, delta_prime=1e-6)
 
 
 class TestGroupPrivacy:
@@ -74,6 +106,20 @@ class TestGroupPrivacy:
     def test_scaled_for_group_method(self):
         base = PrivacyParams(0.1, 1e-9)
         assert base.scaled_for_group(3).epsilon == pytest.approx(0.3)
+
+    def test_overflow_at_large_group_raises_vacuous(self):
+        # m * e^(m*eps) * delta overflows (or exceeds 1) long before the
+        # epsilon term does — Lemma 19 at large m must fail loudly.
+        base = PrivacyParams(1.0, 1e-12)
+        with pytest.raises(VacuousGuaranteeError):
+            group_privacy(base, 1000)
+
+    def test_pure_dp_group_is_exact_at_any_size(self):
+        # delta=0 stays delta=0: no e^(m*eps) factor to overflow.
+        grouped = group_privacy(PrivacyParams(2.0, 0.0), 1000)
+        assert grouped.epsilon == pytest.approx(2000.0)
+        assert grouped.delta == 0.0
+        assert grouped.is_pure
 
 
 class TestUserLevelParameters:

@@ -1,0 +1,289 @@
+"""Multi-tenant hardening over the wire: auth, quotas, budget enforcement.
+
+Every test drives real servers on ephemeral loopback ports inside one event
+loop and asserts the containment story: a rejected session (bad token,
+busted quota, exhausted budget) gets a machine-readable ERROR frame and the
+server keeps serving everyone else.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import framing
+from repro.api.framing import FrameHeader, StreamingMerger, summary_payload
+from repro.api.wire import encode_counters
+from repro.dp.accounting import PrivacyParams
+from repro.exceptions import RemoteError
+from repro.net import (
+    AggregatorClient,
+    AggregatorServer,
+    RelayAggregatorServer,
+)
+from repro.net.protocol import FrameChannel
+
+pytestmark = pytest.mark.net
+
+EPSILON, DELTA, K = 1.0, 1e-6, 16
+TOKEN = "sesame-42"
+
+
+def _export(counters):
+    return encode_counters(counters, k=K,
+                           stream_length=int(sum(counters.values())))
+
+
+async def _started_server(**kwargs):
+    server = AggregatorServer(epsilon=EPSILON, delta=DELTA, k=K, **kwargs)
+    await server.start("127.0.0.1:0")
+    return server
+
+
+async def _push_one(server, counters, *, ordinal=None, token=None):
+    async with AggregatorClient(server.address, k=K, ordinal=ordinal,
+                                auth_token=token) as client:
+        await client.push([_export(counters)])
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestAuth:
+    def test_missing_token_rejected_right_token_served(self):
+        async def scenario():
+            async with await _started_server(auth_token=TOKEN) as server:
+                with pytest.raises(RemoteError) as caught:
+                    await _push_one(server, {1: 5.0})
+                assert caught.value.code == "auth_failed"
+                # Same server, same socket, token presented: full service.
+                await _push_one(server, {1: 4000.0}, ordinal=0, token=TOKEN)
+                async with AggregatorClient(server.address,
+                                            auth_token=TOKEN) as client:
+                    histogram = await client.request_release(seed=3)
+                stats = server.stats()
+                return histogram, stats
+        histogram, stats = _run(scenario())
+        assert histogram.metadata.sketch_size == K
+        assert stats["sessions_rejected"] == 1
+        assert stats["sessions_committed"] == 1
+        assert stats["auth_required"] is True
+
+    def test_wrong_token_rejected(self):
+        async def scenario():
+            async with await _started_server(auth_token=TOKEN) as server:
+                with pytest.raises(RemoteError) as caught:
+                    await _push_one(server, {1: 5.0}, token="not-it")
+                return caught.value.code
+        assert _run(scenario()) == "auth_failed"
+
+    def test_unauthenticated_hello_does_not_adopt_header_k(self):
+        # A k=None auth server must not let an unauthenticated stream
+        # header set the aggregation's sketch size.
+        async def scenario():
+            server = AggregatorServer(epsilon=EPSILON, delta=DELTA, k=None,
+                                      auth_token=TOKEN)
+            async with await server.start("127.0.0.1:0"):
+                with pytest.raises(RemoteError):
+                    await _push_one(server, {1: 5.0})  # no token, declares K
+                return server.k
+        assert _run(scenario()) is None
+
+    def test_relay_forward_needs_upstream_token(self):
+        async def scenario():
+            root = AggregatorServer(epsilon=EPSILON, delta=DELTA, k=K,
+                                    accept_relays=True, auth_token=TOKEN)
+            async with await root.start("127.0.0.1:0"):
+                bad = RelayAggregatorServer(
+                    epsilon=EPSILON, delta=DELTA, k=K, upstream=root.address,
+                    forward_max_elapsed=1.0)
+                await bad.start("127.0.0.1:0")
+                try:
+                    await _push_one(bad, {1: 7.0}, ordinal=0)
+                    with pytest.raises(RemoteError) as caught:
+                        await bad.forward_flush()
+                    assert caught.value.code == "auth_failed"
+                finally:
+                    await bad.aclose()
+                good = RelayAggregatorServer(
+                    epsilon=EPSILON, delta=DELTA, k=K, upstream=root.address,
+                    upstream_token=TOKEN)
+                await good.start("127.0.0.1:0")
+                try:
+                    await _push_one(good, {1: 7.0}, ordinal=0)
+                    await good.forward_flush()
+                finally:
+                    await good.aclose()
+                return root.stats()["sessions_committed"]
+        assert _run(scenario()) == 1
+
+
+class TestQuotas:
+    def test_declared_burst_over_frame_quota_refused_upfront(self):
+        async def scenario():
+            async with await _started_server(max_session_frames=2) as server:
+                with pytest.raises(RemoteError) as caught:
+                    async with AggregatorClient(server.address, k=K) as client:
+                        await client.push([_export({1: 1.0}),
+                                           _export({2: 2.0}),
+                                           _export({3: 3.0})])
+                assert caught.value.code == "quota_exceeded"
+                # The whole burst was refused before any fold.
+                assert server.stats()["frames"] == 0
+                # A session within quota is unaffected.
+                async with AggregatorClient(server.address, k=K,
+                                            ordinal=0) as client:
+                    await client.push([_export({1: 100.0}),
+                                       _export({2: 50.0})])
+                return server.stats()
+        stats = _run(scenario())
+        assert stats["sessions_committed"] == 1
+        assert stats["frames"] == 2
+        assert stats["quota"]["max_session_frames"] == 2
+
+    def test_frame_quota_spans_bursts(self):
+        async def scenario():
+            async with await _started_server(max_session_frames=2) as server:
+                with pytest.raises(RemoteError) as caught:
+                    async with AggregatorClient(server.address, k=K) as client:
+                        await client.push([_export({1: 1.0})])
+                        await client.push([_export({2: 2.0})])
+                        await client.push([_export({3: 3.0})])
+                return caught.value.code
+        assert _run(scenario()) == "quota_exceeded"
+
+    def test_byte_quota_cuts_fat_session_only(self):
+        async def scenario():
+            # A slim single-counter frame encodes to ~131 body bytes, the
+            # full-k frame to ~371: a 200-byte quota separates them.
+            async with await _started_server(max_session_bytes=200) as server:
+                with pytest.raises(RemoteError) as caught:
+                    async with AggregatorClient(server.address, k=K) as client:
+                        await client.push(
+                            [_export({index: 10.0 for index in range(K)})])
+                assert caught.value.code == "quota_exceeded"
+                # A slimmer session fits and the release still works.
+                await _push_one(server, {1: 4000.0}, ordinal=0)
+                async with AggregatorClient(server.address) as client:
+                    return await client.request_release(seed=3)
+        histogram = _run(scenario())
+        assert histogram.metadata.sketch_size == K
+
+    def test_sketch_quota_counts_relay_origin_exports(self):
+        # One relay summary frame covering 3 origin exports must charge
+        # the sketch quota 3, not 1.
+        async def scenario():
+            async with await _started_server(accept_relays=True,
+                                             max_session_sketches=2) as server:
+                merger = StreamingMerger(K)
+                for index in range(3):
+                    merger.add(_export({index + 1: 2.0}))
+                reader, writer = await asyncio.open_connection(
+                    *server.address.split(":"))
+                channel = FrameChannel(reader, writer)
+                await channel.send_prefix(FrameHeader(
+                    framing=framing.FRAMING_VERSION, frames=None, k=K))
+                await channel.send_control("hello", k=K, role="relay")
+                await channel.read_prefix()
+                await channel.next_event()  # ok re=hello
+                await channel.send_control("push", frames=1)
+                await channel.send_payload(summary_payload(merger))
+                kind, value = await channel.next_event()
+                await channel.close()
+                return kind, value, server.stats()
+        kind, value, stats = _run(scenario())
+        assert kind == "control" and value["verb"] == "error"
+        assert value["code"] == "quota_exceeded"
+        assert "sketches" in value["message"]
+        assert stats["frames"] == 0
+
+
+class TestBudgetOverTheWire:
+    def test_budget_exhausted_refuses_then_keeps_serving(self):
+        async def scenario():
+            budget = PrivacyParams(epsilon=2 * EPSILON, delta=1.0 - 1e-9)
+            async with await _started_server(budget=budget) as server:
+                await _push_one(server, {1: 4000.0, 2: 2000.0}, ordinal=0)
+                async with AggregatorClient(server.address) as client:
+                    first = await client.request_release(seed=3)
+                    second = await client.request_release(seed=3)
+                with pytest.raises(RemoteError) as caught:
+                    async with AggregatorClient(server.address) as client:
+                        await client.request_release(seed=3)
+                assert caught.value.code == "budget_exhausted"
+                # The refusal is contained: STATS still answers, new
+                # sessions still push, the spend is still 2 releases.
+                await _push_one(server, {3: 1000.0}, ordinal=1)
+                async with AggregatorClient(server.address) as client:
+                    stats = await client.stats()
+                return first, second, stats
+        first, second, stats = _run(scenario())
+        assert list(first.items()) == list(second.items())
+        privacy = stats["privacy"]
+        assert privacy["releases_charged"] == 2
+        assert privacy["exhausted"] is True
+        assert privacy["spent"]["epsilon"] == pytest.approx(2 * EPSILON)
+        # Epsilon is fully spent, so the whole remaining pair collapses to
+        # zero — there is no usable budget left in any dimension.
+        assert privacy["remaining"] == {"epsilon": 0.0, "delta": 0.0}
+        assert stats["sessions_committed"] == 2
+        assert stats["releases"] == 2
+
+    def test_metering_stats_without_budget(self):
+        async def scenario():
+            async with await _started_server() as server:
+                await _push_one(server, {1: 300.0}, ordinal=0)
+                async with AggregatorClient(server.address) as client:
+                    await client.request_release(seed=1)
+                    return await client.stats()
+        stats = _run(scenario())
+        privacy = stats["privacy"]
+        assert privacy["releases_charged"] == 1
+        assert privacy["per_release"] == {"epsilon": EPSILON, "delta": DELTA}
+        assert privacy["budget"] is None
+        assert privacy["exhausted"] is False
+
+    def test_pure_dp_server_serves_but_refuses_gshm_release(self):
+        async def scenario():
+            server = AggregatorServer(epsilon=EPSILON, delta=0.0, k=K)
+            async with await server.start("127.0.0.1:0"):
+                await _push_one(server, {1: 50.0}, ordinal=0)
+                with pytest.raises(RemoteError) as caught:
+                    async with AggregatorClient(server.address) as client:
+                        await client.request_release(seed=3)
+                assert caught.value.code == "pure_dp_release_unsupported"
+                # The refusal charged nothing and the server still serves.
+                async with AggregatorClient(server.address) as client:
+                    stats = await client.stats()
+                return stats
+        stats = _run(scenario())
+        assert stats["privacy"]["releases_charged"] == 0
+        assert stats["sessions_committed"] == 1
+
+    def test_relay_release_charges_root_exactly_once(self):
+        async def scenario():
+            budget = PrivacyParams(epsilon=EPSILON, delta=1.0 - 1e-9)
+            root = AggregatorServer(epsilon=EPSILON, delta=DELTA, k=K,
+                                    accept_relays=True, budget=budget)
+            async with await root.start("127.0.0.1:0"):
+                relay = RelayAggregatorServer(
+                    epsilon=EPSILON, delta=DELTA, k=K, upstream=root.address)
+                await relay.start("127.0.0.1:0")
+                try:
+                    await _push_one(relay, {1: 900.0}, ordinal=0)
+                    async with AggregatorClient(relay.address) as client:
+                        histogram = await client.request_release(seed=7)
+                    charged = (root.accountant.releases_charged,
+                               relay.accountant.releases_charged)
+                    # The root's budget is now spent; a second release
+                    # through the leaf surfaces the root's refusal.
+                    with pytest.raises(RemoteError) as caught:
+                        async with AggregatorClient(relay.address) as client:
+                            await client.request_release(seed=7)
+                    return histogram, charged, caught.value.code
+                finally:
+                    await relay.aclose()
+        histogram, charged, code = _run(scenario())
+        assert histogram.metadata.sketch_size == K
+        assert charged == (1, 0)
+        assert code == "budget_exhausted"

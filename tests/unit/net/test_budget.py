@@ -1,0 +1,248 @@
+"""Unit tests for the server-side privacy budget accountant.
+
+Pure accountant math and persistence — no sockets.  The over-the-wire
+behavior (budget_exhausted ERROR frames, containment) lives in
+tests/unit/net/test_auth_quota.py.
+"""
+
+import math
+
+import pytest
+
+from repro.dp.accounting import PrivacyParams, compose_adaptive, compose_basic
+from repro.exceptions import ParameterError, RemoteError
+from repro.net.budget import BudgetAccountant, BudgetSpend
+from repro.net.store import (BUDGET_SESSION_ID, MemoryCheckpointStore,
+                             SessionRecord, is_reserved_record)
+
+PER = PrivacyParams(epsilon=0.5, delta=1e-7)
+
+
+class TestConstruction:
+    def test_rejects_bad_composition(self):
+        with pytest.raises(ParameterError):
+            BudgetAccountant(PER, composition="renyi")
+
+    def test_rejects_non_params_budget(self):
+        with pytest.raises(ParameterError):
+            BudgetAccountant(PER, budget=(1.0, 1e-6))
+
+    def test_advanced_needs_slack_or_budget_delta(self):
+        with pytest.raises(ParameterError):
+            BudgetAccountant(PER, composition="advanced")
+        # Budget delta > 0 supplies the default slack (half of it).
+        accountant = BudgetAccountant(
+            PER, budget=PrivacyParams(10.0, 1e-5), composition="advanced")
+        assert accountant.delta_slack == pytest.approx(5e-6)
+
+    def test_explicit_slack_wins(self):
+        accountant = BudgetAccountant(PER, composition="advanced",
+                                      delta_slack=1e-9)
+        assert accountant.delta_slack == pytest.approx(1e-9)
+
+
+class TestMetering:
+    def test_no_budget_never_refuses(self):
+        accountant = BudgetAccountant(PER)
+        for n in range(1, 8):
+            spend = accountant.charge()
+            assert spend.releases == n
+        assert accountant.releases_charged == 7
+        assert not accountant.exhausted
+        assert accountant.remaining is None
+
+    def test_spent_matches_compose_basic(self):
+        accountant = BudgetAccountant(PER)
+        for _ in range(3):
+            accountant.charge()
+        expected = compose_basic([PER] * 3)
+        assert accountant.spent.epsilon == pytest.approx(expected.epsilon)
+        assert accountant.spent.delta == pytest.approx(expected.delta)
+
+    def test_advanced_spent_matches_compose_adaptive(self):
+        accountant = BudgetAccountant(PER, composition="advanced",
+                                      delta_slack=1e-6)
+        for _ in range(5):
+            accountant.charge()
+        expected = compose_adaptive(PER.epsilon, PER.delta, 5, 1e-6)
+        assert accountant.spent.epsilon == pytest.approx(expected.epsilon)
+        assert accountant.spent.delta == pytest.approx(expected.delta)
+
+    def test_metering_still_refuses_vacuous(self):
+        # Even without a budget, a release that would make the composed
+        # guarantee vacuous (delta >= 1) is refused: no guarantee at all
+        # is worse than a refused release.
+        per = PrivacyParams(epsilon=0.1, delta=0.4)
+        accountant = BudgetAccountant(per)
+        accountant.charge()
+        accountant.charge()
+        assert accountant.exhausted
+        with pytest.raises(RemoteError) as excinfo:
+            accountant.charge()
+        assert excinfo.value.code == "budget_exhausted"
+
+    def test_zero_releases_spend_nothing(self):
+        accountant = BudgetAccountant(PER)
+        assert accountant.spent == BudgetSpend(releases=0, epsilon=0.0,
+                                               delta=0.0)
+
+
+class TestBudgetGate:
+    def test_exact_multiple_admits_all_releases(self):
+        # Budget of exactly N * epsilon admits N releases despite float
+        # summation error (0.1 * 3 != 0.3 in binary).
+        per = PrivacyParams(epsilon=0.1, delta=1e-8)
+        accountant = BudgetAccountant(
+            per, budget=PrivacyParams(epsilon=0.3, delta=1.0 - 1e-9))
+        for _ in range(3):
+            accountant.charge()
+        assert accountant.exhausted
+        with pytest.raises(RemoteError) as excinfo:
+            accountant.charge()
+        assert excinfo.value.code == "budget_exhausted"
+        assert accountant.releases_charged == 3
+
+    def test_refused_charge_leaves_count_untouched(self):
+        accountant = BudgetAccountant(
+            PER, budget=PrivacyParams(epsilon=PER.epsilon, delta=1e-6))
+        accountant.charge()
+        for _ in range(3):
+            with pytest.raises(RemoteError):
+                accountant.charge()
+        assert accountant.releases_charged == 1
+
+    def test_remaining_shrinks_then_none(self):
+        accountant = BudgetAccountant(
+            PER, budget=PrivacyParams(epsilon=1.0, delta=1e-6))
+        first = accountant.remaining
+        assert first.epsilon == pytest.approx(1.0)
+        accountant.charge()
+        second = accountant.remaining
+        assert second.epsilon == pytest.approx(0.5)
+        accountant.charge()
+        assert accountant.remaining is None
+        assert accountant.exhausted
+
+    def test_delta_budget_binds_too(self):
+        # Epsilon budget is roomy but delta runs out after 2 releases.
+        accountant = BudgetAccountant(
+            PER, budget=PrivacyParams(epsilon=100.0, delta=2e-7))
+        accountant.charge()
+        accountant.charge()
+        with pytest.raises(RemoteError) as excinfo:
+            accountant.charge()
+        assert excinfo.value.code == "budget_exhausted"
+
+    def test_vacuous_composition_is_exhausted(self):
+        # Per-release delta 0.4: the third release would push composed
+        # delta past 1 — vacuous, refused even under a huge budget.
+        per = PrivacyParams(epsilon=0.1, delta=0.4)
+        accountant = BudgetAccountant(
+            per, budget=PrivacyParams(epsilon=1e6, delta=1.0 - 1e-9))
+        accountant.charge()
+        accountant.charge()
+        with pytest.raises(RemoteError) as excinfo:
+            accountant.charge()
+        assert excinfo.value.code == "budget_exhausted"
+        assert "vacuous" in str(excinfo.value)
+
+    def test_pure_dp_budget(self):
+        # delta=0 end to end: pure epsilon accounting, no vacuous cliff.
+        per = PrivacyParams(epsilon=1.0, delta=0.0)
+        accountant = BudgetAccountant(per,
+                                      budget=PrivacyParams(epsilon=2.0,
+                                                           delta=0.0))
+        accountant.charge()
+        accountant.charge()
+        assert accountant.spent.delta == 0.0
+        with pytest.raises(RemoteError):
+            accountant.charge()
+
+
+class TestPersistence:
+    def test_charge_persists_before_return(self):
+        store = MemoryCheckpointStore()
+        accountant = BudgetAccountant(PER, store=store)
+        accountant.charge()
+        record = store.get(BUDGET_SESSION_ID)
+        assert record is not None
+        assert record.committed_frames == 1
+        assert record.client == "basic"
+        assert is_reserved_record(record)
+
+    def test_reopen_resumes_spend(self):
+        # The crash-window property at accountant granularity: a charge is
+        # durable the moment charge() returns, so a new accountant over the
+        # same store sees it — never a reset, never a double-charge.
+        store = MemoryCheckpointStore()
+        first = BudgetAccountant(
+            PER, budget=PrivacyParams(epsilon=1.5, delta=1e-6), store=store)
+        first.charge()
+        first.charge()
+        second = BudgetAccountant(
+            PER, budget=PrivacyParams(epsilon=1.5, delta=1e-6), store=store)
+        assert second.releases_charged == 2
+        second.charge()
+        with pytest.raises(RemoteError) as excinfo:
+            second.charge()
+        assert excinfo.value.code == "budget_exhausted"
+
+    def test_refused_charge_not_persisted(self):
+        store = MemoryCheckpointStore()
+        accountant = BudgetAccountant(
+            PER, budget=PrivacyParams(epsilon=PER.epsilon, delta=1e-6),
+            store=store)
+        accountant.charge()
+        with pytest.raises(RemoteError):
+            accountant.charge()
+        assert store.get(BUDGET_SESSION_ID).committed_frames == 1
+
+    def test_garbage_negative_count_clamped(self):
+        store = MemoryCheckpointStore()
+        store.put(SessionRecord(session_id=BUDGET_SESSION_ID, ordinal=None,
+                                client="basic", k=None, spool="",
+                                committed_frames=-3))
+        accountant = BudgetAccountant(PER, store=store)
+        assert accountant.releases_charged == 0
+
+
+class TestStatsStanza:
+    def test_metering_stanza(self):
+        accountant = BudgetAccountant(PER)
+        accountant.charge()
+        stanza = accountant.as_stats()
+        assert stanza["per_release"] == {"epsilon": PER.epsilon,
+                                         "delta": PER.delta}
+        assert stanza["composition"] == "basic"
+        assert stanza["releases_charged"] == 1
+        assert stanza["spent"]["epsilon"] == pytest.approx(PER.epsilon)
+        assert stanza["budget"] is None
+        assert stanza["remaining"] is None
+        assert stanza["exhausted"] is False
+
+    def test_budgeted_stanza_counts_down_to_exhausted(self):
+        accountant = BudgetAccountant(
+            PER, budget=PrivacyParams(epsilon=1.0, delta=1e-6))
+        accountant.charge()
+        accountant.charge()
+        stanza = accountant.as_stats()
+        assert stanza["exhausted"] is True
+        assert stanza["remaining"] == {"epsilon": 0.0, "delta": 0.0}
+        assert stanza["budget"]["epsilon"] == pytest.approx(1.0)
+
+    def test_vacuous_spend_is_json_safe(self):
+        # A persisted count whose composed spend is already vacuous (e.g.
+        # the per-release parameters were loosened across a restart) must
+        # report epsilon as None, not inf — inf is not valid JSON and would
+        # break the STATS frame.
+        store = MemoryCheckpointStore()
+        store.put(SessionRecord(session_id=BUDGET_SESSION_ID, ordinal=None,
+                                client="basic", k=None, spool="",
+                                committed_frames=4))
+        accountant = BudgetAccountant(PrivacyParams(epsilon=0.2, delta=0.3),
+                                      store=store)
+        stanza = accountant.as_stats()
+        assert stanza["spent"]["vacuous"] is True
+        assert stanza["exhausted"] is True
+        spent_eps = stanza["spent"]["epsilon"]
+        assert spent_eps is None or math.isfinite(spent_eps)

@@ -342,7 +342,13 @@ class TestLifecycle:
         stats = _run(scenario())
         assert stats["frames"] == 2
         assert stats["k"] == K
-        assert stats["epsilon"] == EPSILON
+        # Per-release cost moved under the privacy stanza when the
+        # accountant landed; top-level epsilon/delta no longer exist.
+        assert "epsilon" not in stats
+        assert stats["privacy"]["per_release"]["epsilon"] == EPSILON
+        assert stats["privacy"]["per_release"]["delta"] == DELTA
+        assert stats["privacy"]["budget"] is None
+        assert stats["auth_required"] is False
 
     def test_client_timeout_raises_network_error(self):
         async def scenario():
