@@ -129,7 +129,8 @@ BENCH_PATH = _REPO_ROOT / "BENCH_sketch.json"
 
 #: All workload groups, in report order.
 WORKLOAD_GROUPS = ("sketch", "merge", "framed_merge", "net_aggregate",
-                   "durability", "relay", "release", "kernels", "runner")
+                   "durability", "relay", "release", "kernels", "runner",
+                   "loadgen")
 
 #: The E11 workload parameters (benchmarks/bench_e11_performance.py).
 E11_N = 100_000
@@ -838,6 +839,121 @@ def _run_runner_group(rows: List[Dict], quick: bool) -> None:
                          .run(_runner_trial, sweep)))
 
 
+# ---------------------------------------------------------------------------
+# loadgen group (ISSUE 10: the load harness + the obs-overhead floor)
+# ---------------------------------------------------------------------------
+
+def _run_obs_overhead_bench(rows: List[Dict], quick: bool) -> None:
+    """The served-release cycle with observability on vs off.
+
+    Same exports, same Unix-socket push + RELEASE round-trip — once with
+    ``metrics=False`` (the ``reference_seed`` baseline: obs off), once with
+    ``metrics=True`` and a JSON trace stream attached.  The released
+    histograms are asserted bit-identical (obs is read-side only), so the
+    ratio is the pure price of the counters/histograms/spans; the
+    acceptance floor is obs-on >= 0.9x obs-off throughput.
+    """
+    import asyncio
+    import io
+    import tempfile
+
+    from repro.api.framing import FrameReader, FrameWriter
+    from repro.api.wire import encode_counters
+    from repro.net import AggregatorClient, AggregatorServer
+
+    m, k, clients = 64, 256, 4
+    keys_list, values_list = _per_user_sketch_exports(
+        m, k, n_per_user=2_000 if quick else 5_000)
+    pairs = int(sum(keys.size for keys in keys_list))
+    chunk_bytes = []
+    for indices in np.array_split(np.arange(m), clients):
+        buffer = io.BytesIO()
+        with FrameWriter(buffer, k=k, frames=len(indices)) as writer:
+            for index in indices:
+                writer.write_payload(encode_counters(
+                    dict(zip(keys_list[index].tolist(),
+                             values_list[index].tolist())), k=k))
+        chunk_bytes.append(buffer.getvalue())
+
+    async def _serve_cycle(obs: bool):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as sockdir:
+            log = io.StringIO() if obs else None
+            server = AggregatorServer(epsilon=1.0, delta=1e-6, k=k,
+                                      metrics=obs, log_json=log)
+            async with await server.start(f"unix:{sockdir}/agg.sock"):
+
+                async def push(ordinal: int, blob: bytes) -> None:
+                    async with AggregatorClient(
+                            server.address, k=k, ordinal=ordinal,
+                            metrics=obs) as client:
+                        await client.push_raw(
+                            list(FrameReader(io.BytesIO(blob), raw=True)))
+
+                await asyncio.gather(*[push(ordinal, blob) for ordinal, blob
+                                       in enumerate(chunk_bytes)])
+                async with AggregatorClient(server.address) as client:
+                    return await client.request_release(seed=7)
+
+    def _off_cycle():
+        return asyncio.run(_serve_cycle(False))
+
+    def _on_cycle():
+        return asyncio.run(_serve_cycle(True))
+
+    off_release, on_release = _off_cycle(), _on_cycle()
+    assert (list(off_release.as_dict().items())
+            == list(on_release.as_dict().items()))
+    assert off_release.metadata.as_dict() == on_release.metadata.as_dict()
+    # Best-of-5 for the same reason as the auth bench: the whole cycle is
+    # milliseconds, and scheduler noise would straddle the 0.9x floor.
+    rows.append(_measure("obs_serve", k, pairs, "reference_seed",
+                         _off_cycle, repeats=5))
+    rows.append(_measure("obs_serve", k, pairs, "optimized_obs_on",
+                         _on_cycle, repeats=5))
+
+
+def _run_loadgen_group(rows: List[Dict], quick: bool) -> Optional[Dict]:
+    """The ``repro loadgen`` harness as a benchmark workload.
+
+    ``reference_seed`` is the closed loop at concurrency 1 (one client at a
+    time, the degenerate harness); ``optimized_concurrent`` is the same
+    population driven at the default bounded concurrency.  ``n`` is the
+    client count, so ``elems_per_sec`` reads as *sessions per second* and
+    the speedup is the concurrency win of the harness itself.  The returned
+    ``loadgen`` stanza records the sustained quick-profile numbers (frames/s
+    plus client-side latency percentiles) alongside the rows.
+    """
+    from repro.obs.loadgen import LoadgenConfig, run_loadgen
+
+    k = 64
+    ref_clients = 60 if quick else 150
+    conc_clients = 400 if quick else 2_000
+
+    def _config(clients: int, concurrency: int) -> LoadgenConfig:
+        return LoadgenConfig(clients=clients, concurrency=concurrency,
+                             stream_length=50, universe=1_000, k=k, seed=17,
+                             releases=1, payload_pool=16, timeout=60.0)
+
+    rows.append(_measure("loadgen_flat", k, ref_clients, "reference_seed",
+                         lambda: run_loadgen(_config(ref_clients, 1))))
+    report = run_loadgen(_config(conc_clients, 32))
+    assert report.clients_failed == 0, report.errors
+    start = time.perf_counter()
+    report = run_loadgen(_config(conc_clients, 32))
+    elapsed = time.perf_counter() - start
+    rows.append({"workload": "loadgen_flat", "k": k, "n": conc_clients,
+                 "mode": "optimized_concurrent",
+                 "elems_per_sec": round(conc_clients / elapsed, 1)})
+    _run_obs_overhead_bench(rows, quick)
+    return {"loadgen": {
+        "clients": conc_clients,
+        "concurrency": 32,
+        "sustained_clients_per_sec": round(report.sustained_clients_per_sec, 1),
+        "sustained_frames_per_sec": round(report.sustained_frames_per_sec, 1),
+        "latencies": report.latencies,
+    }}
+
+
 _GROUP_RUNNERS = {
     "sketch": _run_sketch_group,
     "merge": _run_merge_group,
@@ -848,6 +964,7 @@ _GROUP_RUNNERS = {
     "release": _run_release_group,
     "kernels": _run_kernels_group,
     "runner": _run_runner_group,
+    "loadgen": _run_loadgen_group,
 }
 
 

@@ -63,6 +63,15 @@ FLOORS = {
     # Requiring session tokens (one hmac.compare_digest at HELLO) must stay
     # in the noise: auth-on serving may cost at most ~1.1x the open server.
     "release_served_auth_k256_auth_on": ("release", 0.9),
+    # The load harness's bounded concurrency vs one client at a time.  On
+    # loopback the single server core saturates either way (measured
+    # 1.2-2.6x depending on population size), so the floor only pins that
+    # the semaphore/task machinery never makes the wave *slower* than the
+    # sequential loop.
+    "loadgen_flat_k64_concurrent": ("loadgen", 1.05),
+    # Observability (counters, histograms, trace spans) is read-side only
+    # and must stay in the noise: obs-on serving >= 0.9x obs-off.
+    "obs_serve_k256_obs_on": ("loadgen", 0.9),
     "kernels_update_zipf_k64_compiled_batch": ("kernels", 8.0),
     "kernels_update_zipf_k64_compiled_vs_python": ("kernels", 3.0),
     "kernels_fold_m256_k1024_compiled_vs_python": ("kernels", 2.0),

@@ -1,0 +1,83 @@
+"""Operator walkthrough: drive load at a server and watch it like an operator.
+
+The observability loop of the aggregation service, end to end in one
+process:
+
+1. start an :class:`~repro.net.server.AggregatorServer` with metrics on;
+2. fire a ``repro loadgen``-style client wave at it (bounded concurrency,
+   a slice of churned clients dying mid-push) via
+   :func:`~repro.obs.loadgen.run_loadgen_async`;
+3. render exactly what ``repro status --once`` would show — the session
+   and budget tables, the interval throughput rates, and the latency
+   percentile table from the server's embedded ``metrics`` stanza;
+4. print the harness's own report: sustained clients/s and the
+   client-side connect/push/release percentiles.
+
+Against a real deployment you would run the same thing as two commands:
+``repro serve --listen :7000`` and ``repro status 127.0.0.1:7000 --watch``
+(plus ``repro loadgen --to 127.0.0.1:7000`` to generate the load).
+
+Run with ``python examples/operator_console.py`` (``--quick`` for CI).
+"""
+
+import argparse
+import asyncio
+import time
+
+from repro.analysis import format_table
+from repro.net import AggregatorServer
+from repro.obs.console import render_status
+from repro.obs.loadgen import LoadgenConfig, run_loadgen_async
+
+
+async def demo(args) -> int:
+    clients = 200 if args.quick else 2_000
+    config = LoadgenConfig(clients=clients, concurrency=32,
+                           stream_length=30 if args.quick else 100,
+                           universe=500 if args.quick else 5_000,
+                           k=args.k, seed=args.seed, churn=0.05,
+                           releases=1, payload_pool=16)
+    server = AggregatorServer(epsilon=1.0, delta=1e-6, k=args.k,
+                              metrics=True)
+    async with await server.start("127.0.0.1:0"):
+        address = server.address
+        print(f"aggregator listening on {address} (metrics on)\n")
+
+        before = server.stats()
+        start = time.monotonic()
+        config.to = address
+        report = await run_loadgen_async(config)
+        elapsed = time.monotonic() - start
+
+        print(f"wave done: {report.clients_ok} committed, "
+              f"{report.clients_churned} churned mid-push, "
+              f"{report.clients_failed} failed "
+              f"({report.sustained_clients_per_sec:.0f} clients/s)\n")
+
+        # The operator's view — one `repro status` frame, with rates
+        # computed against the pre-wave poll.
+        print(render_status(server.stats(), address,
+                            prev=before, elapsed=elapsed))
+
+    # The harness's view — client-side latency percentiles.
+    rows = [{"op": name, **{key: (f"{value * 1e3:.2f} ms"
+                                  if key != "count" else value)
+                            for key, value in summary.items()}}
+            for name, summary in sorted(report.latencies.items())
+            if summary.get("count")]
+    print()
+    print(format_table(rows, title="client-side latency (whole wave)"))
+    return 0 if report.clients_failed == 0 else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--k", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    return asyncio.run(demo(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

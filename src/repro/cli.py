@@ -130,6 +130,17 @@ def _add_hardening_flags(parser: argparse.ArgumentParser) -> None:
                              "relay summary counts its origin exports)")
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by `serve` and `relay` (repro.obs)."""
+    parser.add_argument("--log-json", default=None, metavar="PATH",
+                        help="append one JSON line per traced span (session, "
+                             "push, release) to PATH; '-' streams to stderr")
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="disable the in-process metrics registry (no "
+                             "metrics stanza in STATS; instrumentation sites "
+                             "become no-ops)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(prog="repro",
@@ -253,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "forwarding per-origin-session summary frames); "
                             "required to act as a relay tree's root")
     _add_hardening_flags(serve)
+    _add_obs_flags(serve)
 
     relay = subparsers.add_parser(
         "relay",
@@ -300,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="total retry budget in seconds for each upstream "
                             "forward (default 60)")
     _add_hardening_flags(relay)
+    _add_obs_flags(relay)
     relay.add_argument("--upstream-token", default=None,
                        help="session token this leaf presents to the upstream "
                             "in every forward/release HELLO (required when "
@@ -316,6 +329,84 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--token", default=None,
                        help="session token (required when the server runs "
                             "--auth-token)")
+    stats.add_argument("--json", action="store_true",
+                       help="dump the raw STATS reply as JSON (the same dict "
+                            "the console renders; external scrapers consume "
+                            "this)")
+
+    status = subparsers.add_parser(
+        "status",
+        help="live operator console over repeated STATS polls (repro.obs)")
+    status.add_argument("address", help="server endpoint (HOST:PORT or unix:/path)")
+    status.add_argument("--watch", action="store_true",
+                        help="repaint continuously (plain-ANSI full-screen "
+                             "refresh) until Ctrl-C; default is one frame")
+    status.add_argument("--once", action="store_true",
+                        help="print a single status frame and exit (the "
+                             "default; explicit for scripts)")
+    status.add_argument("--json", action="store_true",
+                        help="with --once: dump the raw STATS reply as JSON "
+                             "(shares the stats --json code path)")
+    status.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between --watch polls (default 2)")
+    status.add_argument("--iterations", type=int, default=None,
+                        help="stop --watch after N repaints (default: until "
+                             "Ctrl-C; tests and demos bound the loop)")
+    status.add_argument("--timeout", type=float, default=30.0)
+    status.add_argument("--retries", type=int, default=5)
+    status.add_argument("--token", default=None,
+                        help="session token (required when the server runs "
+                             "--auth-token)")
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="simulate 10^4-10^6 clients against a flat server or a "
+             "self-hosted relay tree and measure sustained throughput")
+    loadgen.add_argument("--clients", type=int, default=None,
+                         help="simulated client population (default 100000; "
+                              "--quick: 10000)")
+    loadgen.add_argument("--concurrency", type=int, default=128,
+                         help="clients in flight at once (default 128)")
+    loadgen.add_argument("--arrival", choices=("closed", "poisson", "uniform"),
+                         default="closed",
+                         help="arrival process: closed-loop back-to-back "
+                              "(default), poisson gaps, or uniform gaps")
+    loadgen.add_argument("--rate", type=float, default=1000.0,
+                         help="arrivals/s for poisson/uniform (default 1000)")
+    loadgen.add_argument("--exponent", type=float, default=1.2,
+                         help="Zipf exponent of each client stream (default 1.2)")
+    loadgen.add_argument("--stream-length", type=int, default=None,
+                         help="items per simulated client stream (default "
+                              "200; --quick: 50)")
+    loadgen.add_argument("--universe", type=int, default=None,
+                         help="Zipf universe size (default 10000; --quick: "
+                              "1000)")
+    loadgen.add_argument("--frames-per-client", type=int, default=1,
+                         help="PUSH frames per client session (default 1)")
+    loadgen.add_argument("--churn", type=float, default=0.0,
+                         help="fraction of clients dying mid-push (default 0)")
+    loadgen.add_argument("-k", type=int, default=64,
+                         help="sketch size (default 64)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="harness RNG seed (payload pool + churn draws)")
+    loadgen.add_argument("--releases", type=int, default=3,
+                         help="release probes after the wave (default 3)")
+    loadgen.add_argument("--timeout", type=float, default=30.0,
+                         help="per-operation client timeout (default 30)")
+    loadgen.add_argument("--to", default=None,
+                         help="target an external server instead of "
+                              "self-hosting (HOST:PORT or unix:/path)")
+    loadgen.add_argument("--leaves", type=int, default=0,
+                         help="self-host a relay tree with this many leaves "
+                              "(default 0 = one flat server)")
+    loadgen.add_argument("--depth", type=int, default=1,
+                         help="relay tiers between leaves and root (default 1)")
+    loadgen.add_argument("--quick", action="store_true",
+                         help="CI smoke profile: 10^4 clients, shorter "
+                              "streams, smaller universe (explicit flags "
+                              "still win)")
+    loadgen.add_argument("--json", action="store_true",
+                         help="dump the full report as JSON")
 
     push = subparsers.add_parser(
         "push", help="push sketch exports to an aggregation server")
@@ -749,12 +840,28 @@ def _hardening_kwargs(args: argparse.Namespace) -> Optional[Dict[str, Any]]:
     }
 
 
+def _obs_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
+    """Server kwargs from the shared observability flags.
+
+    A ``--log-json`` file handle stays open for the server's whole life
+    (the process exit closes it); ``-`` streams spans to stderr so they
+    interleave with the banner instead of polluting stdout.
+    """
+    log_json = None
+    if args.log_json == "-":
+        log_json = sys.stderr
+    elif args.log_json:
+        log_json = open(args.log_json, "a", encoding="utf-8")
+    return {"metrics": not args.no_metrics, "log_json": log_json}
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .net import AggregatorServer
 
     hardening = _hardening_kwargs(args)
     if hardening is None:
         return 2
+    obs = _obs_kwargs(args)
 
     def make_server():
         read_timeout = args.read_timeout if args.read_timeout > 0 else None
@@ -764,7 +871,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                 wal_dir=args.wal_dir,
                                 read_timeout=read_timeout,
                                 accept_relays=args.accept_relays,
-                                **hardening)
+                                **hardening, **obs)
 
     return _serve_loop(args, make_server, "aggregation server")
 
@@ -775,6 +882,7 @@ def _cmd_relay(args: argparse.Namespace) -> int:
     hardening = _hardening_kwargs(args)
     if hardening is None:
         return 2
+    obs = _obs_kwargs(args)
 
     def make_server():
         read_timeout = args.read_timeout if args.read_timeout > 0 else None
@@ -789,94 +897,117 @@ def _cmd_relay(args: argparse.Namespace) -> int:
                                      wal_dir=args.wal_dir,
                                      read_timeout=read_timeout,
                                      accept_relays=args.accept_relays,
-                                     **hardening)
+                                     **hardening, **obs)
 
     return _serve_loop(args, make_server,
                        f"relay leaf {args.ordinal} (upstream {args.upstream})")
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from .net import fetch_stats
+    from .obs import console
 
-    stats = fetch_stats(args.address, auth_token=args.token,
-                        timeout=args.timeout, connect_retries=args.retries)
-    uptime = stats.get("uptime")
-    frames = stats.get("frames", 0)
-    throughput = (f"{frames / uptime:.1f}/s"
-                  if isinstance(uptime, (int, float)) and uptime > 0 else "-")
-    privacy = stats.get("privacy") or {}
-    per_release = privacy.get("per_release") or {}
-    overview = [{
-        "role": stats.get("role", "aggregator"),
-        "k": stats.get("k"),
-        "epsilon/release": per_release.get("epsilon"),
-        "delta/release": per_release.get("delta"),
-        "accept relays": "yes" if stats.get("accept_relays") else "no",
-        "auth": "token" if stats.get("auth_required") else "open",
-        "uptime (s)": (f"{uptime:.1f}"
-                       if isinstance(uptime, (int, float)) else "-"),
-        "fold rate": throughput,
-    }]
-    print(format_table(overview, title=f"aggregator at {args.address}"))
-    print()
-    totals = [{
-        "sessions active": stats.get("sessions_active", 0),
-        "committed": stats.get("sessions_committed", 0),
-        "rejected": stats.get("sessions_rejected", 0),
-        "frames": frames,
-        "stream length": stats.get("stream_length", 0),
-        "releases": stats.get("releases", 0),
-    }]
-    print(format_table(totals, title="totals"))
-    if privacy:
-        def _pair(stanza):
-            if not isinstance(stanza, dict):
-                return "-"
-            eps, delta = stanza.get("epsilon"), stanza.get("delta")
-            eps = "inf" if eps is None else f"{eps:.6g}"
-            delta = "inf" if delta is None else f"{delta:.6g}"
-            return f"({eps}, {delta})"
-
-        spent = privacy.get("spent") or {}
-        budget_row = {
-            "composition": privacy.get("composition", "-"),
-            "releases charged": privacy.get("releases_charged", 0),
-            "spent (eps, delta)": ("vacuous" if spent.get("vacuous")
-                                   else _pair(spent)),
-            "budget (eps, delta)": (_pair(privacy.get("budget"))
-                                    if privacy.get("budget") else "none"),
-            "remaining": (_pair(privacy.get("remaining"))
-                          if privacy.get("budget") else "-"),
-            "exhausted": "yes" if privacy.get("exhausted") else "no",
-        }
-        print()
-        print(format_table([budget_row], title="privacy budget"))
-    sessions = stats.get("sessions") or []
-    if sessions:
-        print()
-        rows = [{
-            "ordinal": "-" if entry.get("ordinal") is None else entry["ordinal"],
-            "client": entry.get("client") or "-",
-            "frames": entry.get("frames", 0),
-            "commit seq": entry.get("seq"),
-        } for entry in sessions]
-        print(format_table(rows, title="committed sessions (release order)"))
-    forward = stats.get("forward")
-    if isinstance(forward, dict):
-        print()
-        backoff = forward.get("last_backoff")
-        rows = [{
-            "upstream": forward.get("upstream", "-"),
-            "policy": forward.get("policy", "-"),
-            "leaf ordinal": forward.get("relay_ordinal", "-"),
-            "queued": forward.get("queued", 0),
-            "acked": forward.get("acked", 0),
-            "last backoff": (f"{backoff:.2f}s"
-                             if isinstance(backoff, (int, float)) else "-"),
-            "error": forward.get("error") or "-",
-        }]
-        print(format_table(rows, title="upstream forward state"))
+    stats = console.poll_stats(args.address, token=args.token,
+                               timeout=args.timeout, retries=args.retries)
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True, default=str))
+        return 0
+    print(console.render_stats(stats, args.address))
     return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .obs import console
+
+    if args.watch and not args.once:
+        return console.watch(args.address, interval=args.interval,
+                             token=args.token, timeout=args.timeout,
+                             retries=args.retries,
+                             iterations=args.iterations)
+    stats = console.poll_stats(args.address, token=args.token,
+                               timeout=args.timeout, retries=args.retries)
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True, default=str))
+        return 0
+    print(console.render_status(stats, args.address))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .obs.loadgen import LoadgenConfig, run_loadgen
+
+    quick = args.quick
+    config = LoadgenConfig(
+        clients=(args.clients if args.clients is not None
+                 else (10_000 if quick else 100_000)),
+        concurrency=args.concurrency,
+        arrival=args.arrival,
+        rate=args.rate,
+        exponent=args.exponent,
+        stream_length=(args.stream_length if args.stream_length is not None
+                       else (50 if quick else 200)),
+        universe=(args.universe if args.universe is not None
+                  else (1_000 if quick else 10_000)),
+        frames_per_client=args.frames_per_client,
+        churn=args.churn,
+        k=args.k,
+        seed=args.seed,
+        releases=args.releases,
+        timeout=args.timeout,
+        to=args.to,
+        leaves=args.leaves,
+        depth=args.depth,
+    )
+    report = run_loadgen(config)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True,
+                         default=str))
+        return 0 if not report.clients_failed else 1
+    target = (args.to if args.to is not None
+              else (f"self-hosted tree ({config.leaves} leaves, depth "
+                    f"{config.depth})" if config.leaves
+                    else "self-hosted flat server"))
+    overview = [{
+        "target": target,
+        "clients": config.clients,
+        "concurrency": config.concurrency,
+        "arrival": config.arrival,
+        "churn": f"{config.churn:.1%}",
+        "ok": report.clients_ok,
+        "churned": report.clients_churned,
+        "failed": report.clients_failed,
+    }]
+    print(format_table(overview, title="load wave"))
+    print()
+    throughput = [{
+        "elapsed (s)": f"{report.elapsed_s:.2f}",
+        "frames": report.frames_total,
+        "frames/s": f"{report.sustained_frames_per_sec:.0f}",
+        "clients/s": f"{report.sustained_clients_per_sec:.0f}",
+        "payload bytes": report.bytes_total,
+    }]
+    print(format_table(throughput, title="sustained throughput"))
+    if report.latencies:
+        print()
+        rows = []
+        for name in sorted(report.latencies):
+            summary = report.latencies[name]
+            if not summary.get("count"):
+                continue
+            rows.append({
+                "op": name,
+                "count": summary["count"],
+                "p50": f"{summary['p50'] * 1e3:.2f} ms",
+                "p90": f"{summary['p90'] * 1e3:.2f} ms",
+                "p99": f"{summary['p99'] * 1e3:.2f} ms",
+                "max": f"{summary['max'] * 1e3:.2f} ms",
+            })
+        if rows:
+            print(format_table(rows, title="client-side latency"))
+    if report.errors:
+        print()
+        print(f"{len(report.errors)} error(s); first: {report.errors[0]}",
+              file=sys.stderr)
+    return 0 if not report.clients_failed else 1
 
 
 def _cmd_push(args: argparse.Namespace) -> int:
@@ -968,7 +1099,10 @@ def _cmd_wal(args: argparse.Namespace) -> int:
             if not records and not reserved:
                 print(f"{args.wal_dir}: no sessions recorded")
                 return 0
-            print(f"{args.wal_dir}: {len(records)} session(s)")
+            usage = wal.spool_usage()
+            print(f"{args.wal_dir}: {len(records)} session(s), "
+                  f"{usage['spools']} spool file(s), "
+                  f"{usage['bytes']} byte(s) on disk")
             for record in reserved:
                 # The privacy accountant's spend row: releases charged under
                 # the recorded composition mode, no spool.
@@ -1051,6 +1185,8 @@ _HANDLERS = {
     "serve": _cmd_serve,
     "relay": _cmd_relay,
     "stats": _cmd_stats,
+    "status": _cmd_status,
+    "loadgen": _cmd_loadgen,
     "push": _cmd_push,
     "wal": _cmd_wal,
     "request-release": _cmd_request_release,

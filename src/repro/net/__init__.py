@@ -37,6 +37,14 @@ as they arrive and publishes a differentially private histogram on request:
   resume), so an ``N leaves x M clients`` tree releases bit-identically to
   one flat server over the same ``N*M`` sessions.
 
+Observability: every layer above records into the server's
+:class:`~repro.obs.metrics.MetricsRegistry` (``metrics=`` constructor
+argument; on by default) — frame/fold/WAL-fsync latency histograms,
+session gauges, budget spend — and the accept→fold→commit→release path is
+wrapped in :class:`~repro.obs.trace.Tracer` spans (``--log-json``).  The
+whole obs layer is read-side only: releases are bit-identical with it on,
+off, or absent (property-tested in ``tests/property/test_obs_equivalence``).
+
 A release triggered over the network is bit-identical (keys, values, dict
 order) to ``repro merge --framed`` over the same exports with the same seed:
 both fold each source through its own merger and combine the summaries with

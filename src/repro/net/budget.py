@@ -43,6 +43,7 @@ from typing import Optional
 from .._validation import check_delta
 from ..dp.accounting import PrivacyParams, compose_adaptive, compose_basic
 from ..exceptions import (ParameterError, RemoteError, VacuousGuaranteeError)
+from ..obs.metrics import NULL_METRICS
 from .store import BUDGET_SESSION_ID, CheckpointStore, SessionRecord
 
 __all__ = ["BudgetAccountant", "BudgetSpend", "COMPOSITION_MODES"]
@@ -98,7 +99,8 @@ class BudgetAccountant:
                  budget: Optional[PrivacyParams] = None,
                  composition: str = "basic",
                  delta_slack: Optional[float] = None,
-                 store: Optional[CheckpointStore] = None) -> None:
+                 store: Optional[CheckpointStore] = None,
+                 metrics=None) -> None:
         if not isinstance(per_release, PrivacyParams):
             raise ParameterError(
                 f"per_release must be PrivacyParams, got {per_release!r}")
@@ -123,6 +125,7 @@ class BudgetAccountant:
         self.composition = composition
         self.delta_slack = delta_slack
         self._store = store
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._releases = self._load_persisted()
 
     # ------------------------------------------------------------------
@@ -234,7 +237,15 @@ class BudgetAccountant:
                 f"{self._releases} release(s): {detail}",
                 code="budget_exhausted")
         self._releases += 1
+        persist_start = self.metrics.clock()
         self._persist()
+        self.metrics.observe("budget.persist_seconds",
+                             self.metrics.clock() - persist_start)
+        self.metrics.inc("budget.releases_total")
+        if math.isfinite(spend.epsilon):
+            self.metrics.set_gauge("budget.epsilon_spent", spend.epsilon)
+        if math.isfinite(spend.delta):
+            self.metrics.set_gauge("budget.delta_spent", spend.delta)
         return spend
 
     # ------------------------------------------------------------------

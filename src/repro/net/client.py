@@ -36,6 +36,7 @@ from ..api.framing import FrameHeader, FrameReader
 from ..api.wire import WirePayload, payload_to_histogram
 from ..core.results import PrivateHistogram
 from ..exceptions import NetworkError, ProtocolError, RemoteError
+from ..obs.metrics import as_registry
 from ..sketches.base import FrequencySketch
 from .backoff import Backoff, retry_async
 from .protocol import (
@@ -83,6 +84,12 @@ class AggregatorClient:
         Connection attempts, the backoff base between them (delays grow
         exponentially from it, stretched by up to ``retry_jitter`` relative
         jitter), and an optional wall-clock budget across all attempts.
+    metrics:
+        An optional :class:`~repro.obs.metrics.MetricsRegistry` (shared:
+        ``repro loadgen`` hands every simulated client one registry) that
+        records ``client.connect_seconds`` / ``client.push_seconds`` /
+        ``client.release_seconds`` histograms and frame/byte counters.
+        ``None`` (the default) disables client-side metrics.
     """
 
     def __init__(self, address: Union[str, Address], *, k: Optional[int] = None,
@@ -90,7 +97,8 @@ class AggregatorClient:
                  role: Optional[str] = None, auth_token: Optional[str] = None,
                  timeout: float = 30.0, connect_retries: int = 5,
                  retry_delay: float = 0.2, retry_jitter: float = 0.1,
-                 retry_max_elapsed: Optional[float] = None) -> None:
+                 retry_max_elapsed: Optional[float] = None,
+                 metrics=None) -> None:
         self._address = parse_address(address)
         self._k = k
         self._ordinal = ordinal
@@ -102,6 +110,7 @@ class AggregatorClient:
         self._retry_delay = retry_delay
         self._retry_jitter = retry_jitter
         self._retry_max_elapsed = retry_max_elapsed
+        self.metrics = as_registry(metrics)
         self._channel: Optional[FrameChannel] = None
         self.server_k: Optional[int] = None
         self.frames_pushed = 0
@@ -153,15 +162,19 @@ class AggregatorClient:
                 f"could not connect to {self._address} after "
                 f"{attempts} attempt(s) ({policy.elapsed:.1f}s): {last}")
 
+        connect_start = self.metrics.clock()
         self._channel = await retry_async(
             _open, backoff=backoff,
             retryable=(ConnectionError, OSError, asyncio.TimeoutError),
             max_attempts=self._connect_retries, give_up=_give_up)
         try:
-            return await self._guard(self._handshake(), "handshake")
+            result = await self._guard(self._handshake(), "handshake")
         except BaseException:
             await self._abort()
             raise
+        self.metrics.observe("client.connect_seconds",
+                             self.metrics.clock() - connect_start)
+        return result
 
     async def _handshake(self) -> "AggregatorClient":
         header = FrameHeader(framing=framing.FRAMING_VERSION, frames=None,
@@ -261,13 +274,41 @@ class AggregatorClient:
         encoded = [framing.encode_frame(body) for body in frame_bodies]
         return await self._guard(self._push_bodies(encoded), "push")
 
+    async def push_encoded(self, frames: List[bytes]) -> int:
+        """Push fully wire-encoded frames (``framing.encode_frame`` output).
+
+        The zero-encode hot path for ``repro loadgen``: the harness encodes
+        each payload once and shares the bytes across thousands of
+        simulated clients instead of re-encoding per session.
+        """
+        return await self._guard(self._push_bodies(frames), "push")
+
+    async def abort_mid_push(self, frame: bytes) -> None:
+        """Declare a 2-frame burst, send one frame, drop the connection.
+
+        Churn simulation for the load harness: a clean EOF from READY
+        *commits* a session, so simulating a crashed client requires dying
+        mid-declared-burst — the server discards the partial session
+        (nothing was committed) and keeps serving everyone else.
+        """
+        channel = self._require_channel()
+        await channel.send_control(PUSH, frames=2)
+        await channel.send_bytes(frame)
+        await self._abort()
+
     async def _push_bodies(self, encoded: List[bytes]) -> int:
+        clock = self.metrics.clock
+        push_start = clock()
         channel = self._require_channel()
         await channel.send_control(PUSH, frames=len(encoded))
         for frame in encoded:
             await channel.send_bytes(frame)
         ack = await self._expect_control(OK, re=PUSH, folded=len(encoded))
         self.frames_pushed += len(encoded)
+        self.metrics.observe("client.push_seconds", clock() - push_start)
+        self.metrics.inc("client.frames_total", len(encoded))
+        self.metrics.inc("client.bytes_total",
+                         sum(len(frame) for frame in encoded))
         return int(ack.get("folded", len(encoded)))
 
     async def push_file(self, source: Union[str, Path], burst: int = 64,
@@ -325,7 +366,11 @@ class AggregatorClient:
         they hand back is the root's released payload re-encoded bit-exactly,
         not a decode/re-encode round trip through ``PrivateHistogram``.
         """
-        return await self._guard(self._request_release(seed), "release")
+        release_start = self.metrics.clock()
+        payload = await self._guard(self._request_release(seed), "release")
+        self.metrics.observe("client.release_seconds",
+                             self.metrics.clock() - release_start)
+        return payload
 
     async def _request_release(self, seed: Optional[int]) -> WirePayload:
         channel = self._require_channel()

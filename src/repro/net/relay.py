@@ -352,8 +352,12 @@ class RelayAggregatorServer(AggregatorServer):
                 f"committed within the {self._forward_max_elapsed:.1f}s "
                 f"retry budget: {last}")
 
+        push_start = self.metrics.clock()
         await retry_async(_cycle, backoff=backoff,
                           retryable=transient_push_error, give_up=_give_up)
+        self.metrics.observe("forward.push_seconds",
+                             self.metrics.clock() - push_start)
+        self.metrics.inc("forward.batches_total")
         self._mark_acked(batch)
 
     def _mark_acked(self, batch: ForwardBatch) -> None:
@@ -400,17 +404,28 @@ class RelayAggregatorServer(AggregatorServer):
         return wire_module.encode_payload(payload)
 
     def stats(self) -> Dict[str, object]:
-        data = super().stats()
-        data["role"] = "relay"
         staged_unacked = sum(1 for batch in self._batches if not batch.acked)
         unbatched = sum(1 for entry in self._committed
                         if entry.seq not in self._batched_seqs)
+        spool_bytes = 0
+        for batch in self._batches:
+            if batch.acked or batch.path is None:
+                continue
+            with contextlib.suppress(OSError):
+                spool_bytes += batch.path.stat().st_size
+        # Refresh the gauge before the base snapshot so the embedded
+        # ``metrics`` stanza carries the depth this very reply reports.
+        self.metrics.set_gauge("forward.queue_depth",
+                               staged_unacked + unbatched)
+        data = super().stats()
+        data["role"] = "relay"
         data["forward"] = {
             "upstream": str(self._upstream),
             "policy": self._forward_on,
             "relay_ordinal": self._relay_ordinal,
             "queued": staged_unacked + unbatched,
             "acked": sum(1 for batch in self._batches if batch.acked),
+            "spool_bytes": spool_bytes,
             "last_backoff": self._last_backoff,
             "error": self._forward_error,
         }

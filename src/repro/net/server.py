@@ -39,11 +39,21 @@ from ..api.wire import encode_histogram
 from ..core.merging import MergeStrategy, PrivateMergedRelease
 from ..dp.accounting import PrivacyParams
 from ..exceptions import ParameterError, ProtocolError, RemoteError
+from ..obs.metrics import as_registry
+from ..obs.trace import Tracer
 from .budget import BudgetAccountant
 from .protocol import Address, DEFAULT_CHUNK_SIZE, FrameChannel, parse_address
 from .session import CommittedSession, Session
 from .store import CheckpointStore
 from .wal import SessionWal
+
+#: Ceiling on the per-session detail lists a STATS reply embeds
+#: (``sessions`` and ``active``).  A million-client loadgen run commits a
+#: million sessions; listing them all would put a multi-megabyte JSON
+#: control frame on the wire per poll, so the reply carries the first
+#: ``STATS_SESSION_CAP`` rows in canonical order plus the full counts
+#: (``sessions_committed`` / ``sessions_active``).
+STATS_SESSION_CAP = 64
 
 
 class AggregatorServer:
@@ -105,6 +115,19 @@ class AggregatorServer:
         quota is rejected with a ``quota_exceeded`` ERROR containing only
         the offending session; the over-quota frame is neither spooled nor
         folded.  Resumed sessions count their already-committed state.
+    metrics:
+        Observability (:mod:`repro.obs`).  ``True`` (the default) builds a
+        process-local :class:`~repro.obs.metrics.MetricsRegistry` whose
+        counters/gauges/histograms the session, WAL, budget and relay
+        layers record into; ``False`` disables it (every instrument write
+        becomes a no-op and STATS carries no ``metrics`` stanza).  Pass a
+        registry instance to share one across servers (tests inject a
+        fake-clock registry this way).  The registry is a pure read-side
+        layer: releases are bit-identical either way.
+    log_json:
+        A writable text stream for structured span logs (``repro serve
+        --log-json``): one JSON line per traced span (session, push,
+        release) with monotonic-clock durations.
     """
 
     def __init__(self, epsilon: float, delta: float, k: Optional[int] = None,
@@ -121,7 +144,8 @@ class AggregatorServer:
                  auth_token: Optional[str] = None,
                  max_session_frames: Optional[int] = None,
                  max_session_bytes: Optional[int] = None,
-                 max_session_sketches: Optional[int] = None) -> None:
+                 max_session_sketches: Optional[int] = None,
+                 metrics=True, log_json=None) -> None:
         check_epsilon(epsilon)
         # delta == 0 is a valid configuration: PrivacyParams and the pure_dp
         # mechanism support pure epsilon-DP (the trusted-merged *release*
@@ -148,7 +172,10 @@ class AggregatorServer:
         self._drain_timeout = drain_timeout
         self._chunk_size = chunk_size
         self._max_releases = max_releases
-        self._wal = SessionWal(wal_dir, store=store) if wal_dir is not None else None
+        self.metrics = as_registry(metrics)
+        self.tracer = Tracer(self.metrics, stream=log_json)
+        self._wal = (SessionWal(wal_dir, store=store, metrics=self.metrics)
+                     if wal_dir is not None else None)
         self._read_timeout = read_timeout
         self.accept_relays = accept_relays
         self._auth_token = auth_token
@@ -158,8 +185,11 @@ class AggregatorServer:
         self.accountant = BudgetAccountant(
             PrivacyParams(epsilon=epsilon, delta=delta),
             budget=budget, composition=composition, delta_slack=delta_slack,
-            store=self._wal.store if self._wal is not None else None)
+            store=self._wal.store if self._wal is not None else None,
+            metrics=self.metrics)
         self._started_at: Optional[float] = None
+        self._started_wall: Optional[float] = None
+        self._live_sessions: set = set()
         self._recovered = False
         self._active_ordinals: set = set()
         self._resumed_noted: set = set()
@@ -188,16 +218,22 @@ class AggregatorServer:
         if self._wal is not None and not self._recovered:
             self._recover_from_wal()
         self._address = parse_address(address)
+        # asyncio's default listen backlog (100) is smaller than one loadgen
+        # connect burst; a full backlog fails unix connects outright instead
+        # of queueing them, so listen deep enough for arrival spikes.
+        backlog = 1024
         if self._address.kind == "unix":
             self._server = await asyncio.start_unix_server(
-                self._on_connect, path=self._address.path)
+                self._on_connect, path=self._address.path, backlog=backlog)
             self._bound = f"unix:{self._address.path}"
         else:
             self._server = await asyncio.start_server(
-                self._on_connect, host=self._address.host, port=self._address.port)
+                self._on_connect, host=self._address.host,
+                port=self._address.port, backlog=backlog)
             sockname = self._server.sockets[0].getsockname()
             self._bound = f"{sockname[0]}:{sockname[1]}"
         self._started_at = time.monotonic()
+        self._started_wall = time.time()
         return self
 
     @property
@@ -285,7 +321,15 @@ class AggregatorServer:
         session = Session(self, channel)
         task = asyncio.ensure_future(session.run())
         self._tasks.add(task)
+        self._live_sessions.add(session)
         task.add_done_callback(self._tasks.discard)
+        task.add_done_callback(
+            lambda _, s=session: self._session_gone(s))
+        self.metrics.set_gauge("server.sessions_active", len(self._tasks))
+
+    def _session_gone(self, session: Session) -> None:
+        self._live_sessions.discard(session)
+        self.metrics.set_gauge("server.sessions_active", len(self._tasks))
 
     # ------------------------------------------------------------------
     # Session callbacks
@@ -328,6 +372,7 @@ class AggregatorServer:
 
     def note_rejected(self, session: Session, reason: str) -> None:
         self._rejected += 1
+        self.metrics.inc("server.rejects_total")
 
     def claim_ordinal(self, ordinal: Optional[int]) -> bool:
         """Reserve an ordinal for one live session (WAL sessions only).
@@ -370,6 +415,7 @@ class AggregatorServer:
             client=session.client,
             merger=merger if not parts else None, parts=parts)
         self._committed.append(entry)
+        self.metrics.inc("server.commits_total")
         self.note_committed(entry)
 
     def note_committed(self, entry: CommittedSession) -> None:
@@ -408,24 +454,27 @@ class AggregatorServer:
         RNG: an admitted release is bit-identical to an unaccounted
         server's.
         """
-        parts = self.committed_mergers()
-        if not parts or self._k is None:
-            raise RemoteError("no committed sketch exports to release yet",
-                              code="nothing_to_release")
-        if self.delta == 0.0:
-            raise RemoteError(
-                "this server runs pure DP (delta=0) and the trusted-merged "
-                "release mechanism (GSHM) requires delta > 0; release "
-                "offline with a pure-DP mechanism instead",
-                code="pure_dp_release_unsupported")
-        self.accountant.charge()
-        combined = combine_mergers(parts, self._k)
-        mechanism = PrivateMergedRelease(
-            epsilon=self.epsilon, delta=self.delta, k=self._k,
-            strategy=MergeStrategy.TRUSTED_MERGED)
-        histogram = combined.release(mechanism, rng=seed)
-        self._releases += 1
-        return encode_histogram(histogram)
+        with self.tracer.span("release") as span:
+            parts = self.committed_mergers()
+            span["parts"] = len(parts)
+            if not parts or self._k is None:
+                raise RemoteError("no committed sketch exports to release yet",
+                                  code="nothing_to_release")
+            if self.delta == 0.0:
+                raise RemoteError(
+                    "this server runs pure DP (delta=0) and the trusted-merged "
+                    "release mechanism (GSHM) requires delta > 0; release "
+                    "offline with a pure-DP mechanism instead",
+                    code="pure_dp_release_unsupported")
+            self.accountant.charge()
+            combined = combine_mergers(parts, self._k)
+            mechanism = PrivateMergedRelease(
+                epsilon=self.epsilon, delta=self.delta, k=self._k,
+                strategy=MergeStrategy.TRUSTED_MERGED)
+            histogram = combined.release(mechanism, rng=seed)
+            self._releases += 1
+            self.metrics.inc("server.releases_total")
+            return encode_histogram(histogram)
 
     async def handle_release(self, seed: Optional[int]) -> Dict:
         """Serve one RELEASE verb.  A relay overrides this to flush its
@@ -444,11 +493,21 @@ class AggregatorServer:
     def stats(self) -> Dict[str, object]:
         """Aggregate counters (the STATS verb's reply fields).
 
-        Besides the totals, ``sessions`` lists every committed session
-        (ordinal, client, origin frame count, commit seq) in canonical
-        release order, and ``uptime`` is the seconds since the socket bound
-        — `repro stats` derives the fold throughput from it.  Relays extend
-        this with a ``forward`` stanza (see ``RelayAggregatorServer``).
+        Besides the totals, ``sessions`` lists committed sessions (ordinal,
+        client, origin frame count, commit seq) in canonical release order
+        — capped at :data:`STATS_SESSION_CAP` rows so a million-session
+        server still answers STATS with a small frame (``sessions_listed``
+        says how many rows made the cut; ``sessions_committed`` is always
+        the full count) — and ``uptime_s`` is the seconds since the socket
+        bound (``uptime`` is the same value, kept for pre-obs consumers).
+        ``active`` lists live connections with wall-clock ``connected_at``
+        / ``last_frame_at`` timestamps, ``wal`` reports the spool
+        directory's on-disk footprint (``None`` without a WAL; it stats the
+        spool files, so cost scales with session count), and ``metrics``
+        embeds the versioned :meth:`~repro.obs.metrics.MetricsRegistry.
+        snapshot` stanza (``None`` when the server runs ``metrics=False``).
+        Relays extend all this with a ``forward`` stanza (see
+        ``RelayAggregatorServer``).
 
         The old top-level ``epsilon``/``delta`` keys are gone: they read as
         a *total* guarantee but were per-release parameters.  The
@@ -458,6 +517,14 @@ class AggregatorServer:
         """
         uptime = (time.monotonic() - self._started_at
                   if self._started_at is not None else None)
+        committed = sorted(self._committed, key=lambda e: e.sort_key)
+        listed = committed[:STATS_SESSION_CAP]
+        active = sorted(self._live_sessions,
+                        key=lambda s: s.connected_at)[:STATS_SESSION_CAP]
+        wal_stanza = None
+        if self._wal is not None:
+            usage = self._wal.spool_usage()
+            wal_stanza = {"dir": str(self._wal.wal_dir), **usage}
         return {
             "k": self._k,
             "role": "aggregator",
@@ -471,15 +538,28 @@ class AggregatorServer:
             "sessions_active": len(self._tasks),
             "sessions_committed": len(self._committed),
             "sessions_rejected": self._rejected,
+            "sessions_listed": len(listed),
             "sessions": [
                 {"ordinal": entry.ordinal, "client": entry.client,
                  "frames": entry.frames, "seq": entry.seq}
-                for entry in sorted(self._committed, key=lambda e: e.sort_key)],
+                for entry in listed],
+            "active": [
+                {"ordinal": session.ordinal, "client": session.client,
+                 "role": session.role, "state": session.state.value,
+                 "frames": session.frames_accepted,
+                 "bytes": session.bytes_received,
+                 "connected_at": session.connected_at,
+                 "last_frame_at": session.last_frame_at}
+                for session in active],
             "frames": self._frames_seen,
             "stream_length": self._length_seen,
             "releases": self._releases,
             "privacy": self.accountant.as_stats(),
             "uptime": uptime,
+            "uptime_s": uptime,
+            "started_at": self._started_wall,
+            "wal": wal_stanza,
+            "metrics": self.metrics.snapshot(),
         }
 
 

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import enum
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -110,6 +111,10 @@ class Session:
         self.ordinal: Optional[int] = None
         self.client: Optional[str] = None
         self.role: str = "client"
+        self.connected_at: float = time.time()
+        self.last_frame_at: Optional[float] = None
+        self.bytes_received: int = 0
+        self.frames_accepted: int = 0
         self._merger: Optional[StreamingMerger] = None
         self._parts: List[StreamingMerger] = []   # relay sessions only
         self._journal = None          # SessionJournal when the server has a WAL
@@ -299,48 +304,62 @@ class Session:
         if self._merger is None and self.role != "relay":
             self._merger = StreamingMerger(self._server.k)
         self.state = SessionState.PUSHING
-        for index in range(declared):
-            kind, value, body = await self._timed(
-                self._channel.next_event(include_body=True),
-                f"payload frame {index + 1}/{declared}")
-            if kind == "eof":
-                raise FramingError(
-                    f"stream ended {declared - index} frame(s) into a "
-                    f"declared burst of {declared}")
-            if kind != "payload":
-                raise ProtocolError(
-                    f"expected payload frame {index + 1}/{declared} of the "
-                    f"push burst, got a control frame")
-            if value.k is not None and value.k != self._server.k:
-                error = ProtocolError(
-                    f"frame {index + 1} exports a k={value.k} sketch; this "
-                    f"aggregation runs at k={self._server.k} and merging "
-                    "disagreeing sketch sizes would miscalibrate the release")
-                error.code = "k_mismatch"
-                raise error
-            if self.role == "relay":
-                # Each relay frame is one origin session's summary: it folds
-                # into its own release part so the combine at release time
-                # sees the same part sequence a flat server would.
-                part = StreamingMerger(self._server.k).add_summary(value)
-            else:
-                part = None
-            # Quota charge precedes the spool append and the fold: an
-            # over-quota frame is rejected without leaving any trace.
-            self._charge_quota(len(body),
-                               part.frames if part is not None else 1)
+        metrics = self._server.metrics
+        clock = metrics.clock
+        with self._server.tracer.span("push", frames=declared) as span:
+            span["ordinal"] = self.ordinal
+            for index in range(declared):
+                read_start = clock()
+                kind, value, body = await self._timed(
+                    self._channel.next_event(include_body=True),
+                    f"payload frame {index + 1}/{declared}")
+                metrics.observe("server.frame_seconds", clock() - read_start)
+                if kind == "eof":
+                    raise FramingError(
+                        f"stream ended {declared - index} frame(s) into a "
+                        f"declared burst of {declared}")
+                if kind != "payload":
+                    raise ProtocolError(
+                        f"expected payload frame {index + 1}/{declared} of the "
+                        f"push burst, got a control frame")
+                if value.k is not None and value.k != self._server.k:
+                    error = ProtocolError(
+                        f"frame {index + 1} exports a k={value.k} sketch; this "
+                        f"aggregation runs at k={self._server.k} and merging "
+                        "disagreeing sketch sizes would miscalibrate the release")
+                    error.code = "k_mismatch"
+                    raise error
+                fold_start = clock()
+                if self.role == "relay":
+                    # Each relay frame is one origin session's summary: it folds
+                    # into its own release part so the combine at release time
+                    # sees the same part sequence a flat server would.
+                    part = StreamingMerger(self._server.k).add_summary(value)
+                else:
+                    part = None
+                # Quota charge precedes the spool append and the fold: an
+                # over-quota frame is rejected without leaving any trace.
+                self._charge_quota(len(body),
+                                   part.frames if part is not None else 1)
+                if self._journal is not None:
+                    # Write-ahead: the verbatim bytes hit the spool before
+                    # the fold.
+                    self._journal.append(body)
+                if part is not None:
+                    self._parts.append(part)
+                    self._server.note_frame(value, frames=part.frames)
+                else:
+                    self._merger.add(value)
+                    self._server.note_frame(value)
+                metrics.observe("server.fold_seconds", clock() - fold_start)
+                self.frames_accepted += 1
+                self.bytes_received += len(body)
+                self.last_frame_at = time.time()
+                metrics.inc("server.frames_total")
+                metrics.inc("server.bytes_total", len(body))
             if self._journal is not None:
-                # Write-ahead: the verbatim bytes hit the spool before the fold.
-                self._journal.append(body)
-            if part is not None:
-                self._parts.append(part)
-                self._server.note_frame(value, frames=part.frames)
-            else:
-                self._merger.add(value)
-                self._server.note_frame(value)
-        if self._journal is not None:
-            # Durability barrier: fsync spool + checkpoint record, then ack.
-            self._journal.commit()
+                # Durability barrier: fsync spool + checkpoint record, then ack.
+                self._journal.commit()
         self.state = SessionState.READY
         await self._channel.send_control(OK, re=PUSH, folded=declared,
                                          frames=self.frames)

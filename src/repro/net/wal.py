@@ -44,6 +44,7 @@ from ..api.framing import (FrameReader, StreamingMerger, append_frame,
                            decode_payload_body, replay_raw_frames,
                            write_stream_header)
 from ..exceptions import FramingError, ParameterError, ProtocolError
+from ..obs.metrics import NULL_METRICS
 from .session import CommittedSession
 from .store import (CheckpointStore, SessionRecord, SqliteCheckpointStore,
                     is_reserved_record)
@@ -137,9 +138,14 @@ class SessionJournal:
             raise _session_complete_error()
         if self._frames == self.record.committed_frames:
             return self.record.committed_frames
+        metrics = self._wal.metrics
+        clock = metrics.clock
+        commit_start = clock()
         self._file.flush()
         if self._wal.fsync:
+            fsync_start = clock()
             os.fsync(self._file.fileno())
+            metrics.observe("wal.fsync_seconds", clock() - fsync_start)
         first_commit = not self._durable
         self.record = self.record.advanced(frames=self._frames,
                                            bytes_=self._offset)
@@ -147,6 +153,8 @@ class SessionJournal:
         self._durable = True
         if first_commit and self._wal.fsync:
             self._wal.fsync_dir()
+        metrics.observe("wal.commit_seconds", clock() - commit_start)
+        metrics.inc("wal.commits_total")
         return self.record.committed_frames
 
     def mark_committed(self, commit_seq: int) -> None:
@@ -182,12 +190,32 @@ class SessionWal:
 
     def __init__(self, wal_dir: Union[str, Path],
                  store: Optional[CheckpointStore] = None,
-                 fsync: bool = True) -> None:
+                 fsync: bool = True, metrics=NULL_METRICS) -> None:
         self.wal_dir = Path(wal_dir)
         self.wal_dir.mkdir(parents=True, exist_ok=True)
         self.store = store if store is not None else SqliteCheckpointStore(
             self.wal_dir / STORE_FILENAME)
         self.fsync = fsync
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+
+    def spool_usage(self) -> dict:
+        """On-disk spool footprint: ``{"spools": count, "bytes": total}``.
+
+        Stats every ``*.spool`` file in ``wal_dir`` (the sqlite ledger is
+        excluded — it is bookkeeping, not session payload), so STATS and
+        ``wal inspect`` report the number an operator would get from
+        ``du``.  Files vanishing mid-scan (concurrent recovery cleanup)
+        are skipped rather than raised.
+        """
+        spools = 0
+        total = 0
+        for path in self.wal_dir.glob(f"*{_SPOOL_SUFFIX}"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            spools += 1
+        return {"spools": spools, "bytes": total}
 
     def spool_path(self, record: SessionRecord) -> Path:
         return self.wal_dir / record.spool

@@ -1,0 +1,40 @@
+"""`repro.obs`: zero-dependency observability for the aggregation service.
+
+Four pieces, layered so the core stays import-light:
+
+* :mod:`repro.obs.metrics` — process-local counters, gauges and
+  sliding-window histograms (:class:`MetricsRegistry`), plus the disabled
+  :data:`NULL_METRICS` registry that makes instrumentation sites
+  branch-free.
+* :mod:`repro.obs.trace` — :class:`Tracer` span timing around the
+  accept -> fold -> commit -> release lifecycle, with optional structured
+  JSON log emission (``repro serve --log-json``).
+* :mod:`repro.obs.console` — the ``repro status`` operator console
+  (plain-ANSI live refresh over repeated STATS polls) and the shared
+  stats renderer the CLI uses.
+* :mod:`repro.obs.loadgen` — the ``repro loadgen`` harness: 10^4-10^6
+  simulated clients against a flat server or a self-hosted relay tree.
+
+Import discipline: this package root re-exports **only** metrics and
+trace, which depend on nothing but the standard library — so
+:mod:`repro.net` can import them without a cycle.  ``console`` and
+``loadgen`` import :mod:`repro.net` and are therefore imported lazily, as
+explicit submodules, by the CLI handlers that need them.
+"""
+
+from .metrics import (METRICS_VERSION, Counter, Gauge, Histogram,
+                      MetricsRegistry, NullMetrics, NULL_METRICS, as_registry)
+from .trace import NULL_TRACER, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "METRICS_VERSION",
+    "as_registry",
+    "Tracer",
+    "NULL_TRACER",
+]

@@ -1,0 +1,378 @@
+"""`repro loadgen`: a 10^4–10^6 simulated-client load harness.
+
+Turns "fast in microbenchmarks" into "measured under realistic load": the
+harness drives a configurable client population — arrival process, Zipf
+stream skew, per-client stream length, churn (mid-push disconnects) — at a
+flat :class:`~repro.net.server.AggregatorServer` or a self-hosted relay
+tree, and reports sustained frames/s plus client-side latency percentiles
+(connect / push / release) from one shared
+:class:`~repro.obs.metrics.MetricsRegistry`.
+
+Design notes, in decreasing order of importance:
+
+* **Pre-encoded payload pool.**  Encoding a sketch export dominates a
+  naive harness, so the pool builds ``min(clients, payload_pool)``
+  distinct Zipf-drawn sketch exports *once*, wire-encodes each to its
+  final frame bytes, and the simulated clients share those immutable
+  byte strings (:meth:`~repro.net.client.AggregatorClient.push_encoded`).
+  Client ``i`` uses pool entry ``i % pool``, so the server still folds a
+  heterogeneous population.
+* **Bounded live tasks.**  The concurrency semaphore is acquired *before*
+  ``create_task``: at most ``concurrency`` client task objects (and
+  sockets) exist at any instant, so a million-client run holds a million
+  integers of bookkeeping, not a million coroutines.
+* **Churn dies mid-burst.**  A clean EOF from READY *commits* a session,
+  so a churned client must vanish inside a declared PUSH burst
+  (:meth:`~repro.net.client.AggregatorClient.abort_mid_push`) — the
+  server discards its partial state, which is exactly what a crashed real
+  client looks like.
+* **Arrival process.**  ``closed`` (default) keeps ``concurrency``
+  clients in flight back-to-back; ``poisson`` spaces task starts by
+  exponential gaps at ``rate``/s; ``uniform`` by fixed ``1/rate`` gaps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..exceptions import NetworkError, ParameterError, RemoteError, ReproError
+from .metrics import MetricsRegistry
+
+__all__ = ["LoadgenConfig", "LoadgenReport", "run_loadgen",
+           "aggregation_tree", "build_payload_pool", "ARRIVALS"]
+
+ARRIVALS = ("closed", "poisson", "uniform")
+
+
+@dataclass
+class LoadgenConfig:
+    """Knobs of one load run (``repro loadgen`` maps flags onto this)."""
+
+    clients: int = 10_000            #: simulated client population
+    concurrency: int = 128           #: max clients in flight at once
+    arrival: str = "closed"          #: one of :data:`ARRIVALS`
+    rate: float = 1000.0             #: arrivals/s (poisson / uniform only)
+    exponent: float = 1.2            #: Zipf exponent of each client stream
+    stream_length: int = 100         #: items drawn per simulated client
+    universe: int = 10_000           #: Zipf universe size
+    frames_per_client: int = 1       #: PUSH frames per client session
+    churn: float = 0.0               #: fraction dying mid-push (0..1)
+    k: int = 64                      #: sketch size
+    seed: int = 0                    #: harness RNG seed (pool + churn draw)
+    payload_pool: int = 32           #: distinct pre-encoded exports
+    releases: int = 3                #: release probes after the wave
+    timeout: float = 30.0            #: per-operation client timeout
+    epsilon: float = 1.0             #: release privacy (self-hosted server)
+    delta: float = 1e-6
+    #: Target address (``None`` self-hosts via :func:`aggregation_tree`).
+    to: Optional[str] = None
+    leaves: int = 0                  #: 0 = flat server; N = relay leaves
+    depth: int = 1                   #: relay tiers between leaves and root
+
+    def validate(self) -> None:
+        if self.clients <= 0:
+            raise ParameterError("loadgen needs clients >= 1")
+        if self.concurrency <= 0:
+            raise ParameterError("loadgen needs concurrency >= 1")
+        if self.arrival not in ARRIVALS:
+            raise ParameterError(
+                f"arrival must be one of {ARRIVALS}, got {self.arrival!r}")
+        if self.arrival != "closed" and self.rate <= 0:
+            raise ParameterError(f"{self.arrival} arrivals need rate > 0")
+        if not 0.0 <= self.churn <= 1.0:
+            raise ParameterError(f"churn must be in [0, 1], got {self.churn}")
+        if self.leaves < 0 or self.depth < 1:
+            raise ParameterError("need leaves >= 0 and depth >= 1")
+        if self.to is not None and self.leaves:
+            raise ParameterError(
+                "--to targets an external server; tree shape (leaves/depth) "
+                "only applies to self-hosted runs")
+
+
+@dataclass
+class LoadgenReport:
+    """What one load run measured (JSON-safe via :meth:`as_dict`)."""
+
+    config: LoadgenConfig
+    clients_ok: int = 0
+    clients_churned: int = 0
+    clients_failed: int = 0
+    frames_total: int = 0
+    bytes_total: int = 0
+    elapsed_s: float = 0.0
+    sustained_frames_per_sec: float = 0.0
+    sustained_clients_per_sec: float = 0.0
+    #: client-side latency summaries (connect/push/release), from the
+    #: shared registry's histograms.
+    latencies: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: the target's final STATS reply (None when unreachable / skipped).
+    server_stats: Optional[Dict[str, object]] = None
+    errors: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        config = dict(vars(self.config))
+        return {
+            "config": config,
+            "clients_ok": self.clients_ok,
+            "clients_churned": self.clients_churned,
+            "clients_failed": self.clients_failed,
+            "frames_total": self.frames_total,
+            "bytes_total": self.bytes_total,
+            "elapsed_s": self.elapsed_s,
+            "sustained_frames_per_sec": self.sustained_frames_per_sec,
+            "sustained_clients_per_sec": self.sustained_clients_per_sec,
+            "latencies": self.latencies,
+            "server_stats": self.server_stats,
+            "errors": self.errors[:20],
+        }
+
+
+def build_payload_pool(config: LoadgenConfig) -> List[bytes]:
+    """Pre-encode the distinct client payloads (one wire frame each).
+
+    Each pool entry simulates one client: ``stream_length`` Zipf draws
+    (inverse-CDF over ``universe`` ranks, pure python — the pool is small)
+    folded through a :class:`~repro.sketches.misra_gries.MisraGriesSketch`
+    at ``k``, exported to a wire-v2 envelope and encoded to final frame
+    bytes.  The returned ``bytes`` objects are immutable and shared across
+    every simulated client that reuses the entry.
+    """
+    from ..api import wire
+    from ..api.framing import encode_payload_frame
+    from ..sketches.misra_gries import MisraGriesSketch
+
+    rng = random.Random(config.seed)
+    weights = [1.0 / (rank ** config.exponent)
+               for rank in range(1, config.universe + 1)]
+    cumulative: List[float] = []
+    total = 0.0
+    for weight in weights:
+        total += weight
+        cumulative.append(total)
+
+    import bisect
+
+    pool: List[bytes] = []
+    for _ in range(max(1, min(config.clients, config.payload_pool))):
+        sketch = MisraGriesSketch(config.k)
+        for _ in range(config.stream_length):
+            point = rng.random() * total
+            sketch.update(bisect.bisect_left(cumulative, point) + 1)
+        pool.append(encode_payload_frame(wire.encode_sketch(sketch)))
+    return pool
+
+
+class _Target:
+    """Where the simulated clients connect (yielded by the context managers)."""
+
+    def __init__(self, client_addrs: List[str], release_addr: str,
+                 stats_addr: str, servers: List[object]) -> None:
+        self.client_addrs = client_addrs
+        self.release_addr = release_addr
+        self.stats_addr = stats_addr
+        self.servers = servers
+
+
+@contextlib.asynccontextmanager
+async def aggregation_tree(config: LoadgenConfig):
+    """Self-host the target: a flat server, or a relay tree over unix sockets.
+
+    ``leaves == 0`` starts one flat :class:`AggregatorServer`.  Otherwise a
+    root (``accept_relays``) plus ``depth - 1`` single mid-tier relays plus
+    ``leaves`` leaf relays, all in one event loop over unix sockets in a
+    tempdir, forwarding eagerly (``forward_on="commit"``) so the load
+    reaches the root while the wave is still running.  Clients round-robin
+    across the leaves; releases and stats go through leaf 0 (proxied) so
+    the measured release latency includes the full tree hop.
+    """
+    from ..net.relay import RelayAggregatorServer
+    from ..net.server import AggregatorServer
+
+    servers: List[object] = []
+    with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:
+        base = Path(tmp)
+        try:
+            if config.leaves == 0:
+                flat = AggregatorServer(epsilon=config.epsilon,
+                                        delta=config.delta, k=config.k)
+                await flat.start(f"unix:{base / 'flat.sock'}")
+                servers.append(flat)
+                addr = flat.address
+                yield _Target([addr], addr, addr, servers)
+            else:
+                root = AggregatorServer(epsilon=config.epsilon,
+                                        delta=config.delta, k=config.k,
+                                        accept_relays=True)
+                await root.start(f"unix:{base / 'root.sock'}")
+                servers.append(root)
+                upstream = root.address
+                for tier in range(config.depth - 1):
+                    mid = RelayAggregatorServer(
+                        epsilon=config.epsilon, delta=config.delta,
+                        k=config.k, upstream=upstream,
+                        relay_ordinal=tier, forward_on="commit",
+                        accept_relays=True)
+                    await mid.start(f"unix:{base / f'mid-{tier}.sock'}")
+                    servers.append(mid)
+                    upstream = mid.address
+                leaf_addrs: List[str] = []
+                for index in range(config.leaves):
+                    leaf = RelayAggregatorServer(
+                        epsilon=config.epsilon, delta=config.delta,
+                        k=config.k, upstream=upstream,
+                        relay_ordinal=index, forward_on="commit")
+                    await leaf.start(f"unix:{base / f'leaf-{index}.sock'}")
+                    servers.append(leaf)
+                    leaf_addrs.append(leaf.address)
+                yield _Target(leaf_addrs, leaf_addrs[0], leaf_addrs[0],
+                              servers)
+        finally:
+            for server in reversed(servers):
+                with contextlib.suppress(Exception):
+                    await server.aclose(drain=True)
+
+
+async def _drive_clients(config: LoadgenConfig, target: _Target,
+                         pool: List[bytes], registry: MetricsRegistry,
+                         report: LoadgenReport) -> None:
+    from ..net.client import AggregatorClient
+
+    churn_rng = random.Random(config.seed ^ 0x5EED)
+    semaphore = asyncio.Semaphore(config.concurrency)
+    gap_rng = random.Random(config.seed ^ 0xA221)
+    leaves = len(target.client_addrs)
+
+    async def _one_client(index: int) -> None:
+        address = target.client_addrs[index % leaves]
+        # Leaf-local ordinals stay distinct per leaf, so a relay maps them
+        # straight into its root-ordinal band.
+        ordinal = index // leaves if leaves > 1 else index
+        frame = pool[index % len(pool)]
+        churned = churn_rng.random() < config.churn
+        client = AggregatorClient(address, k=config.k, ordinal=ordinal,
+                                  client_name=f"loadgen-{index}",
+                                  timeout=config.timeout, connect_retries=3,
+                                  metrics=registry)
+        try:
+            await client.connect()
+            if churned:
+                await client.abort_mid_push(frame)
+                report.clients_churned += 1
+                return
+            for _ in range(config.frames_per_client):
+                await client.push_encoded([frame])
+            await client.close(bye=True)
+            report.clients_ok += 1
+            report.frames_total += config.frames_per_client
+            report.bytes_total += len(frame) * config.frames_per_client
+        except (ReproError, OSError, asyncio.TimeoutError) as error:
+            report.clients_failed += 1
+            if len(report.errors) < 100:
+                report.errors.append(f"client {index}: {error}")
+        finally:
+            with contextlib.suppress(Exception):
+                await client.close(bye=False)
+
+    async def _bounded(index: int) -> None:
+        try:
+            await _one_client(index)
+        finally:
+            semaphore.release()
+
+    tasks: List[asyncio.Task] = []
+    for index in range(config.clients):
+        if config.arrival == "poisson":
+            await asyncio.sleep(gap_rng.expovariate(config.rate))
+        elif config.arrival == "uniform":
+            await asyncio.sleep(1.0 / config.rate)
+        await semaphore.acquire()   # before create_task: bounds live tasks
+        task = asyncio.ensure_future(_bounded(index))
+        tasks.append(task)
+        if len(tasks) >= config.concurrency * 2:
+            tasks = [t for t in tasks if not t.done()]
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+
+async def _release_probes(config: LoadgenConfig, target: _Target,
+                          registry: MetricsRegistry,
+                          report: LoadgenReport) -> None:
+    from ..net.client import AggregatorClient
+
+    for probe in range(config.releases):
+        client = AggregatorClient(target.release_addr,
+                                  timeout=max(config.timeout, 120.0),
+                                  connect_retries=3, metrics=registry)
+        try:
+            await client.connect()
+            await client.request_release_payload(seed=config.seed + probe)
+        except (NetworkError, RemoteError) as error:
+            report.errors.append(f"release probe {probe}: {error}")
+        finally:
+            with contextlib.suppress(Exception):
+                await client.close(bye=False)
+
+
+async def _fetch_final_stats(target: _Target, config: LoadgenConfig,
+                             report: LoadgenReport) -> None:
+    from ..net.client import AggregatorClient
+
+    client = AggregatorClient(target.stats_addr, timeout=config.timeout,
+                              connect_retries=3)
+    try:
+        await client.connect()
+        report.server_stats = await client.stats()
+    except (ReproError, OSError) as error:
+        report.errors.append(f"final stats: {error}")
+    finally:
+        with contextlib.suppress(Exception):
+            await client.close(bye=False)
+
+
+async def run_loadgen_async(config: LoadgenConfig) -> LoadgenReport:
+    """Run one load wave and measure it (the asyncio core)."""
+    config.validate()
+    pool = build_payload_pool(config)
+    # Infinite window + a large ring: report percentiles cover the whole
+    # run (bounded at the last 65536 samples per histogram for memory).
+    registry = MetricsRegistry(window=float("inf"), maxlen=65536)
+    report = LoadgenReport(config=config)
+
+    async def _run_against(target: _Target) -> None:
+        start = time.monotonic()
+        await _drive_clients(config, target, pool, registry, report)
+        report.elapsed_s = time.monotonic() - start
+        if config.releases:
+            await _release_probes(config, target, registry, report)
+        await _fetch_final_stats(target, config, report)
+
+    if config.to is not None:
+        target = _Target([config.to], config.to, config.to, [])
+        await _run_against(target)
+    else:
+        async with aggregation_tree(config) as target:
+            await _run_against(target)
+
+    if report.elapsed_s > 0:
+        report.sustained_frames_per_sec = (report.frames_total
+                                           / report.elapsed_s)
+        report.sustained_clients_per_sec = (
+            (report.clients_ok + report.clients_churned) / report.elapsed_s)
+    snapshot = registry.snapshot()
+    report.latencies = {
+        name.replace("client.", "").replace("_seconds", ""): summary
+        for name, summary in snapshot["histograms"].items()
+        if name.startswith("client.")}
+    return report
+
+
+def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
+    """Synchronous entry point (``repro loadgen`` calls this)."""
+    return asyncio.run(run_loadgen_async(config))

@@ -1,0 +1,261 @@
+"""Process-local metrics: counters, gauges and sliding-window histograms.
+
+Zero-dependency observability for the aggregation service (`repro.net`).
+A :class:`MetricsRegistry` lives inside one process (one per
+:class:`~repro.net.server.AggregatorServer`, one per ``repro loadgen`` run)
+and is a **pure read-side layer**: nothing in here touches the fold, the
+release RNG or the wire bytes, so an instrumented server releases
+bit-identically to an uninstrumented one (property-tested in
+``tests/property/test_obs_equivalence.py``).
+
+Three instrument kinds, all write-cheap (an attribute bump or a deque
+append) because they sit on the per-frame hot path:
+
+* :class:`Counter` — monotonic totals (``server.frames_total``).
+* :class:`Gauge` — last-set values (``forward.queue_depth``).
+* :class:`Histogram` — a ring buffer of ``(timestamp, value)`` samples over
+  a sliding wall-clock window; :meth:`Histogram.summary` reports
+  count/mean/p50/p90/p99/max over the samples still inside the window
+  (nearest-rank percentiles).  The ring (``maxlen``) bounds memory under
+  any load; the window bounds staleness.
+
+Clocks are injectable everywhere (``clock`` drives window eviction,
+:attr:`MetricsRegistry.clock` is the duration clock instrumentation sites
+use), so the unit suite exercises window semantics without a single real
+sleep.  :data:`NULL_METRICS` is the disabled registry: same API, every
+write a no-op, ``snapshot()`` is ``None`` — servers constructed with
+``metrics=False`` pay only a method call per instrumentation site.
+
+Naming scheme (DESIGN.md "Observability"): dotted
+``<component>.<quantity>_<unit>`` — ``server.fold_seconds``,
+``wal.fsync_seconds``, ``budget.epsilon_spent`` — with histogram names
+always unit-suffixed so the console can label axes without a lookup table.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Dict, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "NullMetrics", "NULL_METRICS", "METRICS_VERSION", "as_registry"]
+
+#: Version of the ``metrics`` STATS stanza (:meth:`MetricsRegistry.snapshot`).
+#: Bump on any breaking change to the stanza layout; additions of new
+#: counters/gauges/histograms are non-breaking and do not bump it.
+METRICS_VERSION = 1
+
+#: Default sliding-window length (seconds) for histogram summaries.
+DEFAULT_WINDOW = 60.0
+#: Default ring-buffer capacity per histogram (bounds memory under load).
+DEFAULT_MAXLEN = 2048
+
+
+class Counter:
+    """A monotonic counter.  Never decremented, never reset."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins instrument (queue depth, budget remaining)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+def _nearest_rank(ordered, quantile: float):
+    """Nearest-rank percentile over pre-sorted samples (q in [0, 1])."""
+    rank = int(quantile * len(ordered) + 0.999999) or 1
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class Histogram:
+    """Ring-buffered samples summarized over a sliding wall-clock window.
+
+    ``observe`` stamps each sample with ``clock()`` and appends to a
+    bounded deque; ``summary`` first evicts samples older than ``window``
+    seconds, then reports nearest-rank percentiles over what remains.
+    Old samples therefore age out on read, not on a background thread.
+    """
+
+    __slots__ = ("_clock", "window", "_samples")
+
+    def __init__(self, clock: Callable[[], float],
+                 window: float = DEFAULT_WINDOW,
+                 maxlen: int = DEFAULT_MAXLEN) -> None:
+        self._clock = clock
+        self.window = window
+        self._samples = deque(maxlen=maxlen)
+
+    def observe(self, value: float) -> None:
+        self._samples.append((self._clock(), value))
+
+    def _evict(self) -> None:
+        cutoff = self._clock() - self.window
+        samples = self._samples
+        while samples and samples[0][0] < cutoff:
+            samples.popleft()
+
+    def values(self) -> list:
+        """The samples still inside the window, in arrival order."""
+        self._evict()
+        return [value for _, value in self._samples]
+
+    def summary(self) -> Dict[str, float]:
+        """count / mean / p50 / p90 / p99 / max over the live window."""
+        live = sorted(self.values())
+        if not live:
+            return {"count": 0}
+        return {
+            "count": len(live),
+            "mean": sum(live) / len(live),
+            "p50": _nearest_rank(live, 0.50),
+            "p90": _nearest_rank(live, 0.90),
+            "p99": _nearest_rank(live, 0.99),
+            "max": live[-1],
+        }
+
+
+class MetricsRegistry:
+    """All of one process's instruments, by dotted name.
+
+    Instruments are created on first use (``registry.counter(name)`` and
+    the ``inc``/``set_gauge``/``observe`` conveniences), so instrumentation
+    sites never have to pre-declare what they record.  ``snapshot()`` is
+    the versioned JSON-safe stanza the STATS verb embeds.
+
+    ``clock`` orders histogram samples inside the sliding window;
+    :attr:`clock` (the same callable) is also what instrumentation sites
+    use to time durations, so a test can inject one fake clock and control
+    both the measured durations and the window eviction.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic,
+                 window: float = DEFAULT_WINDOW,
+                 maxlen: int = DEFAULT_MAXLEN) -> None:
+        self.clock = clock
+        self._window = window
+        self._maxlen = maxlen
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors (get-or-create) ---------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, window: Optional[float] = None) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                self.clock, window=window or self._window, maxlen=self._maxlen)
+        return instrument
+
+    # -- write conveniences (the hot-path API) --------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- read side -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The versioned ``metrics`` STATS stanza (JSON-safe)."""
+        return {
+            "version": METRICS_VERSION,
+            "window_s": self._window,
+            "counters": {name: counter.value
+                         for name, counter in sorted(self._counters.items())},
+            "gauges": {name: gauge.value
+                       for name, gauge in sorted(self._gauges.items())},
+            "histograms": {name: histogram.summary()
+                           for name, histogram in sorted(self._histograms.items())},
+        }
+
+
+class NullMetrics:
+    """The disabled registry: identical surface, every write a no-op.
+
+    Keeps instrumentation sites branch-free (``server.metrics.observe(...)``
+    works either way) while an obs-off server pays only the method call.
+    ``clock`` stays real so sites that pre-compute ``start = clock()``
+    need no special-casing.
+    """
+
+    enabled = False
+    clock = staticmethod(time.monotonic)
+
+    def counter(self, name: str) -> Counter:
+        return Counter()
+
+    def gauge(self, name: str) -> Gauge:
+        return Gauge()
+
+    def histogram(self, name: str, window: Optional[float] = None) -> Histogram:
+        return Histogram(self.clock, window=window or DEFAULT_WINDOW)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def snapshot(self) -> None:
+        return None
+
+
+#: The shared disabled registry (stateless, so one instance serves all).
+NULL_METRICS = NullMetrics()
+
+
+def as_registry(metrics) -> "MetricsRegistry":
+    """Normalize a ``metrics=`` constructor argument to a registry.
+
+    ``True`` builds a fresh enabled registry, ``False``/``None`` resolves
+    to :data:`NULL_METRICS`, and an existing registry (or anything
+    registry-shaped, e.g. a test double) passes through unchanged.
+    """
+    if metrics is True:
+        return MetricsRegistry()
+    if metrics is False or metrics is None:
+        return NULL_METRICS
+    return metrics

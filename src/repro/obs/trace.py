@@ -1,0 +1,78 @@
+"""Lightweight trace spans over the accept -> fold -> commit -> release path.
+
+A :class:`Tracer` wraps one :class:`~repro.obs.metrics.MetricsRegistry`:
+``tracer.span(name, **fields)`` times the enclosed block on a monotonic
+clock, records the duration into the ``span.<name>_seconds`` histogram, and
+— when a ``stream`` is attached (``repro serve --log-json``) — emits one
+structured JSON line per span::
+
+    {"ts": 1754650000.123, "span": "release", "elapsed_s": 0.0042,
+     "parts": 8}
+
+The span body receives the mutable ``fields`` dict, so late-bound context
+(the session's final state, the number of combined parts) can be attached
+before the line is written.  Spans are *observational only*: they never
+swallow or alter exceptions (a span that unwinds with an error is still
+recorded, with ``"error"`` naming the exception type), and a tracer built
+on :data:`~repro.obs.metrics.NULL_METRICS` with no stream is inert —
+:attr:`active` is False and :meth:`span` short-circuits, so obs-off
+servers pay one truth test per span site.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+from typing import IO, Optional
+
+from .metrics import NULL_METRICS, MetricsRegistry
+
+__all__ = ["Tracer", "NULL_TRACER"]
+
+
+class Tracer:
+    """Span timing bound to a registry plus an optional JSON log stream."""
+
+    def __init__(self, metrics: MetricsRegistry = NULL_METRICS,
+                 stream: Optional[IO] = None,
+                 wall_clock=time.time) -> None:
+        self.metrics = metrics
+        self.stream = stream
+        self._wall = wall_clock
+
+    @property
+    def active(self) -> bool:
+        """False when every span would be a no-op (obs off, no log)."""
+        return self.metrics.enabled or self.stream is not None
+
+    @contextlib.contextmanager
+    def span(self, name: str, **fields):
+        """Time a block; record ``span.<name>_seconds`` and log the span."""
+        if not self.active:
+            yield fields
+            return
+        clock = self.metrics.clock
+        start = clock()
+        try:
+            yield fields
+        except BaseException as error:
+            fields.setdefault("error", type(error).__name__)
+            raise
+        finally:
+            elapsed = clock() - start
+            self.metrics.observe(f"span.{name}_seconds", elapsed)
+            if self.stream is not None:
+                line = {"ts": self._wall(), "span": name,
+                        "elapsed_s": elapsed, **fields}
+                try:
+                    self.stream.write(json.dumps(line, sort_keys=True,
+                                                 default=str) + "\n")
+                    self.stream.flush()
+                except (OSError, ValueError):
+                    # A torn log pipe must never take a session down.
+                    self.stream = None
+
+
+#: The inert tracer (disabled registry, no stream): spans cost one branch.
+NULL_TRACER = Tracer(NULL_METRICS, None)

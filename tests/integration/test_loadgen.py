@@ -1,0 +1,196 @@
+"""Integration: the loadgen harness and the status/stats CLI surfaces.
+
+The CI smoke lane for the operator tooling: a small flat loadgen run, the
+same run through a one-leaf relay tree (the ``repro loadgen --quick``
+topology scaled down), and subprocess checks that ``repro stats --json``
+and ``repro status --once --json`` expose the observability stanzas a
+console needs.  Everything runs under the ``net`` SIGALRM watchdog, so a
+wedged event loop fails loudly instead of hanging CI.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.obs.loadgen import (ARRIVALS, LoadgenConfig, build_payload_pool,
+                               run_loadgen)
+
+pytestmark = pytest.mark.net(seconds=240)
+
+
+def _quick_config(**overrides):
+    config = LoadgenConfig(clients=120, concurrency=24, stream_length=30,
+                           universe=300, k=16, seed=7, releases=2,
+                           payload_pool=8, timeout=30.0)
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    config.validate()
+    return config
+
+
+class TestConfig:
+    def test_validate_rejects_bad_arrival(self):
+        with pytest.raises(ValueError):
+            _quick_config(arrival="bursty")
+
+    def test_validate_rejects_bad_churn(self):
+        with pytest.raises(ValueError):
+            _quick_config(churn=1.5)
+
+    def test_arrivals_cover_cli_choices(self):
+        assert set(ARRIVALS) == {"closed", "poisson", "uniform"}
+
+
+class TestPayloadPool:
+    def test_pool_is_deterministic_and_bounded(self):
+        config = _quick_config()
+        first = build_payload_pool(config)
+        second = build_payload_pool(config)
+        assert first == second                      # seeded: reproducible
+        assert len(first) == config.payload_pool
+        assert all(isinstance(frame, bytes) and frame for frame in first)
+
+    def test_pool_never_exceeds_clients(self):
+        config = _quick_config(clients=3, payload_pool=64)
+        assert len(build_payload_pool(config)) == 3
+
+
+class TestFlatLoadgen:
+    def test_flat_run_commits_every_surviving_client(self):
+        report = run_loadgen(_quick_config())
+        assert report.clients_failed == 0, report.errors
+        assert report.clients_ok == 120
+        assert report.clients_churned == 0
+        assert report.server_stats["sessions_committed"] == 120
+        assert report.frames_total == 120
+        assert report.sustained_clients_per_sec > 0
+        # Client-side latency histograms made it into the report.
+        assert report.latencies["connect"]["count"] > 0
+        assert report.latencies["push"]["count"] == 120
+
+    def test_churn_kills_mid_push_and_server_survives(self):
+        report = run_loadgen(_quick_config(churn=0.25, seed=3))
+        assert report.clients_failed == 0, report.errors
+        assert report.clients_churned > 0
+        assert report.clients_ok + report.clients_churned == 120
+        # Churned clients abort mid-declared-burst; only the survivors commit.
+        assert report.server_stats["sessions_committed"] == report.clients_ok
+        # The release probes still work against the churned server.
+        assert report.server_stats["releases"] >= 2
+
+    def test_poisson_arrivals_complete(self):
+        report = run_loadgen(_quick_config(
+            clients=60, arrival="poisson", rate=500.0, seed=11))
+        assert report.clients_failed == 0, report.errors
+        assert report.clients_ok == 60
+
+    def test_report_as_dict_is_json_safe(self):
+        report = run_loadgen(_quick_config(clients=30))
+        payload = json.loads(json.dumps(report.as_dict(), default=str))
+        assert payload["clients_ok"] == 30
+        assert "sustained_clients_per_sec" in payload
+
+
+class TestTreeLoadgen:
+    def test_one_leaf_tree_smoke(self):
+        """The CI lane topology: clients -> 1 leaf relay -> root."""
+        report = run_loadgen(_quick_config(clients=80, leaves=1, depth=1,
+                                           churn=0.1, seed=5))
+        assert report.clients_failed == 0, report.errors
+        assert report.clients_ok + report.clients_churned == 80
+        assert report.clients_churned > 0
+        # Stats are polled through leaf 0, so the reply is the leaf's view:
+        # it committed the surviving client sessions and forwarded them all
+        # upstream (queue drained) with no standing error.
+        leaf = report.server_stats
+        assert leaf["sessions_committed"] == report.clients_ok
+        forward = leaf["forward"]
+        assert forward["queued"] == 0
+        assert forward["acked"] > 0
+        assert forward["error"] is None
+
+
+class TestCliLoadgen:
+    def test_cli_quick_json(self, capsys):
+        rc = main(["loadgen", "--clients", "60", "--concurrency", "16",
+                   "--stream-length", "20", "--universe", "200",
+                   "-k", "16", "--seed", "2", "--releases", "1", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out)
+        assert payload["clients_ok"] == 60
+        assert payload["clients_failed"] == 0
+        assert payload["config"]["arrival"] == "closed"
+
+    def test_cli_table_output(self, capsys):
+        rc = main(["loadgen", "--clients", "40", "--concurrency", "16",
+                   "--stream-length", "20", "--universe", "200",
+                   "-k", "16", "--seed", "2", "--releases", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "load wave" in out
+        assert "sustained throughput" in out
+        assert "client-side latency" in out
+
+
+# ---------------------------------------------------------------------------
+# stats/status CLI against a live subprocess server
+# ---------------------------------------------------------------------------
+
+def _serve_subprocess(tmp_path, extra=()):
+    ready = tmp_path / "ready.addr"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--listen", "127.0.0.1:0", "--epsilon", "1.0", "--delta", "1e-6",
+         "-k", "16", "--ready-file", str(ready), *extra],
+        env={**os.environ,
+             "PYTHONPATH": str(pathlib.Path(__file__).resolve().parents[2] / "src")},
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        if ready.exists() and ready.read_text().strip():
+            return process, ready.read_text().strip()
+        if process.poll() is not None:
+            raise AssertionError(f"serve died early: {process.stderr.read()}")
+        time.sleep(0.05)
+    process.kill()
+    raise AssertionError("serve never wrote its ready file")
+
+
+@pytest.mark.slow
+def test_stats_and_status_json_share_one_payload(tmp_path, capsys):
+    process, address = _serve_subprocess(tmp_path)
+    try:
+        assert main(["stats", address, "--json"]) == 0
+        stats_payload = json.loads(capsys.readouterr().out)
+        assert main(["status", address, "--once", "--json"]) == 0
+        status_payload = json.loads(capsys.readouterr().out)
+        # One code path, two subcommands: same shape, same stanzas.
+        for payload in (stats_payload, status_payload):
+            assert payload["metrics"]["version"] == 1
+            assert "uptime_s" in payload
+            assert "active" in payload
+            assert "sessions_listed" in payload
+        assert sorted(stats_payload) == sorted(status_payload)
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+
+
+@pytest.mark.slow
+def test_status_once_renders_console_frame(tmp_path, capsys):
+    process, address = _serve_subprocess(tmp_path)
+    try:
+        assert main(["status", address, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert f"aggregator at {address}" in out
+        assert "totals" in out
+    finally:
+        process.terminate()
+        process.wait(timeout=10)

@@ -412,3 +412,45 @@ class TestWalMisc:
         assert store.get("ord:0").committed_frames == 1
         journal.close()
         wal.close()
+
+
+class TestSpoolUsage:
+    """spool_usage(): the du-style footprint STATS and wal inspect report."""
+
+    def test_empty_dir(self, wal):
+        assert wal.spool_usage() == {"spools": 0, "bytes": 0}
+
+    def test_counts_spools_and_sums_bytes(self, wal):
+        for ordinal in range(3):
+            journal = wal.attach(ordinal, "worker", K)
+            journal.append(_body(FRAME_A))
+            journal.commit()
+            journal.close()
+        usage = wal.spool_usage()
+        assert usage["spools"] == 3
+        expected = sum(path.stat().st_size
+                       for path in wal.wal_dir.glob("*.spool"))
+        assert usage["bytes"] == expected > 0
+
+    def test_ignores_the_ledger_and_other_files(self, wal):
+        journal = wal.attach(0, "worker", K)
+        journal.append(_body(FRAME_A))
+        journal.commit()
+        journal.close()
+        (wal.wal_dir / "notes.txt").write_text("not a spool")
+        assert wal.spool_usage()["spools"] == 1
+
+    def test_metrics_record_commit_timings(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(window=float("inf"))
+        wal = SessionWal(tmp_path / "wal", store=MemoryCheckpointStore(),
+                         metrics=registry)
+        journal = wal.attach(0, "worker", K)
+        journal.append(_body(FRAME_A))
+        journal.commit()
+        journal.close()
+        wal.close()
+        assert registry.counter("wal.commits_total").value == 1
+        assert registry.histogram("wal.commit_seconds").summary()["count"] == 1
+        assert registry.histogram("wal.fsync_seconds").summary()["count"] >= 1

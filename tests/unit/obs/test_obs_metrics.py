@@ -1,0 +1,264 @@
+"""Unit tests for the metrics registry: zero real sleeps, injectable clocks.
+
+Window semantics, nearest-rank percentiles, the null registry's no-op
+surface, the tracer's span timing + JSON log emission — all driven by a
+fake monotonic clock, so the whole suite runs in milliseconds and the
+sliding-window behavior is exact, not sleep-flaky.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.metrics import (DEFAULT_WINDOW, METRICS_VERSION, Counter,
+                               Gauge, Histogram, MetricsRegistry,
+                               NULL_METRICS, NullMetrics, as_registry)
+from repro.obs.trace import Tracer
+
+
+class FakeClock:
+    """A hand-advanced monotonic clock."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        gauge = Gauge()
+        gauge.set(7.0)
+        gauge.set(3.0)
+        assert gauge.value == 3.0
+
+    def test_inc_dec(self):
+        gauge = Gauge()
+        gauge.inc(5.0)
+        gauge.dec(2.0)
+        assert gauge.value == 3.0
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        histogram = Histogram(FakeClock())
+        assert histogram.summary() == {"count": 0}
+
+    def test_summary_fields(self):
+        clock = FakeClock()
+        histogram = Histogram(clock, window=60.0)
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["p50"] == 2.0
+        assert summary["max"] == 4.0
+
+    def test_nearest_rank_percentiles_100_samples(self):
+        # With 1..100 the nearest-rank percentile IS the rank: p50=50,
+        # p90=90, p99=99 — no interpolation.
+        histogram = Histogram(FakeClock())
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["p50"] == 50.0
+        assert summary["p90"] == 90.0
+        assert summary["p99"] == 99.0
+        assert summary["max"] == 100.0
+
+    def test_single_sample_percentiles(self):
+        histogram = Histogram(FakeClock())
+        histogram.observe(7.0)
+        summary = histogram.summary()
+        assert summary["p50"] == summary["p99"] == summary["max"] == 7.0
+
+    def test_window_eviction_on_read(self):
+        clock = FakeClock()
+        histogram = Histogram(clock, window=10.0)
+        histogram.observe(1.0)          # t=0
+        clock.advance(5.0)
+        histogram.observe(2.0)          # t=5
+        clock.advance(6.0)              # t=11: the t=0 sample just expired
+        assert histogram.values() == [2.0]
+        clock.advance(10.0)             # t=21: everything expired
+        assert histogram.summary() == {"count": 0}
+
+    def test_boundary_sample_survives_exactly_window(self):
+        clock = FakeClock()
+        histogram = Histogram(clock, window=10.0)
+        histogram.observe(1.0)
+        clock.advance(10.0)             # cutoff == sample timestamp: kept
+        assert histogram.values() == [1.0]
+
+    def test_maxlen_bounds_memory(self):
+        histogram = Histogram(FakeClock(), maxlen=4)
+        for value in range(10):
+            histogram.observe(float(value))
+        assert histogram.values() == [6.0, 7.0, 8.0, 9.0]
+
+    def test_infinite_window_never_evicts(self):
+        clock = FakeClock()
+        histogram = Histogram(clock, window=float("inf"))
+        histogram.observe(1.0)
+        clock.advance(1e9)
+        assert histogram.values() == [1.0]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_conveniences(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.inc("frames", 3)
+        registry.set_gauge("depth", 7.0)
+        registry.observe("lat", 0.5)
+        assert registry.counter("frames").value == 3
+        assert registry.gauge("depth").value == 7.0
+        assert registry.histogram("lat").values() == [0.5]
+
+    def test_snapshot_shape_and_order(self):
+        registry = MetricsRegistry(clock=FakeClock(), window=30.0)
+        registry.inc("z.total")
+        registry.inc("a.total", 2)
+        registry.set_gauge("depth", 1.0)
+        registry.observe("lat_seconds", 0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["version"] == METRICS_VERSION
+        assert snapshot["window_s"] == 30.0
+        assert list(snapshot["counters"]) == ["a.total", "z.total"]
+        assert snapshot["counters"] == {"a.total": 2, "z.total": 1}
+        assert snapshot["gauges"] == {"depth": 1.0}
+        assert snapshot["histograms"]["lat_seconds"]["count"] == 1
+        json.dumps(snapshot)   # must be JSON-safe as-is
+
+    def test_histograms_share_registry_clock(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock, window=10.0)
+        registry.observe("lat", 1.0)
+        clock.advance(11.0)
+        assert registry.histogram("lat").summary() == {"count": 0}
+
+
+class TestNullMetrics:
+    def test_disabled_surface(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.inc("x")
+        NULL_METRICS.set_gauge("g", 1.0)
+        NULL_METRICS.observe("h", 1.0)
+        assert NULL_METRICS.snapshot() is None
+
+    def test_writes_leave_no_state(self):
+        NULL_METRICS.inc("x", 100)
+        assert NULL_METRICS.counter("x").value == 0
+        assert NULL_METRICS.histogram("h").summary() == {"count": 0}
+
+    def test_clock_is_real(self):
+        assert isinstance(NULL_METRICS.clock(), float)
+
+
+class TestAsRegistry:
+    def test_true_builds_fresh_registry(self):
+        first, second = as_registry(True), as_registry(True)
+        assert isinstance(first, MetricsRegistry)
+        assert first is not second
+
+    def test_false_and_none_are_null(self):
+        assert as_registry(False) is NULL_METRICS
+        assert as_registry(None) is NULL_METRICS
+
+    def test_registry_passes_through(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        assert as_registry(registry) is registry
+        null = NullMetrics()
+        assert as_registry(null) is null
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+class TestTracer:
+    def test_span_records_histogram_duration(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        tracer = Tracer(registry)
+        with tracer.span("release"):
+            clock.advance(0.25)
+        assert registry.histogram("span.release_seconds").values() == [0.25]
+
+    def test_span_writes_json_line(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        stream = io.StringIO()
+        tracer = Tracer(registry, stream=stream, wall_clock=lambda: 123.5)
+        with tracer.span("push", frames=3) as fields:
+            clock.advance(0.5)
+            fields["ordinal"] = 7
+        line = json.loads(stream.getvalue())
+        assert line == {"ts": 123.5, "span": "push", "elapsed_s": 0.5,
+                        "frames": 3, "ordinal": 7}
+
+    def test_span_error_is_recorded_and_reraised(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        stream = io.StringIO()
+        tracer = Tracer(registry, stream=stream, wall_clock=lambda: 0.0)
+        with pytest.raises(ValueError):
+            with tracer.span("push"):
+                raise ValueError("boom")
+        line = json.loads(stream.getvalue())
+        assert line["error"] == "ValueError"
+        assert registry.histogram("span.push_seconds").summary()["count"] == 1
+
+    def test_inactive_tracer_short_circuits(self):
+        tracer = Tracer(NULL_METRICS, stream=None)
+        assert tracer.active is False
+        with tracer.span("anything") as fields:
+            fields["x"] = 1   # the fields dict still works
+
+    def test_torn_stream_disables_logging_not_the_span(self):
+        class TornStream:
+            def write(self, _):
+                raise OSError("broken pipe")
+
+            def flush(self):
+                pass
+
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        tracer = Tracer(registry, stream=TornStream())
+        with tracer.span("push"):
+            clock.advance(0.1)
+        assert tracer.stream is None           # logging dropped...
+        with tracer.span("push"):
+            clock.advance(0.1)
+        summary = registry.histogram("span.push_seconds").summary()
+        assert summary["count"] == 2           # ...metrics keep recording
